@@ -1,0 +1,88 @@
+"""DEFECT — Section 4.1: the defective edge coloring.
+
+Paper claims checked per (β, family):
+1. defect of every edge <= deg(e) / (2β);
+2. color count <= 3 · 4β(4β+1)/2 = O(β²);
+3. rounds = O(log* X) — constant-ish across n at fixed β.
+
+Also reports the *measured* defect, which at simulation scale sits far
+below the worst-case bound (a reproduction finding recorded in
+EXPERIMENTS.md: this is why the downstream recursion mostly sees
+near-proper classes).
+"""
+
+from repro.analysis.tables import format_table
+from repro.coloring.verify import check_defective_coloring, measure_defects
+from repro.core.solver import compute_initial_edge_coloring
+from repro.graphs.generators import (
+    blow_up_cycle,
+    complete_bipartite,
+    random_regular,
+)
+from repro.graphs.properties import graph_summary
+from repro.primitives.defective import defect_bound, defective_edge_coloring
+from repro.utils.logstar import log_star
+
+from conftest import report
+
+
+FAMILIES = [
+    ("K_16,16", lambda: complete_bipartite(16, 16)),
+    ("RR(12, 48)", lambda: random_regular(12, 48, seed=5)),
+    ("blowup(6, 4)", lambda: blow_up_cycle(6, 4)),
+]
+
+
+def test_defect_beta_family_sweep(benchmark):
+    rows = []
+    for name, make in FAMILIES:
+        graph = make()
+        summary = graph_summary(graph)
+        initial, palette, _rounds = compute_initial_edge_coloring(graph, seed=3)
+        for beta in (1, 2, 4):
+            result = defective_edge_coloring(graph, beta, initial)
+            check_defective_coloring(
+                graph,
+                result.colors,
+                lambda deg: defect_bound(deg, beta),
+                color_bound=result.color_count,
+            )
+            defects = measure_defects(graph, result.colors)
+            worst_bound = defect_bound(summary.max_edge_degree, beta)
+            rows.append([
+                name, beta, summary.max_edge_degree,
+                max(defects.values()), f"{worst_bound:.1f}",
+                len(set(result.colors.values())), result.color_count,
+                result.rounds, log_star(palette),
+            ])
+    report(format_table(
+        ["family", "β", "Δ̄", "max defect", "bound Δ̄/2β",
+         "colors used", "color bound", "rounds", "log* X"],
+        rows,
+        title="DEFECT: Section 4.1 defective coloring across β and "
+              "families (measured defect << worst-case bound)",
+    ))
+
+    graph = FAMILIES[0][1]()
+    initial, _p, _r = compute_initial_edge_coloring(graph, seed=3)
+    benchmark(lambda: defective_edge_coloring(graph, 2, initial))
+
+
+def test_defect_rounds_flat_in_n(benchmark):
+    """O(log* X) rounds: growing n by 16x moves rounds by at most the
+    log* increment (i.e. ~nothing)."""
+    rounds = []
+    for n in (24, 96, 384):
+        graph = random_regular(6, n, seed=7)
+        initial, _p, _r = compute_initial_edge_coloring(graph, seed=2)
+        result = defective_edge_coloring(graph, 2, initial)
+        rounds.append(result.rounds)
+    assert max(rounds) - min(rounds) <= 3
+    report(format_table(
+        ["n", "defective coloring rounds"],
+        [[n, r] for n, r in zip((24, 96, 384), rounds)],
+        title="DEFECT: rounds vs n at fixed Δ (flat, as O(log* X) predicts)",
+    ))
+    graph = random_regular(6, 96, seed=7)
+    initial, _p, _r = compute_initial_edge_coloring(graph, seed=2)
+    benchmark(lambda: defective_edge_coloring(graph, 2, initial))

@@ -1,0 +1,70 @@
+"""FIG5 — Figure 5 of the paper: list partitioning under Lemma 4.4.
+
+Paper artifact: the worked example with ``C = 20``, ``p = 4`` and the
+list ``L_e = {1, 2, 5, 6, 7, 12, 17}`` of size 7, whose index set is
+``I = {1, 2}`` because the two largest intersections (3 and 2) both
+meet the bound ``|L_e| / (2 H_4) ≈ 1.68``.
+
+This benchmark reproduces the exact instance, then validates Lemma 4.4
+on thousands of random lists, and times the level computation (a hot
+inner loop of the color-space reduction).
+"""
+
+import random
+
+from repro.analysis.tables import format_table
+from repro.coloring.palette import Palette, split_palette
+from repro.core.levels import compute_level, lemma_44_index_set
+from repro.utils.harmonic import harmonic_number
+
+from conftest import report
+
+
+FIGURE5_LIST = frozenset({1, 2, 5, 6, 7, 12, 17})
+
+
+def test_fig5_exact_instance(benchmark):
+    subspaces = split_palette(Palette.of_size(20), 4)
+    sizes = [len(FIGURE5_LIST & s.as_set) for s in subspaces]
+    assert sizes == [3, 2, 1, 1]
+
+    k, indices = lemma_44_index_set(sizes)
+    assert k == 2 and sorted(indices) == [0, 1]  # paper's I = {1, 2}
+
+    threshold = len(FIGURE5_LIST) / (k * harmonic_number(4))
+    rows = [
+        [f"C_{i+1}", sizes[i], f"{'in I' if i in indices else '-'}",
+         f">= {threshold:.2f}" if i in indices else ""]
+        for i in range(4)
+    ]
+    report(format_table(
+        ["subspace", "|L ∩ C_i|", "selected", "Lemma 4.4 bound"],
+        rows,
+        title="FIG5: paper instance C=20, p=4, |L|=7 -> I = {C_1, C_2}",
+    ))
+
+    benchmark(lambda: compute_level(FIGURE5_LIST, subspaces))
+
+
+def test_fig5_lemma44_on_random_lists(benchmark):
+    """Lemma 4.4 must hold for every random list; level computation is
+    the benchmarked kernel."""
+    rng = random.Random(42)
+    palette = Palette.of_size(60)
+    subspaces = split_palette(palette, 6)
+    q = len(subspaces)
+    lists = [
+        frozenset(rng.sample(range(1, 61), rng.randint(1, 60)))
+        for _ in range(500)
+    ]
+    for colors in lists:
+        level = compute_level(colors, subspaces)
+        bound = len(colors) / (2 ** (level.level + 1) * harmonic_number(q))
+        assert len(level.candidates) >= 2**level.level
+        assert all(level.intersections[i] >= bound for i in level.candidates)
+
+    def kernel():
+        for colors in lists[:100]:
+            compute_level(colors, subspaces)
+
+    benchmark(kernel)

@@ -1,0 +1,78 @@
+"""LEM42 — Lemma 4.2: slack-1 reduces to O(β² log Δ̄) slack-β instances.
+
+Paper claims checked:
+1. the number of slack-β sub-instances actually solved is within the
+   ``O(β² log Δ̄)`` budget;
+2. the residual maximum edge degree (at least) halves per outer
+   iteration;
+3. the whole reduction is correct (final coloring validates).
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.theory import lemma42_invocation_bound
+from repro.coloring.verify import check_proper_edge_coloring
+from repro.core.params import fixed_policy
+from repro.core.solver import solve_edge_coloring
+from repro.graphs.generators import complete_bipartite
+from repro.graphs.properties import graph_summary
+
+from conftest import report
+
+
+def test_lem42_invocations_within_budget(benchmark):
+    graph = complete_bipartite(18, 18)
+    summary = graph_summary(graph)
+    rows = []
+    for beta in (2, 3, 4):
+        policy = fixed_policy(
+            beta, 4, base_degree_threshold=4, base_palette_threshold=6
+        )
+        result = solve_edge_coloring(graph, policy=policy, seed=4)
+        check_proper_edge_coloring(graph, result.coloring)
+        invocations = result.stats["relaxed_invocations"]
+        budget = sum(
+            lemma42_invocation_bound(b, d, constant=8.0)
+            for b, d in zip(result.stats["betas"], result.stats["dbar_trajectory"])
+        )
+        assert invocations <= budget, (
+            f"β={beta}: {invocations} slack-β instances exceed the "
+            f"O(β² log Δ̄) budget {budget:.0f}"
+        )
+        rows.append([
+            beta, invocations, f"{budget:.0f}",
+            len(result.stats["dbar_trajectory"]), result.rounds,
+        ])
+    report(format_table(
+        ["β", "slack-β instances", "O(β² log Δ̄) budget",
+         "outer iterations", "total rounds"],
+        rows,
+        title=f"LEM42: K_18,18 (Δ̄={summary.max_edge_degree}) — "
+              "invocation counts vs the lemma's bound",
+    ))
+    policy = fixed_policy(2, 4, base_degree_threshold=4, base_palette_threshold=6)
+    benchmark.pedantic(
+        lambda: solve_edge_coloring(graph, policy=policy, seed=4),
+        rounds=3, iterations=1,
+    )
+
+
+def test_lem42_degree_halving(benchmark):
+    rows = []
+    for side in (10, 16, 22):
+        graph = complete_bipartite(side, side)
+        result = solve_edge_coloring(graph, seed=2)
+        trajectory = result.stats["dbar_trajectory"]
+        for earlier, later in zip(trajectory, trajectory[1:]):
+            assert later <= earlier / 2 + 1, (
+                f"degree did not halve: {earlier} -> {later}"
+            )
+        rows.append([f"K_{side},{side}", " -> ".join(map(str, trajectory))])
+    report(format_table(
+        ["instance", "Δ̄ trajectory (halves per iteration)"],
+        rows,
+        title="LEM42: residual degree trajectories",
+    ))
+    benchmark.pedantic(
+        lambda: solve_edge_coloring(complete_bipartite(10, 10), seed=2),
+        rounds=3, iterations=1,
+    )

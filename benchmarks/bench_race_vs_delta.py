@@ -1,0 +1,115 @@
+"""RACE — the paper's positioning: all algorithms on one substrate.
+
+Reproduces the introduction's comparison table.  Measured at feasible
+Δ̄ on identical instances, plus the predicted curves' final crossovers
+in the asymptotic regime.
+
+Shape claims checked (the "who wins" facts that must hold):
+1. randomized O(log n) is flat in Δ̄ and wins at every feasible scale
+   (the known det-vs-rand gap the paper's program attacks);
+2. Kuhn-Wattenhofer O(Δ̄ log Δ̄) beats Linial's O(Δ̄²) from moderate Δ̄;
+3. the measured deterministic ranking at feasible scale is the
+   *reverse* of the asymptotic one — constants dominate, exactly as an
+   asymptotic result predicts (recorded as a finding);
+4. the predicted final crossovers: BKO20 overtakes Linial at
+   Δ̄ ~ 2^160, KW06 at ~2^425, Kuhn20 only at ~2^10^6.
+"""
+
+from repro.analysis.fitting import classify_growth, fit_power_law
+from repro.analysis.harness import run_race_sweep
+from repro.analysis.tables import format_series, format_table
+from repro.analysis.theory import (
+    crossover_log2_dbar,
+    predicted_balliu_kuhn_olivetti,
+    predicted_kuhn_soda20,
+    predicted_kuhn_wattenhofer,
+    predicted_linial_greedy,
+)
+from repro.graphs.generators import complete_bipartite
+
+from conftest import report
+
+
+def test_race_measured(benchmark, machinery_policy):
+    sizes = [4, 8, 12, 16]
+    graphs = [(2 * s - 2, complete_bipartite(s, s)) for s in sizes]
+    sweep = run_race_sweep(
+        graphs,
+        algorithms=[
+            "linial_greedy", "kuhn_wattenhofer", "panconesi_rizzi",
+            "kuhn_soda20", "randomized_luby",
+        ],
+        paper_policy=machinery_policy,
+        seed=2,
+    )
+    series = {name: sweep.series(name) for name in sweep.series_names()}
+    report(format_series(
+        "Δ̄", sweep.xs(), series,
+        title="RACE: measured LOCAL rounds on K_{s,s}",
+    ))
+
+    randomized = series["randomized_luby"]
+    assert max(randomized) <= 4 * max(1, min(randomized)), (
+        "randomized rounds should be ~flat in Δ̄"
+    )
+    lin = series["linial_greedy"]
+    kw = series["kuhn_wattenhofer"]
+    assert kw[-1] < lin[-1], "KW O(Δ̄ log Δ̄) must beat Linial O(Δ̄²)"
+    # growth-shape check: Linial's curve grows ~quadratically faster.
+    assert lin[-1] / lin[0] > kw[-1] / kw[0]
+
+    # fitted growth exponents vs each algorithm's predicted order
+    dbars = [float(x) for x in sweep.xs()]
+    fit_rows = []
+    for name, predicted in [
+        ("linial_greedy", "2 (Δ̄²)"),
+        ("kuhn_wattenhofer", "~1 (Δ̄ log Δ̄)"),
+        ("panconesi_rizzi", "~1 (Δ stages)"),
+        ("randomized_luby", "0 (log n)"),
+    ]:
+        fit = fit_power_law(dbars, [float(v) for v in series[name]])
+        fit_rows.append([
+            name, predicted, f"{fit.exponent:.2f}",
+            classify_growth(fit.exponent), f"{fit.r_squared:.3f}",
+        ])
+    report(format_table(
+        ["algorithm", "predicted order", "fitted exponent",
+         "classification", "R²"],
+        fit_rows,
+        title="RACE: measured growth exponents (log-log fit over the sweep)",
+    ))
+    lin_fit = fit_power_law(dbars, [float(v) for v in series["linial_greedy"]])
+    kw_fit = fit_power_law(dbars, [float(v) for v in series["kuhn_wattenhofer"]])
+    assert lin_fit.exponent > 1.6, "Linial sweep must look ~quadratic"
+    assert kw_fit.exponent < lin_fit.exponent - 0.5
+
+    benchmark.pedantic(
+        lambda: run_race_sweep(
+            [(6, complete_bipartite(4, 4))],
+            algorithms=["kuhn_wattenhofer"], seed=2,
+        ),
+        rounds=3, iterations=1,
+    )
+
+
+def test_race_predicted_crossovers(benchmark):
+    bko = predicted_balliu_kuhn_olivetti()
+    expectations = [
+        (predicted_linial_greedy(), "Linial O(Δ̄²)", 100, 1000),
+        (predicted_kuhn_wattenhofer(), "KW06", 200, 2000),
+        (predicted_kuhn_soda20(), "Kuhn20", 1e5, 1e7),
+    ]
+    rows = []
+    for model, label, low, high in expectations:
+        x = crossover_log2_dbar(bko, model)
+        assert x is not None, f"no crossover vs {label}"
+        assert low <= x <= high, (
+            f"crossover vs {label} at log2 Δ̄ = {x}, expected in "
+            f"[{low}, {high}]"
+        )
+        rows.append(f"  BKO20 < {label} for good at Δ̄ ≈ 2^{x:,.0f}")
+    report(
+        "RACE: predicted final crossovers (paper's literal constants)\n"
+        + "\n".join(rows)
+    )
+    benchmark(lambda: crossover_log2_dbar(bko, predicted_linial_greedy()))

@@ -1,0 +1,85 @@
+"""THM41 — Theorem 4.1: the main result, measured.
+
+Paper claim: (deg(e)+1)-list edge coloring in
+``log^{O(log log Δ̄)} Δ̄ + O(log* n)`` deterministic LOCAL rounds.
+
+Measured here: the full solver on a Δ̄ sweep, reporting rounds,
+recursion depth (must track O(log log Δ̄)), Lemma 4.3 engagement, and
+validity — next to the evaluated recurrence of Section 4.3.
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.theory import predicted_balliu_kuhn_olivetti, theorem41_depth
+from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
+from repro.core.solver import solve_edge_coloring
+from repro.graphs.generators import complete_bipartite
+from repro.graphs.properties import graph_summary
+
+from conftest import report
+
+
+def test_thm41_dbar_sweep(benchmark, machinery_policy):
+    model = predicted_balliu_kuhn_olivetti()
+    rows = []
+    for side in (8, 16, 25):
+        graph = complete_bipartite(side, side)
+        summary = graph_summary(graph)
+        result = solve_edge_coloring(graph, policy=machinery_policy, seed=4)
+        check_proper_edge_coloring(graph, result.coloring)
+        check_palette_bound(result.coloring, summary.greedy_palette_size)
+        depth = result.stats.get("max_depth_seen", 0)
+        # Depth must track O(log log Δ̄): generous constant 6 covers the
+        # two nested lemmas per level.
+        assert depth <= 6 * (theorem41_depth(summary.max_edge_degree) + 2)
+        rows.append([
+            f"K_{side},{side}", summary.max_edge_degree, result.rounds,
+            depth, theorem41_depth(summary.max_edge_degree),
+            result.stats.get("lem43/reductions", 0),
+            result.stats.get("deferred_edges", 0),
+            f"{model.rounds(summary.max_edge_degree):.2e}",
+        ])
+    report(format_table(
+        ["instance", "Δ̄", "measured rounds", "measured depth",
+         "predicted depth O(loglog Δ̄)", "Lem4.3 reductions",
+         "deferred edges", "recurrence T(Δ̄)"],
+        rows,
+        title="THM41: main theorem — measured execution vs recurrence "
+              "(absolute recurrence values carry the paper's literal "
+              "log^{8c+2} constants)",
+    ))
+    benchmark.pedantic(
+        lambda: solve_edge_coloring(
+            complete_bipartite(8, 8), policy=machinery_policy, seed=4
+        ),
+        rounds=3, iterations=1,
+    )
+
+
+def test_thm41_solver_wallclock(benchmark, dense_instance, machinery_policy):
+    """Timing anchor: one full solve of K_{25,25} with the machinery
+    engaged (tracked for performance regressions)."""
+    result = benchmark.pedantic(
+        lambda: solve_edge_coloring(dense_instance, policy=machinery_policy, seed=4),
+        rounds=3, iterations=1,
+    )
+    check_proper_edge_coloring(dense_instance, result.coloring)
+    assert result.stats.get("lem43/reductions", 0) >= 1
+
+
+def test_thm41_list_variant(benchmark, machinery_policy):
+    """The theorem is about LIST coloring; verify on per-edge lists of
+    exactly deg(e)+1 random colors."""
+    from repro.coloring.lists import deg_plus_one_lists
+    from repro.coloring.verify import check_list_edge_coloring
+    from repro.graphs.generators import random_regular
+
+    graph = random_regular(10, 40, seed=8)
+    lists = deg_plus_one_lists(graph, seed=21)
+
+    from repro.core.solver import solve_list_edge_coloring
+
+    result = benchmark.pedantic(
+        lambda: solve_list_edge_coloring(graph, lists, policy=machinery_policy, seed=2),
+        rounds=3, iterations=1,
+    )
+    check_list_edge_coloring(graph, lists, result.coloring)

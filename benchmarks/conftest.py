@@ -1,0 +1,66 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Each benchmark module reproduces one experiment of DESIGN.md's
+per-experiment index (a figure or lemma/theorem claim of the paper).
+Conventions:
+
+* every module prints the experiment's table via :func:`report` —
+  captured into ``bench_output.txt`` by the final run;
+* every module *asserts* the paper's shape claims (who wins, growth
+  order, bound satisfaction) — a benchmark that prints numbers without
+  checking them would silently rot;
+* heavy solves use ``benchmark.pedantic(..., rounds=1)`` so wall-clock
+  stays sane; the timing numbers are for regression tracking, the
+  experiment content is in the printed tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.params import fixed_policy
+from repro.graphs.generators import complete_bipartite, random_regular
+
+#: Experiment tables accumulated during the run; dumped in the terminal
+#: summary (so they survive pytest's output capture and land in
+#: bench_output.txt) and mirrored to benchmarks/latest_reports.txt.
+_REPORTS: list[str] = []
+
+_REPORT_FILE = Path(__file__).parent / "latest_reports.txt"
+
+
+def report(text: str) -> None:
+    """Record an experiment table for the end-of-run summary."""
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "experiment tables (paper reproduction)")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    _REPORT_FILE.write_text("\n\n".join(_REPORTS) + "\n")
+
+
+@pytest.fixture(scope="session")
+def machinery_policy():
+    """β=2, p=4, low thresholds: the full recursion engages at
+    simulation scale (see DESIGN.md §4, parameter policies)."""
+    return fixed_policy(2, 4, base_degree_threshold=4, base_palette_threshold=6)
+
+
+@pytest.fixture(scope="session")
+def dense_instance():
+    """K_{25,25}: the smallest complete bipartite instance on which the
+    Lemma 4.3 machinery measurably engages."""
+    return complete_bipartite(25, 25)
+
+
+@pytest.fixture(scope="session")
+def medium_regular():
+    return random_regular(8, 30, seed=3)

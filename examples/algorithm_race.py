@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Race every algorithm on a Δ sweep, measured and predicted.
+
+Reproduces the paper's positioning table (introduction): Linial's
+O(Δ²), Szegedy-Vishwanathan/Kuhn-Wattenhofer O(Δ log Δ), Kuhn SODA'20
+2^{O(√log Δ)}, the randomized O(log n), and this paper's
+quasi-polylog-in-Δ — measured on identical instances at feasible
+scale, plus the *predicted* curves and final crossovers in the
+asymptotic regime simulation cannot reach.
+"""
+
+import math
+
+from repro.analysis.harness import run_race_sweep
+from repro.analysis.tables import format_series
+from repro.analysis.theory import (
+    crossover_log2_dbar,
+    predicted_balliu_kuhn_olivetti,
+    predicted_kuhn_soda20,
+    predicted_kuhn_wattenhofer,
+    predicted_linial_greedy,
+)
+from repro.graphs.generators import complete_bipartite
+
+
+def main() -> None:
+    sizes = [4, 8, 12, 16]
+    graphs = [(2 * s - 2, complete_bipartite(s, s)) for s in sizes]
+    print("measuring on K_{s,s} (uniform edge degree 2s-2) ...\n")
+    sweep = run_race_sweep(
+        graphs,
+        algorithms=["linial_greedy", "kuhn_wattenhofer", "kuhn_soda20",
+                    "randomized_luby"],
+        seed=2,
+    )
+    series = {name: sweep.series(name) for name in sweep.series_names()}
+    print(format_series("Δ̄", sweep.xs(), series,
+                        title="measured LOCAL rounds"))
+
+    print("\npredicted asymptotic crossovers (literal constants):")
+    bko = predicted_balliu_kuhn_olivetti()
+    for other, label in [
+        (predicted_linial_greedy(), "Linial O(Δ̄²)"),
+        (predicted_kuhn_wattenhofer(), "KW06 O(Δ̄ log Δ̄)"),
+        (predicted_kuhn_soda20(), "Kuhn20 2^{O(√log Δ̄)}"),
+    ]:
+        x = crossover_log2_dbar(bko, other)
+        if x is None:
+            print(f"  vs {label}: no crossover in scanned range")
+        else:
+            print(f"  vs {label}: BKO20 wins for good at "
+                  f"Δ̄ ≈ 2^{x:,.0f}")
+    print("\n(the paper's improvement is asymptotic: with the paper's "
+          "own per-level factor\n log^{8c+2} Δ̄ charged naively, the "
+          "quasi-polylog curve undercuts 2^{O(√log Δ̄)}\n only at "
+          "astronomically large Δ̄ — see EXPERIMENTS.md, experiment RACE)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Drive the LOCAL-model simulator directly.
+
+Shows the substrate the whole library runs on: a synchronous
+message-passing network with unique IDs and port numbering.  Two
+genuine distributed programs run here:
+
+1. FloodMax — information travels exactly one hop per round (the
+   defining property of the synchronous LOCAL model);
+2. Linial's color reduction on the LINE GRAPH — each *edge* acts as an
+   agent and computes an O(Δ̄²)-edge coloring in O(log* n) rounds,
+   exchanging real messages.
+"""
+
+import networkx as nx
+
+from repro.coloring.verify import check_proper_edge_coloring
+from repro.model import Scheduler, line_graph_network
+from repro.model.network import Network
+from repro.model.scheduler import run_on_graph
+from repro.primitives.node_algorithms import (
+    FloodMaxAlgorithm,
+    LinialColorReductionAlgorithm,
+)
+
+
+def flood_demo() -> None:
+    print("== FloodMax on a 12-node path ==")
+    path = nx.path_graph(12)
+    for horizon in (3, 11):
+        result = run_on_graph(FloodMaxAlgorithm(horizon), path)
+        informed = sum(1 for v in result.outputs.values() if v == 12)
+        print(f"  horizon {horizon:2d}: rounds={result.rounds:2d}, "
+              f"messages={result.messages_sent:4d}, "
+              f"nodes knowing the max ID: {informed}/12")
+
+
+def linial_demo() -> None:
+    print("\n== Linial color reduction on the line graph of K_{5,5} ==")
+    graph = nx.complete_bipartite_graph(5, 5)
+    # Adversarially scattered node IDs (the LOCAL model's worst case):
+    # with sorted tiny IDs the initial palette is already at the
+    # O(Δ̄²) fixpoint and the reduction has nothing to do.
+    from repro.graphs.properties import assign_unique_ids
+
+    node_ids = assign_unique_ids(graph, seed=11, id_space_exponent=4)
+    network = line_graph_network(graph, node_ids=node_ids)
+    print(f"  line-graph network: {network.n} edge-agents, "
+          f"max degree {network.max_degree}, ID space up to "
+          f"{network.max_id()}")
+    scheduler = Scheduler(network, record_trace=True)
+    result = scheduler.run(
+        LinialColorReductionAlgorithm(id_space=network.max_id())
+    )
+    coloring = dict(result.outputs)
+    check_proper_edge_coloring(graph, coloring)
+    print(f"  proper edge coloring with {len(set(coloring.values()))} "
+          f"colors in {result.rounds} rounds "
+          f"({result.messages_sent} messages, "
+          f"largest payload ~{result.max_message_size} bytes)")
+    first = result.trace[0]
+    print(f"  first message: edge-agent {first.sender} -> "
+          f"{first.receiver} carrying its current color")
+
+
+def main() -> None:
+    flood_demo()
+    linial_demo()
+
+
+if __name__ == "__main__":
+    main()

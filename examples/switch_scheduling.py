@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Data-center link scheduling via distributed edge coloring.
+
+The classic systems motivation for edge coloring: a rack of servers
+talks to a layer of switches; each link can carry one transfer per
+time slot, and a server (or switch) can use only one of its links per
+slot.  A proper edge coloring with colors = time slots is exactly a
+conflict-free TDMA schedule, and 2Δ-1 slots always suffice.
+
+Crucially, the schedule is computed *distributedly*: every switch and
+server only talks to its direct neighbors, no central controller —
+which is the whole point of the LOCAL-model algorithm.
+
+The demo builds a leaf-spine-like bipartite fabric, colors it with the
+paper's algorithm, and prints the per-slot matchings (each slot's
+links are pairwise disjoint — verified).
+"""
+
+from collections import defaultdict
+
+from repro import check_proper_edge_coloring, solve_edge_coloring
+from repro.graphs.generators import random_bipartite_regular
+from repro.graphs.properties import graph_summary
+
+
+def build_fabric(servers_per_side: int = 12, uplinks: int = 4):
+    """A random `uplinks`-regular bipartite fabric (servers x spines)."""
+    return random_bipartite_regular(uplinks, servers_per_side, seed=7)
+
+
+def main() -> None:
+    fabric = build_fabric()
+    summary = graph_summary(fabric)
+    print(f"fabric: {summary.nodes} endpoints, {summary.edges} links, "
+          f"Δ = {summary.max_degree} uplinks per endpoint")
+
+    result = solve_edge_coloring(fabric, seed=3)
+    check_proper_edge_coloring(fabric, result.coloring)
+
+    slots: dict[int, list] = defaultdict(list)
+    for link, slot in result.coloring.items():
+        slots[slot].append(link)
+
+    print(f"schedule uses {len(slots)} time slots "
+          f"(greedy bound: {summary.greedy_palette_size}); "
+          f"computed in {result.rounds} LOCAL rounds\n")
+
+    for slot in sorted(slots):
+        links = slots[slot]
+        # Per-slot conflict check: no endpoint appears twice.
+        endpoints = [node for link in links for node in link]
+        assert len(endpoints) == len(set(endpoints)), "slot has a conflict!"
+        print(f"slot {slot:2d}: {len(links):2d} parallel transfers "
+              f"(a matching)")
+
+    busiest = max(slots.values(), key=len)
+    print(f"\npeak parallelism: {len(busiest)} simultaneous transfers")
+
+
+if __name__ == "__main__":
+    main()

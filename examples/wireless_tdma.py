@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Wireless frequency assignment via (deg(e)+1)-LIST edge coloring.
+
+The list variant is what makes the paper's algorithm practical for
+spectrum problems: each radio link has its *own* menu of usable
+channels (regulatory constraints, hardware bands, measured
+interference), and links sharing a node must use different channels.
+
+The paper's Theorem 4.1 guarantees a valid assignment whenever every
+link's menu holds at least deg(e)+1 channels — and this demo builds
+exactly such menus: each link of a mesh network gets a random menu of
+size deg(e)+1 from a channel pool, i.e. *the minimum that is always
+feasible*.  A greedy centralized pass can fail on adversarial menus;
+the list coloring algorithm cannot.
+"""
+
+import random
+
+from repro import check_list_edge_coloring, solve_list_edge_coloring
+from repro.coloring.lists import deg_plus_one_lists
+from repro.coloring.palette import Palette
+from repro.graphs.generators import random_regular
+from repro.graphs.line_graph import edge_degree
+from repro.graphs.properties import graph_summary
+
+
+def main() -> None:
+    mesh = random_regular(5, 24, seed=21)
+    summary = graph_summary(mesh)
+    pool = Palette.of_size(2 * summary.max_degree + 6)  # channel pool
+    print(f"mesh: {summary.nodes} radios, {summary.edges} links, "
+          f"Δ = {summary.max_degree}; channel pool: {len(pool)}")
+
+    # Each link gets a random menu of exactly deg(e)+1 channels — the
+    # tightest always-feasible regime of the paper.
+    menus = deg_plus_one_lists(mesh, palette=pool, seed=5)
+    sizes = sorted(len(menus.list_of(e)) for e in menus.lists)
+    print(f"menu sizes: min {sizes[0]}, max {sizes[-1]} "
+          f"(= deg(e)+1 per link)")
+
+    result = solve_list_edge_coloring(mesh, menus, seed=9)
+    check_list_edge_coloring(mesh, menus, result.coloring)
+
+    print(f"assigned channels to all {summary.edges} links in "
+          f"{result.rounds} LOCAL rounds")
+
+    # Show a few assignments with their menus.
+    rng = random.Random(0)
+    sample = rng.sample(sorted(result.coloring), 5)
+    for link in sample:
+        menu = sorted(menus.list_of(link))
+        chosen = result.coloring[link]
+        print(f"  link {link}: deg(e)={edge_degree(mesh, link)}, "
+              f"menu {menu} -> channel {chosen}")
+
+    channels_used = len(set(result.coloring.values()))
+    print(f"distinct channels in use: {channels_used} of {len(pool)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships an older setuptools without the
+``wheel`` package, so PEP 517 editable installs fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` perform a
+classic ``setup.py develop`` install.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Color the edges of a graph (from an edge-list file or a generated
+    family) with the paper's algorithm; optionally write the coloring.
+``race``
+    Run every algorithm on one instance and print the round table.
+``info``
+    Print instance measurements (n, m, Δ, Δ̄, palette sizes).
+
+Examples::
+
+    python -m repro solve --family complete_bipartite --size 8
+    python -m repro solve --input graph.txt --output colors.txt
+    python -m repro race --family random_regular --size 6
+    python -m repro info --input graph.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import networkx as nx
+
+from repro.analysis.harness import run_race_sweep
+from repro.analysis.tables import format_series, format_table
+from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
+from repro.core.params import fixed_policy, kuhn20_style_policy, paper_policy, scaled_policy
+from repro.core.solver import solve_edge_coloring
+from repro.graphs import generators
+from repro.graphs.io import read_edge_list, write_coloring
+from repro.graphs.properties import graph_summary
+
+
+_FAMILIES = {
+    "cycle": lambda size, seed: generators.cycle_graph(max(3, size)),
+    "complete": lambda size, seed: generators.complete_graph(max(2, size)),
+    "complete_bipartite": lambda size, seed: generators.complete_bipartite(
+        max(1, size), max(1, size)
+    ),
+    "random_regular": lambda size, seed: generators.random_regular(
+        max(1, size), 4 * max(1, size) + (4 * size * size) % 2, seed
+    ),
+    "torus": lambda size, seed: generators.torus_graph(max(3, size), max(3, size)),
+    "star": lambda size, seed: generators.star_graph(max(1, size)),
+}
+
+_POLICIES = {
+    "scaled": scaled_policy,
+    "paper": paper_policy,
+    "kuhn20": kuhn20_style_policy,
+    "machinery": lambda: fixed_policy(
+        2, 4, base_degree_threshold=4, base_palette_threshold=6
+    ),
+}
+
+
+def _load_graph(args: argparse.Namespace) -> nx.Graph:
+    if args.input:
+        return read_edge_list(args.input)
+    if args.family:
+        return _FAMILIES[args.family](args.size, args.seed)
+    raise SystemExit("provide --input FILE or --family NAME")
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", help="edge-list file (one 'u v' per line)")
+    parser.add_argument(
+        "--family", choices=sorted(_FAMILIES), help="generated instance family"
+    )
+    parser.add_argument(
+        "--size", type=int, default=8, help="family size parameter (default 8)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="generator / ID seed (default 1)"
+    )
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    summary = graph_summary(graph)
+    result = solve_edge_coloring(
+        graph, policy=_POLICIES[args.policy](), seed=args.seed
+    )
+    check_proper_edge_coloring(graph, result.coloring)
+    check_palette_bound(result.coloring, max(1, summary.greedy_palette_size))
+    print(
+        f"colored {summary.edges} edges with "
+        f"{len(set(result.coloring.values()))} colors "
+        f"(bound 2Δ-1 = {summary.greedy_palette_size}) in "
+        f"{result.rounds} LOCAL rounds [policy: {result.policy_name}]"
+    )
+    if args.breakdown:
+        print(result.ledger.breakdown(max_depth=args.breakdown))
+    if args.output:
+        write_coloring(result.coloring, args.output)
+        print(f"coloring written to {args.output}")
+    return 0
+
+
+def _command_race(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    summary = graph_summary(graph)
+    sweep = run_race_sweep(
+        [(summary.max_edge_degree, graph)],
+        algorithms=[
+            "linial_greedy",
+            "kuhn_wattenhofer",
+            "kuhn_soda20",
+            "randomized_luby",
+        ],
+        seed=args.seed,
+    )
+    series = {name: sweep.series(name) for name in sweep.series_names()}
+    print(format_series("Δ̄", sweep.xs(), series, title="measured LOCAL rounds"))
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    summary = graph_summary(graph)
+    print(
+        format_table(
+            ["measure", "value"],
+            [
+                ["nodes (n)", summary.nodes],
+                ["edges (m)", summary.edges],
+                ["max degree (Δ)", summary.max_degree],
+                ["max edge degree (Δ̄)", summary.max_edge_degree],
+                ["greedy palette (2Δ-1)", summary.greedy_palette_size],
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed edge coloring (Balliu-Kuhn-Olivetti, PODC 2020)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="color a graph's edges")
+    _add_instance_arguments(solve)
+    solve.add_argument(
+        "--policy", choices=sorted(_POLICIES), default="scaled",
+        help="parameter policy (default: scaled)",
+    )
+    solve.add_argument("--output", help="write the coloring to this file")
+    solve.add_argument(
+        "--breakdown", type=int, default=0, metavar="DEPTH",
+        help="print the round-ledger tree to this depth",
+    )
+    solve.set_defaults(handler=_command_solve)
+
+    race = commands.add_parser("race", help="compare all algorithms")
+    _add_instance_arguments(race)
+    race.set_defaults(handler=_command_race)
+
+    info = commands.add_parser("info", help="print instance measurements")
+    _add_instance_arguments(info)
+    info.set_defaults(handler=_command_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Analysis: recurrence evaluation, experiment harness, table rendering.
+
+The paper's "results" are round-complexity formulas.  This package
+makes them executable:
+
+* :mod:`repro.analysis.theory` — evaluators for the paper's
+  recurrences (Lemma 4.2, Lemma 4.3, Lemma 4.5, Theorem 4.1) and for
+  the baselines' closed forms, so benchmarks can plot *predicted*
+  curves next to measured ones and exhibit the asymptotic crossovers
+  that finite-scale simulation cannot reach;
+* :mod:`repro.analysis.harness` — sweep runners producing structured
+  rows (one experiment = one table);
+* :mod:`repro.analysis.tables` — plain-text table/series rendering for
+  benchmark output and EXPERIMENTS.md.
+"""
+
+from repro.analysis.theory import (
+    TheoryModel,
+    predicted_balliu_kuhn_olivetti,
+    predicted_kuhn_soda20,
+    predicted_linial_greedy,
+    predicted_kuhn_wattenhofer,
+    predicted_randomized,
+    crossover_point,
+)
+from repro.analysis.harness import ExperimentRow, SweepResult, run_race_sweep
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "TheoryModel",
+    "predicted_balliu_kuhn_olivetti",
+    "predicted_kuhn_soda20",
+    "predicted_linial_greedy",
+    "predicted_kuhn_wattenhofer",
+    "predicted_randomized",
+    "crossover_point",
+    "ExperimentRow",
+    "SweepResult",
+    "run_race_sweep",
+    "format_series",
+    "format_table",
+]

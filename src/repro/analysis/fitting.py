@@ -1,0 +1,90 @@
+"""Growth-shape estimation for measured round curves.
+
+The paper's claims are about growth *orders* (Δ̄², Δ̄ log Δ̄,
+2^{O(√log Δ̄)}, quasi-polylog).  At feasible scale, absolute round
+counts are constant-dominated, but growth exponents are already
+measurable: this module fits measured sweeps to power laws and reports
+the exponent, which the RACE benchmark compares against each
+algorithm's predicted order (Linial ≈ 2, KW ≈ 1, the recursions < 1
+in the measured window).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``rounds ≈ a * dbar^b`` in log-log space.
+
+    Attributes
+    ----------
+    exponent:
+        The fitted ``b`` — the measured growth order.
+    prefactor:
+        The fitted ``a``.
+    r_squared:
+        Coefficient of determination of the log-log regression
+        (1.0 = perfectly power-law-shaped data).
+    """
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ≈ a * x^b`` by linear regression in log-log space.
+
+    Requires at least three strictly positive points.
+    """
+    if len(xs) != len(ys):
+        raise ParameterError("xs and ys must have equal length")
+    if len(xs) < 3:
+        raise ParameterError("need at least three points to fit")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ParameterError("power-law fitting needs positive data")
+
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = float(np.sum((log_y - predicted) ** 2))
+    total = float(np.sum((log_y - np.mean(log_y)) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(
+        exponent=float(slope),
+        prefactor=float(math.exp(intercept)),
+        r_squared=r_squared,
+    )
+
+
+def doubling_ratios(ys: Sequence[float]) -> list[float]:
+    """Return successive ratios ``y[i+1] / y[i]`` (x assumed doubling).
+
+    A crude but assumption-free growth probe: ratios near 4 indicate
+    quadratic growth, near 2 linear, near 1 flat.
+    """
+    if any(y <= 0 for y in ys):
+        raise ParameterError("doubling ratios need positive data")
+    return [later / earlier for earlier, later in zip(ys, ys[1:])]
+
+
+def classify_growth(exponent: float) -> str:
+    """Human label for a fitted exponent (used in benchmark tables)."""
+    if exponent < 0.25:
+        return "~flat"
+    if exponent < 0.75:
+        return "sublinear"
+    if exponent < 1.35:
+        return "~linear"
+    if exponent < 1.8:
+        return "superlinear"
+    return "~quadratic"

@@ -1,0 +1,125 @@
+"""Experiment harness: parameter sweeps producing structured rows.
+
+One experiment = one sweep = one printed table.  The benchmark modules
+under ``benchmarks/`` are thin wrappers around these runners so the
+same sweeps are scriptable outside pytest (the examples use them too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.baselines.registry import BaselineResult, all_baselines
+from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
+from repro.core.params import ParameterPolicy
+from repro.core.solver import solve_edge_coloring
+from repro.graphs.properties import graph_summary
+
+
+@dataclass
+class ExperimentRow:
+    """One row of an experiment table."""
+
+    x: object
+    values: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """A finished sweep: ordered rows plus the series names."""
+
+    x_label: str
+    rows: list[ExperimentRow]
+
+    def series_names(self) -> list[str]:
+        names: list[str] = []
+        for row in self.rows:
+            for name in row.values:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def series(self, name: str) -> list[object]:
+        return [row.values.get(name) for row in self.rows]
+
+    def xs(self) -> list[object]:
+        return [row.x for row in self.rows]
+
+
+def run_race_sweep(
+    graphs: Iterable[tuple[object, nx.Graph]],
+    *,
+    algorithms: Sequence[str] | None = None,
+    paper_policy: ParameterPolicy | None = None,
+    seed: int = 2,
+    validate: bool = True,
+) -> SweepResult:
+    """Run every algorithm on every graph; report rounds per cell.
+
+    Parameters
+    ----------
+    graphs:
+        Iterable of ``(x_value, graph)`` pairs, e.g. a Δ sweep.
+    algorithms:
+        Baseline names to include (default: all registered).
+    paper_policy:
+        Policy for the paper's algorithm column (default policy of
+        :func:`repro.core.solver.solve_edge_coloring` when ``None``).
+    seed:
+        ID-assignment seed shared by all runs.
+    validate:
+        Re-check every produced coloring (on by default; the whole
+        point of the harness is that results are verified).
+    """
+    registry = all_baselines()
+    names = list(algorithms) if algorithms is not None else sorted(registry)
+    rows: list[ExperimentRow] = []
+    for x_value, graph in graphs:
+        summary = graph_summary(graph)
+        row = ExperimentRow(x=x_value)
+        row.values["n"] = summary.nodes
+        row.values["Δ̄"] = summary.max_edge_degree
+        paper_result = solve_edge_coloring(graph, policy=paper_policy, seed=seed)
+        if validate:
+            check_proper_edge_coloring(graph, paper_result.coloring)
+            check_palette_bound(
+                paper_result.coloring, summary.greedy_palette_size
+            )
+        row.values["BKO20 (this paper)"] = paper_result.rounds
+        for name in names:
+            result: BaselineResult = registry[name](graph, seed=seed)
+            if validate:
+                check_proper_edge_coloring(graph, result.coloring)
+                check_palette_bound(result.coloring, result.palette_size)
+            row.values[name] = result.rounds
+        rows.append(row)
+    return SweepResult(x_label="x", rows=rows)
+
+
+def run_policy_sweep(
+    graph: nx.Graph,
+    policies: Sequence[ParameterPolicy],
+    *,
+    seed: int = 2,
+) -> SweepResult:
+    """Run the paper's solver under several policies on one graph.
+
+    Used by the ablation benchmarks (β and p choices).
+    """
+    rows: list[ExperimentRow] = []
+    for policy in policies:
+        result = solve_edge_coloring(graph, policy=policy, seed=seed)
+        check_proper_edge_coloring(graph, result.coloring)
+        row = ExperimentRow(x=policy.name)
+        row.values["rounds"] = result.rounds
+        row.values["relaxed invocations"] = result.stats.get(
+            "relaxed_invocations", 0
+        )
+        row.values["lem43 reductions"] = result.stats.get("lem43/reductions", 0)
+        row.values["max depth"] = result.stats.get("max_depth_seen", 0)
+        row.values["deferred"] = result.stats.get("deferred_edges", 0)
+        rows.append(row)
+    return SweepResult(x_label="policy", rows=rows)

@@ -1,0 +1,121 @@
+"""JSON export of solve results and ledgers.
+
+Downstream tooling (dashboards, regression trackers, notebook
+analysis) wants machine-readable run records; this module converts
+:class:`~repro.core.solver.SolveResult` and
+:class:`~repro.core.ledger.RoundLedger` trees into plain JSON-safe
+dictionaries and back-compatible summaries.
+
+Edge keys become ``"u--v"`` strings (node reprs joined), which round-
+trips for integer- and string-labelled graphs — the only kinds the
+I/O layer produces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.ledger import LedgerEntry, RoundLedger
+from repro.core.solver import SolveResult
+from repro.errors import InvalidInstanceError
+from repro.graphs.edges import Edge
+
+
+def edge_to_token(edge: Edge) -> str:
+    """Serialise a canonical edge as ``"u--v"``."""
+    u, v = edge
+    return f"{u}--{v}"
+
+
+def token_to_edge(token: str) -> Edge:
+    """Parse an edge token back into a canonical tuple.
+
+    Integer labels are restored as integers; everything else stays a
+    string.
+    """
+    parts = token.split("--")
+    if len(parts) != 2:
+        raise InvalidInstanceError(f"malformed edge token {token!r}")
+
+    def parse(label: str):
+        try:
+            return int(label)
+        except ValueError:
+            return label
+
+    return (parse(parts[0]), parse(parts[1]))
+
+
+def ledger_entry_to_dict(entry: LedgerEntry) -> dict[str, Any]:
+    """Recursively convert a ledger entry to a JSON-safe dict."""
+    payload: dict[str, Any] = {
+        "label": entry.label,
+        "mode": entry.mode,
+        "total": entry.total(),
+    }
+    if entry.mode == "leaf":
+        payload["rounds"] = entry.rounds
+    else:
+        payload["children"] = [
+            ledger_entry_to_dict(child) for child in entry.children
+        ]
+    return payload
+
+
+def ledger_to_dict(ledger: RoundLedger) -> dict[str, Any]:
+    """Convert a ledger (tree + counters) to a JSON-safe dict."""
+    return {
+        "total_rounds": ledger.total_rounds(),
+        "counters": ledger.counters(),
+        "tree": ledger_entry_to_dict(ledger.root),
+    }
+
+
+def solve_result_to_dict(result: SolveResult) -> dict[str, Any]:
+    """Convert a :class:`SolveResult` into a JSON-safe dict.
+
+    The full ledger tree is included; colorings are keyed by edge
+    tokens.
+    """
+    return {
+        "rounds": result.rounds,
+        "policy": result.policy_name,
+        "initial_palette": result.initial_palette,
+        "colors_used": len(set(result.coloring.values())),
+        "edges": len(result.coloring),
+        "coloring": {
+            edge_to_token(edge): color
+            for edge, color in sorted(result.coloring.items(), key=repr)
+        },
+        "stats": _jsonify(result.stats),
+        "ledger": ledger_to_dict(result.ledger),
+    }
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def write_result(result: SolveResult, path: str | Path) -> None:
+    """Write a solve result as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(solve_result_to_dict(result), indent=2, sort_keys=True)
+        + "\n"
+    )
+
+
+def read_coloring_from_result(path: str | Path) -> dict[Edge, int]:
+    """Load just the coloring back from a written result file."""
+    payload = json.loads(Path(path).read_text())
+    return {
+        token_to_edge(token): color
+        for token, color in payload["coloring"].items()
+    }

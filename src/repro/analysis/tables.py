@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark harness prints the same rows/series the paper's claims
+describe; these helpers keep the formatting consistent between
+benchmark stdout and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, 22], [333, 4]]))
+      a |  b
+    ----+---
+      1 | 22
+    333 |  4
+    """
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.rjust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render several aligned series against a common x-axis."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][index] for name in series]
+        for index, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_ratio_row(name: str, paper: str, measured: object) -> str:
+    """One EXPERIMENTS.md-style 'paper vs measured' line."""
+    return f"- **{name}** — paper: {paper}; measured: {_format_cell(measured)}"

@@ -1,0 +1,260 @@
+"""Executable forms of the paper's round-complexity formulas.
+
+The paper proves (Theorem 4.1 and the chain of lemmas):
+
+* ``T(Δ̄, 1, C) <= O(β² log Δ̄) T(Δ̄, β, C) + O(log Δ̄ log* X)``
+  (Lemma 4.2);
+* ``T(Δ̄, S, C) <= (log p)(1 + T(2p-1, 1, 2p)) + T(Δ̄, S', C/p)``
+  (Lemma 4.3, ``S' = S / (24 H_{2p} log p)``);
+* ``T(Δ̄, S, C) <= (k log p)(1 + T(2p-1, 1, 2p)) + O(log* X)``
+  for ``k = log_p C`` (Lemma 4.5);
+* with ``β = α log^{4c} Δ̄`` and ``p = √Δ̄``:
+  ``T(Δ̄, 1, Δ̄^c) <= O(log^{8c+2} Δ̄) (T(2√Δ̄ - 1, 1, 2√Δ̄) + 1)``,
+  unrolling to ``log^{O(log log Δ̄)} Δ̄`` (Theorem 4.1).
+
+This module evaluates those recurrences with explicit constants so the
+benchmarks can plot the predicted growth of the paper's algorithm next
+to the baselines' closed forms, find the predicted crossovers, and
+check that the measured structural counters (recursion depth,
+invocation counts) follow the same shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.errors import ParameterError
+from repro.utils.logstar import log_star
+
+
+@dataclass(frozen=True)
+class TheoryModel:
+    """A named predicted-rounds curve ``Δ̄ -> rounds``.
+
+    ``rounds`` evaluates at integer ``Δ̄`` (for overlay with measured
+    sweeps); ``log2_rounds``, when present, evaluates ``log2(rounds)``
+    as a function of ``x = log2(Δ̄)`` so the *asymptotic* comparisons
+    can reach the regime where the paper's bound wins (``Δ̄ ~ 2^{10^6}``
+    — far beyond any integer scan).
+    """
+
+    name: str
+    rounds: Callable[[int], float]
+    log2_rounds: Callable[[float], float] | None = None
+
+    def evaluate(self, dbars: list[int]) -> list[float]:
+        return [self.rounds(dbar) for dbar in dbars]
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(2.0, x))
+
+
+@lru_cache(maxsize=None)
+def _theorem41_recurrence(dbar: int, c: int, constant: float) -> float:
+    """Unroll ``T(Δ̄) = K(Δ̄) * (T(2√Δ̄ - 1) + 1)`` down to constant Δ̄.
+
+    ``K(Δ̄) = constant * log^{8c+2} Δ̄`` is the per-level factor of
+    Section 4.3.  The recursion depth is ``O(log log Δ̄)``, yielding the
+    quasi-polylogarithmic closed form.
+    """
+    if dbar <= 4:
+        return 1.0
+    level_factor = constant * _log2(dbar) ** (8 * c + 2)
+    smaller = int(2 * math.isqrt(dbar) - 1)
+    if smaller >= dbar:  # tiny dbar guard
+        smaller = dbar - 1
+    return level_factor * (_theorem41_recurrence(smaller, c, constant) + 1.0)
+
+
+def predicted_balliu_kuhn_olivetti(
+    c: int = 1, constant: float = 1.0, n: int | None = None
+) -> TheoryModel:
+    """Theorem 4.1's bound: ``log^{O(log log Δ̄)} Δ̄ (+ log* n)``.
+
+    The log-domain form unrolls the same recurrence analytically:
+    ``f(x) = (8c+2) log2(x) + f(x/2 + 1)`` with ``x = log2 Δ̄`` —
+    ``Θ(log² x)`` overall, the quasi-polylog signature.
+    """
+    if c < 1:
+        raise ParameterError(f"c must be >= 1, got {c}")
+    additive = float(log_star(n)) if n else 0.0
+    exponent = 8 * c + 2
+
+    def rounds(dbar: int) -> float:
+        return _theorem41_recurrence(max(2, dbar), c, constant) + additive
+
+    def log2_rounds(x: float) -> float:
+        # Unroll f(x) = (8c+2) log2 x + f(x/2 + 1) down to the base
+        # regime x <= 4 (Δ̄ <= 16); the iteration x -> x/2 + 1 has
+        # fixpoint 2, so cutting at 4 avoids an artificial tail.
+        total = math.log2(max(1.0, constant)) if constant > 1 else 0.0
+        current = x
+        while current > 4.0:
+            total += exponent * math.log2(max(2.0, current))
+            current = current / 2.0 + 1.0
+        return total
+
+    return TheoryModel(
+        name="BKO20 quasi-polylog(Δ̄)", rounds=rounds, log2_rounds=log2_rounds
+    )
+
+
+def predicted_kuhn_soda20(constant: float = 1.0, n: int | None = None) -> TheoryModel:
+    """Kuhn [SODA'20]: ``2^{O(√log Δ̄)} (+ log* n)``."""
+    additive = float(log_star(n)) if n else 0.0
+
+    def rounds(dbar: int) -> float:
+        return constant * 2 ** (2.0 * math.sqrt(_log2(dbar))) + additive
+
+    def log2_rounds(x: float) -> float:
+        return math.log2(max(1e-9, constant)) + 2.0 * math.sqrt(max(1.0, x))
+
+    return TheoryModel(
+        name="Kuhn20 2^{O(√log Δ̄)}", rounds=rounds, log2_rounds=log2_rounds
+    )
+
+
+def predicted_linial_greedy(constant: float = 1.0, n: int | None = None) -> TheoryModel:
+    """[Lin87]-style: ``O(Δ̄² + log* n)``."""
+    additive = float(log_star(n)) if n else 0.0
+
+    def rounds(dbar: int) -> float:
+        return constant * float(dbar) ** 2 + additive
+
+    def log2_rounds(x: float) -> float:
+        return math.log2(max(1e-9, constant)) + 2.0 * x
+
+    return TheoryModel(
+        name="Linial O(Δ̄²)", rounds=rounds, log2_rounds=log2_rounds
+    )
+
+
+def predicted_kuhn_wattenhofer(
+    constant: float = 1.0, n: int | None = None
+) -> TheoryModel:
+    """[SV93, KW06]: ``O(Δ̄ log Δ̄ + log* n)``."""
+    additive = float(log_star(n)) if n else 0.0
+
+    def rounds(dbar: int) -> float:
+        return constant * float(dbar) * _log2(dbar) + additive
+
+    def log2_rounds(x: float) -> float:
+        return math.log2(max(1e-9, constant)) + x + math.log2(max(2.0, x))
+
+    return TheoryModel(
+        name="KW06 O(Δ̄ log Δ̄)", rounds=rounds, log2_rounds=log2_rounds
+    )
+
+
+def predicted_randomized(n: int, constant: float = 1.0) -> TheoryModel:
+    """[ABI86/Lub86]: ``O(log n)`` regardless of Δ̄."""
+    value = constant * _log2(n)
+    return TheoryModel(name="randomized O(log n)", rounds=lambda dbar: value)
+
+
+def crossover_point(
+    model_a: TheoryModel,
+    model_b: TheoryModel,
+    *,
+    low: int = 2,
+    high: int = 2**40,
+) -> int | None:
+    """Smallest ``Δ̄`` past which model_a stays below model_b.
+
+    Scans powers of two in ``[low, high]`` (the curves of interest are
+    smooth) and returns the first scan point after the *last* point
+    where ``model_a >= model_b`` — i.e. the final crossover, past which
+    the paper's curve wins for good.  Returns ``low`` if model_a is
+    below everywhere in range, and ``None`` if it never ends up below.
+    Used by the RACE benchmark to report *predicted* crossovers — e.g.
+    where the quasi-polylog curve undercuts ``2^{O(√log Δ̄)}``.
+    """
+    last_not_below: int | None = None
+    first: int | None = None
+    dbar = max(2, low)
+    while dbar <= high:
+        if first is None:
+            first = dbar
+        if model_a.rounds(dbar) >= model_b.rounds(dbar):
+            last_not_below = dbar
+        dbar *= 2
+    if last_not_below is None:
+        return first
+    successor = last_not_below * 2
+    if successor > high:
+        return None
+    return successor
+
+
+def crossover_log2_dbar(
+    model_a: TheoryModel,
+    model_b: TheoryModel,
+    *,
+    low: float = 2.0,
+    high: float = 1e8,
+    samples: int = 4000,
+) -> float | None:
+    """Final crossover in the log domain: the ``log2 Δ̄`` past which
+    ``model_a`` stays below ``model_b``.
+
+    Works on the models' ``log2_rounds`` forms, so it reaches the
+    asymptotic regime (``Δ̄ ~ 2^{10^6}``) that integer evaluation cannot.
+    Returns ``log2(Δ̄*)`` or ``None`` if model_a never ends up below
+    within range.
+    """
+    if model_a.log2_rounds is None or model_b.log2_rounds is None:
+        raise ParameterError("both models need log-domain forms")
+    ratio = (high / low) ** (1.0 / samples)
+    last_not_below: float | None = None
+    x = low
+    for _ in range(samples + 1):
+        if model_a.log2_rounds(x) >= model_b.log2_rounds(x):
+            last_not_below = x
+        x *= ratio
+    if last_not_below is None:
+        return low
+    successor = last_not_below * ratio
+    if successor > high:
+        return None
+    return successor
+
+
+def lemma42_invocation_bound(beta: int, dbar: int, constant: float = 8.0) -> float:
+    """Lemma 4.2's bound on slack-β instances: ``O(β² log Δ̄)``.
+
+    The LEM42 benchmark checks the measured invocation count against
+    this with an explicit constant.
+    """
+    if beta < 1 or dbar < 1:
+        raise ParameterError("beta and dbar must be >= 1")
+    return constant * beta * beta * _log2(dbar)
+
+
+def lemma45_level_count(palette_size: int, p: int) -> int:
+    """Lemma 4.5's ``k = log_p C`` — reduction steps until constant palette."""
+    if p < 2:
+        raise ParameterError(f"p must be >= 2, got {p}")
+    if palette_size < 1:
+        raise ParameterError("palette_size must be >= 1")
+    return max(1, math.ceil(math.log(max(2, palette_size)) / math.log(p)))
+
+
+def theorem41_depth(dbar: int) -> int:
+    """Predicted recursion depth ``O(log log Δ̄)`` of Theorem 4.1.
+
+    Counts the iterations of ``Δ̄ -> 2√Δ̄ - 1`` until the base regime;
+    the THM41 benchmark compares the solver's measured depth counter
+    against this.
+    """
+    depth = 0
+    current = max(2, dbar)
+    while current > 4:
+        current = int(2 * math.isqrt(current) - 1)
+        depth += 1
+        if depth > 64:  # pragma: no cover — cannot happen for int inputs
+            break
+    return depth

@@ -1,0 +1,83 @@
+"""Common result type and registry for baseline algorithms.
+
+Every baseline exposes the same signature::
+
+    baseline(graph, *, seed=None, **kwargs) -> BaselineResult
+
+so the benchmark harness can sweep them uniformly.  All results carry
+the number of LOCAL rounds under the same accounting rules as the main
+solver (sequential stages add, parallel stages take the max, primitives
+report simulated rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import networkx as nx
+
+from repro.graphs.edges import Edge
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline run.
+
+    Attributes
+    ----------
+    name:
+        Algorithm name (table row label).
+    coloring:
+        Edge -> color (palette ``{1, ..., 2Δ-1}`` unless noted).
+    rounds:
+        LOCAL rounds under the library's accounting rules.
+    palette_size:
+        Size of the palette the algorithm promises (``2Δ-1``).
+    details:
+        Algorithm-specific observables (e.g. Luby's trial count,
+        Linial's intermediate palette).
+    """
+
+    name: str
+    coloring: dict[Edge, int]
+    rounds: int
+    palette_size: int
+    details: dict[str, object] = field(default_factory=dict)
+
+
+#: Registry: name -> callable(graph, *, seed) -> BaselineResult
+_REGISTRY: dict[str, Callable[..., BaselineResult]] = {}
+
+
+def register(name: str):
+    """Class of decorators adding a baseline to the registry."""
+
+    def decorator(func: Callable[..., BaselineResult]):
+        _REGISTRY[name] = func
+        return func
+
+    return decorator
+
+
+def all_baselines() -> dict[str, Callable[..., BaselineResult]]:
+    """Return the registered baselines (import side effects included)."""
+    # Importing the modules populates the registry.
+    from repro.baselines import (  # noqa: F401  (import for side effects)
+        greedy_sequential,
+        kuhn_soda20,
+        kuhn_wattenhofer,
+        panconesi_rizzi,
+        linial_greedy,
+        randomized_luby,
+    )
+
+    return dict(_REGISTRY)
+
+
+def run_baseline(name: str, graph: nx.Graph, *, seed: int | None = None, **kwargs) -> BaselineResult:
+    """Run a registered baseline by name."""
+    registry = all_baselines()
+    if name not in registry:
+        raise KeyError(f"unknown baseline {name!r}; have {sorted(registry)}")
+    return registry[name](graph, seed=seed, **kwargs)

@@ -1,0 +1,39 @@
+"""Coloring substrate: lists, palettes, colorings, and validation.
+
+This package defines the data model the algorithms operate on:
+
+* :class:`repro.coloring.lists.ListAssignment` — the per-edge color
+  lists of a list edge coloring instance, with slack bookkeeping
+  (the paper's ``P(Δ̄, S, C)`` parametrisation);
+* :class:`repro.coloring.edge_coloring.PartialEdgeColoring` — a
+  mutable partial coloring with residual-list maintenance (the key
+  invariant: a partial proper coloring of a ``(deg(e)+1)``-list
+  instance always leaves a valid ``(deg(e)+1)``-list instance on the
+  uncolored edges);
+* :mod:`repro.coloring.verify` — *independent* validators used by every
+  test and benchmark.  No algorithm is trusted; every produced coloring
+  is re-checked from scratch.
+"""
+
+from repro.coloring.lists import ListAssignment, deg_plus_one_lists, uniform_lists
+from repro.coloring.palette import Palette, split_palette
+from repro.coloring.edge_coloring import PartialEdgeColoring
+from repro.coloring.verify import (
+    check_defective_coloring,
+    check_list_edge_coloring,
+    check_proper_edge_coloring,
+    measure_defects,
+)
+
+__all__ = [
+    "ListAssignment",
+    "deg_plus_one_lists",
+    "uniform_lists",
+    "Palette",
+    "split_palette",
+    "PartialEdgeColoring",
+    "check_defective_coloring",
+    "check_list_edge_coloring",
+    "check_proper_edge_coloring",
+    "measure_defects",
+]

@@ -1,0 +1,49 @@
+"""The paper's contribution: quasi-polylog-in-Δ list edge coloring.
+
+Module map (one module per lemma, mirroring the paper's Section 4):
+
+* :mod:`repro.core.ledger` — round accounting with sequential/parallel
+  composition, mirroring how the paper itself charges rounds;
+* :mod:`repro.core.params` — parameter policies: the paper's asymptotic
+  choices (β = α log^{4c} Δ̄, p = √Δ̄) plus scaled-down variants usable
+  at simulation scale, and a constant-p policy modelling Kuhn [SODA'20];
+* :mod:`repro.core.levels` — Lemma 4.4: harmonic-bound subspace
+  candidate selection and edge levels;
+* :mod:`repro.core.virtual_graph` — the virtual-copy splitting of
+  Figure 6 (nodes split into bounded-degree copies);
+* :mod:`repro.core.space_reduction` — Lemma 4.3: assign each edge a
+  color subspace via per-level phases (set ``E(1)``) and a final small
+  list coloring (set ``E(2)``);
+* :mod:`repro.core.slack_reduction` — Lemma 4.2: reduce a slack-1
+  instance to many slack-β instances via defective colorings;
+* :mod:`repro.core.solver` — Theorem 4.1: the full recursion, plus the
+  public entry points :func:`solve_list_edge_coloring` and
+  :func:`solve_edge_coloring`.
+"""
+
+from repro.core.ledger import RoundLedger
+from repro.core.params import (
+    ParameterPolicy,
+    kuhn20_style_policy,
+    paper_policy,
+    scaled_policy,
+)
+from repro.core.levels import LevelAssignment, compute_level
+from repro.core.solver import (
+    SolveResult,
+    solve_edge_coloring,
+    solve_list_edge_coloring,
+)
+
+__all__ = [
+    "RoundLedger",
+    "ParameterPolicy",
+    "kuhn20_style_policy",
+    "paper_policy",
+    "scaled_policy",
+    "LevelAssignment",
+    "compute_level",
+    "SolveResult",
+    "solve_edge_coloring",
+    "solve_list_edge_coloring",
+]

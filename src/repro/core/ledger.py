@@ -1,0 +1,138 @@
+"""Round accounting with sequential and parallel composition.
+
+The paper charges rounds exactly the way a ledger tree composes:
+sequential stages add (``T = T_1 + T_2``), independent sub-instances
+solved "in parallel by the same algorithm" take the maximum
+(``T = max_i T_i``), and primitive subroutines contribute their
+measured simulated rounds.  :class:`RoundLedger` records that tree so
+benchmarks can report both the total and the per-lemma breakdown, and
+carries named counters for structural statistics (recursion depth,
+fallback engagements, deferred edges, ...).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class LedgerEntry:
+    """One node of the accounting tree."""
+
+    label: str
+    mode: str  # "seq", "par", or "leaf"
+    rounds: int = 0  # only meaningful for leaves
+    children: list["LedgerEntry"] = field(default_factory=list)
+
+    def total(self) -> int:
+        """Total rounds of the subtree under this entry."""
+        if self.mode == "leaf":
+            return self.rounds
+        child_totals = [child.total() for child in self.children]
+        if self.mode == "par":
+            return max(child_totals, default=0)
+        return sum(child_totals)
+
+    def render(self, indent: int = 0, max_depth: int | None = None) -> list[str]:
+        """Pretty-print the subtree as indented lines."""
+        marker = {"seq": "+", "par": "|", "leaf": "."}[self.mode]
+        lines = [f"{'  ' * indent}{marker} {self.label}: {self.total()}"]
+        if max_depth is not None and indent >= max_depth:
+            return lines
+        for child in self.children:
+            lines.extend(child.render(indent + 1, max_depth))
+        return lines
+
+
+class RoundLedger:
+    """A mutable accounting tree with a cursor.
+
+    Usage::
+
+        ledger = RoundLedger()
+        ledger.charge("initial coloring", 5)
+        with ledger.sequential("Lemma 4.2"):
+            ledger.charge("defective coloring", 7)
+            with ledger.parallel("subspaces"):
+                with ledger.sequential("subspace 0"):
+                    ledger.charge("greedy", 3)
+                with ledger.sequential("subspace 1"):
+                    ledger.charge("greedy", 9)
+        ledger.total_rounds()   # 5 + (7 + max(3, 9)) = 21
+    """
+
+    def __init__(self, label: str = "total") -> None:
+        self._root = LedgerEntry(label=label, mode="seq")
+        self._stack: list[LedgerEntry] = [self._root]
+        self._counters: dict[str, int] = {}
+
+    # -- round charges -------------------------------------------------
+
+    def charge(self, label: str, rounds: int) -> None:
+        """Record ``rounds`` for a primitive step at the cursor."""
+        if rounds < 0:
+            raise ValueError(f"cannot charge negative rounds ({rounds})")
+        self._stack[-1].children.append(
+            LedgerEntry(label=label, mode="leaf", rounds=rounds)
+        )
+
+    @contextmanager
+    def sequential(self, label: str) -> Iterator[None]:
+        """Open a child whose sub-charges add up."""
+        entry = LedgerEntry(label=label, mode="seq")
+        self._stack[-1].children.append(entry)
+        self._stack.append(entry)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def parallel(self, label: str) -> Iterator[None]:
+        """Open a child whose sub-charges take the maximum.
+
+        Direct :meth:`charge` calls inside a parallel block are treated
+        as independent branches (each leaf is a child).
+        """
+        entry = LedgerEntry(label=label, mode="par")
+        self._stack[-1].children.append(entry)
+        self._stack.append(entry)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    # -- counters --------------------------------------------------------
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named structural counter."""
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def record_max(self, counter: str, value: int) -> None:
+        """Keep the maximum of ``value`` seen under ``counter``."""
+        self._counters[counter] = max(self._counters.get(counter, 0), value)
+
+    def counter(self, name: str) -> int:
+        """Return the value of a counter (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """Return a copy of all counters."""
+        return dict(self._counters)
+
+    # -- reporting -------------------------------------------------------
+
+    def total_rounds(self) -> int:
+        """Total rounds of the whole execution."""
+        return self._root.total()
+
+    def breakdown(self, max_depth: int | None = 3) -> str:
+        """Return a human-readable tree of charges."""
+        return "\n".join(self._root.render(0, max_depth))
+
+    @property
+    def root(self) -> LedgerEntry:
+        """The root entry (read access for tests and analysis)."""
+        return self._root

@@ -1,0 +1,128 @@
+"""Lemma 4.4: harmonic-bound subspace candidates and edge levels.
+
+Given a partition of the color space into ``q`` subspaces
+``C_1, ..., C_q``, Lemma 4.4 guarantees for every list ``L`` an integer
+``k`` and ``k`` indices whose subspaces each intersect ``L`` in at
+least ``|L| / (k * H_q)`` colors.  The algorithm of Lemma 4.3 uses the
+dyadic form: the *level* ``ℓ(e)`` of an edge is an integer such that at
+least ``2^{ℓ(e)}`` subspaces satisfy
+
+    ``|L_e ∩ C_i|  >=  |L_e| / (2^{ℓ(e)+1} * H_q)``.
+
+We compute the *largest* such level (more candidate subspaces means
+more scheduling freedom in the phases), which exists for every
+non-empty list by the lemma.  The paper's Figure 5 instance
+(``C = 20``, ``p = 4``, ``|L_e| = 7`` giving ``I = {1, 2}``) is
+reproduced as a test and a benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AlgorithmInvariantError, InvalidInstanceError
+from repro.coloring.palette import Palette
+from repro.utils.harmonic import harmonic_number
+from repro.utils.logstar import ilog2
+
+
+@dataclass(frozen=True)
+class LevelAssignment:
+    """The level of one edge and its candidate subspaces.
+
+    Attributes
+    ----------
+    level:
+        The largest valid level ``ℓ`` (``0 <= ℓ <= floor(log2 q)``).
+    candidates:
+        Indices ``i`` (0-based) with
+        ``|L ∩ C_i| >= |L| / (2^{ℓ+1} H_q)``; at least ``2^ℓ`` of them.
+    intersections:
+        ``|L ∩ C_i|`` for every subspace, for downstream tie-breaking
+        (assign the largest intersection when unconstrained).
+    """
+
+    level: int
+    candidates: tuple[int, ...]
+    intersections: tuple[int, ...]
+
+    def best_candidate(self) -> int:
+        """Return the candidate index with the largest intersection."""
+        return max(self.candidates, key=lambda i: (self.intersections[i], -i))
+
+
+def lemma_44_index_set(intersections: Sequence[int]) -> tuple[int, list[int]]:
+    """Return the Lemma 4.4 pair ``(k, I)`` for given intersection sizes.
+
+    This is the literal statement of the lemma: the indices are sorted
+    by decreasing intersection and ``k`` is chosen so that the top
+    ``k`` subspaces each meet the bound ``|L| / (k * H_p)``.  Exposed
+    separately from :func:`compute_level` so tests can validate the
+    lemma exactly as stated (including on the paper's Figure 5
+    instance).
+
+    Returns
+    -------
+    (k, I):
+        ``k >= 1`` and the 0-based index list ``I`` with ``|I| = k``.
+    """
+    p = len(intersections)
+    if p < 1:
+        raise InvalidInstanceError("need at least one subspace")
+    total = sum(intersections)
+    if total == 0:
+        raise InvalidInstanceError("the list is empty; no index set exists")
+    h_p = harmonic_number(p)
+    order = sorted(range(p), key=lambda i: (-intersections[i], i))
+    for k in range(1, p + 1):
+        threshold = total / (k * h_p)
+        if intersections[order[k - 1]] >= threshold:
+            return k, order[:k]
+    raise AlgorithmInvariantError(
+        "Lemma 4.4 violated — impossible for correct inputs "
+        f"(intersections={list(intersections)!r})"
+    )
+
+
+def compute_level(
+    list_colors: frozenset[int], subspaces: Sequence[Palette]
+) -> LevelAssignment:
+    """Return the largest valid level of a list against a partition.
+
+    Raises
+    ------
+    InvalidInstanceError
+        If the list is empty or no subspace intersects it (both mean
+        the edge cannot participate in the reduction and must be
+        handled by the caller's fallback).
+    """
+    if not list_colors:
+        raise InvalidInstanceError("cannot compute the level of an empty list")
+    q = len(subspaces)
+    if q < 1:
+        raise InvalidInstanceError("need at least one subspace")
+    intersections = tuple(
+        len(list_colors & subspace.as_set) for subspace in subspaces
+    )
+    covered = sum(intersections)
+    if covered != len(list_colors):
+        raise InvalidInstanceError(
+            "subspaces do not partition the list's colors "
+            f"({covered} covered of {len(list_colors)})"
+        )
+    h_q = harmonic_number(q)
+    size = len(list_colors)
+    for level in range(ilog2(q), -1, -1):
+        threshold = size / (2 ** (level + 1) * h_q)
+        candidates = tuple(
+            i for i, inter in enumerate(intersections) if inter >= threshold
+        )
+        if len(candidates) >= 2**level:
+            return LevelAssignment(
+                level=level, candidates=candidates, intersections=intersections
+            )
+    raise AlgorithmInvariantError(
+        "no valid level found — contradicts Lemma 4.4 "
+        f"(size={size}, intersections={intersections!r})"
+    )

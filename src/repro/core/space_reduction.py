@@ -1,0 +1,324 @@
+"""Lemma 4.3: list color space reduction.
+
+Given a list edge coloring instance over a palette of size ``C`` and a
+parameter ``p``, assign to every edge one of ``q <= 2p`` subspaces of
+size at most ``C/p`` such that, per edge (the paper's Equation (2)),
+
+    ``deg'(e) <= 24 * H_q * log p * (|L'_e| / |L_e|) * deg(e)``,
+
+where ``deg'`` counts neighbors assigned the same subspace and
+``L'_e = L_e ∩ C_{i_e}``.  The instance then splits into ``q``
+independent instances (solved in parallel) over palettes of size
+``C/p``.
+
+The assignment procedure, exactly as in Section 4.2:
+
+* **levels** (Lemma 4.4, :mod:`repro.core.levels`): every edge gets the
+  largest level ``ℓ`` with ``>= 2^ℓ`` subspaces intersecting its list in
+  ``>= |L_e| / (2^{ℓ+1} H_q)`` colors;
+* **level <= 3**: take the largest-intersection subspace outright (the
+  bound holds even if all neighbors pick the same subspace);
+* **E(1)** (``ℓ > 3`` and ``deg(e) >= 2^ℓ``): processed in phases
+  ``ℓ = 4 .. floor(log2 q)``; in phase ℓ each edge computes its menu
+  ``J_e`` (subspaces meeting the level bound and not over-chosen by
+  earlier-phase neighbors), nodes split into virtual copies of degree
+  ``<= 2^{ℓ-2}`` (Figure 6), and the subspace choice becomes a
+  ``(deg+1)``-list edge coloring on the virtual graph over the palette
+  ``{1..q}`` — solved recursively via the supplied callback;
+* **E(2)** (``ℓ > 3`` and ``deg(e) < 2^ℓ``): one final small
+  ``(deg+1)``-list edge coloring on the induced subgraph assigns each
+  remaining edge a subspace different from all neighbors.
+
+The counting arguments guaranteeing ``|J_e| >= deg+1`` at every step
+are theorems, but this implementation still *checks* them at runtime
+and defers any edge that violates them (possible only at finite scale
+with degenerate parameters); deferred edges are reported and recolored
+by the caller's fallback from their full residual lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.errors import ParameterError
+from repro.coloring.lists import ListAssignment
+from repro.coloring.palette import Palette, split_palette
+from repro.core.levels import LevelAssignment, compute_level
+from repro.core.virtual_graph import build_virtual_graph
+from repro.graphs.edges import Edge, edges_subgraph
+from repro.utils.harmonic import harmonic_number
+from repro.utils.logstar import ilog2
+
+
+#: Callback solving an auxiliary ``(deg+1)``-list edge coloring whose
+#: "colors" are subspace indices ``1..q``.  Arguments: the instance
+#: graph, the lists, a seed proper edge coloring of the instance, and a
+#: human-readable tag for the ledger.  Returns edge -> chosen index.
+IndexInstanceSolver = Callable[
+    [nx.Graph, ListAssignment, Mapping[Edge, int], str], dict[Edge, int]
+]
+
+
+@dataclass
+class SpaceReductionOutcome:
+    """Result of one color-space reduction.
+
+    Attributes
+    ----------
+    subspaces:
+        The partition ``C_1, ..., C_q`` (0-based indexing internally).
+    assignment:
+        Edge -> 0-based subspace index.
+    deferred:
+        Edges that could not be assigned under the runtime guarantees;
+        empty in the theory regime.
+    eq2_violations:
+        Number of edges violating Equation (2) — 0 in the theory
+        regime; counted (not fatal) because finite-scale parameters can
+        break the constant.
+    phases_run:
+        Number of E(1) phases that had edges.
+    level_histogram:
+        level -> number of edges at that level (benchmarks report it).
+    """
+
+    subspaces: list[Palette]
+    assignment: dict[Edge, int]
+    deferred: list[Edge] = field(default_factory=list)
+    eq2_violations: int = 0
+    phases_run: int = 0
+    level_histogram: dict[int, int] = field(default_factory=dict)
+
+
+def equation_2_bound(
+    q: int, p: int, old_list: int, new_list: int, old_degree: int
+) -> float:
+    """The paper's Equation (2) right-hand side.
+
+    ``24 * H_q * log p * (|L'| / |L|) * deg(e)`` — exposed separately
+    so the tests and the LEM43 benchmark state it exactly once.
+    """
+    if old_list <= 0:
+        raise ParameterError("old list size must be positive")
+    return 24.0 * harmonic_number(q) * math.log2(max(2, p)) * new_list / old_list * old_degree
+
+
+def reduce_color_space(
+    edges: Sequence[Edge],
+    lists: Mapping[Edge, frozenset[int]],
+    palette: Palette,
+    p: int,
+    adjacency: Mapping[Edge, Sequence[Edge]],
+    edge_degrees: Mapping[Edge, int],
+    initial_coloring: Mapping[Edge, int],
+    solve_index_instance: IndexInstanceSolver,
+) -> SpaceReductionOutcome:
+    """Assign a color subspace to every edge (Lemma 4.3).
+
+    Parameters
+    ----------
+    edges:
+        The instance's edges.
+    lists:
+        Current (possibly already narrowed) list of each edge.
+    palette:
+        Ambient palette of size ``C``.
+    p:
+        Split parameter, ``2 <= p <= C``.
+    adjacency:
+        Line-graph adjacency *within this instance*.
+    edge_degrees:
+        ``deg(e)`` within this instance (len of adjacency row; passed
+        explicitly so callers can precompute).
+    initial_coloring:
+        The ambient proper ``X``-edge coloring, used to seed the
+        auxiliary instances.
+    solve_index_instance:
+        Callback that solves the auxiliary ``(deg+1)``-list instances
+        (the ``T(2p-1, 1, 2p)`` term); the caller charges its rounds.
+
+    Returns
+    -------
+    SpaceReductionOutcome
+    """
+    if p < 2:
+        raise ParameterError(f"p must be >= 2, got {p}")
+    if p > len(palette):
+        raise ParameterError(
+            f"p={p} exceeds palette size {len(palette)} (Lemma 4.3 needs p <= C)"
+        )
+
+    subspaces = split_palette(palette, p)
+    q = len(subspaces)
+    outcome = SpaceReductionOutcome(subspaces=subspaces, assignment={})
+
+    # --- levels (Lemma 4.4) -------------------------------------------
+    levels: dict[Edge, LevelAssignment] = {}
+    for edge in edges:
+        edge_list = lists[edge]
+        if not edge_list:
+            outcome.deferred.append(edge)
+            continue
+        levels[edge] = compute_level(edge_list, subspaces)
+        histogram_key = levels[edge].level
+        outcome.level_histogram[histogram_key] = (
+            outcome.level_histogram.get(histogram_key, 0) + 1
+        )
+
+    # --- level <= 3: largest intersection wins --------------------------
+    # Ties are broken by the edge's initial color (locally computable):
+    # the paper allows ANY largest-intersection subspace (Equation (2)
+    # holds even if all neighbors agree), and spreading ties avoids the
+    # degenerate all-in-one-subspace split on uniform lists.
+    for edge, level in levels.items():
+        if level.level <= 3:
+            best = max(level.intersections[i] for i in level.candidates)
+            tied = sorted(
+                i for i in level.candidates if level.intersections[i] == best
+            )
+            outcome.assignment[edge] = tied[initial_coloring[edge] % len(tied)]
+
+    # --- split the rest into E(1) and E(2) ------------------------------
+    e1: dict[int, list[Edge]] = {}
+    e2: list[Edge] = []
+    for edge, level in levels.items():
+        if level.level <= 3:
+            continue
+        if edge_degrees[edge] >= 2**level.level:
+            e1.setdefault(level.level, []).append(edge)
+        else:
+            e2.append(edge)
+
+    h_q = harmonic_number(q)
+    max_level = ilog2(q) if q >= 1 else 0
+
+    # --- E(1) phases ----------------------------------------------------
+    for phase_level in range(4, max_level + 1):
+        phase_edges = e1.get(phase_level, [])
+        if not phase_edges:
+            continue
+        outcome.phases_run += 1
+        menus: dict[Edge, frozenset[int]] = {}
+        for edge in phase_edges:
+            level = levels[edge]
+            size = len(lists[edge])
+            threshold = size / (2 ** (phase_level + 1) * h_q)
+            cap = edge_degrees[edge] / 2 ** (phase_level - 1)
+            chosen_counts: dict[int, int] = {}
+            for neighbor in adjacency[edge]:
+                assigned = outcome.assignment.get(neighbor)
+                if assigned is not None:
+                    chosen_counts[assigned] = chosen_counts.get(assigned, 0) + 1
+            menu = frozenset(
+                index
+                for index, inter in enumerate(level.intersections)
+                if inter >= threshold and chosen_counts.get(index, 0) <= cap
+            )
+            menus[edge] = menu
+
+        # Virtual graph of Figure 6: copies of degree <= 2^{ℓ-2}.
+        group_size = max(1, 2 ** (phase_level - 2))
+        virtual = build_virtual_graph(phase_edges, group_size)
+
+        # Feasibility check |J_e| >= virtual line degree + 1; defer
+        # violators (removals only shrink the survivors' degrees).
+        kept: list[Edge] = []
+        for edge in phase_edges:
+            virtual_edge = virtual.virtual_of[edge]
+            vu, vv = virtual_edge
+            virtual_line_degree = (
+                virtual.graph.degree(vu) + virtual.graph.degree(vv) - 2
+            )
+            if len(menus[edge]) >= virtual_line_degree + 1:
+                kept.append(edge)
+            else:
+                outcome.deferred.append(edge)
+        if not kept:
+            continue
+        virtual = build_virtual_graph(kept, group_size)
+
+        index_palette = Palette.of_size(q)
+        virtual_lists = ListAssignment(
+            {
+                virtual.virtual_of[edge]: frozenset(
+                    index + 1 for index in menus[edge]
+                )
+                for edge in kept
+            },
+            index_palette,
+        )
+        virtual_initial = {
+            virtual.virtual_of[edge]: initial_coloring[edge] for edge in kept
+        }
+        chosen = solve_index_instance(
+            virtual.graph,
+            virtual_lists,
+            virtual_initial,
+            f"phase ℓ={phase_level} index assignment",
+        )
+        for virtual_edge, index_plus_one in chosen.items():
+            outcome.assignment[virtual.real_of[virtual_edge]] = index_plus_one - 1
+
+    # --- E(2): one small list edge coloring over {1..q} -----------------
+    if e2:
+        menus = {}
+        kept = []
+        e2_set = set(e2)
+        for edge in e2:
+            taken_by_assigned = {
+                outcome.assignment[neighbor]
+                for neighbor in adjacency[edge]
+                if neighbor in outcome.assignment
+            }
+            menu = frozenset(
+                index
+                for index, inter in enumerate(levels[edge].intersections)
+                if inter > 0 and index not in taken_by_assigned
+            )
+            induced_degree = sum(
+                1 for neighbor in adjacency[edge] if neighbor in e2_set
+            )
+            if len(menu) >= induced_degree + 1:
+                menus[edge] = menu
+                kept.append(edge)
+            else:
+                outcome.deferred.append(edge)
+        if kept:
+            kept_set = set(kept)
+            # Degrees can only have shrunk by dropping violators.
+            index_palette = Palette.of_size(q)
+            sub = nx.Graph()
+            for u, v in kept:
+                sub.add_edge(u, v)
+            e2_lists = ListAssignment(
+                {
+                    edge: frozenset(index + 1 for index in menus[edge])
+                    for edge in kept
+                },
+                index_palette,
+            )
+            e2_initial = {edge: initial_coloring[edge] for edge in kept}
+            chosen = solve_index_instance(
+                sub, e2_lists, e2_initial, "E(2) index assignment"
+            )
+            for edge, index_plus_one in chosen.items():
+                outcome.assignment[edge] = index_plus_one - 1
+
+    # --- Equation (2) audit ---------------------------------------------
+    for edge, index in outcome.assignment.items():
+        old_list = len(lists[edge])
+        new_list = len(lists[edge] & subspaces[index].as_set)
+        same = sum(
+            1
+            for neighbor in adjacency[edge]
+            if outcome.assignment.get(neighbor) == index
+        )
+        bound = equation_2_bound(q, p, old_list, new_list, edge_degrees[edge])
+        if same > bound:
+            outcome.eq2_violations += 1
+
+    return outcome

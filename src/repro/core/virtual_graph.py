@@ -1,0 +1,119 @@
+"""Virtual-copy graphs (the paper's Figure 6).
+
+In phase ``ℓ`` of Lemma 4.3, each node ``v`` divides its phase-``ℓ``
+edges into groups of size at most ``2^{ℓ-2}`` and creates one *virtual
+copy* of itself per group.  The resulting virtual graph has maximum
+degree ``2^{ℓ-2}``, hence maximum *edge* degree ``2^{ℓ-1} - 2``, which
+makes the subspace-index assignment a small ``(deg+1)``-list edge
+coloring instance that the solver handles recursively.
+
+Virtual nodes are labelled ``("virt", node, group_index)``; because a
+simple graph has at most one edge between two real nodes, the mapping
+between real edges and virtual edges is a bijection
+(:attr:`VirtualGraphResult.real_of` / :attr:`VirtualGraphResult.virtual_of`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from repro.errors import AlgorithmInvariantError, ParameterError
+from repro.graphs.edges import Edge, edge_key
+
+
+#: Virtual node label type: ("virt", real node, group index).
+VirtualNode = tuple[str, Hashable, int]
+
+
+@dataclass(frozen=True)
+class VirtualGraphResult:
+    """A virtual graph together with the edge correspondence.
+
+    Attributes
+    ----------
+    graph:
+        The virtual graph (nodes are :data:`VirtualNode` labels).
+    real_of:
+        Virtual canonical edge -> real canonical edge.
+    virtual_of:
+        Real canonical edge -> virtual canonical edge.
+    group_size:
+        The cap on edges per virtual copy (``2^{ℓ-2}`` in phase ℓ).
+    """
+
+    graph: nx.Graph
+    real_of: dict[Edge, Edge]
+    virtual_of: dict[Edge, Edge]
+    group_size: int
+
+    def max_virtual_degree(self) -> int:
+        """Maximum degree of the virtual graph (``<= group_size``)."""
+        if self.graph.number_of_nodes() == 0:
+            return 0
+        return max(d for _n, d in self.graph.degree())
+
+
+def build_virtual_graph(
+    edges: Sequence[Edge], group_size: int
+) -> VirtualGraphResult:
+    """Split nodes into virtual copies so degrees stay below ``group_size``.
+
+    Parameters
+    ----------
+    edges:
+        The (real) edges participating in this phase.
+    group_size:
+        Maximum number of edges assigned to one virtual copy
+        (``2^{ℓ-2}`` in the paper's phase ``ℓ``).
+
+    Returns
+    -------
+    VirtualGraphResult
+        The virtual graph has max degree ``<= group_size`` and its
+        edges biject with ``edges``.
+    """
+    if group_size < 1:
+        raise ParameterError(f"group_size must be >= 1, got {group_size}")
+
+    # Deterministic grouping: each real node's incident edges (within
+    # this phase) are sorted, then chunked.
+    incident: dict[Hashable, list[Edge]] = {}
+    for edge in sorted(set(edges), key=repr):
+        u, v = edge
+        incident.setdefault(u, []).append(edge)
+        incident.setdefault(v, []).append(edge)
+
+    copy_of: dict[tuple[Hashable, Edge], VirtualNode] = {}
+    for node, node_edges in incident.items():
+        for index, edge in enumerate(node_edges):
+            copy_of[(node, edge)] = ("virt", node, index // group_size)
+
+    graph = nx.Graph()
+    real_of: dict[Edge, Edge] = {}
+    virtual_of: dict[Edge, Edge] = {}
+    for edge in sorted(set(edges), key=repr):
+        u, v = edge
+        virtual_u = copy_of[(u, edge)]
+        virtual_v = copy_of[(v, edge)]
+        virtual_edge = edge_key(virtual_u, virtual_v)
+        if graph.has_edge(*virtual_edge):  # pragma: no cover — bijection argument
+            raise AlgorithmInvariantError(
+                f"virtual edge collision between {real_of[virtual_edge]!r} "
+                f"and {edge!r}"
+            )
+        graph.add_edge(*virtual_edge)
+        real_of[virtual_edge] = edge
+        virtual_of[edge] = virtual_edge
+
+    result = VirtualGraphResult(
+        graph=graph, real_of=real_of, virtual_of=virtual_of, group_size=group_size
+    )
+    max_degree = result.max_virtual_degree()
+    if max_degree > group_size:  # pragma: no cover — chunking bound
+        raise AlgorithmInvariantError(
+            f"virtual degree {max_degree} exceeds group size {group_size}"
+        )
+    return result

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+downstream users can catch a single base class.  The more specific
+subclasses distinguish between *user* mistakes (bad inputs), *model*
+violations (an algorithm tried to do something the LOCAL model forbids)
+and *algorithm* failures (an internal invariant of one of the paper's
+procedures was violated — these indicate a bug and are always worth
+reporting).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An input instance violates a documented precondition.
+
+    Examples: a list edge coloring instance where some list is smaller
+    than ``deg(e) + 1``, a palette that does not cover the lists, or a
+    graph with self-loops.
+    """
+
+
+class ModelViolationError(ReproError, RuntimeError):
+    """A simulated node attempted an operation the LOCAL model forbids.
+
+    Examples: sending a message to a non-neighbor, or reading another
+    node's private state outside of message passing.
+    """
+
+
+class AlgorithmInvariantError(ReproError, RuntimeError):
+    """An internal invariant of one of the paper's procedures failed.
+
+    These errors indicate a bug in the implementation (or an instance
+    outside the regime an algorithm supports), never a user mistake.
+    """
+
+
+class ColoringValidationError(ReproError, AssertionError):
+    """A produced coloring failed independent validation.
+
+    Raised by :mod:`repro.coloring.verify` when a coloring is not a
+    proper edge coloring, uses a color outside an edge's list, or
+    exceeds a defect bound it promised to satisfy.
+    """
+
+
+class RoundLimitExceededError(ReproError, RuntimeError):
+    """A simulated execution exceeded its configured round budget."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A tuning parameter is outside its allowed range.
+
+    Examples: a slack parameter smaller than one, a color-space split
+    parameter ``p`` outside ``[2, C]``, or a non-positive defect target.
+    """

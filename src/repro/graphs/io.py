@@ -1,0 +1,90 @@
+"""Reading and writing graphs and colorings as plain text.
+
+The CLI (``python -m repro``) and downstream users exchange instances
+as edge-list files: one ``u v`` pair per line, ``#`` comments allowed.
+Colorings are written as ``u v color`` lines — trivially diffable and
+consumable by anything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+import networkx as nx
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.edges import Edge, edge_key
+from repro.graphs.properties import validate_simple_graph
+
+
+def read_edge_list(path: str | Path) -> nx.Graph:
+    """Read a graph from an edge-list file.
+
+    Format: one edge per line as two whitespace-separated labels;
+    labels that parse as integers become integer nodes.  Lines starting
+    with ``#`` and blank lines are ignored.
+    """
+    graph = nx.Graph()
+    text = Path(path).read_text()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise InvalidInstanceError(
+                f"{path}:{line_number}: expected 'u v', got {line!r}"
+            )
+        u, v = (_parse_label(p) for p in parts)
+        if u == v:
+            raise InvalidInstanceError(
+                f"{path}:{line_number}: self-loop {u!r}"
+            )
+        graph.add_edge(u, v)
+    validate_simple_graph(graph)
+    return graph
+
+
+def _parse_label(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_edge_list(graph: nx.Graph, path: str | Path) -> None:
+    """Write a graph as an edge-list file (canonical edge order)."""
+    validate_simple_graph(graph)
+    lines = [f"# {graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges"]
+    for u, v in sorted(
+        (edge_key(u, v) for u, v in graph.edges()), key=repr
+    ):
+        lines.append(f"{u} {v}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def write_coloring(coloring: Mapping[Edge, int], path: str | Path) -> None:
+    """Write an edge coloring as ``u v color`` lines."""
+    lines = ["# u v color"]
+    for (u, v) in sorted(coloring, key=repr):
+        lines.append(f"{u} {v} {coloring[(u, v)]}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_coloring(path: str | Path) -> dict[Edge, int]:
+    """Read an edge coloring written by :func:`write_coloring`."""
+    coloring: dict[Edge, int] = {}
+    text = Path(path).read_text()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise InvalidInstanceError(
+                f"{path}:{line_number}: expected 'u v color', got {line!r}"
+            )
+        u, v = _parse_label(parts[0]), _parse_label(parts[1])
+        coloring[edge_key(u, v)] = int(parts[2])
+    return coloring

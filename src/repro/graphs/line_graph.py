@@ -1,0 +1,114 @@
+"""Line-graph views of a graph.
+
+The paper's central quantity is the *edge degree*
+``deg(e) = deg(u) + deg(v) - 2`` for ``e = {u, v}`` — the degree of
+``e`` in the line graph ``L(G)``.  The maximum edge degree is written
+``Δ̄`` and satisfies ``Δ̄ <= 2Δ - 2``.
+
+All list sizes, defect bounds and recursion thresholds in the
+algorithms are expressed against these quantities, so they are
+implemented once here and reused everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.edges import Edge, edge_key, edge_set
+
+
+def edge_degree(graph: nx.Graph, edge: Edge) -> int:
+    """Return ``deg(e) = deg(u) + deg(v) - 2``, the line-graph degree of ``e``.
+
+    >>> import networkx as nx
+    >>> g = nx.path_graph(4)
+    >>> edge_degree(g, (1, 2))
+    2
+    """
+    u, v = edge
+    if not graph.has_edge(u, v):
+        raise InvalidInstanceError(f"edge {edge!r} not present in graph")
+    return graph.degree(u) + graph.degree(v) - 2
+
+
+def max_edge_degree(graph: nx.Graph) -> int:
+    """Return ``Δ̄``, the maximum edge degree (0 for edgeless graphs)."""
+    if graph.number_of_edges() == 0:
+        return 0
+    return max(edge_degree(graph, edge_key(u, v)) for u, v in graph.edges())
+
+
+def line_graph_adjacency(graph: nx.Graph) -> dict[Edge, list[Edge]]:
+    """Return the adjacency of the line graph over canonical edges.
+
+    Two edges are adjacent iff they share an endpoint.  Neighbor lists
+    are sorted, giving deterministic iteration to the simulated
+    algorithms that run *on* the line graph (Linial's coloring, the
+    greedy class sweep).
+    """
+    adjacency: dict[Edge, list[Edge]] = {}
+    for edge in edge_set(graph):
+        u, v = edge
+        neighbors = set()
+        for endpoint in (u, v):
+            for other in graph.neighbors(endpoint):
+                candidate = edge_key(endpoint, other)
+                if candidate != edge:
+                    neighbors.add(candidate)
+        adjacency[edge] = sorted(neighbors, key=repr)
+    return adjacency
+
+
+def line_graph(graph: nx.Graph) -> nx.Graph:
+    """Return the line graph with canonical-edge node labels."""
+    result = nx.Graph()
+    adjacency = line_graph_adjacency(graph)
+    result.add_nodes_from(adjacency)
+    for edge, neighbors in adjacency.items():
+        for other in neighbors:
+            result.add_edge(edge, other)
+    return result
+
+
+def induced_edge_degrees(
+    graph: nx.Graph, subset: Iterable[Edge]
+) -> dict[Edge, int]:
+    """Return each edge's degree within the sub-line-graph induced by ``subset``.
+
+    Used by the defective coloring validator and by Lemma 4.3's
+    bookkeeping: after edges are partitioned (by defective color or by
+    color subspace), an edge's *new* degree counts only neighbors in
+    the same part.
+    """
+    chosen = set(subset)
+    adjacency = line_graph_adjacency(graph)
+    degrees: dict[Edge, int] = {}
+    for edge in chosen:
+        if edge not in adjacency:
+            raise InvalidInstanceError(f"edge {edge!r} not present in graph")
+        degrees[edge] = sum(1 for other in adjacency[edge] if other in chosen)
+    return degrees
+
+
+def conflicting_pairs(
+    graph: nx.Graph, assignment: Mapping[Edge, Hashable]
+) -> list[tuple[Edge, Edge]]:
+    """Return all adjacent edge pairs assigned the same value.
+
+    The generic "find monochromatic conflicts" query: validators use it
+    for proper colorings (result must be empty) and defect measurement
+    (result size bounds the defect).
+    """
+    conflicts: list[tuple[Edge, Edge]] = []
+    adjacency = line_graph_adjacency(graph)
+    for edge, neighbors in adjacency.items():
+        if edge not in assignment:
+            continue
+        for other in neighbors:
+            if other in assignment and other > edge:
+                if assignment[edge] == assignment[other]:
+                    conflicts.append((edge, other))
+    return conflicts

@@ -1,0 +1,103 @@
+"""Structural measurements and validation of input graphs.
+
+The LOCAL model gives every node a unique identifier from a polynomial
+range ``{1, ..., n^{O(1)}}``; :func:`assign_unique_ids` realises that
+assumption for simulations, with an optional adversarial shuffle (IDs
+in the LOCAL model are worst-case, not random, so tests exercise both
+orders).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable
+
+import networkx as nx
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.line_graph import max_edge_degree
+
+
+def validate_simple_graph(graph: nx.Graph) -> None:
+    """Raise unless ``graph`` is a simple undirected graph.
+
+    The algorithms assume no self-loops; multigraphs are rejected by
+    type since parallel edges cannot be properly edge colored from
+    ``deg + 1`` lists.
+    """
+    if graph.is_directed():
+        raise InvalidInstanceError("expected an undirected graph")
+    if graph.is_multigraph():
+        raise InvalidInstanceError("expected a simple graph, got a multigraph")
+    loops = list(nx.selfloop_edges(graph))
+    if loops:
+        raise InvalidInstanceError(f"graph contains self-loops: {loops[:3]!r}")
+
+
+def max_degree(graph: nx.Graph) -> int:
+    """Return ``Δ``, the maximum node degree (0 for empty graphs)."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return max(degree for _node, degree in graph.degree())
+
+
+def assign_unique_ids(
+    graph: nx.Graph, *, seed: int | None = None, id_space_exponent: int = 2
+) -> dict[Hashable, int]:
+    """Assign each node a unique ID from ``{1, ..., n^id_space_exponent}``.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    seed:
+        ``None`` assigns IDs in sorted node order (the friendly case);
+        an integer seed scatters IDs over the whole polynomial ID space
+        (the adversarial case the LOCAL model actually promises).
+    id_space_exponent:
+        The ``O(1)`` in the model's ``n^{O(1)}`` ID space.
+
+    Returns
+    -------
+    dict
+        Mapping node -> unique positive integer.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+    n = len(nodes)
+    if n == 0:
+        return {}
+    if seed is None:
+        return {node: index + 1 for index, node in enumerate(nodes)}
+    space = max(n, n**id_space_exponent)
+    rng = random.Random(seed)
+    ids = rng.sample(range(1, space + 1), n)
+    return dict(zip(nodes, ids))
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Structural facts about an instance, as reported in benchmark tables."""
+
+    nodes: int
+    edges: int
+    max_degree: int
+    max_edge_degree: int
+
+    @property
+    def greedy_palette_size(self) -> int:
+        """Size of the classic greedy palette ``2Δ - 1`` (0 if edgeless)."""
+        if self.max_degree == 0:
+            return 0
+        return 2 * self.max_degree - 1
+
+
+def graph_summary(graph: nx.Graph) -> GraphSummary:
+    """Return the :class:`GraphSummary` of ``graph``."""
+    validate_simple_graph(graph)
+    return GraphSummary(
+        nodes=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        max_degree=max_degree(graph),
+        max_edge_degree=max_edge_degree(graph),
+    )

@@ -1,0 +1,42 @@
+"""Synchronous LOCAL-model simulator.
+
+The paper's computational model (Section 2.2) is the standard LOCAL
+model: a synchronous message-passing network where, per round, every
+node may exchange one unbounded message with each neighbor and perform
+arbitrary local computation.  This package implements that model
+directly:
+
+* :class:`repro.model.network.Network` — the communication graph with
+  unique IDs and port numbering;
+* :class:`repro.model.algorithm.NodeAlgorithm` — the programming
+  interface a distributed algorithm implements (init / send / receive /
+  halt / output);
+* :class:`repro.model.scheduler.Scheduler` — the synchronous round
+  loop, with round and message accounting and a round budget;
+* :mod:`repro.model.edge_network` — adapter to run node algorithms on
+  the *line graph*, which is how the edge coloring subroutines execute
+  (one line-graph round costs O(1) rounds of the underlying graph,
+  since both endpoints of an edge can relay for it).
+
+The *primitive* subroutines (Cole-Vishkin, the Linial color reduction
+step, the greedy class sweep) ship in two equivalent forms: a
+message-passing :class:`NodeAlgorithm` that runs on this simulator, and
+a faster functional form used inside the recursive solver.  Tests
+cross-validate the two forms round-for-round on shared instances.
+"""
+
+from repro.model.algorithm import NodeAlgorithm, NodeContext
+from repro.model.message import Message
+from repro.model.network import Network
+from repro.model.scheduler import ExecutionResult, Scheduler
+from repro.model.edge_network import line_graph_network
+
+__all__ = [
+    "NodeAlgorithm",
+    "NodeContext",
+    "Message",
+    "Network",
+    "ExecutionResult",
+    "Scheduler",
+    "line_graph_network",
+]

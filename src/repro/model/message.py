@@ -1,0 +1,45 @@
+"""Messages exchanged by simulated nodes.
+
+The LOCAL model places no bound on message size, so payloads are
+arbitrary Python objects.  The simulator still wraps them in a
+:class:`Message` envelope recording sender and round, both for
+debugging traces and so tests can assert on communication patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single directed message delivered in one synchronous round.
+
+    Attributes
+    ----------
+    sender:
+        Label of the sending node.
+    receiver:
+        Label of the receiving node (always a neighbor of ``sender``).
+    round_index:
+        The 1-based round in which the message was sent (and, the model
+        being synchronous, received).
+    payload:
+        Arbitrary content; the LOCAL model allows unbounded messages.
+    """
+
+    sender: Hashable
+    receiver: Hashable
+    round_index: int
+    payload: Any
+
+    def size_estimate(self) -> int:
+        """Return a rough payload size (repr length).
+
+        The LOCAL model ignores message size, but the simulator reports
+        this in traces so experiments can *observe* how far an
+        algorithm is from the CONGEST regime — a question the paper
+        explicitly leaves open.
+        """
+        return len(repr(self.payload))

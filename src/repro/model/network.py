@@ -1,0 +1,126 @@
+"""The simulated communication network.
+
+A :class:`Network` fixes the graph, the unique node IDs and the port
+numbering — the "hardware" a LOCAL algorithm runs on.  Port numbering
+maps each node's incident edges to ports ``0 .. deg-1`` in sorted
+neighbor order (any fixed order is a valid LOCAL port assignment; a
+deterministic one keeps simulations reproducible).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.errors import InvalidInstanceError, ModelViolationError
+from repro.graphs.properties import assign_unique_ids, max_degree, validate_simple_graph
+
+
+class Network:
+    """A static synchronous network over a simple graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.
+    ids:
+        Optional node -> unique ID mapping.  Defaults to a fresh
+        assignment via :func:`repro.graphs.properties.assign_unique_ids`.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        ids: Mapping[Hashable, int] | None = None,
+    ) -> None:
+        validate_simple_graph(graph)
+        self._graph = graph
+        if ids is None:
+            ids = assign_unique_ids(graph)
+        self._validate_ids(graph, ids)
+        self._ids = dict(ids)
+        # Port tables: node -> list of neighbors in port order, and the
+        # inverse lookup (node, neighbor) -> port.
+        self._ports: dict[Hashable, list[Hashable]] = {}
+        self._port_of: dict[tuple[Hashable, Hashable], int] = {}
+        for node in graph.nodes():
+            neighbors = sorted(graph.neighbors(node), key=repr)
+            self._ports[node] = neighbors
+            for port, neighbor in enumerate(neighbors):
+                self._port_of[(node, neighbor)] = port
+
+    @staticmethod
+    def _validate_ids(graph: nx.Graph, ids: Mapping[Hashable, int]) -> None:
+        nodes = set(graph.nodes())
+        if set(ids) != nodes:
+            raise InvalidInstanceError("ids must cover exactly the graph's nodes")
+        values = list(ids.values())
+        if len(set(values)) != len(values):
+            raise InvalidInstanceError("node IDs must be unique")
+        if any(v < 1 for v in values):
+            raise InvalidInstanceError("node IDs must be positive integers")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def max_degree(self) -> int:
+        return max_degree(self._graph)
+
+    def nodes(self) -> list[Hashable]:
+        """Return the nodes in deterministic (sorted) order."""
+        return sorted(self._graph.nodes(), key=repr)
+
+    def id_of(self, node: Hashable) -> int:
+        return self._ids[node]
+
+    def ids(self) -> dict[Hashable, int]:
+        """Return a copy of the full ID assignment."""
+        return dict(self._ids)
+
+    def max_id(self) -> int:
+        """Return the largest assigned ID (the ``X`` of ``log* X`` terms)."""
+        return max(self._ids.values()) if self._ids else 0
+
+    def degree(self, node: Hashable) -> int:
+        return self._graph.degree(node)
+
+    def neighbors_in_port_order(self, node: Hashable) -> list[Hashable]:
+        """Return the neighbors of ``node`` indexed by port."""
+        return list(self._ports[node])
+
+    def neighbor_at_port(self, node: Hashable, port: int) -> Hashable:
+        """Return the neighbor reached through ``port`` of ``node``."""
+        ports = self._ports[node]
+        if not 0 <= port < len(ports):
+            raise ModelViolationError(
+                f"node {node!r} has no port {port} (degree {len(ports)})"
+            )
+        return ports[port]
+
+    def port_towards(self, node: Hashable, neighbor: Hashable) -> int:
+        """Return the port of ``node`` that leads to ``neighbor``."""
+        try:
+            return self._port_of[(node, neighbor)]
+        except KeyError:
+            raise ModelViolationError(
+                f"{neighbor!r} is not a neighbor of {node!r}"
+            ) from None
+
+
+def network_from_edges(
+    edges: Iterable[tuple[Hashable, Hashable]],
+    ids: Mapping[Hashable, int] | None = None,
+) -> Network:
+    """Build a :class:`Network` from an edge list (convenience)."""
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    return Network(graph, ids=ids)

@@ -1,0 +1,157 @@
+"""The synchronous round loop.
+
+The scheduler realises the LOCAL model's semantics exactly:
+
+* rounds are global and synchronous;
+* in a round, every non-halted node first *composes* its outgoing
+  messages against its state at the start of the round, then all
+  messages are delivered simultaneously, then every node *receives*;
+* the execution ends when all nodes have halted (or the round budget
+  is exhausted, which raises — silent truncation would corrupt round
+  measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import RoundLimitExceededError
+from repro.model.algorithm import NodeAlgorithm, NodeContext
+from repro.model.message import Message
+from repro.model.network import Network
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous rounds until global halting.
+    messages_sent:
+        Total messages delivered over the whole execution.
+    outputs:
+        Mapping node -> the node's declared output.
+    max_message_size:
+        Largest payload ``repr`` size observed (LOCAL ignores message
+        size; reported so experiments can discuss CONGEST-feasibility).
+    trace:
+        Optional list of all messages (populated when tracing is on).
+    """
+
+    rounds: int
+    messages_sent: int
+    outputs: dict[Hashable, Any]
+    max_message_size: int = 0
+    trace: list[Message] = field(default_factory=list)
+
+
+class Scheduler:
+    """Runs a :class:`NodeAlgorithm` on a :class:`Network`.
+
+    Parameters
+    ----------
+    network:
+        The network to run on.
+    max_rounds:
+        Hard budget; exceeding it raises :class:`RoundLimitExceededError`.
+    record_trace:
+        When ``True``, every message is kept in the result's trace
+        (memory-heavy; meant for tests and small demos).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        max_rounds: int = 10_000,
+        record_trace: bool = False,
+    ) -> None:
+        self._network = network
+        self._max_rounds = max_rounds
+        self._record_trace = record_trace
+
+    def run(self, algorithm: NodeAlgorithm) -> ExecutionResult:
+        """Execute ``algorithm`` to global halting and return the result."""
+        network = self._network
+        contexts: dict[Hashable, NodeContext] = {}
+        for node in network.nodes():
+            contexts[node] = NodeContext(
+                node=node,
+                unique_id=network.id_of(node),
+                degree=network.degree(node),
+                n=network.n,
+                max_degree=network.max_degree,
+            )
+            algorithm.initialize(contexts[node])
+
+        rounds = 0
+        messages_sent = 0
+        max_message_size = 0
+        trace: list[Message] = []
+
+        while not all(ctx.halted for ctx in contexts.values()):
+            if rounds >= self._max_rounds:
+                stuck = [n for n, c in contexts.items() if not c.halted][:5]
+                raise RoundLimitExceededError(
+                    f"round budget {self._max_rounds} exhausted; "
+                    f"non-halted nodes include {stuck!r}"
+                )
+            rounds += 1
+
+            # Phase 1: all nodes compose against start-of-round state.
+            inboxes: dict[Hashable, dict[int, Any]] = {
+                node: {} for node in contexts
+            }
+            for node, ctx in contexts.items():
+                if ctx.halted:
+                    continue
+                outbox = algorithm.compose_messages(ctx)
+                for port, payload in outbox.items():
+                    ctx.require_port(port)
+                    receiver = network.neighbor_at_port(node, port)
+                    receiver_port = network.port_towards(receiver, node)
+                    inboxes[receiver][receiver_port] = payload
+                    messages_sent += 1
+                    message = Message(
+                        sender=node,
+                        receiver=receiver,
+                        round_index=rounds,
+                        payload=payload,
+                    )
+                    max_message_size = max(max_message_size, message.size_estimate())
+                    if self._record_trace:
+                        trace.append(message)
+
+            # Phase 2: simultaneous delivery and state transition.
+            for node, ctx in contexts.items():
+                if ctx.halted:
+                    continue
+                algorithm.receive_messages(ctx, inboxes[node])
+
+        outputs = {node: algorithm.output(ctx) for node, ctx in contexts.items()}
+        return ExecutionResult(
+            rounds=rounds,
+            messages_sent=messages_sent,
+            outputs=outputs,
+            max_message_size=max_message_size,
+            trace=trace,
+        )
+
+
+def run_on_graph(
+    algorithm: NodeAlgorithm,
+    graph,
+    *,
+    ids=None,
+    max_rounds: int = 10_000,
+    record_trace: bool = False,
+) -> ExecutionResult:
+    """One-shot convenience wrapper: build the network and run."""
+    network = Network(graph, ids=ids)
+    scheduler = Scheduler(
+        network, max_rounds=max_rounds, record_trace=record_trace
+    )
+    return scheduler.run(algorithm)

@@ -1,0 +1,184 @@
+"""Cole-Vishkin style 3-coloring of paths and cycles.
+
+Section 4.1 of the paper 3-colors the path/cycle conflict structures of
+its defective coloring "in ``O(log* X)`` rounds" — this module is that
+subroutine.  Given a chain whose items carry an initial proper coloring
+with values below ``X`` (in our use: the initial ``O(Δ̄²)``-edge
+coloring), the classic bit-trick reduction
+
+    ``new_color = 2 * i + bit_i(color)``
+
+where ``i`` is the lowest bit position at which ``color`` differs from
+the successor's color, drops the palette from ``X`` to
+``2 * ceil(log2 X)`` in one round.  Iterating reaches 6 colors after
+``O(log* X)`` rounds, and three shift-down rounds finish the job:
+classes 5, 4, 3 recolor (simultaneously within a class) to the smallest
+free color in ``{0, 1, 2}``.
+
+The functional form below performs exactly those synchronous
+iterations and counts them; the message-passing twin
+(:class:`repro.primitives.node_algorithms.ColeVishkinOnChain`) is
+validated against it round-for-round by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.errors import InvalidInstanceError
+from repro.utils.chains import Chain
+
+
+@dataclass(frozen=True)
+class ChainColoringResult:
+    """Outcome of 3-coloring one chain.
+
+    Attributes
+    ----------
+    colors:
+        Item -> color in ``{0, 1, 2}``.
+    rounds:
+        Synchronous rounds consumed (reduction iterations + shift-down
+        rounds).
+    iterations:
+        Number of bit-trick reduction iterations alone.
+    """
+
+    colors: dict[Hashable, int]
+    rounds: int
+    iterations: int
+
+
+def _lowest_differing_bit(a: int, b: int) -> int:
+    """Return the index of the lowest bit where ``a`` and ``b`` differ."""
+    diff = a ^ b
+    if diff == 0:
+        raise InvalidInstanceError(
+            f"adjacent chain items share the color {a}; initial coloring "
+            "must be proper along the chain"
+        )
+    return (diff & -diff).bit_length() - 1
+
+
+def _reduction_step(colors: Sequence[int], cyclic: bool) -> list[int]:
+    """One synchronous Cole-Vishkin reduction round over the chain."""
+    length = len(colors)
+    new_colors = []
+    for index, color in enumerate(colors):
+        if index + 1 < length:
+            successor = colors[index + 1]
+        elif cyclic:
+            successor = colors[0]
+        else:
+            # Path tail: pretend a successor with a different color; the
+            # choice only needs to differ from the item's own color.
+            successor = color + 1
+        bit = _lowest_differing_bit(color, successor)
+        new_colors.append(2 * bit + ((color >> bit) & 1))
+    return new_colors
+
+
+def _shift_down_step(colors: list[int], target_class: int, cyclic: bool) -> int:
+    """Recolor every item of ``target_class`` to a free color in {0,1,2}.
+
+    Items of one class are pairwise non-adjacent (the coloring is
+    proper), so the simultaneous recoloring is conflict-free.  Returns
+    the number of items recolored.
+    """
+    length = len(colors)
+    recolored = 0
+    updates: dict[int, int] = {}
+    for index, color in enumerate(colors):
+        if color != target_class:
+            continue
+        forbidden = set()
+        if index > 0:
+            forbidden.add(colors[index - 1])
+        elif cyclic:
+            forbidden.add(colors[-1])
+        if index + 1 < length:
+            forbidden.add(colors[index + 1])
+        elif cyclic:
+            forbidden.add(colors[0])
+        for candidate in (0, 1, 2):
+            if candidate not in forbidden:
+                updates[index] = candidate
+                break
+        else:  # pragma: no cover - degree <= 2 guarantees a free color
+            raise InvalidInstanceError(
+                "no free color in {0,1,2} for a degree-<=2 item"
+            )
+        recolored += 1
+    for index, color in updates.items():
+        colors[index] = color
+    return recolored
+
+
+def three_color_chain(
+    chain: Chain, initial_colors: Mapping[Hashable, int]
+) -> ChainColoringResult:
+    """3-color ``chain`` starting from a proper initial coloring.
+
+    Parameters
+    ----------
+    chain:
+        The path or cycle to color.
+    initial_colors:
+        Item -> non-negative integer; adjacent items must differ.  In
+        the paper's usage these are the colors of an initial
+        ``X``-edge coloring, so the round count is ``O(log* X)``.
+
+    Returns
+    -------
+    ChainColoringResult
+        Proper 3-coloring of the chain and the rounds used.
+    """
+    items = chain.items
+    try:
+        colors = [int(initial_colors[item]) for item in items]
+    except KeyError as exc:
+        raise InvalidInstanceError(f"missing initial color for {exc.args[0]!r}") from None
+    if any(c < 0 for c in colors):
+        raise InvalidInstanceError("initial colors must be non-negative")
+    for left, right in chain.neighbor_pairs():
+        if initial_colors[left] == initial_colors[right]:
+            raise InvalidInstanceError(
+                f"initial coloring is not proper: {left!r} and {right!r} "
+                f"both have color {initial_colors[left]}"
+            )
+
+    iterations = 0
+    # The bit-trick fixpoint is a palette of size 6 ({0..5}): with all
+    # colors < 6 the lowest differing bit is at most 2, so new colors
+    # stay below 6.  Iterate until we are inside that fixpoint.
+    while max(colors) > 5:
+        colors = _reduction_step(colors, chain.cyclic)
+        iterations += 1
+
+    shift_rounds = 0
+    for target_class in (5, 4, 3):
+        _shift_down_step(colors, target_class, chain.cyclic)
+        shift_rounds += 1
+
+    result = {item: color for item, color in zip(items, colors)}
+    return ChainColoringResult(
+        colors=result, rounds=iterations + shift_rounds, iterations=iterations
+    )
+
+
+def three_color_chains(
+    chains: Sequence[Chain], initial_colors: Mapping[Hashable, int]
+) -> tuple[dict[Hashable, int], int]:
+    """3-color many chains in parallel; rounds = max over chains.
+
+    The chains are disjoint, so in the LOCAL model they run
+    concurrently and the round cost is the maximum.
+    """
+    combined: dict[Hashable, int] = {}
+    rounds = 0
+    for chain in chains:
+        result = three_color_chain(chain, initial_colors)
+        combined.update(result.colors)
+        rounds = max(rounds, result.rounds)
+    return combined, rounds

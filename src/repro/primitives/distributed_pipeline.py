@@ -1,0 +1,102 @@
+"""A complete edge coloring computed end-to-end by message passing.
+
+Everything else in the library accounts rounds through the ledger with
+functional primitives; this module demonstrates that the substrate can
+also run a full algorithm purely as message-passing programs on the
+simulator — the [Lin87]-style baseline as two genuinely distributed
+stages on the line-graph network:
+
+1. :class:`~repro.primitives.node_algorithms.LinialColorReductionAlgorithm`
+   computes an ``O(Δ̄²)``-edge coloring in ``O(log* n)`` rounds;
+2. :class:`~repro.primitives.node_algorithms.GreedyClassSweepAlgorithm`
+   sweeps the classes, each edge picking the smallest free color from
+   the ``2Δ-1`` palette.
+
+The launcher stitches the stages (the class assignment of stage 1
+becomes the schedule of stage 2 — in a real network the agents simply
+keep their state; re-instantiating the algorithm models that) and
+returns a validated coloring plus the exact simulated round total.
+Tests compare it round-for-round against the ledger-accounted
+``linial_greedy`` baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
+from repro.graphs.edges import Edge, edge_set
+from repro.graphs.properties import assign_unique_ids, max_degree
+from repro.model.edge_network import line_graph_network
+from repro.model.scheduler import Scheduler
+from repro.primitives.node_algorithms import (
+    GreedyClassSweepAlgorithm,
+    LinialColorReductionAlgorithm,
+)
+
+
+@dataclass(frozen=True)
+class DistributedRunResult:
+    """Outcome of the fully simulated pipeline.
+
+    Attributes
+    ----------
+    coloring:
+        Edge -> color in ``{1, ..., 2Δ-1}`` (validated).
+    rounds:
+        Total simulated rounds (stage 1 + stage 2).
+    messages:
+        Total messages exchanged across both stages.
+    class_palette:
+        Size of the intermediate ``O(Δ̄²)`` class palette.
+    """
+
+    coloring: dict[Edge, int]
+    rounds: int
+    messages: int
+    class_palette: int
+
+
+def distributed_linial_greedy_edge_coloring(
+    graph: nx.Graph, *, seed: int | None = None, max_rounds: int = 100_000
+) -> DistributedRunResult:
+    """Run the two-stage message-passing pipeline on ``graph``.
+
+    Rounds: ``O(log* n)`` for stage 1 plus one round per class (the
+    ``O(Δ̄²)`` term) for stage 2 — the [Lin87] baseline, now with every
+    round realised as actual synchronous message exchange.
+    """
+    delta = max_degree(graph)
+    if graph.number_of_edges() == 0:
+        return DistributedRunResult(
+            coloring={}, rounds=0, messages=0, class_palette=0
+        )
+
+    node_ids = assign_unique_ids(graph, seed=seed)
+    network = line_graph_network(graph, node_ids=node_ids)
+
+    # Stage 1: O(Δ̄²) classes in O(log* n) rounds.
+    stage1 = Scheduler(network, max_rounds=max_rounds).run(
+        LinialColorReductionAlgorithm(id_space=network.max_id())
+    )
+    classes = dict(stage1.outputs)
+    class_palette = max(classes.values()) + 1
+
+    # Stage 2: greedy sweep over the classes with the 2Δ-1 palette.
+    palette = frozenset(range(1, max(2, 2 * delta)))
+    lists = {edge: palette for edge in edge_set(graph)}
+    stage2 = Scheduler(network, max_rounds=max_rounds).run(
+        GreedyClassSweepAlgorithm(classes, lists, class_palette)
+    )
+    coloring = {edge: color for edge, color in stage2.outputs.items()}
+
+    check_proper_edge_coloring(graph, coloring)
+    check_palette_bound(coloring, max(1, 2 * delta - 1))
+    return DistributedRunResult(
+        coloring=coloring,
+        rounds=stage1.rounds + stage2.rounds,
+        messages=stage1.messages_sent + stage2.messages_sent,
+        class_palette=class_palette,
+    )

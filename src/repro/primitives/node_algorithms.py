@@ -1,0 +1,185 @@
+"""Message-passing implementations of the primitive subroutines.
+
+The functional primitives (:mod:`repro.primitives.linial`,
+:mod:`repro.primitives.greedy_class`, ...) compute results plus round
+counts directly; the classes here are genuine
+:class:`~repro.model.algorithm.NodeAlgorithm` programs that run on the
+synchronous simulator of :mod:`repro.model`, exchanging real messages.
+Tests cross-validate the two forms: same proper colorings, and round
+counts matching the functional accounting.
+
+All three algorithms are *uniform*: every node runs the same code and
+decides everything from ``(n, Δ, unique_id, ports, messages)`` only, as
+the LOCAL model requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import AlgorithmInvariantError, ParameterError
+from repro.model.algorithm import NodeAlgorithm, NodeContext
+from repro.primitives.linial import LinialStepParameters, linial_step_parameters
+from repro.utils.gf import FieldPolynomial
+
+
+def build_linial_schedule(
+    id_space: int, degree_bound: int
+) -> list[LinialStepParameters]:
+    """Return the deterministic ``(q, k)`` schedule all nodes agree on.
+
+    Every node knows the ID space and ``Δ``, so all nodes compute the
+    same schedule locally — no coordination needed.  The schedule runs
+    the reduction until its fixpoint.
+    """
+    if id_space < 1:
+        raise ParameterError(f"id_space must be >= 1, got {id_space}")
+    schedule: list[LinialStepParameters] = []
+    palette = id_space + 1
+    while palette >= 2:
+        params = linial_step_parameters(palette, degree_bound)
+        if params.new_palette_size >= palette:
+            break
+        schedule.append(params)
+        palette = params.new_palette_size
+    return schedule
+
+
+class LinialColorReductionAlgorithm(NodeAlgorithm):
+    """Linial's color reduction as a real message-passing program.
+
+    Each round, every node broadcasts its current color, then applies
+    one ``GF(q)`` reduction step against the received neighbor colors.
+    After the schedule is exhausted the node halts with a color in an
+    ``O(Δ²)`` palette.  Rounds: ``len(schedule) = O(log* id_space)``.
+    """
+
+    def __init__(self, id_space: int) -> None:
+        self._id_space = id_space
+
+    def initialize(self, ctx: NodeContext) -> None:
+        ctx.state["color"] = ctx.unique_id
+        ctx.state["schedule"] = build_linial_schedule(
+            self._id_space, ctx.max_degree
+        )
+        ctx.state["step"] = 0
+        if not ctx.state["schedule"]:
+            ctx.halt()
+
+    def compose_messages(self, ctx: NodeContext) -> Mapping[int, Any]:
+        return {port: ctx.state["color"] for port in range(ctx.degree)}
+
+    def receive_messages(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        schedule: list[LinialStepParameters] = ctx.state["schedule"]
+        params = schedule[ctx.state["step"]]
+        q, k = params.q, params.k
+        own = FieldPolynomial.from_color(ctx.state["color"], q, k)
+        forbidden: set[int] = set()
+        for color in inbox.values():
+            if color == ctx.state["color"]:
+                raise AlgorithmInvariantError(
+                    f"node {ctx.unique_id} saw its own color at a neighbor"
+                )
+            other = FieldPolynomial.from_color(color, q, k)
+            forbidden.update(own.agreement_points(other))
+        for x in range(q):
+            if x not in forbidden:
+                ctx.state["color"] = x * q + own.evaluate(x)
+                break
+        else:  # pragma: no cover — guarded by q > d(k-1)
+            raise AlgorithmInvariantError(
+                f"node {ctx.unique_id} found no free evaluation point"
+            )
+        ctx.state["step"] += 1
+        if ctx.state["step"] == len(schedule):
+            ctx.halt()
+
+    def output(self, ctx: NodeContext) -> int:
+        return ctx.state["color"]
+
+
+class GreedyClassSweepAlgorithm(NodeAlgorithm):
+    """The greedy class sweep as a message-passing program.
+
+    Intended to run on the *line graph* network: each simulated node is
+    an edge of the underlying graph.  Nodes are given a proper class
+    assignment and a color list; in round ``r`` the nodes of class
+    ``r`` pick the smallest list color not yet announced by a neighbor,
+    then announce it.  Rounds: ``class_count (+1 for the final
+    announcement of the last class)``.
+    """
+
+    def __init__(
+        self,
+        classes: Mapping[Any, int],
+        lists: Mapping[Any, frozenset[int]],
+        class_count: int,
+    ) -> None:
+        self._classes = dict(classes)
+        self._lists = dict(lists)
+        self._class_count = class_count
+
+    def initialize(self, ctx: NodeContext) -> None:
+        ctx.state["class"] = self._classes[ctx.node]
+        ctx.state["list"] = set(self._lists[ctx.node])
+        ctx.state["round"] = 0
+        ctx.state["color"] = None
+        ctx.state["announced"] = False
+
+    def compose_messages(self, ctx: NodeContext) -> Mapping[int, Any]:
+        if ctx.state["color"] is not None and not ctx.state["announced"]:
+            ctx.state["announced"] = True
+            return {port: ctx.state["color"] for port in range(ctx.degree)}
+        return {}
+
+    def receive_messages(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        for color in inbox.values():
+            ctx.state["list"].discard(color)
+        if ctx.state["round"] == ctx.state["class"]:
+            if not ctx.state["list"]:
+                raise AlgorithmInvariantError(
+                    f"node {ctx.unique_id} ran out of list colors"
+                )
+            ctx.state["color"] = min(ctx.state["list"])
+        ctx.state["round"] += 1
+        # One extra round after the last class lets the final picks be
+        # announced (an edge halts once nothing more can affect it).
+        if ctx.state["round"] > self._class_count:
+            ctx.halt()
+
+    def output(self, ctx: NodeContext) -> int | None:
+        return ctx.state["color"]
+
+
+class FloodMaxAlgorithm(NodeAlgorithm):
+    """Flood the maximum ID for a fixed horizon (scheduler demo/test).
+
+    After ``horizon`` rounds every node within distance ``horizon`` of
+    the maximum-ID node knows the maximum; with ``horizon >= diameter``
+    all do.  Used by the model tests to pin down the synchronous
+    semantics (information travels exactly one hop per round).
+    """
+
+    def __init__(self, horizon: int) -> None:
+        if horizon < 0:
+            raise ParameterError(f"horizon must be >= 0, got {horizon}")
+        self._horizon = horizon
+
+    def initialize(self, ctx: NodeContext) -> None:
+        ctx.state["best"] = ctx.unique_id
+        ctx.state["round"] = 0
+        if self._horizon == 0:
+            ctx.halt()
+
+    def compose_messages(self, ctx: NodeContext) -> Mapping[int, Any]:
+        return {port: ctx.state["best"] for port in range(ctx.degree)}
+
+    def receive_messages(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        for value in inbox.values():
+            ctx.state["best"] = max(ctx.state["best"], value)
+        ctx.state["round"] += 1
+        if ctx.state["round"] >= self._horizon:
+            ctx.halt()
+
+    def output(self, ctx: NodeContext) -> int:
+        return ctx.state["best"]

@@ -1,0 +1,32 @@
+"""Small numeric and combinatorial helpers shared across the library.
+
+The helpers here implement the mathematical side-machinery the paper
+uses freely in its proofs:
+
+* :func:`repro.utils.logstar.log_star` — the iterated logarithm, the
+  additive term in every round bound of the paper;
+* :func:`repro.utils.harmonic.harmonic_number` — the harmonic numbers
+  ``H_p`` appearing in Lemma 4.4 and in the slack bookkeeping of
+  Lemma 4.3;
+* :mod:`repro.utils.primes` / :mod:`repro.utils.gf` — prime search and
+  polynomial evaluation over ``GF(q)`` used by the Linial-style color
+  reduction;
+* :mod:`repro.utils.chains` — path/cycle ("chain") containers used by
+  the defective edge coloring of Section 4.1, whose conflict graphs are
+  unions of paths and cycles.
+"""
+
+from repro.utils.harmonic import harmonic_number
+from repro.utils.logstar import ilog2, log_star
+from repro.utils.primes import is_prime, next_prime
+from repro.utils.chains import Chain, chains_from_adjacency
+
+__all__ = [
+    "harmonic_number",
+    "ilog2",
+    "log_star",
+    "is_prime",
+    "next_prime",
+    "Chain",
+    "chains_from_adjacency",
+]

@@ -1,0 +1,101 @@
+"""Polynomial arithmetic over prime fields ``GF(q)``.
+
+The Linial-style one-round color reduction (see
+:mod:`repro.primitives.linial`) encodes a color ``c`` from a palette of
+size ``m`` as the polynomial over ``GF(q)`` whose coefficients are the
+base-``q`` digits of ``c``.  Two distinct colors yield distinct
+polynomials of degree ``< k`` (``k = ceil(log_q m)``), which agree on at
+most ``k - 1`` field elements — the combinatorial fact the reduction
+step rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.utils.primes import is_prime
+
+
+def digits_base_q(value: int, q: int, length: int) -> tuple[int, ...]:
+    """Return the ``length`` base-``q`` digits of ``value``, least significant first.
+
+    >>> digits_base_q(11, 3, 4)
+    (2, 0, 1, 0)
+    """
+    if value < 0:
+        raise ParameterError(f"value must be non-negative, got {value}")
+    if q < 2:
+        raise ParameterError(f"base q must be >= 2, got {q}")
+    if length < 1:
+        raise ParameterError(f"length must be >= 1, got {length}")
+    digits = []
+    remaining = value
+    for _ in range(length):
+        digits.append(remaining % q)
+        remaining //= q
+    if remaining:
+        raise ParameterError(
+            f"value {value} does not fit in {length} base-{q} digits"
+        )
+    return tuple(digits)
+
+
+@dataclass(frozen=True)
+class FieldPolynomial:
+    """A polynomial over ``GF(q)`` given by its coefficient tuple.
+
+    ``coefficients[j]`` is the coefficient of ``x**j``; ``q`` must be
+    prime so that ``GF(q)`` is a field (distinct polynomials of degree
+    ``< k`` then agree on at most ``k - 1`` points, the property the
+    Linial step needs).
+    """
+
+    coefficients: tuple[int, ...]
+    q: int
+
+    def __post_init__(self) -> None:
+        if not is_prime(self.q):
+            raise ParameterError(f"q must be prime, got {self.q}")
+        if not self.coefficients:
+            raise ParameterError("a polynomial needs at least one coefficient")
+        if any(c < 0 or c >= self.q for c in self.coefficients):
+            raise ParameterError(
+                f"coefficients must lie in [0, {self.q}), got {self.coefficients}"
+            )
+
+    @classmethod
+    def from_color(cls, color: int, q: int, k: int) -> "FieldPolynomial":
+        """Encode ``color`` as a degree-``< k`` polynomial over ``GF(q)``."""
+        return cls(digits_base_q(color, q, k), q)
+
+    @property
+    def degree_bound(self) -> int:
+        """Number of coefficients ``k`` (the polynomial has degree ``< k``)."""
+        return len(self.coefficients)
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate the polynomial at ``x`` via Horner's rule.
+
+        >>> FieldPolynomial((2, 0, 1), 5).evaluate(3)
+        1
+        """
+        if x < 0 or x >= self.q:
+            raise ParameterError(f"x must lie in [0, {self.q}), got {x}")
+        result = 0
+        for coefficient in reversed(self.coefficients):
+            result = (result * x + coefficient) % self.q
+        return result
+
+    def agreement_points(self, other: "FieldPolynomial") -> list[int]:
+        """Return all field elements where ``self`` and ``other`` agree.
+
+        For distinct polynomials of degree ``< k`` the result has at
+        most ``k - 1`` elements; tests use this to validate the
+        collision bound the Linial step relies on.
+        """
+        if other.q != self.q:
+            raise ParameterError(
+                f"cannot compare polynomials over GF({self.q}) and GF({other.q})"
+            )
+        return [x for x in range(self.q) if self.evaluate(x) == other.evaluate(x)]

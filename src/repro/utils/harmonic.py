@@ -1,0 +1,55 @@
+"""Harmonic numbers ``H_p = sum_{i=1}^{p} 1/i``.
+
+Lemma 4.4 of the paper guarantees, for any list ``L`` and any partition
+of the color space into ``p`` parts, an index set ``I`` of size ``k``
+whose parts each intersect ``L`` in at least ``|L| / (k * H_p)`` colors.
+The harmonic number is therefore part of the *executable* algorithm (it
+determines the level of each edge in Lemma 4.3), not just the analysis,
+which is why it lives in ``utils`` rather than ``analysis``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ParameterError
+
+
+@lru_cache(maxsize=None)
+def harmonic_number(p: int) -> float:
+    """Return the ``p``-th harmonic number ``H_p``.
+
+    ``H_0`` is defined as ``0`` (empty sum).  Values are cached because
+    the core algorithm evaluates ``H_q`` once per color-space reduction
+    and the analysis module evaluates it inside recurrences.
+
+    >>> harmonic_number(1)
+    1.0
+    >>> round(harmonic_number(4), 6)
+    2.083333
+    """
+    if p < 0:
+        raise ParameterError(f"harmonic_number requires p >= 0, got {p}")
+    total = 0.0
+    for i in range(1, p + 1):
+        total += 1.0 / i
+    return total
+
+
+def harmonic_lower_bound(list_size: int, k: int, p: int) -> float:
+    """Return the Lemma 4.4 intersection lower bound ``|L| / (k * H_p)``.
+
+    Parameters
+    ----------
+    list_size:
+        ``|L|``, the size of the color list.
+    k:
+        The size of the index set ``I``.
+    p:
+        The number of parts in the color-space partition.
+    """
+    if list_size < 0:
+        raise ParameterError(f"list_size must be non-negative, got {list_size}")
+    if k < 1 or p < 1:
+        raise ParameterError(f"k and p must be >= 1, got k={k}, p={p}")
+    return list_size / (k * harmonic_number(p))

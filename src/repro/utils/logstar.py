@@ -1,0 +1,88 @@
+"""Iterated logarithm and integer logarithm helpers.
+
+The paper's round bounds all carry an additive ``O(log* n)`` term, the
+number of times ``log2`` must be applied to ``n`` before the value drops
+to at most 2.  The simulated primitives (Cole-Vishkin, Linial) realise
+that term, and the analysis module uses :func:`log_star` to evaluate the
+predicted bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+
+def ilog2(x: int) -> int:
+    """Return ``floor(log2(x))`` for a positive integer ``x``.
+
+    Uses integer bit tricks, so it is exact for arbitrarily large
+    integers (unlike ``math.log2`` which goes through floats).
+
+    >>> ilog2(1), ilog2(2), ilog2(3), ilog2(1024)
+    (0, 1, 1, 10)
+    """
+    if x <= 0:
+        raise ParameterError(f"ilog2 requires a positive integer, got {x!r}")
+    return x.bit_length() - 1
+
+
+def ceil_log2(x: int) -> int:
+    """Return ``ceil(log2(x))`` for a positive integer ``x``.
+
+    >>> ceil_log2(1), ceil_log2(2), ceil_log2(3), ceil_log2(1024)
+    (0, 1, 2, 10)
+    """
+    if x <= 0:
+        raise ParameterError(f"ceil_log2 requires a positive integer, got {x!r}")
+    return (x - 1).bit_length()
+
+
+def log_star(x: float) -> int:
+    """Return the iterated logarithm ``log* x`` (base 2).
+
+    ``log* x`` is the number of times ``log2`` must be applied to ``x``
+    until the result is at most 2.  By convention ``log* x = 0`` for
+    ``x <= 2``.
+
+    >>> [log_star(v) for v in (1, 2, 4, 16, 65536)]
+    [0, 0, 1, 2, 3]
+    >>> log_star(2 ** 65536)
+    4
+    """
+    if x <= 0:
+        raise ParameterError(f"log_star requires a positive argument, got {x!r}")
+    count = 0
+    # Large integers would overflow float conversion inside math.log2,
+    # so peel them down with exact integer arithmetic first.
+    while isinstance(x, int) and x > 2**53:
+        x = ilog2(x)
+        count += 1
+    value = float(x)
+    while value > 2.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def ceil_log(base: float, x: float) -> int:
+    """Return ``ceil(log_base(x))`` computed robustly for integers.
+
+    Float ``math.log`` can land epsilon-below an integer boundary, so we
+    verify the candidate with exact integer powers when both arguments
+    are integers.
+
+    >>> ceil_log(3, 27), ceil_log(3, 28), ceil_log(10, 1)
+    (3, 4, 0)
+    """
+    if base <= 1:
+        raise ParameterError(f"ceil_log requires base > 1, got {base!r}")
+    if x <= 0:
+        raise ParameterError(f"ceil_log requires x > 0, got {x!r}")
+    if x <= 1:
+        return 0
+    candidate = max(0, math.ceil(math.log(x) / math.log(base)) - 2)
+    while base**candidate < x:
+        candidate += 1
+    return candidate

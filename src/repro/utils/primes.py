@@ -1,0 +1,68 @@
+"""Prime search helpers for the Linial-style color reduction.
+
+The one-round Linial color-reduction step encodes colors as low-degree
+polynomials over a prime field ``GF(q)``.  The step needs the smallest
+prime above a bound derived from the degree and the current palette
+size; graph instances at simulation scale never need primes beyond a few
+thousand, so simple trial division is more than adequate and keeps the
+code dependency-free and obviously correct.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+
+def is_prime(n: int) -> bool:
+    """Return ``True`` iff ``n`` is a prime number.
+
+    Deterministic trial division by 2, 3 and numbers of the form
+    ``6k +- 1`` — exact for all integers (no probabilistic shortcuts).
+
+    >>> [x for x in range(20) if is_prime(x)]
+    [2, 3, 5, 7, 11, 13, 17, 19]
+    """
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0 or n % 3 == 0:
+        return False
+    candidate = 5
+    while candidate * candidate <= n:
+        if n % candidate == 0 or n % (candidate + 2) == 0:
+            return False
+        candidate += 6
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime ``>= n``.
+
+    >>> next_prime(1), next_prime(8), next_prime(13)
+    (2, 11, 13)
+    """
+    if n <= 2:
+        return 2
+    candidate = n if n % 2 else n + 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def primes_up_to(n: int) -> list[int]:
+    """Return all primes ``<= n`` via a sieve of Eratosthenes.
+
+    Used by tests to cross-check :func:`is_prime` and by the analysis
+    module when tabulating Linial step parameters.
+    """
+    if n < 0:
+        raise ParameterError(f"primes_up_to requires n >= 0, got {n}")
+    if n < 2:
+        return []
+    sieve = bytearray([1]) * (n + 1)
+    sieve[0] = sieve[1] = 0
+    for i in range(2, int(n**0.5) + 1):
+        if sieve[i]:
+            sieve[i * i :: i] = bytearray(len(sieve[i * i :: i]))
+    return [i for i, flag in enumerate(sieve) if flag]

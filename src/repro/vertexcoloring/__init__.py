@@ -1,0 +1,44 @@
+"""Distributed (Δ+1)-vertex coloring — the paper's framing problem.
+
+The paper situates edge coloring inside the broader distributed
+coloring landscape: "the (2Δ−1)-edge coloring problem is a special
+case of the (Δ+1)-vertex coloring problem" (coloring the line graph).
+This package provides that landscape on the same substrate, with the
+same validation discipline:
+
+* :func:`greedy_sequential_vertex_coloring` — centralized reference;
+* :func:`linial_greedy_vertex_coloring` — Linial to ``O(Δ²)`` classes,
+  then a greedy class sweep: ``O(Δ² + log* n)`` [Lin87];
+* :func:`kw_vertex_coloring` — Linial + Kuhn-Wattenhofer reduction to
+  ``Δ+1`` colors directly: ``O(Δ log Δ + log* n)`` [SV93, KW06];
+* :func:`randomized_vertex_coloring` — random trials, ``O(log n)``
+  w.h.p. [ABI86/Lub86-style];
+* :func:`edge_coloring_via_vertex_coloring` — the reduction the paper
+  states: run a vertex coloring algorithm on the line graph and read
+  off a ``(2Δ−1)``-edge coloring (``Δ(L(G)) + 1 <= 2Δ − 1``).
+
+The primitives (:mod:`repro.primitives.linial`,
+:mod:`repro.primitives.color_reduction`) are written over abstract
+conflict graphs, so these algorithms are thin, well-tested assemblies
+rather than re-implementations.
+"""
+
+from repro.vertexcoloring.algorithms import (
+    VertexColoringResult,
+    edge_coloring_via_vertex_coloring,
+    greedy_sequential_vertex_coloring,
+    kw_vertex_coloring,
+    linial_greedy_vertex_coloring,
+    randomized_vertex_coloring,
+)
+from repro.vertexcoloring.verify import check_proper_vertex_coloring
+
+__all__ = [
+    "VertexColoringResult",
+    "edge_coloring_via_vertex_coloring",
+    "greedy_sequential_vertex_coloring",
+    "kw_vertex_coloring",
+    "linial_greedy_vertex_coloring",
+    "randomized_vertex_coloring",
+    "check_proper_vertex_coloring",
+]

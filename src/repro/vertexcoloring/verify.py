@@ -1,0 +1,55 @@
+"""Independent validation of vertex colorings.
+
+Mirrors :mod:`repro.coloring.verify` for the vertex problem: nothing
+is trusted, everything re-derived from the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+import networkx as nx
+
+from repro.errors import ColoringValidationError
+
+
+def check_proper_vertex_coloring(
+    graph: nx.Graph,
+    coloring: Mapping[Hashable, int],
+    *,
+    palette_size: int | None = None,
+) -> None:
+    """Raise unless ``coloring`` properly colors all nodes of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    coloring:
+        Node -> color; must cover every node.
+    palette_size:
+        When given, colors must lie in ``{0, ..., palette_size - 1}``
+        (vertex palettes in this package are 0-based).
+    """
+    missing = [node for node in graph.nodes() if node not in coloring]
+    if missing:
+        raise ColoringValidationError(
+            f"{len(missing)} nodes are uncolored, e.g. {missing[:3]!r}"
+        )
+    foreign = [node for node in coloring if node not in graph]
+    if foreign:
+        raise ColoringValidationError(
+            f"colored nodes not in the graph, e.g. {foreign[:3]!r}"
+        )
+    for u, v in graph.edges():
+        if coloring[u] == coloring[v]:
+            raise ColoringValidationError(
+                f"adjacent nodes {u!r} and {v!r} share color {coloring[u]}"
+            )
+    if palette_size is not None:
+        for node, color in coloring.items():
+            if not 0 <= color < palette_size:
+                raise ColoringValidationError(
+                    f"node {node!r} uses color {color} outside "
+                    f"[0, {palette_size})"
+                )

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.coloring.lists import deg_plus_one_lists, uniform_lists
+from repro.coloring.palette import Palette
+from repro.core.solver import compute_initial_edge_coloring
+from repro.graphs.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    friendship_graph,
+    grid_graph,
+    path_graph,
+    random_regular,
+    star_graph,
+)
+from repro.graphs.properties import max_degree
+
+
+@pytest.fixture
+def small_graphs() -> list[tuple[str, nx.Graph]]:
+    """A deterministic zoo of small instances covering degree shapes."""
+    return [
+        ("path_6", path_graph(6)),
+        ("cycle_7", cycle_graph(7)),
+        ("star_5", star_graph(5)),
+        ("K_5", complete_graph(5)),
+        ("K_3_4", complete_bipartite(3, 4)),
+        ("grid_3x4", grid_graph(3, 4)),
+        ("friendship_4", friendship_graph(4)),
+        ("rr_4_10", random_regular(4, 10, seed=11)),
+    ]
+
+
+@pytest.fixture
+def medium_graph() -> nx.Graph:
+    """A single medium instance for the heavier integration tests."""
+    return random_regular(8, 30, seed=3)
+
+
+@pytest.fixture
+def k44_instance():
+    """K_{4,4} with greedy palette, lists, and an initial coloring."""
+    graph = complete_bipartite(4, 4)
+    delta = max_degree(graph)
+    palette = Palette.of_size(2 * delta - 1)
+    lists = uniform_lists(graph, palette)
+    initial, initial_palette, rounds = compute_initial_edge_coloring(graph, seed=5)
+    return graph, lists, initial, initial_palette
+
+
+@pytest.fixture
+def random_list_instance():
+    """A random (deg+1)-list instance on a random regular graph."""
+    graph = random_regular(6, 20, seed=9)
+    lists = deg_plus_one_lists(graph, seed=17, extra=1)
+    return graph, lists

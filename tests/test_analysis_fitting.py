@@ -1,0 +1,72 @@
+"""Tests for growth-shape fitting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.analysis.fitting import (
+    classify_growth,
+    doubling_ratios,
+    fit_power_law,
+)
+
+
+class TestFitPowerLaw:
+    def test_exact_quadratic(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+        assert fit.prefactor == pytest.approx(1.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_linear_with_prefactor(self):
+        xs = [3, 6, 12, 24]
+        ys = [5 * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+        assert fit.prefactor == pytest.approx(5.0, rel=1e-6)
+
+    def test_flat_data(self):
+        fit = fit_power_law([1, 2, 4, 8], [7, 7, 7, 7])
+        assert fit.exponent == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ParameterError):
+            fit_power_law([1, 2], [1, 2])
+        with pytest.raises(ParameterError):
+            fit_power_law([1, 2, 3], [1, 2])
+        with pytest.raises(ParameterError):
+            fit_power_law([0, 1, 2], [1, 2, 3])
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.floats(min_value=0.2, max_value=3.0),
+        st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_recovers_parameters(self, exponent, prefactor):
+        xs = [2.0, 4.0, 8.0, 16.0, 32.0]
+        ys = [prefactor * x**exponent for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+        assert fit.prefactor == pytest.approx(prefactor, rel=1e-4)
+
+
+class TestDoublingRatios:
+    def test_quadratic_data_gives_fours(self):
+        ratios = doubling_ratios([1, 4, 16, 64])
+        assert all(r == pytest.approx(4.0) for r in ratios)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            doubling_ratios([1, 0, 4])
+
+
+class TestClassifyGrowth:
+    @pytest.mark.parametrize(
+        "exponent, label",
+        [(0.05, "~flat"), (0.5, "sublinear"), (1.0, "~linear"),
+         (1.5, "superlinear"), (2.05, "~quadratic")],
+    )
+    def test_labels(self, exponent, label):
+        assert classify_growth(exponent) == label

@@ -1,0 +1,40 @@
+"""Tests for the sweep harness."""
+
+from repro.analysis.harness import run_policy_sweep, run_race_sweep
+from repro.core.params import fixed_policy, scaled_policy
+from repro.graphs.generators import complete_bipartite, cycle_graph
+
+
+class TestRaceSweep:
+    def test_rows_cover_all_algorithms(self):
+        graphs = [(4, complete_bipartite(2, 2)), (6, complete_bipartite(3, 3))]
+        sweep = run_race_sweep(
+            graphs, algorithms=["greedy_sequential", "linial_greedy"], seed=1
+        )
+        assert len(sweep.rows) == 2
+        names = sweep.series_names()
+        assert "BKO20 (this paper)" in names
+        assert "greedy_sequential" in names and "linial_greedy" in names
+
+    def test_series_extraction(self):
+        graphs = [(3, cycle_graph(6))]
+        sweep = run_race_sweep(graphs, algorithms=["greedy_sequential"], seed=1)
+        assert sweep.xs() == [3]
+        assert len(sweep.series("BKO20 (this paper)")) == 1
+
+    def test_structural_columns_present(self):
+        graphs = [(3, cycle_graph(6))]
+        sweep = run_race_sweep(graphs, algorithms=[], seed=1)
+        row = sweep.rows[0]
+        assert row.values["n"] == 6
+        assert row.values["Δ̄"] == 2
+
+
+class TestPolicySweep:
+    def test_one_row_per_policy(self):
+        graph = complete_bipartite(4, 4)
+        policies = [scaled_policy(), fixed_policy(2, 4)]
+        sweep = run_policy_sweep(graph, policies, seed=2)
+        assert len(sweep.rows) == 2
+        assert all("rounds" in row.values for row in sweep.rows)
+        assert {row.x for row in sweep.rows} == {p.name for p in policies}

@@ -1,0 +1,73 @@
+"""Tests for JSON serialization of results and ledgers."""
+
+import json
+
+import pytest
+
+from repro.analysis.serialization import (
+    edge_to_token,
+    ledger_to_dict,
+    read_coloring_from_result,
+    solve_result_to_dict,
+    token_to_edge,
+    write_result,
+)
+from repro.core.ledger import RoundLedger
+from repro.core.solver import solve_edge_coloring
+from repro.errors import InvalidInstanceError
+from repro.graphs.generators import complete_bipartite
+
+
+class TestEdgeTokens:
+    def test_roundtrip_integers(self):
+        assert token_to_edge(edge_to_token((3, 7))) == (3, 7)
+
+    def test_roundtrip_strings(self):
+        assert token_to_edge(edge_to_token(("a", "b"))) == ("a", "b")
+
+    def test_rejects_malformed(self):
+        with pytest.raises(InvalidInstanceError):
+            token_to_edge("nodashes")
+
+
+class TestLedgerSerialization:
+    def test_tree_structure_preserved(self):
+        ledger = RoundLedger()
+        ledger.charge("init", 3)
+        with ledger.parallel("subspaces"):
+            ledger.charge("a", 2)
+            ledger.charge("b", 7)
+        ledger.bump("fallbacks", 2)
+        payload = ledger_to_dict(ledger)
+        assert payload["total_rounds"] == 10
+        assert payload["counters"] == {"fallbacks": 2}
+        tree = payload["tree"]
+        assert tree["mode"] == "seq"
+        parallel = tree["children"][1]
+        assert parallel["mode"] == "par" and parallel["total"] == 7
+
+    def test_json_safe(self):
+        ledger = RoundLedger()
+        ledger.charge("x", 1)
+        json.dumps(ledger_to_dict(ledger))  # must not raise
+
+
+class TestSolveResultSerialization:
+    def test_roundtrip_through_file(self, tmp_path):
+        graph = complete_bipartite(3, 3)
+        result = solve_edge_coloring(graph, seed=1)
+        path = tmp_path / "run.json"
+        write_result(result, path)
+        payload = json.loads(path.read_text())
+        assert payload["rounds"] == result.rounds
+        assert payload["edges"] == 9
+        loaded = read_coloring_from_result(path)
+        assert loaded == result.coloring
+
+    def test_stats_are_jsonified(self):
+        graph = complete_bipartite(4, 4)
+        result = solve_edge_coloring(graph, seed=1)
+        payload = solve_result_to_dict(result)
+        json.dumps(payload)  # whole payload must be JSON-safe
+        assert payload["policy"] == result.policy_name
+        assert payload["ledger"]["total_rounds"] == result.rounds

@@ -1,0 +1,39 @@
+"""Tests for table rendering."""
+
+from repro.analysis.tables import format_ratio_row, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "b"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].endswith("b")
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159], [12345.6], [0.0001]])
+        assert "3.14" in text
+        assert "1.23e+04" in text
+        assert "0.0001" in text
+
+    def test_zero_float(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+
+class TestFormatSeries:
+    def test_axis_and_series_names(self):
+        text = format_series(
+            "Δ̄", [4, 8], {"ours": [10, 20], "baseline": [30, 40]}
+        )
+        assert "Δ̄" in text and "ours" in text and "baseline" in text
+        assert "40" in text
+
+
+class TestRatioRow:
+    def test_contains_both_sides(self):
+        row = format_ratio_row("LEM42", "O(β² log Δ̄)", 42)
+        assert "LEM42" in row and "O(β² log Δ̄)" in row and "42" in row

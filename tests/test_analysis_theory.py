@@ -1,0 +1,117 @@
+"""Tests for the recurrence evaluators and predicted curves."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.analysis.theory import (
+    crossover_log2_dbar,
+    crossover_point,
+    lemma42_invocation_bound,
+    lemma45_level_count,
+    predicted_balliu_kuhn_olivetti,
+    predicted_kuhn_soda20,
+    predicted_kuhn_wattenhofer,
+    predicted_linial_greedy,
+    predicted_randomized,
+    theorem41_depth,
+)
+
+
+class TestPredictedCurves:
+    def test_all_curves_positive_and_monotone(self):
+        models = [
+            predicted_balliu_kuhn_olivetti(),
+            predicted_kuhn_soda20(),
+            predicted_linial_greedy(),
+            predicted_kuhn_wattenhofer(),
+        ]
+        xs = [4, 16, 64, 256, 1024]
+        for model in models:
+            values = model.evaluate(xs)
+            assert all(v > 0 for v in values)
+            assert values == sorted(values)
+
+    def test_randomized_is_flat_in_dbar(self):
+        model = predicted_randomized(n=10**6)
+        assert model.rounds(4) == model.rounds(4096)
+
+    def test_additive_logstar_term(self):
+        with_n = predicted_kuhn_soda20(n=2**65536)
+        without = predicted_kuhn_soda20()
+        assert with_n.rounds(16) - without.rounds(16) == pytest.approx(4)
+
+    def test_bko_log_domain_matches_quasi_polylog_shape(self):
+        """log2(T) should scale ~ (log2 log2 Δ̄)² (times the exponent),
+        i.e. grow far slower than 2√(log2 Δ̄) eventually."""
+        bko = predicted_balliu_kuhn_olivetti()
+        k20 = predicted_kuhn_soda20()
+        huge = 1e7  # log2 dbar = 10^7
+        assert bko.log2_rounds(huge) < k20.log2_rounds(huge)
+        small = 100.0
+        assert bko.log2_rounds(small) > k20.log2_rounds(small)
+
+
+class TestCrossovers:
+    def test_final_crossover_bko_vs_kuhn20(self):
+        """The headline reproduction number: with the paper's literal
+        per-level factor log^{8c+2} Δ̄, the quasi-polylog bound
+        overtakes 2^{O(√log Δ̄)} only at log2 Δ̄ ~ 10^6."""
+        x = crossover_log2_dbar(
+            predicted_balliu_kuhn_olivetti(), predicted_kuhn_soda20()
+        )
+        assert x is not None
+        assert 1e5 < x < 1e7
+
+    def test_bko_vs_linial_much_earlier(self):
+        x = crossover_log2_dbar(
+            predicted_balliu_kuhn_olivetti(), predicted_linial_greedy()
+        )
+        assert x is not None
+        assert x < 1e4
+
+    def test_crossover_point_integer_domain(self):
+        k20 = predicted_kuhn_soda20()
+        lin = predicted_linial_greedy()
+        x = crossover_point(k20, lin, high=2**20)
+        assert x is not None
+        assert k20.rounds(x) < lin.rounds(x)
+
+    def test_requires_log_forms(self):
+        from repro.analysis.theory import TheoryModel
+
+        plain = TheoryModel(name="p", rounds=lambda d: d)
+        with pytest.raises(ParameterError):
+            crossover_log2_dbar(plain, plain)
+
+
+class TestStructuralBounds:
+    def test_lemma42_bound_formula(self):
+        assert lemma42_invocation_bound(2, 256, constant=1.0) == pytest.approx(
+            4 * 8
+        )
+
+    def test_lemma42_rejects_bad_args(self):
+        with pytest.raises(ParameterError):
+            lemma42_invocation_bound(0, 5)
+
+    def test_lemma45_level_count(self):
+        assert lemma45_level_count(10**6, 10) == 6
+        assert lemma45_level_count(16, 4) == 2
+
+    def test_lemma45_rejects_bad_p(self):
+        with pytest.raises(ParameterError):
+            lemma45_level_count(100, 1)
+
+    def test_theorem41_depth_loglog_scale(self):
+        assert theorem41_depth(16) <= 2
+        d256 = theorem41_depth(256)
+        d65536 = theorem41_depth(65536)
+        # doubling log dbar adds O(1) levels
+        assert d65536 - d256 <= 2
+        assert theorem41_depth(2**32) <= 8
+
+    def test_paper_policy_c_validation(self):
+        with pytest.raises(ParameterError):
+            predicted_balliu_kuhn_olivetti(c=0)

@@ -1,0 +1,112 @@
+"""Tests for the baseline algorithms — every one must produce a valid
+(2Δ-1)-edge coloring, and their round counts must sit in the right
+complexity regime relative to each other."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    all_baselines,
+    greedy_sequential_coloring,
+    kuhn_soda20_coloring,
+    kuhn_wattenhofer_coloring,
+    linial_greedy_coloring,
+    randomized_luby_coloring,
+    run_baseline,
+)
+from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
+from repro.graphs.generators import (
+    complete_bipartite,
+    cycle_graph,
+    random_regular,
+    star_graph,
+)
+from repro.graphs.properties import max_degree
+from repro.utils.logstar import log_star
+
+
+ALL_NAMES = sorted(all_baselines())
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize(
+    "make_graph",
+    [
+        lambda: cycle_graph(12),
+        lambda: star_graph(7),
+        lambda: complete_bipartite(5, 5),
+        lambda: random_regular(6, 18, seed=4),
+    ],
+)
+def test_every_baseline_is_valid(name, make_graph):
+    graph = make_graph()
+    result = run_baseline(name, graph, seed=3)
+    check_proper_edge_coloring(graph, result.coloring)
+    check_palette_bound(result.coloring, result.palette_size)
+    assert result.palette_size == max(1, 2 * max_degree(graph) - 1)
+    assert result.rounds >= 0
+
+
+class TestRegistry:
+    def test_contains_expected_names(self):
+        assert set(ALL_NAMES) == {
+            "greedy_sequential",
+            "kuhn_soda20",
+            "kuhn_wattenhofer",
+            "linial_greedy",
+            "panconesi_rizzi",
+            "randomized_luby",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_baseline("nope", cycle_graph(4))
+
+
+class TestComplexityRegimes:
+    def test_linial_greedy_rounds_near_class_palette(self):
+        g = random_regular(8, 24, seed=2)
+        result = linial_greedy_coloring(g, seed=1)
+        assert result.rounds == (
+            result.details["linial_rounds"] + result.details["class_palette"]
+        )
+
+    def test_kw_beats_linial_greedy_at_moderate_degree(self):
+        """O(Δ̄ log Δ̄) < O(Δ̄²): KW must use far fewer rounds once the
+        class palette is large."""
+        g = random_regular(10, 40, seed=6)
+        lin = linial_greedy_coloring(g, seed=1)
+        kw = kuhn_wattenhofer_coloring(g, seed=1)
+        assert kw.rounds < lin.rounds
+
+    def test_randomized_is_logarithmic_scale(self):
+        g = random_regular(6, 60, seed=8)
+        result = randomized_luby_coloring(g, seed=5)
+        # O(log n) w.h.p.; generous constant for one sample
+        assert result.rounds <= 20 * max(1, log_star(60)) + 30
+
+    def test_greedy_sequential_rounds_equal_edges(self):
+        g = complete_bipartite(4, 4)
+        result = greedy_sequential_coloring(g)
+        assert result.rounds == 16
+
+    def test_kuhn_soda20_reports_policy(self):
+        g = random_regular(6, 16, seed=3)
+        result = kuhn_soda20_coloring(g, seed=2)
+        assert "kuhn20" in result.details["policy"]
+
+
+class TestRandomizedBehaviour:
+    def test_deterministic_given_seed(self):
+        g = random_regular(4, 14, seed=2)
+        a = randomized_luby_coloring(g, seed=9)
+        b = randomized_luby_coloring(g, seed=9)
+        assert a.coloring == b.coloring and a.rounds == b.rounds
+
+    def test_different_seeds_vary(self):
+        g = random_regular(4, 20, seed=2)
+        colorings = {
+            tuple(sorted(randomized_luby_coloring(g, seed=s).coloring.items()))
+            for s in range(4)
+        }
+        assert len(colorings) > 1

@@ -1,0 +1,76 @@
+"""Dedicated tests for the PR-style vertex-class domination baseline."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.panconesi_rizzi import panconesi_rizzi_coloring
+from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
+from repro.graphs.generators import (
+    complete_bipartite,
+    complete_graph,
+    friendship_graph,
+    random_regular,
+    star_graph,
+)
+from repro.graphs.properties import max_degree
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: complete_graph(9),
+            lambda: complete_bipartite(7, 7),
+            lambda: star_graph(15),
+            lambda: friendship_graph(6),
+            lambda: random_regular(8, 26, seed=5),
+        ],
+    )
+    def test_valid_on_zoo(self, make_graph):
+        graph = make_graph()
+        result = panconesi_rizzi_coloring(graph, seed=2)
+        check_proper_edge_coloring(graph, result.coloring)
+        check_palette_bound(result.coloring, 2 * max_degree(graph) - 1)
+
+    def test_empty_graph(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        result = panconesi_rizzi_coloring(graph)
+        assert result.coloring == {}
+
+
+class TestStageStructure:
+    def test_stage_count_is_delta_plus_one(self):
+        graph = random_regular(6, 20, seed=3)
+        result = panconesi_rizzi_coloring(graph, seed=1)
+        assert result.details["vertex_classes"] <= 6 + 1
+
+    def test_sub_rounds_stay_small(self):
+        """The conflict-retry loop must converge quickly: every
+        rejection coincides with an accepted coloring at the contested
+        endpoint."""
+        graph = complete_bipartite(10, 10)
+        result = panconesi_rizzi_coloring(graph, seed=1)
+        assert result.details["max_sub_rounds_per_stage"] <= 10
+
+    def test_linear_in_delta_stage_sweep(self):
+        """Sweep rounds grow ~linearly with Δ (the PR shape), far
+        below the quadratic Linial sweep."""
+        small = panconesi_rizzi_coloring(complete_bipartite(6, 6), seed=1)
+        large = panconesi_rizzi_coloring(complete_bipartite(18, 18), seed=1)
+        delta_ratio = 18 / 6
+        sweep_ratio = large.details["sweep_rounds"] / max(
+            1, small.details["sweep_rounds"]
+        )
+        assert sweep_ratio <= 3 * delta_ratio  # linear-ish, not quadratic
+
+
+class TestPropertyBased:
+    @settings(deadline=None, max_examples=12)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_instances(self, seed):
+        graph = random_regular(5, 14, seed=seed % 83)
+        result = panconesi_rizzi_coloring(graph, seed=seed % 29)
+        check_proper_edge_coloring(graph, result.coloring)
+        check_palette_bound(result.coloring, 9)

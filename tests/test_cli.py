@@ -1,0 +1,62 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.graphs.io import read_coloring
+from repro.coloring.verify import check_proper_edge_coloring
+from repro.graphs.generators import complete_bipartite
+from repro.graphs.io import write_edge_list
+
+
+class TestSolveCommand:
+    def test_solve_generated_family(self, capsys):
+        assert main(["solve", "--family", "complete_bipartite", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "colored 16 edges" in out
+        assert "LOCAL rounds" in out
+
+    def test_solve_from_file_with_output(self, tmp_path, capsys):
+        graph = complete_bipartite(3, 3)
+        graph_path = tmp_path / "g.txt"
+        write_edge_list(graph, graph_path)
+        out_path = tmp_path / "c.txt"
+        assert main([
+            "solve", "--input", str(graph_path), "--output", str(out_path),
+        ]) == 0
+        coloring = read_coloring(out_path)
+        check_proper_edge_coloring(graph, coloring)
+
+    def test_solve_with_breakdown(self, capsys):
+        assert main([
+            "solve", "--family", "cycle", "--size", "8", "--breakdown", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "initial Linial" in out
+
+    @pytest.mark.parametrize("policy", ["scaled", "paper", "kuhn20", "machinery"])
+    def test_all_policies(self, policy, capsys):
+        assert main([
+            "solve", "--family", "complete", "--size", "6",
+            "--policy", policy,
+        ]) == 0
+
+    def test_requires_instance_source(self):
+        with pytest.raises(SystemExit):
+            main(["solve"])
+
+
+class TestRaceCommand:
+    def test_race_prints_all_algorithms(self, capsys):
+        assert main(["race", "--family", "complete_bipartite", "--size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "BKO20 (this paper)" in out
+        assert "kuhn_wattenhofer" in out
+
+
+class TestInfoCommand:
+    def test_info_measurements(self, capsys):
+        assert main(["info", "--family", "star", "--size", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "max degree (Δ)" in out
+        assert "5" in out

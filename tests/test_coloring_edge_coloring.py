@@ -1,0 +1,143 @@
+"""Tests for the mutable partial coloring — especially the residual
+invariant the whole algorithm rests on."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ColoringValidationError, InvalidInstanceError
+from repro.coloring.edge_coloring import PartialEdgeColoring, full_coloring_as_dict
+from repro.coloring.lists import deg_plus_one_lists, uniform_lists
+from repro.coloring.palette import Palette
+from repro.graphs.edges import edge_set
+from repro.graphs.generators import random_regular
+from repro.graphs.line_graph import edge_degree
+
+
+def _fresh(graph):
+    return PartialEdgeColoring(graph, deg_plus_one_lists(graph))
+
+
+class TestAssign:
+    def test_basic_assign_and_read(self):
+        g = nx.path_graph(3)
+        coloring = _fresh(g)
+        coloring.assign((0, 1), 1)
+        assert coloring.color_of((0, 1)) == 1
+        assert coloring.is_colored((0, 1))
+        assert not coloring.is_colored((1, 2))
+
+    def test_rejects_double_assign(self):
+        g = nx.path_graph(3)
+        coloring = _fresh(g)
+        coloring.assign((0, 1), 1)
+        with pytest.raises(ColoringValidationError):
+            coloring.assign((0, 1), 2)
+
+    def test_rejects_color_outside_list(self):
+        g = nx.path_graph(3)
+        coloring = _fresh(g)
+        with pytest.raises(ColoringValidationError):
+            coloring.assign((0, 1), 999)
+
+    def test_rejects_neighbor_conflict(self):
+        g = nx.path_graph(3)
+        coloring = _fresh(g)
+        coloring.assign((0, 1), 1)
+        with pytest.raises(ColoringValidationError):
+            coloring.assign((1, 2), 1)
+
+    def test_rejects_unknown_edge(self):
+        g = nx.path_graph(3)
+        coloring = _fresh(g)
+        with pytest.raises(InvalidInstanceError):
+            coloring.assign((0, 2), 1)
+
+    def test_non_adjacent_edges_may_share_color(self):
+        g = nx.path_graph(4)
+        coloring = _fresh(g)
+        coloring.assign((0, 1), 1)
+        coloring.assign((2, 3), 1)  # disjoint from (0,1)
+
+
+class TestResidualBookkeeping:
+    def test_residual_list_shrinks_by_neighbor_colors(self):
+        g = nx.star_graph(3)
+        lists = uniform_lists(g, Palette.of_size(5))
+        coloring = PartialEdgeColoring(g, lists)
+        coloring.assign((0, 1), 2)
+        assert 2 not in coloring.residual_list((0, 2))
+        assert 2 not in coloring.residual_list((0, 3))
+        # Unrelated colors remain available.
+        assert 1 in coloring.residual_list((0, 2))
+
+    def test_residual_degree_counts_uncolored_neighbors(self):
+        g = nx.star_graph(3)
+        coloring = PartialEdgeColoring(g, uniform_lists(g, Palette.of_size(5)))
+        assert coloring.residual_degree((0, 1)) == 2
+        coloring.assign((0, 2), 1)
+        assert coloring.residual_degree((0, 1)) == 1
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_residual_invariant(self, seed):
+        """After any greedy partial coloring of a (deg+1)-list
+        instance, the residual instance is again (deg+1)-feasible —
+        the invariant every recursion step of the paper relies on."""
+        import random
+
+        rng = random.Random(seed)
+        g = random_regular(4, 12, seed=seed % 100)
+        lists = deg_plus_one_lists(g, seed=seed % 977)
+        coloring = PartialEdgeColoring(g, lists)
+        edges = edge_set(g)
+        rng.shuffle(edges)
+        for edge in edges[: len(edges) // 2]:
+            residual = coloring.residual_list(edge)
+            if residual:
+                coloring.assign(edge, rng.choice(sorted(residual)))
+        residual_graph, residual_lists = coloring.residual_instance()
+        residual_lists.validate_deg_plus_one(residual_graph)  # must not raise
+
+
+class TestResidualInstance:
+    def test_contains_exactly_uncolored_edges(self):
+        g = nx.cycle_graph(5)
+        coloring = _fresh(g)
+        coloring.assign((0, 1), min(coloring.residual_list((0, 1))))
+        sub, lists = coloring.residual_instance()
+        assert (0, 1) not in set(edge_set(sub))
+        assert sub.number_of_edges() == 4
+
+    def test_merge_from_subinstance(self):
+        g = nx.cycle_graph(6)
+        coloring = _fresh(g)
+        sub_coloring = PartialEdgeColoring(g, coloring.lists)
+        sub_coloring.assign((0, 1), 1)
+        coloring.merge_from(sub_coloring)
+        assert coloring.color_of((0, 1)) == 1
+
+    def test_merge_detects_conflicts(self):
+        g = nx.path_graph(3)
+        coloring = _fresh(g)
+        coloring.assign((0, 1), 1)
+        other = PartialEdgeColoring(g, coloring.lists)
+        other.assign((1, 2), 1)
+        with pytest.raises(ColoringValidationError):
+            coloring.merge_from(other)
+
+
+class TestFullColoring:
+    def test_requires_completeness(self):
+        g = nx.path_graph(3)
+        coloring = _fresh(g)
+        with pytest.raises(ColoringValidationError):
+            full_coloring_as_dict(g, coloring)
+
+    def test_complete_roundtrip(self):
+        g = nx.path_graph(3)
+        coloring = _fresh(g)
+        for edge in edge_set(g):
+            coloring.assign(edge, min(coloring.residual_list(edge)))
+        result = full_coloring_as_dict(g, coloring)
+        assert set(result) == set(edge_set(g))

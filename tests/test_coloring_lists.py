@@ -1,0 +1,126 @@
+"""Tests for list assignments and the P(Δ̄, S, C) slack bookkeeping."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstanceError, ParameterError
+from repro.coloring.lists import (
+    ListAssignment,
+    deg_plus_one_lists,
+    lists_from_mapping,
+    uniform_lists,
+)
+from repro.coloring.palette import Palette
+from repro.graphs.edges import edge_set
+from repro.graphs.generators import random_regular
+from repro.graphs.line_graph import edge_degree
+
+
+class TestListAssignment:
+    def test_rejects_colors_outside_palette(self):
+        with pytest.raises(InvalidInstanceError):
+            ListAssignment({(0, 1): frozenset({99})}, Palette.of_size(5))
+
+    def test_list_of_unknown_edge_raises(self):
+        assignment = ListAssignment({(0, 1): frozenset({1})}, Palette.of_size(5))
+        with pytest.raises(InvalidInstanceError):
+            assignment.list_of((1, 2))
+
+    def test_restrict_to_edges(self):
+        assignment = ListAssignment(
+            {(0, 1): frozenset({1}), (1, 2): frozenset({2})}, Palette.of_size(5)
+        )
+        restricted = assignment.restrict_to_edges([(0, 1)])
+        assert (0, 1) in restricted
+        assert (1, 2) not in restricted
+
+    def test_restrict_missing_edge_raises(self):
+        assignment = ListAssignment({(0, 1): frozenset({1})}, Palette.of_size(5))
+        with pytest.raises(InvalidInstanceError):
+            assignment.restrict_to_edges([(5, 6)])
+
+    def test_intersect_with_subspace(self):
+        assignment = ListAssignment(
+            {(0, 1): frozenset({1, 2, 3, 4})}, Palette.of_size(5)
+        )
+        narrowed = assignment.intersect_with(Palette((2, 3)))
+        assert narrowed.list_of((0, 1)) == frozenset({2, 3})
+
+
+class TestRealizedSlack:
+    def test_uniform_lists_on_cycle(self):
+        g = nx.cycle_graph(6)  # every edge degree 2, palette 2*2-1 = 3
+        lists = uniform_lists(g, Palette.of_size(3))
+        assert lists.realized_slack(g) == pytest.approx(1.5)
+
+    def test_degree_zero_edges_are_skipped(self):
+        g = nx.Graph([(0, 1)])
+        lists = uniform_lists(g, Palette.of_size(1))
+        assert lists.realized_slack(g) == float("inf")
+
+    def test_validate_deg_plus_one_accepts_minimum(self):
+        g = nx.path_graph(4)
+        lists = deg_plus_one_lists(g)
+        lists.validate_deg_plus_one(g)  # must not raise
+
+    def test_validate_deg_plus_one_rejects_short_list(self):
+        g = nx.path_graph(3)
+        bad = ListAssignment(
+            {(0, 1): frozenset({1}), (1, 2): frozenset({1})}, Palette.of_size(3)
+        )
+        with pytest.raises(InvalidInstanceError):
+            bad.validate_deg_plus_one(g)
+
+
+class TestDegPlusOneLists:
+    def test_sizes_match_edge_degrees(self):
+        g = nx.star_graph(4)
+        lists = deg_plus_one_lists(g)
+        for edge in edge_set(g):
+            assert len(lists.list_of(edge)) == edge_degree(g, edge) + 1
+
+    def test_extra_increases_sizes(self):
+        g = nx.cycle_graph(5)
+        lists = deg_plus_one_lists(g, palette=Palette.of_size(8), extra=2)
+        for edge in edge_set(g):
+            assert len(lists.list_of(edge)) == edge_degree(g, edge) + 3
+
+    def test_seeded_sampling_stays_in_palette(self):
+        g = random_regular(4, 12, seed=7)
+        lists = deg_plus_one_lists(g, seed=3)
+        palette = lists.palette.as_set
+        for edge in edge_set(g):
+            assert lists.list_of(edge) <= palette
+
+    def test_seeded_sampling_reproducible(self):
+        g = nx.cycle_graph(8)
+        a = deg_plus_one_lists(g, seed=5)
+        b = deg_plus_one_lists(g, seed=5)
+        assert a.lists == b.lists
+
+    def test_palette_too_small_raises(self):
+        g = nx.star_graph(5)  # max edge degree 4, needs 5 colors
+        with pytest.raises(ParameterError):
+            deg_plus_one_lists(g, palette=Palette.of_size(3))
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=2, max_value=12))
+    def test_default_palette_always_suffices(self, extra_unused, n):
+        g = nx.complete_graph(n)
+        lists = deg_plus_one_lists(g)
+        lists.validate_deg_plus_one(g)
+
+
+class TestListsFromMapping:
+    def test_canonicalises_keys(self):
+        g = nx.path_graph(3)
+        lists = lists_from_mapping(
+            g, {(1, 0): [1, 2], (2, 1): [2, 3]}, Palette.of_size(3)
+        )
+        assert lists.list_of((0, 1)) == frozenset({1, 2})
+
+    def test_missing_edge_raises(self):
+        g = nx.path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            lists_from_mapping(g, {(0, 1): [1]}, Palette.of_size(3))

@@ -1,0 +1,118 @@
+"""Tests for the independent validators."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ColoringValidationError
+from repro.coloring.lists import uniform_lists
+from repro.coloring.palette import Palette
+from repro.coloring.verify import (
+    ColoringReport,
+    check_defective_coloring,
+    check_list_edge_coloring,
+    check_palette_bound,
+    check_proper_edge_coloring,
+    measure_defects,
+)
+
+
+class TestProperEdgeColoring:
+    def test_accepts_valid(self):
+        g = nx.cycle_graph(4)
+        check_proper_edge_coloring(
+            g, {(0, 1): 1, (1, 2): 2, (2, 3): 1, (0, 3): 2}
+        )
+
+    def test_rejects_conflict(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ColoringValidationError):
+            check_proper_edge_coloring(g, {(0, 1): 1, (1, 2): 1})
+
+    def test_rejects_missing_edge_when_total(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ColoringValidationError):
+            check_proper_edge_coloring(g, {(0, 1): 1})
+
+    def test_partial_mode_allows_missing(self):
+        g = nx.path_graph(3)
+        check_proper_edge_coloring(g, {(0, 1): 1}, require_total=False)
+
+    def test_rejects_phantom_edge(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ColoringValidationError):
+            check_proper_edge_coloring(
+                g, {(0, 1): 1, (1, 2): 2, (0, 2): 3}
+            )
+
+
+class TestListEdgeColoring:
+    def test_rejects_color_outside_list(self):
+        g = nx.path_graph(3)
+        lists = uniform_lists(g, Palette.of_size(3))
+        with pytest.raises(ColoringValidationError):
+            check_list_edge_coloring(g, lists, {(0, 1): 9, (1, 2): 2})
+
+    def test_accepts_valid(self):
+        g = nx.path_graph(3)
+        lists = uniform_lists(g, Palette.of_size(3))
+        check_list_edge_coloring(g, lists, {(0, 1): 1, (1, 2): 2})
+
+
+class TestPaletteBound:
+    def test_accepts_in_range(self):
+        check_palette_bound({(0, 1): 3}, 5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ColoringValidationError):
+            check_palette_bound({(0, 1): 6}, 5)
+        with pytest.raises(ColoringValidationError):
+            check_palette_bound({(0, 1): 0}, 5)
+
+
+class TestDefects:
+    def test_measure_defects_monochromatic_star(self):
+        g = nx.star_graph(3)
+        assignment = {(0, 1): 1, (0, 2): 1, (0, 3): 1}
+        defects = measure_defects(g, assignment)
+        assert all(d == 2 for d in defects.values())
+
+    def test_proper_coloring_has_zero_defect(self):
+        g = nx.cycle_graph(4)
+        assignment = {(0, 1): 1, (1, 2): 2, (2, 3): 1, (0, 3): 2}
+        assert all(d == 0 for d in measure_defects(g, assignment).values())
+
+    def test_check_defective_respects_bound(self):
+        g = nx.star_graph(3)
+        assignment = {(0, 1): 1, (0, 2): 1, (0, 3): 1}
+        check_defective_coloring(g, assignment, lambda deg: deg)  # defect <= deg
+
+    def test_check_defective_rejects_violation(self):
+        g = nx.star_graph(3)
+        assignment = {(0, 1): 1, (0, 2): 1, (0, 3): 1}
+        with pytest.raises(ColoringValidationError):
+            check_defective_coloring(g, assignment, lambda deg: 0)
+
+    def test_check_defective_rejects_missing_edges(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ColoringValidationError):
+            check_defective_coloring(g, {(0, 1): 1}, lambda deg: deg)
+
+    def test_color_bound_enforced(self):
+        g = nx.path_graph(4)
+        assignment = {(0, 1): 1, (1, 2): 2, (2, 3): 3}
+        with pytest.raises(ColoringValidationError):
+            check_defective_coloring(
+                g, assignment, lambda deg: deg, color_bound=2
+            )
+
+
+class TestColoringReport:
+    def test_empty(self):
+        report = ColoringReport.from_coloring({})
+        assert report.edges == 0 and report.colors_used == 0
+
+    def test_counts(self):
+        report = ColoringReport.from_coloring({(0, 1): 5, (2, 3): 5, (4, 5): 2})
+        assert report.edges == 3
+        assert report.colors_used == 2
+        assert report.max_color == 5

@@ -1,0 +1,102 @@
+"""Tests for incremental coloring extension (the paper's motivating
+use of list coloring)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.coloring.palette import Palette
+from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
+from repro.core.dynamic import extend_coloring, insert_edges
+from repro.core.solver import solve_edge_coloring
+from repro.graphs.edges import edge_key, edge_set
+from repro.graphs.generators import complete_bipartite, random_regular
+from repro.graphs.properties import max_degree
+
+
+class TestExtendColoring:
+    def test_preserves_existing_colors(self):
+        graph = random_regular(4, 14, seed=2)
+        base = solve_edge_coloring(graph, seed=1).coloring
+        # forget half the colors, extend back
+        edges = edge_set(graph)
+        partial = {e: base[e] for e in edges[: len(edges) // 2]}
+        result = extend_coloring(graph, partial, seed=3)
+        check_proper_edge_coloring(graph, result.coloring)
+        for edge, color in partial.items():
+            assert result.coloring[edge] == color
+
+    def test_empty_partial_colors_everything(self):
+        graph = nx.cycle_graph(6)
+        result = extend_coloring(graph, {}, seed=1)
+        check_proper_edge_coloring(graph, result.coloring)
+
+    def test_complete_partial_is_noop(self):
+        graph = nx.path_graph(4)
+        base = solve_edge_coloring(graph).coloring
+        result = extend_coloring(graph, base)
+        assert result.coloring == dict(base)
+        assert result.rounds == 0
+
+    def test_rejects_improper_existing(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(Exception):
+            extend_coloring(graph, {(0, 1): 1, (1, 2): 1})
+
+    def test_rejects_nonedge(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            extend_coloring(graph, {(0, 2): 1})
+
+    def test_rejects_colors_outside_palette(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            extend_coloring(graph, {(0, 1): 99}, palette=Palette.of_size(3))
+
+    def test_noncanonical_edge_keys_accepted(self):
+        graph = nx.path_graph(3)
+        result = extend_coloring(graph, {(1, 0): 1})
+        assert result.coloring[(0, 1)] == 1
+
+
+class TestInsertEdges:
+    def test_insertion_workflow(self):
+        graph = complete_bipartite(4, 4)
+        base = solve_edge_coloring(graph, seed=1).coloring
+        new_links = [(0, 1), (2, 3)]  # inside each side: new edges
+        updated, result = insert_edges(graph, base, new_links, seed=2)
+        assert updated.number_of_edges() == graph.number_of_edges() + 2
+        check_proper_edge_coloring(updated, result.coloring)
+        for edge, color in base.items():
+            assert result.coloring[edge] == color
+        check_palette_bound(
+            result.coloring, max(1, 2 * max_degree(updated) - 1)
+        )
+
+    def test_rejects_self_loop_insertion(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            insert_edges(graph, {}, [(1, 1)])
+
+    @settings(deadline=None, max_examples=12)
+    @given(st.integers(min_value=0, max_value=10**4))
+    def test_random_insertions(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        graph = random_regular(4, 12, seed=seed % 37)
+        base = solve_edge_coloring(graph, seed=1).coloring
+        nodes = sorted(graph.nodes())
+        candidates = [
+            (u, v)
+            for i, u in enumerate(nodes)
+            for v in nodes[i + 1 :]
+            if not graph.has_edge(u, v)
+        ]
+        rng.shuffle(candidates)
+        new_links = candidates[:3]
+        updated, result = insert_edges(graph, base, new_links, seed=2)
+        check_proper_edge_coloring(updated, result.coloring)
+        for edge, color in base.items():
+            assert result.coloring[edge_key(*edge)] == color

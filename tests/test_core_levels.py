@@ -1,0 +1,129 @@
+"""Tests for Lemma 4.4 (levels) — including the paper's Figure 5 instance."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AlgorithmInvariantError, InvalidInstanceError
+from repro.coloring.palette import Palette, split_palette
+from repro.core.levels import compute_level, lemma_44_index_set
+from repro.utils.harmonic import harmonic_number
+from repro.utils.logstar import ilog2
+
+
+class TestFigure5:
+    """The paper's worked example: C = 20, p = 4,
+    L_e = {1, 2, 5, 6, 7, 12, 17} (size 7) => I = {1, 2} since
+    |L ∩ C_1| = 3 and |L ∩ C_2| = 2 are both >= 7 / (2 H_4) ≈ 1.68."""
+
+    LIST = frozenset({1, 2, 5, 6, 7, 12, 17})
+
+    def _subspaces(self):
+        return split_palette(Palette.of_size(20), 4)
+
+    def test_intersection_sizes(self):
+        subspaces = self._subspaces()
+        sizes = [len(self.LIST & s.as_set) for s in subspaces]
+        assert sizes == [3, 2, 1, 1]
+
+    def test_lemma44_gives_k2_top2(self):
+        k, indices = lemma_44_index_set([3, 2, 1, 1])
+        assert k == 2
+        assert sorted(indices) == [0, 1]  # the paper's I = {1, 2}, 1-based
+
+    def test_threshold_matches_paper(self):
+        bound = 7 / (2 * harmonic_number(4))
+        assert math.isclose(bound, 1.68, abs_tol=0.01)
+
+    def test_compute_level(self):
+        level = compute_level(self.LIST, self._subspaces())
+        # We take the LARGEST valid level: with threshold
+        # 7 / (8 H_4) = 0.42 every subspace qualifies, so level 2.
+        assert level.level == 2
+        assert set(level.candidates) == {0, 1, 2, 3}
+        assert level.best_candidate() == 0  # largest intersection
+        # The paper's k=2 level (floor(log2 2) = 1) is also valid:
+        # at least 2^1 candidates meet the level-1 threshold.
+        threshold_l1 = 7 / (4 * harmonic_number(4))
+        qualifying = [i for i in range(4) if level.intersections[i] >= threshold_l1]
+        assert len(qualifying) >= 2
+
+
+class TestLemma44General:
+    def test_single_subspace(self):
+        k, indices = lemma_44_index_set([5])
+        assert k == 1 and indices == [0]
+
+    def test_uniform_intersections(self):
+        # p equal parts, each 1/p of the list: the smallest valid k is
+        # the first with |L|/p >= |L|/(k * H_p), i.e. k >= p / H_p.
+        k, indices = lemma_44_index_set([3, 3, 3, 3])
+        assert k == 2  # 4 / H_4 ≈ 1.92 -> k = 2
+        # k = p is also valid (|L|/p >= |L|/(p H_p)); check the bound.
+        bound = 12 / (4 * harmonic_number(4))
+        assert all(size >= bound for size in [3, 3, 3, 3])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            lemma_44_index_set([0, 0])
+
+    @settings(deadline=None, max_examples=200)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=24)
+    )
+    def test_lemma_44_always_holds(self, intersections):
+        """The lemma proper: for ANY intersection profile there is a
+        valid (k, I) pair meeting the harmonic bound."""
+        if sum(intersections) == 0:
+            return
+        p = len(intersections)
+        k, indices = lemma_44_index_set(intersections)
+        assert len(indices) == k
+        bound = sum(intersections) / (k * harmonic_number(p))
+        assert all(intersections[i] >= bound for i in indices)
+
+
+class TestComputeLevel:
+    def test_rejects_empty_list(self):
+        with pytest.raises(InvalidInstanceError):
+            compute_level(frozenset(), split_palette(Palette.of_size(4), 2))
+
+    def test_rejects_non_partition(self):
+        # subspaces that miss the list's colors
+        with pytest.raises(InvalidInstanceError):
+            compute_level(frozenset({99}), split_palette(Palette.of_size(4), 2))
+
+    def test_concentrated_list_gets_level_zero(self):
+        """All colors in one subspace: only one good candidate."""
+        subspaces = split_palette(Palette.of_size(16), 4)
+        level = compute_level(frozenset({1, 2, 3, 4}), subspaces)
+        assert level.level == 0
+        assert level.best_candidate() == 0
+
+    def test_spread_list_gets_high_level(self):
+        """Colors spread uniformly over many subspaces: level ~ log q."""
+        palette = Palette.of_size(64)
+        subspaces = split_palette(palette, 16)  # 16 parts of 4
+        spread = frozenset(range(1, 65))  # everything
+        level = compute_level(spread, subspaces)
+        assert level.level >= 3
+        assert len(level.candidates) >= 2**level.level
+
+    @settings(deadline=None, max_examples=100)
+    @given(
+        st.sets(st.integers(min_value=1, max_value=60), min_size=1),
+        st.integers(min_value=1, max_value=15),
+    )
+    def test_level_contract_on_random_lists(self, colors, p):
+        palette = Palette.of_size(60)
+        if p > 60:
+            return
+        subspaces = split_palette(palette, p)
+        q = len(subspaces)
+        level = compute_level(frozenset(colors), subspaces)
+        assert 0 <= level.level <= ilog2(q)
+        assert len(level.candidates) >= 2**level.level
+        threshold = len(colors) / (2 ** (level.level + 1) * harmonic_number(q))
+        for index in level.candidates:
+            assert level.intersections[index] >= threshold

@@ -1,0 +1,90 @@
+"""Tests for parameter policies."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.core.params import (
+    ParameterPolicy,
+    fixed_policy,
+    kuhn20_style_policy,
+    paper_policy,
+    scaled_policy,
+)
+
+
+class TestPaperPolicy:
+    def test_beta_is_polylog_power_4c(self):
+        policy = paper_policy(c=1, alpha=1)
+        # log2(256) = 8 -> beta = 8^4 = 4096
+        assert policy.beta(256, 1000) == 8**4
+
+    def test_beta_exceeds_feasible_degrees(self):
+        """The documented degeneracy: at simulation scale the paper's β
+        dwarfs Δ̄ itself, so the defective coloring trivialises."""
+        policy = paper_policy()
+        assert policy.beta(100, 199) > 100
+
+    def test_split_is_sqrt(self):
+        policy = paper_policy()
+        assert policy.split(100, 199) == 10
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ParameterError):
+            paper_policy(c=0)
+
+
+class TestScaledPolicy:
+    def test_beta_is_log(self):
+        policy = scaled_policy()
+        assert policy.beta(256, 1000) == 8
+
+    def test_split_is_sqrt(self):
+        policy = scaled_policy()
+        assert policy.split(64, 127) == 8
+
+    def test_minimums(self):
+        policy = scaled_policy()
+        assert policy.beta(1, 2) >= 2
+        assert policy.split(1, 2) >= 2
+
+
+class TestKuhn20Policy:
+    def test_constant_parameters(self):
+        policy = kuhn20_style_policy()
+        for dbar in (4, 64, 4096):
+            assert policy.beta(dbar, dbar) == 2
+            assert policy.split(dbar, dbar) == 2
+
+
+class TestFixedPolicy:
+    def test_returns_given_values(self):
+        policy = fixed_policy(3, 5)
+        assert policy.beta(1000, 1) == 3
+        assert policy.split(1000, 1) == 5
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ParameterError):
+            fixed_policy(1, 4)
+        with pytest.raises(ParameterError):
+            fixed_policy(2, 1)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ParameterError):
+            ParameterPolicy(
+                name="bad",
+                beta=lambda d, c: 2,
+                split=lambda d, c: 2,
+                base_degree_threshold=0,
+            )
+        with pytest.raises(ParameterError):
+            ParameterPolicy(
+                name="bad",
+                beta=lambda d, c: 2,
+                split=lambda d, c: 2,
+                max_depth=0,
+            )
+
+    def test_describe_contains_name(self):
+        assert scaled_policy().describe()["name"].startswith("scaled")

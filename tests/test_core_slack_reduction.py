@@ -1,0 +1,68 @@
+"""Tests for the Lemma 4.2 helpers (activity rule, slack arithmetic)."""
+
+from repro.core.slack_reduction import (
+    SlackLoopStats,
+    active_slack_guarantee,
+    select_active_edges,
+)
+
+
+class TestActivityRule:
+    def test_large_lists_are_active(self):
+        edges = [(0, 1), (1, 2)]
+        degrees = {(0, 1): 6, (1, 2): 6}
+        sizes = {(0, 1): 4, (1, 2): 3}
+        selection = select_active_edges(edges, lambda e: sizes[e], degrees)
+        assert selection.active == ((0, 1),)
+        assert selection.inactive == ((1, 2),)
+
+    def test_boundary_is_strict(self):
+        """|L| must be STRICTLY greater than deg/2 (the paper's rule)."""
+        edges = [(0, 1)]
+        degrees = {(0, 1): 6}
+        selection = select_active_edges(edges, lambda e: 3, degrees)
+        assert selection.inactive == ((0, 1),)
+
+    def test_degree_zero_edge_with_one_color_is_active(self):
+        edges = [(0, 1)]
+        degrees = {(0, 1): 0}
+        selection = select_active_edges(edges, lambda e: 1, degrees)
+        assert selection.active == ((0, 1),)
+
+    def test_empty_input(self):
+        selection = select_active_edges([], lambda e: 1, {})
+        assert selection.active == () and selection.inactive == ()
+
+
+class TestSlackGuarantee:
+    def test_paper_arithmetic(self):
+        """Active edge: |L| > deg/2, class degree <= deg/(2β)
+        implies |L| > β * class_degree."""
+        beta = 3
+        instance_degree = 12
+        class_degree = instance_degree // (2 * beta)  # 2
+        list_size = instance_degree // 2 + 1  # 7 > 6 = β * 2
+        assert active_slack_guarantee(
+            list_size, instance_degree, class_degree, beta
+        )
+
+    def test_detects_violation(self):
+        assert not active_slack_guarantee(4, 12, 2, 3)  # 4 <= 6
+
+
+class TestSlackLoopStats:
+    def test_halving_detection(self):
+        stats = SlackLoopStats(dbar_trajectory=[64, 30, 14, 6])
+        assert stats.halved_everywhere()
+
+    def test_non_halving_detected(self):
+        stats = SlackLoopStats(dbar_trajectory=[64, 40])
+        assert not stats.halved_everywhere()
+
+    def test_tiny_degrees_allowed(self):
+        # <= 1 passes regardless (integer floors at the bottom)
+        stats = SlackLoopStats(dbar_trajectory=[2, 1])
+        assert stats.halved_everywhere()
+
+    def test_empty_trajectory(self):
+        assert SlackLoopStats().halved_everywhere()

@@ -1,0 +1,124 @@
+"""White-box tests of the RecursiveSolver's internals.
+
+The public tests pin down end-to-end correctness; these pin down the
+mechanisms DESIGN.md promises: base-case deferral (never mis-coloring),
+effective-list narrowing, the index-instance callback contract, and
+the depth guard.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.coloring.lists import ListAssignment, deg_plus_one_lists, uniform_lists
+from repro.coloring.palette import Palette
+from repro.coloring.verify import check_list_edge_coloring
+from repro.core.ledger import RoundLedger
+from repro.core.params import fixed_policy, scaled_policy
+from repro.core.solver import RecursiveSolver, compute_initial_edge_coloring
+from repro.errors import InvalidInstanceError
+from repro.graphs.edges import edge_set
+from repro.graphs.generators import complete_bipartite, random_regular
+
+
+def _solver(graph, lists=None, policy=None, seed=3):
+    if lists is None:
+        lists = deg_plus_one_lists(graph, seed=1)
+    initial, _p, _r = compute_initial_edge_coloring(graph, seed=seed)
+    return RecursiveSolver(
+        graph, lists, initial, policy or scaled_policy(), RoundLedger()
+    )
+
+
+class TestEffectiveLists:
+    def test_narrowing_intersects_with_residual(self):
+        graph = nx.star_graph(3)
+        lists = uniform_lists(graph, Palette.of_size(5))
+        solver = _solver(graph, lists)
+        edge_a, edge_b = (0, 1), (0, 2)
+        solver.master.assign(edge_a, 2)
+        narrowed = {edge_b: frozenset({1, 2, 3})}
+        effective = solver._effective_list(edge_b, narrowed)
+        assert effective == frozenset({1, 3})  # 2 blocked by neighbor
+
+
+class TestBaseCase:
+    def test_base_case_defers_on_empty_effective_lists(self):
+        """With an adversarially narrowed list, the base case defers
+        instead of mis-coloring."""
+        graph = nx.path_graph(3)
+        lists = uniform_lists(graph, Palette.of_size(3))
+        solver = _solver(graph, lists)
+        narrowed = {
+            (0, 1): frozenset({1}),
+            (1, 2): frozenset(),  # impossible narrow list
+        }
+        solver._base_case([(0, 1), (1, 2)], narrowed, "test")
+        assert solver.master.is_colored((0, 1))
+        assert not solver.master.is_colored((1, 2))
+        assert solver.ledger.counter("deferred_edges") == 1
+
+    def test_base_case_completes_full_lists(self):
+        graph = random_regular(4, 12, seed=2)
+        lists = deg_plus_one_lists(graph, seed=9)
+        solver = _solver(graph, lists)
+        edges = edge_set(graph)
+        work = {e: lists.list_of(e) for e in edges}
+        solver._base_case(edges, work, "test")
+        assert solver.master.is_complete()
+        check_list_edge_coloring(graph, lists, solver.master.as_dict())
+
+    def test_base_case_reason_counted(self):
+        graph = nx.cycle_graph(5)
+        solver = _solver(graph)
+        edges = edge_set(graph)
+        work = {e: solver.lists.list_of(e) for e in edges}
+        solver._base_case(edges, work, "my-reason")
+        assert solver.ledger.counter("base_case/my-reason") == 1
+
+
+class TestDepthGuard:
+    def test_max_depth_forces_base_case(self):
+        """At max_depth the solver must go straight to the base case:
+        no Lemma 4.3 reductions may be recorded."""
+        policy = fixed_policy(
+            2, 4, base_degree_threshold=4, base_palette_threshold=6,
+            max_depth=1,
+        )
+        graph = complete_bipartite(25, 25)
+        initial, _p, _r = compute_initial_edge_coloring(graph, seed=4)
+        lists = uniform_lists(graph, Palette.of_size(49))
+        solver = RecursiveSolver(graph, lists, initial, policy, RoundLedger())
+        coloring = solver.solve_internal()
+        check_list_edge_coloring(graph, lists, coloring)
+        assert solver.ledger.counter("lem43/reductions") == 0
+
+
+class TestConstruction:
+    def test_missing_initial_colors_rejected(self):
+        graph = nx.path_graph(3)
+        lists = uniform_lists(graph, Palette.of_size(3))
+        with pytest.raises(InvalidInstanceError):
+            RecursiveSolver(
+                graph, lists, {(0, 1): 1}, scaled_policy(), RoundLedger()
+            )
+
+    def test_solver_shares_ledger(self):
+        graph = nx.cycle_graph(6)
+        ledger = RoundLedger()
+        lists = deg_plus_one_lists(graph)
+        initial, _p, _r = compute_initial_edge_coloring(graph)
+        solver = RecursiveSolver(graph, lists, initial, scaled_policy(), ledger)
+        solver.solve_internal()
+        assert ledger.total_rounds() > 0
+
+
+class TestCleanupLoop:
+    def test_cleanup_finishes_everything(self):
+        """solve_internal's final loop must leave zero uncolored edges
+        on any feasible instance."""
+        graph = random_regular(6, 18, seed=8)
+        lists = deg_plus_one_lists(graph, seed=4)
+        solver = _solver(graph, lists)
+        coloring = solver.solve_internal()
+        assert len(coloring) == graph.number_of_edges()
+        check_list_edge_coloring(graph, lists, coloring)

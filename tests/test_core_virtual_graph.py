@@ -1,0 +1,76 @@
+"""Tests for the Figure 6 virtual-copy construction."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.core.virtual_graph import build_virtual_graph
+from repro.graphs.edges import edge_set
+from repro.graphs.generators import complete_graph, random_regular, star_graph
+
+
+class TestBasicConstruction:
+    def test_bijection_between_real_and_virtual_edges(self):
+        g = complete_graph(6)
+        edges = edge_set(g)
+        result = build_virtual_graph(edges, group_size=2)
+        assert len(result.real_of) == len(edges)
+        assert len(result.virtual_of) == len(edges)
+        for real, virtual in result.virtual_of.items():
+            assert result.real_of[virtual] == real
+
+    def test_degree_bound(self):
+        g = star_graph(10)
+        result = build_virtual_graph(edge_set(g), group_size=3)
+        assert result.max_virtual_degree() <= 3
+
+    def test_group_size_one_isolates_every_edge(self):
+        g = complete_graph(5)
+        result = build_virtual_graph(edge_set(g), group_size=1)
+        assert result.max_virtual_degree() == 1
+        # all virtual edges are disjoint: line graph has degree 0
+        for vu, vv in result.graph.edges():
+            assert result.graph.degree(vu) == 1
+            assert result.graph.degree(vv) == 1
+
+    def test_large_group_size_keeps_graph_intact(self):
+        g = complete_graph(5)
+        result = build_virtual_graph(edge_set(g), group_size=10)
+        # one copy per node: virtual graph isomorphic to the original
+        assert result.graph.number_of_edges() == g.number_of_edges()
+        assert result.max_virtual_degree() == 4
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ParameterError):
+            build_virtual_graph([(0, 1)], group_size=0)
+
+    def test_empty_edge_list(self):
+        result = build_virtual_graph([], group_size=2)
+        assert result.graph.number_of_nodes() == 0
+
+
+class TestPaperPhaseBound:
+    """Phase ℓ uses group size 2^{ℓ-2}; the virtual line graph must
+    then have max edge degree <= 2^{ℓ-1} - 2."""
+
+    @pytest.mark.parametrize("phase_level", [4, 5, 6])
+    def test_virtual_line_degree_bound(self, phase_level):
+        g = random_regular(10, 40, seed=3)
+        group_size = 2 ** (phase_level - 2)
+        result = build_virtual_graph(edge_set(g), group_size)
+        for vu, vv in result.graph.edges():
+            line_degree = result.graph.degree(vu) + result.graph.degree(vv) - 2
+            assert line_degree <= 2 ** (phase_level - 1) - 2
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_instances(self, group_size, seed):
+        g = random_regular(6, 14, seed=seed % 71)
+        edges = edge_set(g)
+        result = build_virtual_graph(edges, group_size)
+        assert result.max_virtual_degree() <= group_size
+        assert set(result.virtual_of) == set(edges)

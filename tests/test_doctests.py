@@ -1,0 +1,50 @@
+"""Execute the library's docstring examples.
+
+Several utility modules carry ``>>>`` examples in their docstrings;
+this test runs them all so the documentation can never drift from the
+implementation.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.tables
+import repro.coloring.palette
+import repro.graphs.edges
+import repro.graphs.line_graph
+import repro.utils.gf
+import repro.utils.harmonic
+import repro.utils.logstar
+import repro.utils.primes
+
+
+MODULES = [
+    repro.analysis.tables,
+    repro.coloring.palette,
+    repro.graphs.edges,
+    repro.graphs.line_graph,
+    repro.utils.gf,
+    repro.utils.harmonic,
+    repro.utils.logstar,
+    repro.utils.primes,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, verbose=False, report=True
+    )[0], None
+    assert failures == 0, f"doctest failures in {module.__name__}"
+
+
+def test_doctests_actually_cover_examples():
+    """At least some modules must contain runnable examples (guards
+    against silently losing them all in a refactor)."""
+    total = sum(
+        doctest.DocTestFinder().find(module) != [] for module in MODULES
+    )
+    assert total >= 5

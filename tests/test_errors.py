@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    AlgorithmInvariantError,
+    ColoringValidationError,
+    InvalidInstanceError,
+    ModelViolationError,
+    ParameterError,
+    ReproError,
+    RoundLimitExceededError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [
+            InvalidInstanceError,
+            ModelViolationError,
+            AlgorithmInvariantError,
+            ColoringValidationError,
+            RoundLimitExceededError,
+            ParameterError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, ReproError)
+
+    def test_user_errors_are_value_errors(self):
+        """Callers using plain ``except ValueError`` still catch bad
+        inputs — part of the public contract."""
+        assert issubclass(InvalidInstanceError, ValueError)
+        assert issubclass(ParameterError, ValueError)
+
+    def test_runtime_errors_are_runtime_errors(self):
+        assert issubclass(ModelViolationError, RuntimeError)
+        assert issubclass(AlgorithmInvariantError, RuntimeError)
+        assert issubclass(RoundLimitExceededError, RuntimeError)
+
+    def test_validation_errors_are_assertion_like(self):
+        assert issubclass(ColoringValidationError, AssertionError)
+
+    def test_single_catch_all(self):
+        with pytest.raises(ReproError):
+            raise ParameterError("x")
+        with pytest.raises(ReproError):
+            raise AlgorithmInvariantError("y")

@@ -1,0 +1,78 @@
+"""Tests for canonical edge handling."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.edges import (
+    edge_key,
+    edge_set,
+    edges_subgraph,
+    incident_edges,
+    other_endpoint,
+)
+
+
+class TestEdgeKey:
+    def test_orders_endpoints(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(InvalidInstanceError):
+            edge_key(3, 3)
+
+    def test_heterogeneous_labels(self):
+        # virtual nodes are tuples; ordering must still be total
+        a = ("virt", 1, 0)
+        b = ("virt", 2, 0)
+        assert edge_key(a, b) == edge_key(b, a)
+
+    @given(st.integers(), st.integers())
+    def test_symmetric(self, u, v):
+        if u == v:
+            return
+        assert edge_key(u, v) == edge_key(v, u)
+
+
+class TestEdgeSet:
+    def test_canonical_and_sorted(self):
+        g = nx.Graph([(3, 1), (2, 3), (1, 2)])
+        assert edge_set(g) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_empty_graph(self):
+        assert edge_set(nx.Graph()) == []
+
+
+class TestIncidentEdges:
+    def test_star_center(self):
+        g = nx.star_graph(3)
+        assert incident_edges(g, 0) == [(0, 1), (0, 2), (0, 3)]
+
+    def test_leaf(self):
+        g = nx.star_graph(3)
+        assert incident_edges(g, 2) == [(0, 2)]
+
+
+class TestOtherEndpoint:
+    def test_both_directions(self):
+        assert other_endpoint((2, 5), 2) == 5
+        assert other_endpoint((2, 5), 5) == 2
+
+    def test_rejects_non_endpoint(self):
+        with pytest.raises(InvalidInstanceError):
+            other_endpoint((2, 5), 7)
+
+
+class TestEdgesSubgraph:
+    def test_keeps_only_requested_edges(self):
+        g = nx.cycle_graph(5)
+        sub = edges_subgraph(g, [(0, 1), (2, 3)])
+        assert sorted(sub.edges()) == [(0, 1), (2, 3)]
+        assert sub.number_of_nodes() == 4  # isolated nodes dropped
+
+    def test_rejects_foreign_edge(self):
+        g = nx.path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            edges_subgraph(g, [(0, 2)])

@@ -1,0 +1,208 @@
+"""Tests for the workload generators."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.graphs.generators import (
+    barbell,
+    blow_up_cycle,
+    book_graph,
+    caterpillar,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    friendship_graph,
+    grid_graph,
+    hypercube,
+    path_graph,
+    random_bipartite_regular,
+    random_regular,
+    random_tree,
+    standard_families,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.properties import max_degree, validate_simple_graph
+
+
+class TestBasicShapes:
+    def test_path(self):
+        g = path_graph(6)
+        assert g.number_of_edges() == 5
+        assert max_degree(g) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.number_of_edges() == 7
+        assert all(d == 2 for _n, d in g.degree())
+
+    def test_star(self):
+        g = star_graph(9)
+        assert max_degree(g) == 9
+        assert g.number_of_edges() == 9
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.number_of_edges() == 15
+        assert max_degree(g) == 5
+
+    def test_complete_bipartite_integer_labels(self):
+        g = complete_bipartite(3, 4)
+        assert set(g.nodes()) == set(range(7))
+        assert g.number_of_edges() == 12
+        assert nx.is_bipartite(g)
+
+    def test_grid_and_torus(self):
+        assert max_degree(grid_graph(4, 5)) == 4
+        torus = torus_graph(4, 5)
+        assert all(d == 4 for _n, d in torus.degree())
+
+    def test_hypercube(self):
+        g = hypercube(4)
+        assert g.number_of_nodes() == 16
+        assert all(d == 4 for _n, d in g.degree())
+
+
+class TestRandomFamilies:
+    def test_random_regular_is_regular(self):
+        g = random_regular(6, 20, seed=5)
+        assert all(d == 6 for _n, d in g.degree())
+
+    def test_random_regular_deterministic_by_seed(self):
+        a = random_regular(4, 12, seed=1)
+        b = random_regular(4, 12, seed=1)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_random_regular_rejects_odd_product(self):
+        with pytest.raises(ParameterError):
+            random_regular(3, 7, seed=0)
+
+    def test_random_bipartite_regular(self):
+        g = random_bipartite_regular(4, 10, seed=3)
+        assert all(d == 4 for _n, d in g.degree())
+        assert nx.is_bipartite(g)
+        validate_simple_graph(g)
+
+    def test_erdos_renyi_bounds(self):
+        g = erdos_renyi(30, 0.2, seed=4)
+        assert g.number_of_nodes() == 30
+        validate_simple_graph(g)
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(25, seed=8)
+        assert nx.is_tree(g)
+
+    def test_random_tree_single_node(self):
+        g = random_tree(1, seed=0)
+        assert g.number_of_nodes() == 1
+        assert g.number_of_edges() == 0
+
+
+class TestSkewedFamilies:
+    def test_caterpillar_structure(self):
+        g = caterpillar(4, 3)
+        assert g.number_of_nodes() == 4 + 12
+        assert nx.is_tree(g)
+
+    def test_friendship_degrees(self):
+        g = friendship_graph(5)
+        degrees = sorted(d for _n, d in g.degree())
+        assert degrees[-1] == 10  # hub
+        assert degrees[0] == 2
+
+    def test_book_graph(self):
+        g = book_graph(6)
+        assert g.degree(0) == 7 and g.degree(1) == 7
+
+    def test_barbell(self):
+        g = barbell(4, 2)
+        assert g.number_of_nodes() == 10
+        validate_simple_graph(g)
+
+    def test_blow_up_cycle_regular(self):
+        g = blow_up_cycle(5, 3)
+        assert all(d == 6 for _n, d in g.degree())
+        assert g.number_of_nodes() == 15
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize(
+        "func, args",
+        [
+            (path_graph, (0,)),
+            (cycle_graph, (2,)),
+            (star_graph, (0,)),
+            (complete_graph, (1,)),
+            (complete_bipartite, (0, 3)),
+            (grid_graph, (0, 3)),
+            (torus_graph, (2, 4)),
+            (hypercube, (0,)),
+            (caterpillar, (0, 1)),
+            (friendship_graph, (0,)),
+            (book_graph, (0,)),
+            (barbell, (2, 1)),
+            (blow_up_cycle, (2, 2)),
+        ],
+    )
+    def test_rejects_degenerate_sizes(self, func, args):
+        with pytest.raises(ParameterError):
+            func(*args)
+
+
+class TestStandardFamilies:
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=3, max_value=8))
+    def test_all_families_build_simple_graphs(self, size):
+        for family in standard_families(seed=5):
+            graph = family.build(size)
+            validate_simple_graph(graph)
+            assert graph.number_of_edges() > 0
+
+
+class TestExpanderFamilies:
+    def test_circulant_structure(self):
+        from repro.graphs.generators import circulant
+
+        g = circulant(20, (1, 2, 5))
+        assert g.number_of_nodes() == 20
+        assert all(d == 6 for _n, d in g.degree())
+        validate_simple_graph(g)
+
+    def test_circulant_rejects_bad_offsets(self):
+        from repro.graphs.generators import circulant
+
+        with pytest.raises(ParameterError):
+            circulant(10, (0,))
+        with pytest.raises(ParameterError):
+            circulant(10, ())
+        with pytest.raises(ParameterError):
+            circulant(2, (1,))
+
+    def test_de_bruijn_shape(self):
+        from repro.graphs.generators import de_bruijn_like
+
+        g = de_bruijn_like(2, 4)
+        assert g.number_of_nodes() == 16
+        assert max(d for _n, d in g.degree()) <= 4
+        validate_simple_graph(g)
+        assert nx.is_connected(g)
+
+    def test_de_bruijn_rejects_bad_params(self):
+        from repro.graphs.generators import de_bruijn_like
+
+        with pytest.raises(ParameterError):
+            de_bruijn_like(1, 3)
+        with pytest.raises(ParameterError):
+            de_bruijn_like(2, 0)
+
+    def test_solver_on_expanders(self):
+        from repro.graphs.generators import circulant, de_bruijn_like
+        from repro.core.solver import solve_edge_coloring
+        from repro.coloring.verify import check_proper_edge_coloring
+
+        for g in (circulant(24, (1, 3, 7)), de_bruijn_like(2, 5)):
+            result = solve_edge_coloring(g, seed=1)
+            check_proper_edge_coloring(g, result.coloring)

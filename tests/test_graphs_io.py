@@ -1,0 +1,67 @@
+"""Tests for edge-list / coloring file I/O."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.io import (
+    read_coloring,
+    read_edge_list,
+    write_coloring,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        graph = nx.random_regular_graph(4, 10, seed=1)
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert sorted(map(sorted, loaded.edges())) == sorted(
+            map(sorted, graph.edges())
+        )
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# mid\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.number_of_edges() == 2
+
+    def test_string_labels_preserved(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alpha beta\nbeta gamma\n")
+        graph = read_edge_list(path)
+        assert set(graph.nodes()) == {"alpha", "beta", "gamma"}
+
+    def test_integer_labels_parsed(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("3 7\n")
+        graph = read_edge_list(path)
+        assert set(graph.nodes()) == {3, 7}
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(InvalidInstanceError):
+            read_edge_list(path)
+
+    def test_rejects_self_loop(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("5 5\n")
+        with pytest.raises(InvalidInstanceError):
+            read_edge_list(path)
+
+
+class TestColoringRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        coloring = {(0, 1): 3, (1, 2): 1}
+        path = tmp_path / "c.txt"
+        write_coloring(coloring, path)
+        assert read_coloring(path) == coloring
+
+    def test_rejects_malformed(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(InvalidInstanceError):
+            read_coloring(path)

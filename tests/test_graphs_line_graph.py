@@ -1,0 +1,104 @@
+"""Tests for line-graph views and edge degrees."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.edges import edge_key, edge_set
+from repro.graphs.generators import random_regular
+from repro.graphs.line_graph import (
+    conflicting_pairs,
+    edge_degree,
+    induced_edge_degrees,
+    line_graph,
+    line_graph_adjacency,
+    max_edge_degree,
+)
+
+
+class TestEdgeDegree:
+    def test_path_middle_edge(self):
+        g = nx.path_graph(4)
+        assert edge_degree(g, (1, 2)) == 2
+        assert edge_degree(g, (0, 1)) == 1
+
+    def test_complete_graph(self):
+        g = nx.complete_graph(5)
+        # deg(e) = 2(n-1) - 2 = 6
+        assert all(edge_degree(g, e) == 6 for e in edge_set(g))
+
+    def test_rejects_missing_edge(self):
+        g = nx.path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            edge_degree(g, (0, 2))
+
+
+class TestMaxEdgeDegree:
+    def test_empty(self):
+        assert max_edge_degree(nx.Graph()) == 0
+
+    def test_single_edge(self):
+        g = nx.Graph([(0, 1)])
+        assert max_edge_degree(g) == 0
+
+    def test_star(self):
+        g = nx.star_graph(5)
+        assert max_edge_degree(g) == 4
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=2, max_value=8))
+    def test_bounded_by_2_delta_minus_2(self, d):
+        g = random_regular(d, 2 * d + (2 * d * d) % 2, seed=1)
+        assert max_edge_degree(g) <= 2 * d - 2
+
+
+class TestLineGraphAdjacency:
+    def test_matches_networkx_line_graph(self):
+        g = nx.petersen_graph()
+        ours = line_graph_adjacency(g)
+        theirs = nx.line_graph(g)
+        for edge, neighbors in ours.items():
+            expected = {edge_key(*e) for e in theirs.neighbors(edge)}
+            assert set(neighbors) == expected
+
+    def test_degrees_match_edge_degree(self):
+        g = nx.barbell_graph(4, 2)
+        adjacency = line_graph_adjacency(g)
+        for edge, neighbors in adjacency.items():
+            assert len(neighbors) == edge_degree(g, edge)
+
+    def test_line_graph_nodes_are_canonical_edges(self):
+        g = nx.cycle_graph(5)
+        lg = line_graph(g)
+        assert set(lg.nodes()) == set(edge_set(g))
+
+
+class TestInducedEdgeDegrees:
+    def test_subset_degrees(self):
+        g = nx.path_graph(5)  # edges (0,1),(1,2),(2,3),(3,4)
+        degrees = induced_edge_degrees(g, [(0, 1), (1, 2), (3, 4)])
+        assert degrees[(0, 1)] == 1
+        assert degrees[(1, 2)] == 1
+        assert degrees[(3, 4)] == 0
+
+    def test_rejects_foreign_edge(self):
+        g = nx.path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            induced_edge_degrees(g, [(0, 2)])
+
+
+class TestConflictingPairs:
+    def test_proper_coloring_has_none(self):
+        g = nx.cycle_graph(4)
+        coloring = {(0, 1): 1, (1, 2): 2, (2, 3): 1, (0, 3): 2}
+        assert conflicting_pairs(g, coloring) == []
+
+    def test_detects_conflicts(self):
+        g = nx.path_graph(3)
+        coloring = {(0, 1): 1, (1, 2): 1}
+        assert len(conflicting_pairs(g, coloring)) == 1
+
+    def test_partial_assignments_allowed(self):
+        g = nx.path_graph(4)
+        assert conflicting_pairs(g, {(0, 1): 1}) == []

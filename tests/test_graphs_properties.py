@@ -1,0 +1,81 @@
+"""Tests for graph validation, IDs and summaries."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.properties import (
+    assign_unique_ids,
+    graph_summary,
+    max_degree,
+    validate_simple_graph,
+)
+
+
+class TestValidateSimpleGraph:
+    def test_accepts_simple(self):
+        validate_simple_graph(nx.cycle_graph(5))
+
+    def test_rejects_self_loop(self):
+        g = nx.Graph()
+        g.add_edge(1, 1)
+        with pytest.raises(InvalidInstanceError):
+            validate_simple_graph(g)
+
+    def test_rejects_directed(self):
+        with pytest.raises(InvalidInstanceError):
+            validate_simple_graph(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_multigraph(self):
+        with pytest.raises(InvalidInstanceError):
+            validate_simple_graph(nx.MultiGraph([(0, 1), (0, 1)]))
+
+
+class TestMaxDegree:
+    def test_empty(self):
+        assert max_degree(nx.Graph()) == 0
+
+    def test_star(self):
+        assert max_degree(nx.star_graph(7)) == 7
+
+
+class TestAssignUniqueIds:
+    def test_sorted_assignment(self):
+        g = nx.path_graph(4)
+        ids = assign_unique_ids(g)
+        assert ids == {0: 1, 1: 2, 2: 3, 3: 4}
+
+    def test_seeded_assignment_unique_and_polynomial(self):
+        g = nx.cycle_graph(10)
+        ids = assign_unique_ids(g, seed=3)
+        values = list(ids.values())
+        assert len(set(values)) == 10
+        assert all(1 <= v <= 100 for v in values)  # n^2 space
+
+    def test_seeded_assignment_reproducible(self):
+        g = nx.cycle_graph(10)
+        assert assign_unique_ids(g, seed=3) == assign_unique_ids(g, seed=3)
+
+    def test_different_seeds_differ(self):
+        g = nx.cycle_graph(20)
+        assert assign_unique_ids(g, seed=1) != assign_unique_ids(g, seed=2)
+
+    def test_empty_graph(self):
+        assert assign_unique_ids(nx.Graph()) == {}
+
+
+class TestGraphSummary:
+    def test_complete_bipartite(self):
+        g = nx.complete_bipartite_graph(3, 3)
+        summary = graph_summary(g)
+        assert summary.nodes == 6
+        assert summary.edges == 9
+        assert summary.max_degree == 3
+        assert summary.max_edge_degree == 4
+        assert summary.greedy_palette_size == 5
+
+    def test_edgeless(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        summary = graph_summary(g)
+        assert summary.greedy_palette_size == 0

@@ -1,0 +1,47 @@
+"""Tests for the line-graph network adapter."""
+
+import networkx as nx
+
+from repro.graphs.edges import edge_set
+from repro.graphs.line_graph import edge_degree
+from repro.model.edge_network import edge_identifier, line_graph_network
+
+
+class TestEdgeIdentifier:
+    def test_distinct_edges_get_distinct_ids(self):
+        g = nx.complete_graph(6)
+        ids = {node: node + 1 for node in g.nodes()}
+        seen = set()
+        for edge in edge_set(g):
+            value = edge_identifier(edge, ids, 6)
+            assert value not in seen
+            seen.add(value)
+
+    def test_polynomial_id_space(self):
+        g = nx.complete_graph(5)
+        ids = {node: node + 1 for node in g.nodes()}
+        for edge in edge_set(g):
+            assert 1 <= edge_identifier(edge, ids, 5) <= 6 * 5 + 5
+
+    def test_order_independent(self):
+        ids = {0: 3, 1: 7}
+        assert edge_identifier((0, 1), ids, 7) == 3 * 8 + 7
+
+
+class TestLineGraphNetwork:
+    def test_nodes_are_edges(self):
+        g = nx.cycle_graph(5)
+        net = line_graph_network(g)
+        assert set(net.nodes()) == set(edge_set(g))
+
+    def test_degrees_match_edge_degrees(self):
+        g = nx.barbell_graph(3, 1)
+        net = line_graph_network(g)
+        for edge in edge_set(g):
+            assert net.degree(edge) == edge_degree(g, edge)
+
+    def test_ids_unique(self):
+        g = nx.complete_bipartite_graph(3, 3)
+        net = line_graph_network(g)
+        values = list(net.ids().values())
+        assert len(set(values)) == len(values)

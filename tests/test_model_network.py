@@ -1,0 +1,71 @@
+"""Tests for the network substrate (IDs, ports)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidInstanceError, ModelViolationError
+from repro.model.network import Network, network_from_edges
+
+
+class TestNetworkConstruction:
+    def test_default_ids_are_unique_positive(self):
+        net = Network(nx.cycle_graph(5))
+        values = list(net.ids().values())
+        assert len(set(values)) == 5
+        assert all(v >= 1 for v in values)
+
+    def test_custom_ids_validated_for_coverage(self):
+        g = nx.path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            Network(g, ids={0: 1, 1: 2})  # node 2 missing
+
+    def test_custom_ids_validated_for_uniqueness(self):
+        g = nx.path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            Network(g, ids={0: 1, 1: 1, 2: 2})
+
+    def test_custom_ids_validated_for_positivity(self):
+        g = nx.path_graph(2)
+        with pytest.raises(InvalidInstanceError):
+            Network(g, ids={0: 0, 1: 1})
+
+    def test_rejects_self_loops(self):
+        g = nx.Graph()
+        g.add_edge(0, 0)
+        with pytest.raises(InvalidInstanceError):
+            Network(g)
+
+
+class TestPorts:
+    def test_ports_cover_neighbors_bijectively(self):
+        net = Network(nx.star_graph(4))
+        neighbors = net.neighbors_in_port_order(0)
+        assert sorted(neighbors) == [1, 2, 3, 4]
+        for port, neighbor in enumerate(neighbors):
+            assert net.neighbor_at_port(0, port) == neighbor
+            assert net.port_towards(0, neighbor) == port
+
+    def test_invalid_port_raises(self):
+        net = Network(nx.path_graph(3))
+        with pytest.raises(ModelViolationError):
+            net.neighbor_at_port(0, 5)
+
+    def test_port_towards_non_neighbor_raises(self):
+        net = Network(nx.path_graph(3))
+        with pytest.raises(ModelViolationError):
+            net.port_towards(0, 2)
+
+
+class TestAccessors:
+    def test_basic_measurements(self):
+        net = Network(nx.complete_bipartite_graph(2, 3))
+        assert net.n == 5
+        assert net.max_degree == 3
+
+    def test_max_id(self):
+        net = Network(nx.path_graph(4), ids={0: 7, 1: 2, 2: 9, 3: 1})
+        assert net.max_id() == 9
+
+    def test_network_from_edges(self):
+        net = network_from_edges([(0, 1), (1, 2)])
+        assert net.n == 3

@@ -1,0 +1,86 @@
+"""Tests for the synchronous scheduler — the LOCAL model's semantics."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import RoundLimitExceededError
+from repro.model.algorithm import NodeAlgorithm
+from repro.model.network import Network
+from repro.model.scheduler import Scheduler, run_on_graph
+from repro.primitives.node_algorithms import FloodMaxAlgorithm
+
+
+class EchoOnce(NodeAlgorithm):
+    """Sends its ID once, halts after receiving; output = sorted inbox."""
+
+    def initialize(self, ctx):
+        ctx.state["seen"] = []
+
+    def compose_messages(self, ctx):
+        return {port: ctx.unique_id for port in range(ctx.degree)}
+
+    def receive_messages(self, ctx, inbox):
+        ctx.state["seen"] = sorted(inbox.values())
+        ctx.halt()
+
+    def output(self, ctx):
+        return ctx.state["seen"]
+
+
+class NeverHalts(NodeAlgorithm):
+    def compose_messages(self, ctx):
+        return {}
+
+    def receive_messages(self, ctx, inbox):
+        pass
+
+    def output(self, ctx):  # pragma: no cover
+        return None
+
+
+class TestSynchronousSemantics:
+    def test_one_round_echo(self):
+        result = run_on_graph(EchoOnce(), nx.path_graph(3))
+        assert result.rounds == 1
+        # node 1 (ID 2) hears both neighbors (IDs 1 and 3)
+        assert result.outputs[1] == [1, 3]
+        assert result.outputs[0] == [2]
+
+    def test_message_count(self):
+        result = run_on_graph(EchoOnce(), nx.cycle_graph(5))
+        assert result.messages_sent == 10  # 2 per node
+
+    def test_information_travels_one_hop_per_round(self):
+        """FloodMax with horizon h: only nodes within distance h of the
+        max-ID node learn the max — the defining property of
+        synchronous rounds."""
+        g = nx.path_graph(6)  # IDs 1..6 in node order; max at node 5
+        for horizon in (1, 2, 5):
+            result = run_on_graph(FloodMaxAlgorithm(horizon), g)
+            for node in g.nodes():
+                distance = 5 - node
+                if distance <= horizon:
+                    assert result.outputs[node] == 6
+                else:
+                    assert result.outputs[node] < 6
+
+    def test_round_budget_enforced(self):
+        scheduler = Scheduler(Network(nx.path_graph(2)), max_rounds=3)
+        with pytest.raises(RoundLimitExceededError):
+            scheduler.run(NeverHalts())
+
+    def test_trace_recording(self):
+        scheduler = Scheduler(Network(nx.path_graph(2)), record_trace=True)
+        result = scheduler.run(EchoOnce())
+        assert len(result.trace) == 2
+        senders = {m.sender for m in result.trace}
+        assert senders == {0, 1}
+
+    def test_max_message_size_reported(self):
+        result = run_on_graph(EchoOnce(), nx.path_graph(2))
+        assert result.max_message_size >= 1
+
+    def test_zero_horizon_floodmax_halts_immediately(self):
+        result = run_on_graph(FloodMaxAlgorithm(0), nx.path_graph(3))
+        assert result.rounds == 0
+        assert result.outputs[2] == 3

@@ -1,0 +1,83 @@
+"""Palette-boundary facts the paper states around its main theorem.
+
+The paper (introduction): ``(2Δ-1)``-edge coloring admits
+``O(f(Δ) + log* n)`` algorithms, while ``(2Δ-2)``-edge coloring has an
+``Ω(log n)`` lower bound even on bounded-degree graphs [BFH+16] — and
+below that, chromatic-index facts (Vizing) bound what ANY palette can
+do.  Lower bounds cannot be "run", but their finite witnesses can:
+
+* odd cycles have chromatic index 3 = 2Δ-1 > Δ, so the 2Δ-2 = 2
+  palette is infeasible — the boundary is tight already at Δ = 2;
+* the Petersen graph is class 2 (chromatic index 4 = Δ+1);
+* our solver, promised only 2Δ-1, matches the optimum Δ on balanced
+  complete bipartite graphs' structure bound (König: bipartite graphs
+  are class 1 — we check our coloring never exceeds 2Δ-1 and the
+  greedy floor Δ is respected by SOME valid coloring, not necessarily
+  ours).
+"""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.coloring.verify import check_proper_edge_coloring
+from repro.core.solver import solve_edge_coloring
+from repro.errors import ColoringValidationError
+from repro.graphs.edges import edge_set
+from repro.graphs.generators import cycle_graph
+
+
+def _exists_proper_edge_coloring(graph: nx.Graph, colors: int) -> bool:
+    """Exhaustive check (tiny graphs only): is there a proper edge
+    coloring with the given palette size?"""
+    edges = edge_set(graph)
+    for assignment in itertools.product(range(colors), repeat=len(edges)):
+        coloring = dict(zip(edges, assignment))
+        try:
+            check_proper_edge_coloring(graph, coloring)
+            return True
+        except ColoringValidationError:
+            continue
+    return False
+
+
+class TestTwoDeltaMinusTwoBoundary:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_odd_cycles_need_three_colors(self, n):
+        """2Δ-2 = 2 colors are infeasible on odd cycles — the finite
+        witness behind the paper's 2Δ-1 vs 2Δ-2 dichotomy."""
+        graph = cycle_graph(n)
+        assert not _exists_proper_edge_coloring(graph, 2)
+        assert _exists_proper_edge_coloring(graph, 3)
+
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_even_cycles_need_only_two(self, n):
+        graph = cycle_graph(n)
+        assert _exists_proper_edge_coloring(graph, 2)
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 9])
+    def test_solver_hits_three_on_odd_cycles(self, n):
+        result = solve_edge_coloring(cycle_graph(n), seed=1)
+        assert len(set(result.coloring.values())) == 3
+
+
+class TestChromaticIndexAnchors:
+    def test_petersen_is_class_two(self):
+        """Petersen: Δ = 3 but chromatic index 4; our 2Δ-1 = 5 palette
+        must still succeed, using at least 4 colors."""
+        graph = nx.petersen_graph()
+        result = solve_edge_coloring(graph, seed=2)
+        check_proper_edge_coloring(graph, result.coloring)
+        used = len(set(result.coloring.values()))
+        assert 4 <= used <= 5
+
+    def test_bipartite_koenig_floor(self):
+        """König: bipartite graphs are class 1 — Δ colors suffice in
+        principle; any proper coloring uses at least Δ colors at a
+        max-degree node."""
+        graph = nx.complete_bipartite_graph(5, 5)
+        result = solve_edge_coloring(graph, seed=2)
+        used = len(set(result.coloring.values()))
+        assert used >= 5  # Δ is a hard floor
+        assert used <= 9  # our 2Δ-1 promise

@@ -1,0 +1,110 @@
+"""Tests for Cole-Vishkin chain 3-coloring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.primitives.chain_coloring import (
+    three_color_chain,
+    three_color_chains,
+)
+from repro.utils.chains import Chain
+from repro.utils.logstar import log_star
+
+
+def _check_proper(chain: Chain, colors: dict) -> None:
+    for left, right in chain.neighbor_pairs():
+        assert colors[left] != colors[right], f"{left} and {right} clash"
+
+
+def _alternating_ids(n: int, spread: int = 1) -> dict:
+    """Proper initial coloring: distinct IDs for path/cycle items."""
+    return {i: (i + 1) * spread for i in range(n)}
+
+
+class TestPaths:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4, 5, 10, 50, 257])
+    def test_paths_of_all_lengths(self, length):
+        chain = Chain(tuple(range(length)), cyclic=False)
+        result = three_color_chain(chain, _alternating_ids(length))
+        assert set(result.colors.values()) <= {0, 1, 2}
+        _check_proper(chain, result.colors)
+
+    def test_round_count_is_logstar_scale(self):
+        length = 200
+        chain = Chain(tuple(range(length)), cyclic=False)
+        # Huge IDs: X = 10^18 -> still only ~log* many reduction rounds.
+        ids = {i: 10**12 + i * 7919 for i in range(length)}
+        result = three_color_chain(chain, ids)
+        _check_proper(chain, result.colors)
+        assert result.iterations <= log_star(10**13) + 3
+        assert result.rounds == result.iterations + 3
+
+
+class TestCycles:
+    @pytest.mark.parametrize("length", [3, 4, 5, 6, 7, 12, 101])
+    def test_cycles_of_all_lengths(self, length):
+        chain = Chain(tuple(range(length)), cyclic=True)
+        result = three_color_chain(chain, _alternating_ids(length))
+        assert set(result.colors.values()) <= {0, 1, 2}
+        _check_proper(chain, result.colors)
+
+    def test_odd_cycle_needs_three_colors(self):
+        chain = Chain(tuple(range(5)), cyclic=True)
+        result = three_color_chain(chain, _alternating_ids(5))
+        assert len(set(result.colors.values())) == 3
+
+
+class TestValidation:
+    def test_rejects_missing_initial_color(self):
+        chain = Chain((0, 1), cyclic=False)
+        with pytest.raises(InvalidInstanceError):
+            three_color_chain(chain, {0: 1})
+
+    def test_rejects_improper_initial_coloring(self):
+        chain = Chain((0, 1), cyclic=False)
+        with pytest.raises(InvalidInstanceError):
+            three_color_chain(chain, {0: 5, 1: 5})
+
+    def test_rejects_negative_colors(self):
+        chain = Chain((0, 1), cyclic=False)
+        with pytest.raises(InvalidInstanceError):
+            three_color_chain(chain, {0: -1, 1: 2})
+
+
+class TestParallelChains:
+    def test_rounds_is_max_over_chains(self):
+        chains = [
+            Chain(tuple(range(10)), cyclic=False),
+            Chain(tuple(range(100, 103)), cyclic=True),
+        ]
+        ids = {i: i + 1 for i in range(10)}
+        ids.update({i: i + 1 for i in range(100, 103)})
+        combined, rounds = three_color_chains(chains, ids)
+        singles = [three_color_chain(c, ids).rounds for c in chains]
+        assert rounds == max(singles)
+        for chain in chains:
+            _check_proper(chain, combined)
+
+
+class TestPropertyBased:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10**9),
+            min_size=1,
+            max_size=64,
+            unique=True,
+        ),
+        st.booleans(),
+    )
+    def test_any_unique_ids_yield_proper_3_coloring(self, ids, cyclic):
+        if cyclic and len(ids) < 3:
+            cyclic = False
+        items = tuple(range(len(ids)))
+        chain = Chain(items, cyclic=cyclic)
+        initial = {item: ids[item] for item in items}
+        # unique IDs are trivially proper along the chain
+        result = three_color_chain(chain, initial)
+        assert set(result.colors.values()) <= {0, 1, 2}
+        _check_proper(chain, result.colors)

@@ -1,0 +1,114 @@
+"""Tests for the palette reductions (trivial and Kuhn-Wattenhofer)."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.generators import random_regular
+from repro.graphs.properties import assign_unique_ids
+from repro.primitives.color_reduction import (
+    kuhn_wattenhofer_reduction,
+    one_color_per_round_reduction,
+)
+
+
+def _graph_adjacency(graph):
+    return {node: sorted(graph.neighbors(node)) for node in graph.nodes()}
+
+
+def _check_proper(adjacency, colors):
+    for item, neighbors in adjacency.items():
+        for other in neighbors:
+            assert colors[item] != colors[other]
+
+
+def _spread_coloring(graph, stretch=7):
+    """A proper coloring with a wasteful palette (IDs as colors)."""
+    return {node: ids * stretch for node, ids in assign_unique_ids(graph).items()}
+
+
+class TestOneColorPerRound:
+    def test_reaches_degree_plus_one(self):
+        g = random_regular(4, 14, seed=1)
+        adjacency = _graph_adjacency(g)
+        colors = _spread_coloring(g)
+        result = one_color_per_round_reduction(adjacency, colors)
+        _check_proper(adjacency, result.colors)
+        assert result.palette_size == 5
+        assert max(result.colors.values()) <= 4
+
+    def test_round_count_is_palette_minus_target(self):
+        g = nx.cycle_graph(8)
+        adjacency = _graph_adjacency(g)
+        colors = {node: node for node in g.nodes()}  # palette 8, target 3
+        result = one_color_per_round_reduction(adjacency, colors)
+        assert result.rounds == 8 - 3
+
+    def test_rejects_improper_input(self):
+        with pytest.raises(InvalidInstanceError):
+            one_color_per_round_reduction({0: [1], 1: [0]}, {0: 2, 1: 2})
+
+    def test_empty(self):
+        result = one_color_per_round_reduction({}, {})
+        assert result.palette_size == 0 and result.rounds == 0
+
+
+class TestKuhnWattenhofer:
+    def test_reaches_degree_plus_one(self):
+        g = random_regular(5, 12, seed=3)
+        adjacency = _graph_adjacency(g)
+        colors = _spread_coloring(g)
+        result = kuhn_wattenhofer_reduction(adjacency, colors)
+        _check_proper(adjacency, result.colors)
+        assert result.palette_size <= 6
+
+    def test_logarithmically_many_phases(self):
+        """Rounds ~ 2(d+1) * log(m / (d+1)) — exponentially better than
+        one-per-round for large palettes."""
+        g = random_regular(3, 10, seed=4)
+        adjacency = _graph_adjacency(g)
+        colors = {
+            node: ids * 1000 for node, ids in assign_unique_ids(g).items()
+        }
+        m = max(colors.values()) + 1
+        d = 3
+        result = kuhn_wattenhofer_reduction(adjacency, colors)
+        _check_proper(adjacency, result.colors)
+        phases = math.ceil(math.log2(m / (d + 1))) + 1
+        assert result.rounds <= 2 * (d + 1) * phases
+        trivial = one_color_per_round_reduction(adjacency, colors)
+        assert result.rounds < trivial.rounds / 10
+
+    def test_already_small_palette_is_noop(self):
+        g = nx.path_graph(4)
+        adjacency = _graph_adjacency(g)
+        colors = {0: 0, 1: 1, 2: 0, 3: 1}  # palette 2, degree 2 -> target 3
+        result = kuhn_wattenhofer_reduction(adjacency, colors)
+        assert result.rounds == 0
+        assert result.colors == colors
+
+    def test_rejects_improper_input(self):
+        with pytest.raises(InvalidInstanceError):
+            kuhn_wattenhofer_reduction({0: [1], 1: [0]}, {0: 2, 1: 2})
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_instances(self, degree, seed):
+        n = max(degree + 2, 10)
+        if (degree * n) % 2:
+            n += 1
+        g = random_regular(degree, n, seed=seed % 97)
+        adjacency = _graph_adjacency(g)
+        colors = {
+            node: ids * (seed % 13 + 2)
+            for node, ids in assign_unique_ids(g).items()
+        }
+        result = kuhn_wattenhofer_reduction(adjacency, colors)
+        _check_proper(adjacency, result.colors)
+        assert result.palette_size <= degree + 1

@@ -1,0 +1,98 @@
+"""Tests for the message-passing Section 4.1 program, cross-validated
+against the functional defective coloring."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring.verify import measure_defects
+from repro.graphs.edges import edge_set
+from repro.graphs.generators import (
+    complete_bipartite,
+    complete_graph,
+    random_regular,
+    star_graph,
+)
+from repro.graphs.line_graph import edge_degree
+from repro.primitives.defective import defect_bound
+from repro.primitives.defective_node_algorithm import (
+    run_distributed_defective_coloring,
+)
+from repro.utils.logstar import log_star
+
+
+@pytest.mark.parametrize("beta", [1, 2, 3])
+@pytest.mark.parametrize(
+    "make_graph",
+    [
+        lambda: complete_graph(8),
+        lambda: complete_bipartite(5, 5),
+        lambda: star_graph(12),
+        lambda: random_regular(6, 16, seed=4),
+    ],
+)
+def test_distributed_defect_bounds(make_graph, beta):
+    """The distributed run must satisfy the same paper bounds as the
+    functional form: defect <= deg(e)/2β, O(β²) colors."""
+    graph = make_graph()
+    coloring, _execution, color_count = run_distributed_defective_coloring(
+        graph, beta, seed=2
+    )
+    assert set(coloring) == set(edge_set(graph))
+    assert all(0 <= c < color_count for c in coloring.values())
+    defects = measure_defects(graph, coloring)
+    for edge in edge_set(graph):
+        assert defects[edge] <= defect_bound(edge_degree(graph, edge), beta)
+
+
+class TestRoundEnvelope:
+    def test_logstar_rounds(self):
+        graph = random_regular(8, 24, seed=3)
+        _coloring, execution, _cc = run_distributed_defective_coloring(
+            graph, 2, seed=5
+        )
+        # 1 announce + O(log* X) reduction + <= 22 shift rounds
+        x = 24 * 24 * 26  # edge-ID space upper bound
+        assert execution.rounds <= 1 + log_star(x) + 3 + 22
+
+    def test_rounds_flat_in_n(self):
+        rounds = []
+        for n in (16, 64, 128):
+            graph = random_regular(4, n, seed=7)
+            _c, execution, _cc = run_distributed_defective_coloring(
+                graph, 2, seed=1
+            )
+            rounds.append(execution.rounds)
+        assert max(rounds) - min(rounds) <= 3
+
+    def test_messages_bounded(self):
+        graph = complete_bipartite(6, 6)
+        _c, execution, _cc = run_distributed_defective_coloring(
+            graph, 2, seed=1
+        )
+        edges = graph.number_of_edges()
+        # announce round: one message per line-graph arc; later rounds
+        # only between conflict partners (degree <= 2)
+        assert execution.messages_sent <= edges * 20 + 20 * edges
+
+
+class TestAgreementWithFunctionalForm:
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=10**5))
+    def test_same_guarantees_on_random_instances(self, seed):
+        from repro.core.solver import compute_initial_edge_coloring
+        from repro.primitives.defective import defective_edge_coloring
+
+        graph = random_regular(5, 12, seed=seed % 61)
+        beta = 1 + seed % 3
+        distributed, _exec, dist_count = run_distributed_defective_coloring(
+            graph, beta, seed=seed % 17
+        )
+        initial, _p, _r = compute_initial_edge_coloring(graph, seed=seed % 17)
+        functional = defective_edge_coloring(graph, beta, initial)
+        # identical color-space encoding
+        assert dist_count == functional.color_count
+        # identical grouping -> identical temporary colors -> both
+        # colorings agree modulo the 3-coloring of the chains
+        for edge in edge_set(graph):
+            assert distributed[edge] // 3 == functional.colors[edge] // 3

@@ -1,0 +1,88 @@
+"""Tests for the greedy class sweep."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ColoringValidationError, InvalidInstanceError
+from repro.coloring.edge_coloring import PartialEdgeColoring
+from repro.coloring.lists import deg_plus_one_lists, uniform_lists
+from repro.coloring.palette import Palette
+from repro.coloring.verify import check_list_edge_coloring
+from repro.core.solver import compute_initial_edge_coloring
+from repro.graphs.edges import edge_set
+from repro.graphs.generators import random_regular
+from repro.primitives.greedy_class import greedy_by_classes
+
+
+def _proper_classes(graph, seed=None):
+    classes, palette, _rounds = compute_initial_edge_coloring(graph, seed=seed)
+    return classes, palette
+
+
+class TestGreedySweep:
+    def test_completes_deg_plus_one_instance(self):
+        g = random_regular(4, 14, seed=6)
+        lists = deg_plus_one_lists(g, seed=2)
+        coloring = PartialEdgeColoring(g, lists)
+        classes, palette = _proper_classes(g, seed=1)
+        result = greedy_by_classes(coloring, classes, class_count=palette)
+        assert coloring.is_complete()
+        assert result.edges_colored == g.number_of_edges()
+        check_list_edge_coloring(g, lists, coloring.as_dict())
+
+    def test_rounds_default_to_palette_size(self):
+        g = nx.cycle_graph(6)
+        lists = uniform_lists(g, Palette.of_size(3))
+        coloring = PartialEdgeColoring(g, lists)
+        classes, palette = _proper_classes(g)
+        result = greedy_by_classes(coloring, classes)
+        assert result.rounds == max(classes.values()) + 1
+
+    def test_explicit_class_count_charged(self):
+        g = nx.path_graph(4)
+        lists = uniform_lists(g, Palette.of_size(3))
+        coloring = PartialEdgeColoring(g, lists)
+        classes = {e: i for i, e in enumerate(edge_set(g))}
+        result = greedy_by_classes(coloring, classes, class_count=50)
+        assert result.rounds == 50
+
+    def test_skips_already_colored_edges(self):
+        g = nx.path_graph(4)
+        lists = uniform_lists(g, Palette.of_size(3))
+        coloring = PartialEdgeColoring(g, lists)
+        coloring.assign((0, 1), 1)
+        classes = {e: i for i, e in enumerate(edge_set(g))}
+        result = greedy_by_classes(coloring, classes)
+        assert coloring.is_complete()
+        assert result.edges_colored == 2
+
+    def test_improper_classes_detected(self):
+        """Adjacent edges in one class exhaust each other's lists,
+        which the sweep reports loudly (never silently mis-colors)."""
+        from repro.errors import AlgorithmInvariantError
+
+        g = nx.path_graph(3)
+        lists = uniform_lists(g, Palette.of_size(1))
+        coloring = PartialEdgeColoring(g, lists)
+        classes = {(0, 1): 0, (1, 2): 0}  # improper!
+        with pytest.raises((ColoringValidationError, AlgorithmInvariantError)):
+            greedy_by_classes(coloring, classes)
+
+    def test_missing_class_raises(self):
+        g = nx.path_graph(3)
+        lists = uniform_lists(g, Palette.of_size(3))
+        coloring = PartialEdgeColoring(g, lists)
+        with pytest.raises(InvalidInstanceError):
+            greedy_by_classes(coloring, {(0, 1): 0})
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_random_instances_complete(self, seed):
+        g = random_regular(3, 10, seed=seed % 50)
+        lists = deg_plus_one_lists(g, seed=seed)
+        coloring = PartialEdgeColoring(g, lists)
+        classes, palette = _proper_classes(g, seed=seed % 7)
+        greedy_by_classes(coloring, classes, class_count=palette)
+        assert coloring.is_complete()
+        check_list_edge_coloring(g, lists, coloring.as_dict())

@@ -1,0 +1,116 @@
+"""Cross-family property tests: the solver and baselines must be valid
+on EVERY family and list regime the library generates.
+
+These are the broad-net invariants; per-module property tests live in
+the corresponding test modules.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import run_baseline
+from repro.coloring.lists import deg_plus_one_lists
+from repro.coloring.palette import Palette
+from repro.coloring.verify import (
+    check_list_edge_coloring,
+    check_palette_bound,
+    check_proper_edge_coloring,
+)
+from repro.core.solver import solve_edge_coloring, solve_list_edge_coloring
+from repro.graphs.generators import (
+    barbell,
+    blow_up_cycle,
+    book_graph,
+    caterpillar,
+    complete_bipartite,
+    erdos_renyi,
+    friendship_graph,
+    grid_graph,
+    hypercube,
+    random_tree,
+)
+from repro.graphs.properties import max_degree
+
+
+FAMILY_STRATEGIES = st.sampled_from([
+    lambda size: complete_bipartite(max(1, size // 2), max(1, size)),
+    lambda size: grid_graph(max(1, size // 2), max(2, size)),
+    lambda size: hypercube(min(5, max(1, size // 2))),
+    lambda size: caterpillar(max(1, size), 2),
+    lambda size: friendship_graph(max(1, size)),
+    lambda size: book_graph(max(1, size)),
+    lambda size: barbell(max(3, size), 2),
+    lambda size: blow_up_cycle(3, max(1, size // 2)),
+    lambda size: random_tree(max(2, size * 2), seed=size),
+    lambda size: erdos_renyi(max(4, size * 2), 0.4, seed=size),
+])
+
+
+class TestSolverAcrossFamilies:
+    @settings(deadline=None, max_examples=25)
+    @given(FAMILY_STRATEGIES, st.integers(min_value=2, max_value=7))
+    def test_edge_coloring_valid_everywhere(self, family, size):
+        graph = family(size)
+        if graph.number_of_edges() == 0:
+            return
+        result = solve_edge_coloring(graph, seed=size)
+        check_proper_edge_coloring(graph, result.coloring)
+        check_palette_bound(
+            result.coloring, max(1, 2 * max_degree(graph) - 1)
+        )
+
+    @settings(deadline=None, max_examples=15)
+    @given(FAMILY_STRATEGIES, st.integers(min_value=2, max_value=6),
+           st.integers(min_value=0, max_value=10**4))
+    def test_list_coloring_valid_everywhere(self, family, size, list_seed):
+        graph = family(size)
+        if graph.number_of_edges() == 0:
+            return
+        lists = deg_plus_one_lists(graph, seed=list_seed)
+        result = solve_list_edge_coloring(graph, lists, seed=size)
+        check_list_edge_coloring(graph, lists, result.coloring)
+
+
+class TestBaselinesAcrossFamilies:
+    @settings(deadline=None, max_examples=10)
+    @given(
+        FAMILY_STRATEGIES,
+        st.integers(min_value=2, max_value=5),
+        st.sampled_from([
+            "linial_greedy", "kuhn_wattenhofer", "panconesi_rizzi",
+            "randomized_luby",
+        ]),
+    )
+    def test_every_baseline_everywhere(self, family, size, name):
+        graph = family(size)
+        if graph.number_of_edges() == 0:
+            return
+        result = run_baseline(name, graph, seed=size)
+        check_proper_edge_coloring(graph, result.coloring)
+        check_palette_bound(result.coloring, result.palette_size)
+
+
+class TestAdversarialListOverlap:
+    """The worst list regime: every edge's list is the FIRST
+    deg(e)+1 palette colors, maximising contention."""
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=3, max_value=9))
+    def test_prefix_lists(self, size):
+        graph = complete_bipartite(size, size)
+        lists = deg_plus_one_lists(graph)  # seed=None -> prefix lists
+        result = solve_list_edge_coloring(graph, lists, seed=1)
+        check_list_edge_coloring(graph, lists, result.coloring)
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=0, max_value=100))
+    def test_disjointish_lists(self, size, seed):
+        """Random lists from a LARGE palette (low overlap): neighbors
+        rarely conflict, but validity must still be exact."""
+        graph = blow_up_cycle(3, size)
+        delta = max_degree(graph)
+        palette = Palette.of_size(6 * delta)
+        lists = deg_plus_one_lists(graph, palette=palette, seed=seed)
+        result = solve_list_edge_coloring(graph, lists, seed=2)
+        check_list_edge_coloring(graph, lists, result.coloring)

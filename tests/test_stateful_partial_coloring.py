@@ -1,0 +1,105 @@
+"""Stateful property testing of PartialEdgeColoring.
+
+Hypothesis drives random interleavings of assigns, residual queries and
+residual-instance extractions against an independent model; the
+residual invariant and the blocked-color bookkeeping must hold after
+every step, whatever the order of operations.
+"""
+
+import networkx as nx
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.coloring.edge_coloring import PartialEdgeColoring
+from repro.coloring.lists import deg_plus_one_lists
+from repro.graphs.edges import edge_set
+from repro.graphs.generators import random_regular
+from repro.graphs.line_graph import line_graph_adjacency
+
+
+class PartialColoringMachine(RuleBasedStateMachine):
+    """Random walks over the mutable coloring API."""
+
+    @initialize(
+        graph_seed=st.integers(min_value=0, max_value=30),
+        list_seed=st.integers(min_value=0, max_value=1000),
+    )
+    def setup(self, graph_seed, list_seed):
+        self.graph = random_regular(4, 10, seed=graph_seed)
+        self.lists = deg_plus_one_lists(self.graph, seed=list_seed)
+        self.coloring = PartialEdgeColoring(self.graph, self.lists)
+        self.adjacency = line_graph_adjacency(self.graph)
+        self.model: dict = {}  # independent record of assignments
+
+    # ------------------------------------------------------------------
+
+    @precondition(lambda self: any(
+        e not in self.model and self.coloring.residual_list(e)
+        for e in self.adjacency
+    ))
+    @rule(choice=st.integers(min_value=0, max_value=10**6))
+    def assign_some_edge(self, choice):
+        candidates = [
+            e
+            for e in sorted(self.adjacency, key=repr)
+            if e not in self.model and self.coloring.residual_list(e)
+        ]
+        edge = candidates[choice % len(candidates)]
+        colors = sorted(self.coloring.residual_list(edge))
+        color = colors[choice % len(colors)]
+        self.coloring.assign(edge, color)
+        self.model[edge] = color
+
+    @rule()
+    def residual_instance_is_always_feasible(self):
+        sub, lists = self.coloring.residual_instance()
+        lists.validate_deg_plus_one(sub)  # the residual invariant
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def model_agrees(self):
+        for edge in self.adjacency:
+            assert self.coloring.color_of(edge) == self.model.get(edge)
+
+    @invariant()
+    def no_monochromatic_neighbors(self):
+        for edge, color in self.model.items():
+            for neighbor in self.adjacency[edge]:
+                if neighbor in self.model:
+                    assert self.model[neighbor] != color
+
+    @invariant()
+    def residual_lists_exclude_neighbor_colors(self):
+        for edge in self.adjacency:
+            if edge in self.model:
+                continue
+            residual = self.coloring.residual_list(edge)
+            neighbor_colors = {
+                self.model[n]
+                for n in self.adjacency[edge]
+                if n in self.model
+            }
+            assert not (residual & neighbor_colors)
+            assert residual == self.lists.list_of(edge) - neighbor_colors
+
+    @invariant()
+    def residual_degree_counts_uncolored(self):
+        for edge in self.adjacency:
+            expected = sum(
+                1 for n in self.adjacency[edge] if n not in self.model
+            )
+            assert self.coloring.residual_degree(edge) == expected
+
+
+PartialColoringMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+TestPartialColoringStateful = PartialColoringMachine.TestCase

@@ -1,0 +1,87 @@
+"""Tests for GF(q) polynomial machinery (the Linial step's core fact)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.gf import FieldPolynomial, digits_base_q
+
+
+class TestDigitsBaseQ:
+    def test_known_expansion(self):
+        assert digits_base_q(11, 3, 4) == (2, 0, 1, 0)
+
+    def test_zero(self):
+        assert digits_base_q(0, 5, 3) == (0, 0, 0)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ParameterError):
+            digits_base_q(25, 5, 2)  # needs 3 digits
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ParameterError):
+            digits_base_q(-1, 5, 2)
+        with pytest.raises(ParameterError):
+            digits_base_q(3, 1, 2)
+        with pytest.raises(ParameterError):
+            digits_base_q(3, 5, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=2, max_value=97),
+    )
+    def test_roundtrip(self, value, q):
+        length = 1
+        while q**length <= value:
+            length += 1
+        digits = digits_base_q(value, q, length)
+        reconstructed = sum(d * q**j for j, d in enumerate(digits))
+        assert reconstructed == value
+
+
+class TestFieldPolynomial:
+    def test_evaluation_horner(self):
+        poly = FieldPolynomial((2, 0, 1), 5)  # 2 + x^2 mod 5
+        assert poly.evaluate(0) == 2
+        assert poly.evaluate(3) == (2 + 9) % 5
+
+    def test_from_color_roundtrip(self):
+        poly = FieldPolynomial.from_color(11, 3, 4)
+        assert poly.coefficients == (2, 0, 1, 0)
+
+    def test_requires_prime_field(self):
+        with pytest.raises(ParameterError):
+            FieldPolynomial((1, 2), 6)
+
+    def test_rejects_out_of_range_coefficients(self):
+        with pytest.raises(ParameterError):
+            FieldPolynomial((5,), 5)
+
+    def test_rejects_cross_field_comparison(self):
+        a = FieldPolynomial((1,), 5)
+        b = FieldPolynomial((1,), 7)
+        with pytest.raises(ParameterError):
+            a.agreement_points(b)
+
+    def test_rejects_out_of_field_point(self):
+        with pytest.raises(ParameterError):
+            FieldPolynomial((1, 2), 5).evaluate(5)
+
+    @given(
+        st.integers(min_value=0, max_value=10**4),
+        st.integers(min_value=0, max_value=10**4),
+        st.sampled_from([11, 13, 17, 19, 23]),
+    )
+    def test_collision_bound(self, color_a, color_b, q):
+        """THE fact Linial's step rests on: distinct degree-<k
+        polynomials agree on at most k-1 field points."""
+        k = 1
+        while q**k <= max(color_a, color_b):
+            k += 1
+        poly_a = FieldPolynomial.from_color(color_a, q, k)
+        poly_b = FieldPolynomial.from_color(color_b, q, k)
+        agreements = poly_a.agreement_points(poly_b)
+        if color_a == color_b:
+            assert len(agreements) == q
+        else:
+            assert len(agreements) <= k - 1

@@ -1,0 +1,62 @@
+"""Tests for harmonic numbers (the H_p of Lemma 4.4)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.harmonic import harmonic_lower_bound, harmonic_number
+
+
+class TestHarmonicNumber:
+    def test_base_cases(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == 1.5
+
+    def test_h4_matches_paper_figure5_regime(self):
+        # Figure 5 uses H_4; |L|=7 gives 7 / (2 * H_4) = 1.68 as the
+        # k=2 threshold (so intersections of size >= 2 qualify).
+        h4 = harmonic_number(4)
+        assert math.isclose(h4, 25 / 12)
+        assert 7 / (2 * h4) < 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            harmonic_number(-1)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_log_bracketing(self, p):
+        # ln(p+1) <= H_p <= ln(p) + 1
+        h = harmonic_number(p)
+        assert math.log(p + 1) <= h <= math.log(p) + 1
+
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_strictly_increasing(self, p):
+        assert harmonic_number(p + 1) > harmonic_number(p)
+
+
+class TestHarmonicLowerBound:
+    def test_lemma44_arithmetic(self):
+        # |L| / (k * H_p): the Figure 5 numbers.
+        bound = harmonic_lower_bound(7, 2, 4)
+        assert math.isclose(bound, 7 / (2 * harmonic_number(4)))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            harmonic_lower_bound(-1, 1, 1)
+        with pytest.raises(ParameterError):
+            harmonic_lower_bound(5, 0, 4)
+        with pytest.raises(ParameterError):
+            harmonic_lower_bound(5, 1, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_monotone_in_list_size(self, size, k, p):
+        assert harmonic_lower_bound(size + 1, k, p) > harmonic_lower_bound(
+            size, k, p
+        ) or size + 1 == 0

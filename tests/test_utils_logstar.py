@@ -1,0 +1,97 @@
+"""Tests for the iterated-logarithm helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.logstar import ceil_log, ceil_log2, ilog2, log_star
+
+
+class TestIlog2:
+    def test_small_values(self):
+        assert [ilog2(x) for x in (1, 2, 3, 4, 7, 8)] == [0, 1, 1, 2, 2, 3]
+
+    def test_powers_of_two(self):
+        for k in range(60):
+            assert ilog2(2**k) == k
+
+    def test_huge_integers_are_exact(self):
+        # float-based log2 would misround here
+        assert ilog2(2**500 - 1) == 499
+        assert ilog2(2**500) == 500
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            ilog2(0)
+        with pytest.raises(ParameterError):
+            ilog2(-4)
+
+    @given(st.integers(min_value=1, max_value=10**30))
+    def test_matches_definition(self, x):
+        k = ilog2(x)
+        assert 2**k <= x < 2 ** (k + 1)
+
+
+class TestCeilLog2:
+    def test_small_values(self):
+        assert [ceil_log2(x) for x in (1, 2, 3, 4, 5, 8, 9)] == [0, 1, 2, 2, 3, 3, 4]
+
+    @given(st.integers(min_value=1, max_value=10**18))
+    def test_matches_definition(self, x):
+        k = ceil_log2(x)
+        assert 2**k >= x
+        assert k == 0 or 2 ** (k - 1) < x
+
+
+class TestLogStar:
+    def test_anchor_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 0
+        assert log_star(4) == 1
+        assert log_star(16) == 2
+        assert log_star(65536) == 3
+        assert log_star(2**65536) == 4
+
+    def test_tower_property(self):
+        # log*(2^x) = log*(x) + 1 for x > 2
+        for x in (5, 100, 65536):
+            assert log_star(2**x) == log_star(x) + 1
+
+    def test_monotone_nondecreasing(self):
+        values = [log_star(x) for x in range(1, 2000)]
+        assert values == sorted(values)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            log_star(0)
+
+    def test_grows_incredibly_slowly(self):
+        assert log_star(10**80) <= 5
+
+
+class TestCeilLog:
+    def test_exact_powers(self):
+        assert ceil_log(3, 27) == 3
+        assert ceil_log(10, 10**6) == 6
+
+    def test_non_powers_round_up(self):
+        assert ceil_log(3, 28) == 4
+        assert ceil_log(2, 5) == 3
+
+    def test_one_returns_zero(self):
+        assert ceil_log(7, 1) == 0
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ParameterError):
+            ceil_log(1, 10)
+
+    @given(
+        st.integers(min_value=2, max_value=50),
+        st.integers(min_value=1, max_value=10**12),
+    )
+    def test_matches_definition(self, base, x):
+        k = ceil_log(base, x)
+        assert base**k >= x
+        assert k == 0 or base ** (k - 1) < x

@@ -1,0 +1,61 @@
+"""Tests for prime search helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.primes import is_prime, next_prime, primes_up_to
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        assert [x for x in range(30) if is_prime(x)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+    def test_carmichael_number_is_composite(self):
+        assert not is_prime(561)  # 3 * 11 * 17, fools Fermat tests
+
+    def test_larger_values(self):
+        assert is_prime(7919)
+        assert not is_prime(7917)
+
+    @given(st.integers(min_value=2, max_value=20000))
+    def test_agrees_with_sieve(self, n):
+        sieve = set(primes_up_to(n))
+        assert is_prime(n) == (n in sieve)
+
+
+class TestNextPrime:
+    def test_at_prime_returns_itself(self):
+        assert next_prime(13) == 13
+
+    def test_between_primes(self):
+        assert next_prime(8) == 11
+        assert next_prime(14) == 17
+
+    def test_small_inputs(self):
+        assert next_prime(-5) == 2
+        assert next_prime(0) == 2
+        assert next_prime(2) == 2
+
+    @given(st.integers(min_value=0, max_value=50000))
+    def test_is_smallest_prime_at_least_n(self, n):
+        p = next_prime(n)
+        assert is_prime(p)
+        assert p >= n
+        assert all(not is_prime(x) for x in range(max(2, n), p))
+
+
+class TestPrimesUpTo:
+    def test_boundaries(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(2) == [2]
+        assert primes_up_to(10) == [2, 3, 5, 7]
+
+    def test_prime_counting_at_1000(self):
+        assert len(primes_up_to(1000)) == 168  # pi(1000)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            primes_up_to(-1)

@@ -1,0 +1,128 @@
+"""Tests for the (Δ+1)-vertex coloring substrate."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ColoringValidationError
+from repro.graphs.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    friendship_graph,
+    random_regular,
+    star_graph,
+)
+from repro.graphs.properties import max_degree
+from repro.vertexcoloring import (
+    check_proper_vertex_coloring,
+    edge_coloring_via_vertex_coloring,
+    greedy_sequential_vertex_coloring,
+    kw_vertex_coloring,
+    linial_greedy_vertex_coloring,
+    randomized_vertex_coloring,
+)
+
+
+ALGORITHMS = [
+    greedy_sequential_vertex_coloring,
+    linial_greedy_vertex_coloring,
+    kw_vertex_coloring,
+    randomized_vertex_coloring,
+]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize(
+    "make_graph",
+    [
+        lambda: cycle_graph(9),
+        lambda: complete_graph(7),
+        lambda: complete_bipartite(4, 6),
+        lambda: star_graph(8),
+        lambda: friendship_graph(5),
+        lambda: random_regular(5, 16, seed=3),
+    ],
+)
+def test_every_algorithm_valid_on_zoo(algorithm, make_graph):
+    graph = make_graph()
+    result = algorithm(graph, seed=2)
+    check_proper_vertex_coloring(
+        graph, result.coloring, palette_size=result.palette_size
+    )
+    assert result.palette_size == max_degree(graph) + 1
+
+
+class TestVerifier:
+    def test_rejects_conflict(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ColoringValidationError):
+            check_proper_vertex_coloring(g, {0: 1, 1: 1, 2: 0})
+
+    def test_rejects_missing_node(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ColoringValidationError):
+            check_proper_vertex_coloring(g, {0: 1, 1: 0})
+
+    def test_rejects_foreign_node(self):
+        g = nx.path_graph(2)
+        with pytest.raises(ColoringValidationError):
+            check_proper_vertex_coloring(g, {0: 0, 1: 1, 9: 2})
+
+    def test_palette_bound(self):
+        g = nx.path_graph(2)
+        with pytest.raises(ColoringValidationError):
+            check_proper_vertex_coloring(g, {0: 0, 1: 5}, palette_size=2)
+
+
+class TestComplexityShapes:
+    def test_kw_beats_linial_sweep_at_scale(self):
+        g = random_regular(10, 40, seed=4)
+        lin = linial_greedy_vertex_coloring(g, seed=1)
+        kw = kw_vertex_coloring(g, seed=1)
+        assert kw.rounds < lin.rounds
+
+    def test_randomized_logarithmic(self):
+        g = random_regular(6, 80, seed=5)
+        result = randomized_vertex_coloring(g, seed=7)
+        assert result.rounds <= 40
+
+    def test_empty_graph(self):
+        g = nx.Graph()
+        for algorithm in (linial_greedy_vertex_coloring, kw_vertex_coloring):
+            result = algorithm(g)
+            assert result.coloring == {}
+
+
+class TestEdgeColoringReduction:
+    """The paper's sentence: (2Δ-1)-edge coloring is a special case of
+    (Δ+1)-vertex coloring — on the line graph."""
+
+    def test_reduction_yields_valid_edge_coloring(self):
+        g = complete_bipartite(5, 5)
+        coloring = edge_coloring_via_vertex_coloring(g, seed=2)
+        assert len(coloring) == g.number_of_edges()
+        assert max(coloring.values()) <= 2 * 5 - 1
+
+    def test_empty_graph(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        assert edge_coloring_via_vertex_coloring(g) == {}
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=10**4))
+    def test_random_instances(self, seed):
+        g = random_regular(4, 12, seed=seed % 53)
+        coloring = edge_coloring_via_vertex_coloring(g, seed=seed % 11)
+        assert len(coloring) == g.number_of_edges()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "algorithm", [linial_greedy_vertex_coloring, kw_vertex_coloring]
+    )
+    def test_deterministic_given_seed(self, algorithm):
+        g = random_regular(5, 14, seed=6)
+        a = algorithm(g, seed=3)
+        b = algorithm(g, seed=3)
+        assert a.coloring == b.coloring and a.rounds == b.rounds
