@@ -10,6 +10,8 @@ grows quadratically in β, so oversized β wastes rounds at feasible
 scale — the reason the scaled default uses β = log Δ̄.
 """
 
+import pytest
+
 from repro.analysis.harness import run_policy_sweep
 from repro.analysis.tables import format_table
 from repro.core.params import fixed_policy, paper_policy, scaled_policy
@@ -18,6 +20,7 @@ from repro.graphs.generators import complete_bipartite
 from conftest import report
 
 
+@pytest.mark.slow
 def test_ablation_beta(benchmark):
     graph = complete_bipartite(18, 18)
     policies = [

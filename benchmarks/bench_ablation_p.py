@@ -10,6 +10,8 @@ many reduction levels as the √Δ̄ policy on the same instance (the
 structural difference between the two papers).
 """
 
+import pytest
+
 from repro.analysis.harness import run_policy_sweep
 from repro.analysis.tables import format_table
 from repro.core.params import fixed_policy, kuhn20_style_policy
@@ -18,6 +20,7 @@ from repro.graphs.generators import complete_bipartite
 from conftest import report
 
 
+@pytest.mark.slow
 def test_ablation_p(benchmark):
     graph = complete_bipartite(25, 25)
     sqrt_policy = fixed_policy(

@@ -11,6 +11,8 @@ EXPERIMENTS.md: this is why the downstream recursion mostly sees
 near-proper classes).
 """
 
+import pytest
+
 from repro.analysis.tables import format_table
 from repro.coloring.verify import check_defective_coloring, measure_defects
 from repro.core.solver import compute_initial_edge_coloring
@@ -33,6 +35,7 @@ FAMILIES = [
 ]
 
 
+@pytest.mark.slow
 def test_defect_beta_family_sweep(benchmark):
     rows = []
     for name, make in FAMILIES:

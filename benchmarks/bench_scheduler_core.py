@@ -1,0 +1,117 @@
+"""SCHEDULER CORE — the simulation substrate's perf trajectory.
+
+Every simulated algorithm in the repo executes through
+``Scheduler.run``; this module benchmarks that substrate itself, on
+the line graph of the RACE experiment's largest instance
+(``K_{16,16}``, 256 agents of degree 30).
+
+Shape claims checked:
+1. the fast path is *bit-identical* to the preserved seed loop
+   (``rounds``, ``messages_sent``, ``outputs``) — speed never buys a
+   different execution;
+2. the fast path beats the seed loop by a wide margin on the largest
+   RACE instance (the recorded number in ``BENCH_scheduler.json``,
+   written by ``python -m repro bench-core``, shows >=5x; the assertion
+   here keeps a safety margin for noisy CI boxes);
+3. throughput scales: wall-clock per cell grows no worse than the
+   message volume over an n sweep and a Δ sweep (the quasi-polylog
+   claims of the paper only become visible at scale — the simulator
+   must not be the bottleneck).
+"""
+
+import pytest
+
+from repro.analysis.bench_core import (
+    compare_reference_vs_fast,
+    largest_race_network,
+    scaling_vs_delta,
+    scaling_vs_n,
+)
+from repro.analysis.tables import format_table
+
+from conftest import report
+
+
+@pytest.mark.slow
+def test_scheduler_core_before_after(benchmark):
+    network = largest_race_network()
+    record = compare_reference_vs_fast(network, repeats=3)
+
+    report(format_table(
+        ["loop", "wall-clock (s)", "rounds/s", "messages/s"],
+        [
+            ["reference (seed)",
+             f"{record['before']['wall_clock_s']:.4f}",
+             f"{record['before']['rounds_per_s']:,.0f}",
+             f"{record['before']['messages_per_s']:,.0f}"],
+            ["fast path",
+             f"{record['after']['wall_clock_s']:.4f}",
+             f"{record['after']['rounds_per_s']:,.0f}",
+             f"{record['after']['messages_per_s']:,.0f}"],
+        ],
+        title=(
+            "SCHEDULER CORE: flood on line graph of K_{16,16} "
+            f"(speedup {record['speedup']:.1f}x)"
+        ),
+    ))
+
+    assert record["identical_results"], (
+        "fast path diverged from the reference loop"
+    )
+    # Recorded trajectory shows >=5x; assert with margin for CI noise.
+    assert record["speedup"] >= 3.0, (
+        f"simulation-core speedup regressed to {record['speedup']:.2f}x"
+    )
+
+    from repro.model.scheduler import Scheduler
+    from repro.primitives.node_algorithms import FloodMaxAlgorithm
+
+    benchmark.pedantic(
+        lambda: Scheduler(network).run(FloodMaxAlgorithm(4)),
+        rounds=3, iterations=1,
+    )
+
+
+def test_scheduler_core_scaling_vs_n():
+    sweep = scaling_vs_n((64, 128, 256), repeats=1)
+    report(format_table(
+        ["n", "wall-clock (s)", "messages", "messages/s"],
+        [
+            [row.x,
+             f"{row.values['wall_clock_s']:.4f}",
+             row.values["messages_sent"],
+             f"{row.values['messages_per_s']:,.0f}"]
+            for row in sweep.rows
+        ],
+        title="SCHEDULER CORE: fast-path scaling vs n (6-regular, flood h=8)",
+    ))
+    for row in sweep.rows:
+        assert row.values["messages_per_s"] > 0
+    # Wall-clock must scale no worse than ~linearly in message volume:
+    # time per message at the largest cell stays within 4x of the
+    # smallest (generous; catches accidental quadratic regressions).
+    per_message = [
+        row.values["wall_clock_s"] / row.values["messages_sent"]
+        for row in sweep.rows
+    ]
+    assert per_message[-1] <= 4 * per_message[0]
+
+
+def test_scheduler_core_scaling_vs_delta():
+    sweep = scaling_vs_delta((4, 8, 16), repeats=1)
+    report(format_table(
+        ["Δ", "wall-clock (s)", "messages", "messages/s"],
+        [
+            [row.x,
+             f"{row.values['wall_clock_s']:.4f}",
+             row.values["messages_sent"],
+             f"{row.values['messages_per_s']:,.0f}"]
+            for row in sweep.rows
+        ],
+        title="SCHEDULER CORE: fast-path scaling vs Δ (n=256, flood h=8)",
+    ))
+    per_message = [
+        row.values["wall_clock_s"] / row.values["messages_sent"]
+        for row in sweep.rows
+    ]
+    assert per_message[-1] <= 4 * per_message[0]

@@ -11,7 +11,11 @@ Conventions:
   checking them would silently rot;
 * heavy solves use ``benchmark.pedantic(..., rounds=1)`` so wall-clock
   stays sane; the timing numbers are for regression tracking, the
-  experiment content is in the printed tables.
+  experiment content is in the printed tables;
+* the heaviest modules/tests carry ``@pytest.mark.slow`` — deselect
+  them with ``-m "not slow"`` (or ``--skip-slow``) for a quick pass.
+  Tier-1 (``pytest -x -q`` at the repo root) never collects
+  ``bench_*.py`` files at all, so it stays fast by construction.
 """
 
 from __future__ import annotations
@@ -19,6 +23,29 @@ from __future__ import annotations
 from pathlib import Path
 
 import pytest
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: heavyweight benchmark (deselect with -m 'not slow' or --skip-slow)",
+    )
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--skip-slow", action="store_true", default=False,
+        help="skip benchmarks marked slow",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if not config.getoption("--skip-slow"):
+        return
+    skip = pytest.mark.skip(reason="--skip-slow given")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
 
 from repro.core.params import fixed_policy
 from repro.graphs.generators import complete_bipartite, random_regular

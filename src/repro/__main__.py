@@ -9,6 +9,9 @@ Commands
     Run every algorithm on one instance and print the round table.
 ``info``
     Print instance measurements (n, m, Δ, Δ̄, palette sizes).
+``bench-core``
+    Benchmark the simulation core (reference loop vs fast path) and
+    write the perf-trajectory record ``BENCH_scheduler.json``.
 
 Examples::
 
@@ -16,6 +19,7 @@ Examples::
     python -m repro solve --input graph.txt --output colors.txt
     python -m repro race --family random_regular --size 6
     python -m repro info --input graph.txt
+    python -m repro bench-core --output BENCH_scheduler.json
 """
 
 from __future__ import annotations
@@ -137,6 +141,25 @@ def _command_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_core(args: argparse.Namespace) -> int:
+    from repro.analysis.bench_core import write_bench_core
+
+    record = write_bench_core(
+        args.output, repeats=args.repeats, quick=args.quick
+    )
+    headline = record["largest_race_instance"]
+    print(
+        f"scheduler core on {headline['instance']}: "
+        f"{headline['before']['wall_clock_s']:.4f}s -> "
+        f"{headline['after']['wall_clock_s']:.4f}s "
+        f"({headline['speedup']:.1f}x speedup, "
+        f"{headline['after']['messages_per_s']:,.0f} messages/s), "
+        f"identical results: {headline['identical_results']}"
+    )
+    print(f"perf record written to {args.output}")
+    return 0 if headline["identical_results"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,6 +187,24 @@ def build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="print instance measurements")
     _add_instance_arguments(info)
     info.set_defaults(handler=_command_info)
+
+    bench = commands.add_parser(
+        "bench-core",
+        help="benchmark the simulation core and record BENCH_scheduler.json",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_scheduler.json",
+        help="record file to write (default: BENCH_scheduler.json)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per measurement, best-of (default 3)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller instances / fewer repeats (for smoke tests)",
+    )
+    bench.set_defaults(handler=_command_bench_core)
     return parser
 
 

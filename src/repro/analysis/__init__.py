@@ -23,7 +23,12 @@ from repro.analysis.theory import (
     predicted_randomized,
     crossover_point,
 )
-from repro.analysis.harness import ExperimentRow, SweepResult, run_race_sweep
+from repro.analysis.harness import (
+    ExperimentRow,
+    SweepResult,
+    run_race_sweep,
+    run_scaling_sweep,
+)
 from repro.analysis.tables import format_series, format_table
 
 __all__ = [
@@ -37,6 +42,7 @@ __all__ = [
     "ExperimentRow",
     "SweepResult",
     "run_race_sweep",
+    "run_scaling_sweep",
     "format_series",
     "format_table",
 ]

@@ -1,0 +1,179 @@
+"""Simulation-core micro-benchmark: reference loop vs fast path.
+
+This module is the single implementation behind two front-ends:
+
+* ``python -m repro bench-core`` — the CLI entry point that writes
+  ``BENCH_scheduler.json`` at the repo root, the repo's recorded perf
+  trajectory (wall-clock, rounds/sec and messages/sec, before/after);
+* ``benchmarks/bench_scheduler_core.py`` — the pytest benchmark that
+  asserts the fast path stays equivalent *and* fast.
+
+The headline workload is the scheduler substrate of the RACE
+experiment's largest instance (``bench_race_vs_delta`` sweeps
+``K_{s,s}`` up to ``s = 16``; all its simulated algorithms execute on
+the line graph of that instance).  A fixed-horizon flood is used as the
+probe program because its per-node computation is trivial — wall-clock
+is then almost entirely simulator overhead, which is exactly what this
+benchmark tracks.  The "before" number comes from
+:func:`repro.model.reference.reference_run`, the preserved seed loop.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.harness import (
+    SweepResult,
+    run_scaling_sweep,
+    throughput_columns,
+    time_best,
+)
+from repro.graphs.generators import complete_bipartite, random_regular
+from repro.graphs.properties import assign_unique_ids
+from repro.model.edge_network import line_graph_network
+from repro.model.network import Network
+from repro.model.reference import reference_run
+from repro.model.scheduler import ExecutionResult, Scheduler
+from repro.primitives.node_algorithms import FloodMaxAlgorithm
+
+#: The largest cell of the RACE sweep (``bench_race_vs_delta``).
+LARGEST_RACE_SIDE = 16
+
+#: Flood horizon of the headline workload — enough rounds that steady-
+#: state per-message costs dominate one-time setup in *both* loops.
+HEADLINE_HORIZON = 16
+
+
+def largest_race_network() -> Network:
+    """The simulation substrate of the largest RACE instance.
+
+    ``bench_race_vs_delta`` tops out at ``K_{16,16}``; its simulated
+    algorithms run on the line graph of that graph (256 agents of
+    degree 30).
+    """
+    graph = complete_bipartite(LARGEST_RACE_SIDE, LARGEST_RACE_SIDE)
+    ids = assign_unique_ids(graph, seed=2)
+    return line_graph_network(graph, node_ids=ids)
+
+
+def compare_reference_vs_fast(
+    network: Network,
+    *,
+    horizon: int = HEADLINE_HORIZON,
+    repeats: int = 3,
+) -> dict:
+    """Time the seed loop against the fast path on one flood workload.
+
+    Returns a JSON-safe record with before/after wall-clock and
+    throughput, the speedup, and an ``identical_results`` flag diffing
+    ``rounds`` / ``messages_sent`` / ``outputs`` between the two loops.
+    """
+    before_clock, before = time_best(
+        lambda: reference_run(network, FloodMaxAlgorithm(horizon)), repeats
+    )
+    after_clock, after = time_best(
+        lambda: Scheduler(network).run(FloodMaxAlgorithm(horizon)), repeats
+    )
+    assert isinstance(before, ExecutionResult)
+    assert isinstance(after, ExecutionResult)
+    identical = (
+        before.rounds == after.rounds
+        and before.messages_sent == after.messages_sent
+        and before.outputs == after.outputs
+    )
+    return {
+        "n": network.n,
+        "max_degree": network.max_degree,
+        "horizon": horizon,
+        "rounds": after.rounds,
+        "messages": after.messages_sent,
+        "before": throughput_columns(before, before_clock),
+        "after": throughput_columns(after, after_clock),
+        "speedup": before_clock / max(after_clock, 1e-9),
+        "identical_results": identical,
+    }
+
+
+def scaling_vs_n(
+    sizes: tuple[int, ...] = (64, 128, 256, 512),
+    *,
+    degree: int = 6,
+    horizon: int = 8,
+    repeats: int = 2,
+) -> SweepResult:
+    """Fast-path wall-clock on ``degree``-regular graphs of growing n."""
+    cells = []
+    for n in sizes:
+        network = Network(random_regular(degree, n, seed=7))
+        cells.append(
+            (n, lambda net=network: Scheduler(net).run(FloodMaxAlgorithm(horizon)))
+        )
+    return run_scaling_sweep(cells, x_label="n", repeats=repeats)
+
+
+def scaling_vs_delta(
+    degrees: tuple[int, ...] = (4, 8, 16, 32),
+    *,
+    n: int = 256,
+    horizon: int = 8,
+    repeats: int = 2,
+) -> SweepResult:
+    """Fast-path wall-clock on ``n``-node regular graphs of growing Δ."""
+    cells = []
+    for degree in degrees:
+        network = Network(random_regular(degree, n, seed=7))
+        cells.append(
+            (degree, lambda net=network: Scheduler(net).run(FloodMaxAlgorithm(horizon)))
+        )
+    return run_scaling_sweep(cells, x_label="Δ", repeats=repeats)
+
+
+def _sweep_records(sweep: SweepResult) -> list[dict]:
+    return [
+        {sweep.x_label: row.x, **row.values} for row in sweep.rows
+    ]
+
+
+def collect_bench_core(*, repeats: int = 3, quick: bool = False) -> dict:
+    """Run the full bench-core suite; return the JSON-safe record."""
+    network = largest_race_network()
+    headline = compare_reference_vs_fast(
+        network,
+        horizon=4 if quick else HEADLINE_HORIZON,
+        repeats=1 if quick else repeats,
+    )
+    sizes = (64, 128) if quick else (64, 128, 256, 512)
+    degrees = (4, 8) if quick else (4, 8, 16, 32)
+    sweep_repeats = 1 if quick else 2
+    return {
+        "benchmark": "scheduler-core",
+        "workload": (
+            "fixed-horizon flood (FloodMaxAlgorithm) — trivial per-node "
+            "computation, so wall-clock isolates simulator overhead"
+        ),
+        "before_implementation": "repro.model.reference.reference_run (seed loop)",
+        "after_implementation": "repro.model.scheduler.Scheduler.run (fast path)",
+        "largest_race_instance": {
+            "instance": (
+                f"line graph of K_{{{LARGEST_RACE_SIDE},{LARGEST_RACE_SIDE}}} "
+                "(largest bench_race_vs_delta cell)"
+            ),
+            **headline,
+        },
+        "scaling_vs_n": _sweep_records(scaling_vs_n(sizes, repeats=sweep_repeats)),
+        "scaling_vs_delta": _sweep_records(
+            scaling_vs_delta(degrees, repeats=sweep_repeats)
+        ),
+        "created_unix": time.time(),
+    }
+
+
+def write_bench_core(
+    path: str | Path, *, repeats: int = 3, quick: bool = False
+) -> dict:
+    """Run the suite and write the record to ``path``; return the record."""
+    record = collect_bench_core(repeats=repeats, quick=quick)
+    Path(path).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record

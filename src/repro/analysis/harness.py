@@ -3,12 +3,20 @@
 One experiment = one sweep = one printed table.  The benchmark modules
 under ``benchmarks/`` are thin wrappers around these runners so the
 same sweeps are scriptable outside pytest (the examples use them too).
+
+Sweeps can capture timing: :func:`run_scaling_sweep` times an arbitrary
+per-cell workload (wall-clock, rounds/sec, messages/sec), and
+:func:`run_race_sweep` optionally records wall-clock per cell — the
+repo's perf trajectory (``BENCH_scheduler.json``, written by
+``python -m repro bench-core``) is built on these.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import networkx as nx
 
@@ -49,6 +57,84 @@ class SweepResult:
         return [row.x for row in self.rows]
 
 
+def time_best(
+    thunk: Callable[[], object], repeats: int = 1
+) -> tuple[float, object]:
+    """Run ``thunk`` ``repeats`` times; return (best wall-clock, outcome).
+
+    Best-of-N is the standard noise-robust wall-clock estimator.  The
+    outcome is the last run's return value (all runs are assumed
+    equivalent).
+    """
+    best = math.inf
+    outcome: object = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        outcome = thunk()
+        best = min(best, time.perf_counter() - start)
+    return best, outcome
+
+
+def throughput_columns(outcome: object, wall_clock: float) -> dict[str, object]:
+    """Derive the standard timing columns for one measured workload.
+
+    Always includes ``wall_clock_s``; outcomes exposing integer
+    ``rounds`` / ``messages_sent`` (e.g.
+    :class:`~repro.model.scheduler.ExecutionResult`) additionally get
+    ``rounds``/``rounds_per_s`` and ``messages_sent``/``messages_per_s``.
+    """
+    safe = max(wall_clock, 1e-9)
+    columns: dict[str, object] = {"wall_clock_s": wall_clock}
+    rounds = getattr(outcome, "rounds", None)
+    if isinstance(rounds, int):
+        columns["rounds"] = rounds
+        columns["rounds_per_s"] = rounds / safe
+    messages = getattr(outcome, "messages_sent", None)
+    if isinstance(messages, int):
+        columns["messages_sent"] = messages
+        columns["messages_per_s"] = messages / safe
+    return columns
+
+
+def run_scaling_sweep(
+    cells: Iterable[tuple[object, Callable[[], object]]],
+    *,
+    x_label: str = "n",
+    repeats: int = 1,
+) -> SweepResult:
+    """Time a workload per cell; report wall-clock and throughput.
+
+    Parameters
+    ----------
+    cells:
+        Iterable of ``(x_value, thunk)`` pairs.  Each thunk runs one
+        cell's workload and may return anything; results exposing
+        ``rounds`` / ``messages_sent`` (e.g.
+        :class:`~repro.model.scheduler.ExecutionResult`) additionally
+        get ``rounds_per_s`` / ``messages_per_s`` columns, and mapping
+        results are merged into the row verbatim.
+    x_label:
+        Label of the swept parameter (``n``, ``Δ``, ...).
+    repeats:
+        Run each thunk this many times and keep the *minimum*
+        wall-clock (the standard noise-robust estimator).
+
+    Returns
+    -------
+    SweepResult
+        One row per cell with at least a ``wall_clock_s`` column.
+    """
+    rows: list[ExperimentRow] = []
+    for x_value, thunk in cells:
+        best, outcome = time_best(thunk, repeats)
+        row = ExperimentRow(x=x_value)
+        row.values.update(throughput_columns(outcome, best))
+        if isinstance(outcome, Mapping):
+            row.values.update(outcome)
+        rows.append(row)
+    return SweepResult(x_label=x_label, rows=rows)
+
+
 def run_race_sweep(
     graphs: Iterable[tuple[object, nx.Graph]],
     *,
@@ -56,6 +142,7 @@ def run_race_sweep(
     paper_policy: ParameterPolicy | None = None,
     seed: int = 2,
     validate: bool = True,
+    capture_timing: bool = False,
 ) -> SweepResult:
     """Run every algorithm on every graph; report rounds per cell.
 
@@ -73,6 +160,9 @@ def run_race_sweep(
     validate:
         Re-check every produced coloring (on by default; the whole
         point of the harness is that results are verified).
+    capture_timing:
+        Record wall-clock seconds per cell (all algorithms of the
+        cell, excluding validation) in a ``wall_clock_s`` column.
     """
     registry = all_baselines()
     names = list(algorithms) if algorithms is not None else sorted(registry)
@@ -82,7 +172,10 @@ def run_race_sweep(
         row = ExperimentRow(x=x_value)
         row.values["n"] = summary.nodes
         row.values["Δ̄"] = summary.max_edge_degree
+        cell_clock = 0.0
+        start = time.perf_counter()
         paper_result = solve_edge_coloring(graph, policy=paper_policy, seed=seed)
+        cell_clock += time.perf_counter() - start
         if validate:
             check_proper_edge_coloring(graph, paper_result.coloring)
             check_palette_bound(
@@ -90,11 +183,15 @@ def run_race_sweep(
             )
         row.values["BKO20 (this paper)"] = paper_result.rounds
         for name in names:
+            start = time.perf_counter()
             result: BaselineResult = registry[name](graph, seed=seed)
+            cell_clock += time.perf_counter() - start
             if validate:
                 check_proper_edge_coloring(graph, result.coloring)
                 check_palette_bound(result.coloring, result.palette_size)
             row.values[name] = result.rounds
+        if capture_timing:
+            row.values["wall_clock_s"] = cell_clock
         rows.append(row)
     return SweepResult(x_label="x", rows=rows)
 

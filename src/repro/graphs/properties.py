@@ -42,8 +42,24 @@ def max_degree(graph: nx.Graph) -> int:
     return max(degree for _node, degree in graph.degree())
 
 
+def sorted_nodes(graph: nx.Graph) -> list[Hashable]:
+    """Return the graph's nodes in the canonical deterministic order.
+
+    The whole library agrees on one total order — sort by ``repr`` —
+    for node enumeration, ID assignment and port numbering.  Callers
+    that need the order repeatedly should compute it once and pass it
+    around (:class:`~repro.model.network.Network` does exactly that at
+    construction time) instead of re-sorting.
+    """
+    return sorted(graph.nodes(), key=repr)
+
+
 def assign_unique_ids(
-    graph: nx.Graph, *, seed: int | None = None, id_space_exponent: int = 2
+    graph: nx.Graph,
+    *,
+    seed: int | None = None,
+    id_space_exponent: int = 2,
+    ordered_nodes: list[Hashable] | None = None,
 ) -> dict[Hashable, int]:
     """Assign each node a unique ID from ``{1, ..., n^id_space_exponent}``.
 
@@ -57,13 +73,16 @@ def assign_unique_ids(
         (the adversarial case the LOCAL model actually promises).
     id_space_exponent:
         The ``O(1)`` in the model's ``n^{O(1)}`` ID space.
+    ordered_nodes:
+        The canonical node order, if the caller already computed it
+        (must equal :func:`sorted_nodes`); avoids a redundant sort.
 
     Returns
     -------
     dict
         Mapping node -> unique positive integer.
     """
-    nodes = sorted(graph.nodes(), key=repr)
+    nodes = ordered_nodes if ordered_nodes is not None else sorted_nodes(graph)
     n = len(nodes)
     if n == 0:
         return {}

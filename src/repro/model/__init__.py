@@ -12,7 +12,13 @@ directly:
   interface a distributed algorithm implements (init / send / receive /
   halt / output);
 * :class:`repro.model.scheduler.Scheduler` — the synchronous round
-  loop, with round and message accounting and a round budget;
+  loop, with round and message accounting and a round budget.  This is
+  the *fast path*: it drives integer-indexed structures the network
+  precompiles at construction (dense node indices, delivery tables,
+  cached ``n``/``Δ``) and iterates only the active (non-halted) nodes;
+* :func:`repro.model.reference.reference_run` — the original seed loop
+  kept as the slow oracle; equivalence tests pin the fast path to it
+  bit-for-bit (``rounds``, ``messages_sent``, ``outputs``);
 * :mod:`repro.model.edge_network` — adapter to run node algorithms on
   the *line graph*, which is how the edge coloring subroutines execute
   (one line-graph round costs O(1) rounds of the underlying graph,
@@ -28,6 +34,7 @@ cross-validate the two forms round-for-round on shared instances.
 from repro.model.algorithm import NodeAlgorithm, NodeContext
 from repro.model.message import Message
 from repro.model.network import Network
+from repro.model.reference import reference_run
 from repro.model.scheduler import ExecutionResult, Scheduler
 from repro.model.edge_network import line_graph_network
 
@@ -39,4 +46,5 @@ __all__ = [
     "ExecutionResult",
     "Scheduler",
     "line_graph_network",
+    "reference_run",
 ]

@@ -107,17 +107,44 @@ class CongestScheduler(Scheduler):
             raise ParameterError(
                 f"bandwidth_bits must be >= 1, got {bandwidth_bits}"
             )
-        super().__init__(network, max_rounds=max_rounds, record_trace=True)
+        # The bit audit below supersedes the repr-size audit; don't
+        # retain payloads twice (the trace already holds them).
+        super().__init__(
+            network,
+            max_rounds=max_rounds,
+            record_trace=True,
+            audit_message_sizes=False,
+        )
         self._bandwidth_bits = bandwidth_bits
         self._strict = strict
 
     def run_congest(self, algorithm: NodeAlgorithm) -> CongestReport:
-        """Execute and audit every message against the budget."""
+        """Execute and audit every message against the budget.
+
+        Distributed algorithms resend the same few payloads (colors,
+        IDs) millions of times, so sizes of hashable payloads are
+        memoized — the audit costs one dict probe per message instead
+        of a recursive traversal.
+        """
         result = super().run(algorithm)
         max_bits = 0
         violations = 0
+        # Keyed by type then value: equal payloads of different types
+        # (1 vs 1.0) must not share an entry — payload_bits is
+        # type-strict and e.g. rejects floats.
+        sizes: dict[type, dict[Any, int]] = {}
         for message in result.trace:
-            bits = payload_bits(message.payload)
+            payload = message.payload
+            try:
+                bits = sizes[payload.__class__][payload]
+            except TypeError:  # unhashable payload; size it directly
+                bits = payload_bits(payload)
+            except KeyError:
+                bits = payload_bits(payload)
+                try:
+                    sizes.setdefault(payload.__class__, {})[payload] = bits
+                except TypeError:  # unhashable payload: no memo entry
+                    pass
             max_bits = max(max_bits, bits)
             if bits > self._bandwidth_bits:
                 violations += 1

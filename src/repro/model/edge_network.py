@@ -11,6 +11,12 @@ paper uses it implicitly throughout.
 Edge IDs are derived from endpoint IDs via a pairing into the range
 ``{1, ..., (2 * max_id)^2}``, preserving the model's polynomial ID
 space (edge IDs are ``n^{O(1)}`` whenever node IDs are).
+
+The returned :class:`~repro.model.network.Network` is a *compiled*
+network like any other: the line graph's (tuple-labelled) nodes are
+sorted once, indexed densely, and get a precomputed delivery table, so
+edge-agent simulations run on the same fast scheduler path as node
+simulations.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import networkx as nx
 
 from repro.graphs.edges import Edge, edge_set
 from repro.graphs.line_graph import line_graph
+from repro.graphs.properties import sorted_nodes
 from repro.model.network import Network
 
 
@@ -53,7 +60,7 @@ def line_graph_network(
         are derived from them (see :func:`edge_identifier`).
     """
     if node_ids is None:
-        ordered = sorted(graph.nodes(), key=repr)
+        ordered = sorted_nodes(graph)
         node_ids = {node: index + 1 for index, node in enumerate(ordered)}
     max_id = max(node_ids.values(), default=0)
     lg = line_graph(graph)

@@ -41,5 +41,15 @@ class Message:
         this in traces so experiments can *observe* how far an
         algorithm is from the CONGEST regime — a question the paper
         explicitly leaves open.
+
+        Computed on first access and cached (``repr`` of a large
+        payload is not free; traces that never ask for sizes should
+        never pay for them).
         """
-        return len(repr(self.payload))
+        cached = self.__dict__.get("_size_estimate")
+        if cached is None:
+            cached = len(repr(self.payload))
+            # The dataclass is frozen; go through __dict__ directly for
+            # the private cache slot.
+            object.__setattr__(self, "_size_estimate", cached)
+        return cached

@@ -5,6 +5,27 @@ numbering — the "hardware" a LOCAL algorithm runs on.  Port numbering
 maps each node's incident edges to ports ``0 .. deg-1`` in sorted
 neighbor order (any fixed order is a valid LOCAL port assignment; a
 deterministic one keeps simulations reproducible).
+
+Compilation
+-----------
+Construction runs a one-time *compilation pass* so the scheduler's hot
+path is pure list indexing:
+
+* nodes are sorted **once** by ``repr`` (the library's canonical total
+  order) and given dense integer indices ``0 .. n-1``;
+* neighbor/port order is derived from the same single sort (sorting
+  neighbors by their dense rank yields exactly the old per-node
+  ``sorted(..., key=repr)`` order, so the deterministic port-numbering
+  contract is unchanged);
+* ``n``, ``Δ``, per-node degrees and IDs are cached in flat tables;
+* a *delivery table* maps ``(sender_index, port)`` to
+  ``(receiver_index, receiver_port)``, so delivering a message costs
+  two list indexings instead of two dictionary lookups.
+
+None of this changes observable behavior: ordering, IDs and ports are
+bit-identical to the uncompiled implementation (the scheduler
+equivalence tests enforce this); the compilation only moves work from
+the per-round/per-node hot paths to construction time.
 """
 
 from __future__ import annotations
@@ -14,7 +35,7 @@ from typing import Hashable, Iterable, Mapping
 import networkx as nx
 
 from repro.errors import InvalidInstanceError, ModelViolationError
-from repro.graphs.properties import assign_unique_ids, max_degree, validate_simple_graph
+from repro.graphs.properties import assign_unique_ids, sorted_nodes, validate_simple_graph
 
 
 class Network:
@@ -36,19 +57,47 @@ class Network:
     ) -> None:
         validate_simple_graph(graph)
         self._graph = graph
+        # --- compilation pass (single sort; everything else derives) ---
+        self._sorted_nodes: list[Hashable] = sorted_nodes(graph)
+        self._n = len(self._sorted_nodes)
         if ids is None:
-            ids = assign_unique_ids(graph)
+            ids = assign_unique_ids(graph, ordered_nodes=self._sorted_nodes)
         self._validate_ids(graph, ids)
         self._ids = dict(ids)
+
+        index_of: dict[Hashable, int] = {
+            node: index for index, node in enumerate(self._sorted_nodes)
+        }
+        self._index_of = index_of
+        rank = index_of.__getitem__
+
         # Port tables: node -> list of neighbors in port order, and the
-        # inverse lookup (node, neighbor) -> port.
+        # inverse lookup (node, neighbor) -> port.  Sorting neighbors by
+        # dense rank reproduces the repr order without re-repring.
         self._ports: dict[Hashable, list[Hashable]] = {}
         self._port_of: dict[tuple[Hashable, Hashable], int] = {}
-        for node in graph.nodes():
-            neighbors = sorted(graph.neighbors(node), key=repr)
+        self._degrees: list[int] = [0] * self._n
+        for index, node in enumerate(self._sorted_nodes):
+            neighbors = sorted(graph.neighbors(node), key=rank)
             self._ports[node] = neighbors
+            self._degrees[index] = len(neighbors)
             for port, neighbor in enumerate(neighbors):
                 self._port_of[(node, neighbor)] = port
+
+        # Delivery table: _delivery[i][port] == (receiver_index,
+        # receiver_port).  The scheduler's per-message hot path is two
+        # list indexings into this structure.
+        self._delivery: list[list[tuple[int, int]]] = [
+            [
+                (rank(neighbor), self._port_of[(neighbor, node)])
+                for neighbor in self._ports[node]
+            ]
+            for node in self._sorted_nodes
+        ]
+        self._max_degree = max(self._degrees, default=0)
+        self._ids_by_index: list[int] = [
+            self._ids[node] for node in self._sorted_nodes
+        ]
 
     @staticmethod
     def _validate_ids(graph: nx.Graph, ids: Mapping[Hashable, int]) -> None:
@@ -69,15 +118,15 @@ class Network:
 
     @property
     def n(self) -> int:
-        return self._graph.number_of_nodes()
+        return self._n
 
     @property
     def max_degree(self) -> int:
-        return max_degree(self._graph)
+        return self._max_degree
 
     def nodes(self) -> list[Hashable]:
         """Return the nodes in deterministic (sorted) order."""
-        return sorted(self._graph.nodes(), key=repr)
+        return list(self._sorted_nodes)
 
     def id_of(self, node: Hashable) -> int:
         return self._ids[node]
@@ -88,10 +137,10 @@ class Network:
 
     def max_id(self) -> int:
         """Return the largest assigned ID (the ``X`` of ``log* X`` terms)."""
-        return max(self._ids.values()) if self._ids else 0
+        return max(self._ids_by_index) if self._ids_by_index else 0
 
     def degree(self, node: Hashable) -> int:
-        return self._graph.degree(node)
+        return self._degrees[self._index_of[node]]
 
     def neighbors_in_port_order(self, node: Hashable) -> list[Hashable]:
         """Return the neighbors of ``node`` indexed by port."""
@@ -114,6 +163,33 @@ class Network:
             raise ModelViolationError(
                 f"{neighbor!r} is not a neighbor of {node!r}"
             ) from None
+
+    # --- compiled (indexed) accessors ---------------------------------
+
+    def index_of(self, node: Hashable) -> int:
+        """Return the dense index (``0 .. n-1``) of ``node``."""
+        return self._index_of[node]
+
+    def node_at(self, index: int) -> Hashable:
+        """Return the node at dense ``index`` (inverse of :meth:`index_of`)."""
+        return self._sorted_nodes[index]
+
+    def degree_table(self) -> list[int]:
+        """Per-index degrees (do not mutate; shared with the scheduler)."""
+        return self._degrees
+
+    def ids_by_index(self) -> list[int]:
+        """Per-index unique IDs (do not mutate; shared with the scheduler)."""
+        return self._ids_by_index
+
+    def delivery_table(self) -> list[list[tuple[int, int]]]:
+        """The compiled delivery structure (do not mutate).
+
+        ``delivery_table()[i][port] == (j, receiver_port)`` means: a
+        message sent by node index ``i`` through ``port`` arrives at
+        node index ``j`` on ``receiver_port``.
+        """
+        return self._delivery
 
 
 def network_from_edges(

@@ -1,4 +1,4 @@
-"""The synchronous round loop.
+"""The synchronous round loop (fast path).
 
 The scheduler realises the LOCAL model's semantics exactly:
 
@@ -9,6 +9,50 @@ The scheduler realises the LOCAL model's semantics exactly:
 * the execution ends when all nodes have halted (or the round budget
   is exhausted, which raises — silent truncation would corrupt round
   measurements).
+
+Fast path
+---------
+This implementation is the compiled counterpart of the original
+reference loop (preserved verbatim-in-behavior in
+:mod:`repro.model.reference` and pinned by the scheduler-equivalence
+tests).  What is precomputed, and why determinism is preserved:
+
+* **Indexed contexts.**  Contexts live in a flat list aligned with the
+  network's dense node indices; ``n``/``Δ``/degrees/IDs come from the
+  network's compiled tables, so setup is O(n + m) instead of the old
+  O(n²) (the reference recomputed ``max_degree`` per node).
+* **Delivery by table.**  A message send is two list indexings into
+  :meth:`Network.delivery_table` — no ``neighbor_at_port`` /
+  ``port_towards`` dictionary lookups on the hot path.  The table is
+  built from the same single canonical sort, so receivers and ports
+  are bit-identical to the reference.
+* **Active set.**  Only non-halted nodes are iterated, in the same
+  deterministic (sorted) order as the reference — the active list is
+  a monotone subsequence of the initial order, so compose/receive
+  callbacks fire in the identical sequence.  Global halting is a
+  counter-free emptiness check on the active list; no O(n) ``all()``
+  scan per round.
+* **Inboxes per receiver.**  Inbox dicts are allocated only for nodes
+  that actually receive something this round (plus a fresh empty dict
+  for silent active receivers); halted nodes get none.  Messages
+  addressed to halted nodes are still *counted* (the reference counts
+  them too) — they are simply never received.
+* **Memoized size accounting.**  No ``Message`` envelope is built
+  unless tracing is on.  With ``audit_message_sizes=True`` (the
+  default) the running ``max_message_size`` is kept exactly as the
+  reference does, but the ``repr`` size of each *distinct* payload
+  value is computed once and memoized — distributed algorithms resend
+  the same few payloads constantly, so the audit costs one dict probe
+  per message instead of a ``repr`` per message (and, unlike retaining
+  payload references for a deferred audit, it is exact even for
+  payloads mutated after sending).  Passing
+  ``audit_message_sizes=False`` opts out entirely (the attribute then
+  reports 0, unless a recorded trace allows deriving it).
+
+Because every reordering-sensitive choice (node order, port order,
+iteration order of the round loop) is inherited from the same single
+canonical sort, ``rounds``, ``messages_sent`` and ``outputs`` are
+bit-identical to the reference loop.
 """
 
 from __future__ import annotations
@@ -37,6 +81,8 @@ class ExecutionResult:
     max_message_size:
         Largest payload ``repr`` size observed (LOCAL ignores message
         size; reported so experiments can discuss CONGEST-feasibility).
+        0 when the scheduler ran with ``audit_message_sizes=False``
+        and no trace was recorded.
     trace:
         Optional list of all messages (populated when tracing is on).
     """
@@ -44,8 +90,22 @@ class ExecutionResult:
     rounds: int
     messages_sent: int
     outputs: dict[Hashable, Any]
-    max_message_size: int = 0
     trace: list[Message] = field(default_factory=list)
+    _max_message_size: int | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def max_message_size(self) -> int:
+        if self._max_message_size is None:
+            if self.trace:
+                # Auditing was off but a trace exists — derive from it.
+                self._max_message_size = max(
+                    message.size_estimate() for message in self.trace
+                )
+            else:
+                self._max_message_size = 0
+        return self._max_message_size
 
 
 class Scheduler:
@@ -60,6 +120,12 @@ class Scheduler:
     record_trace:
         When ``True``, every message is kept in the result's trace
         (memory-heavy; meant for tests and small demos).
+    audit_message_sizes:
+        When ``True`` (default), ``ExecutionResult.max_message_size``
+        is tracked with a per-distinct-payload ``repr`` memo (one dict
+        probe per message).  ``False`` skips the audit entirely — the
+        fastest mode for pure LOCAL runs that never inspect message
+        sizes.
     """
 
     def __init__(
@@ -68,76 +134,130 @@ class Scheduler:
         *,
         max_rounds: int = 10_000,
         record_trace: bool = False,
+        audit_message_sizes: bool = True,
     ) -> None:
         self._network = network
         self._max_rounds = max_rounds
         self._record_trace = record_trace
+        self._audit_message_sizes = audit_message_sizes
 
     def run(self, algorithm: NodeAlgorithm) -> ExecutionResult:
         """Execute ``algorithm`` to global halting and return the result."""
         network = self._network
-        contexts: dict[Hashable, NodeContext] = {}
-        for node in network.nodes():
-            contexts[node] = NodeContext(
-                node=node,
-                unique_id=network.id_of(node),
-                degree=network.degree(node),
-                n=network.n,
-                max_degree=network.max_degree,
+        nodes = network.nodes()
+        degrees = network.degree_table()
+        ids = network.ids_by_index()
+        delivery = network.delivery_table()
+        n = network.n
+        delta = network.max_degree
+
+        contexts: list[NodeContext] = []
+        initialize = algorithm.initialize
+        for index in range(n):
+            ctx = NodeContext(
+                node=nodes[index],
+                unique_id=ids[index],
+                degree=degrees[index],
+                n=n,
+                max_degree=delta,
             )
-            algorithm.initialize(contexts[node])
+            contexts.append(ctx)
+            initialize(ctx)
+
+        # Active set: indices of non-halted nodes, always in ascending
+        # (canonical) order so callback sequence matches the reference.
+        active = [index for index in range(n) if not contexts[index].halted]
 
         rounds = 0
         messages_sent = 0
-        max_message_size = 0
         trace: list[Message] = []
+        record_trace = self._record_trace
+        audit = self._audit_message_sizes
+        # repr-size memo keyed by type then value: equal payloads of
+        # different types (1 vs 1.0 vs True) repr differently.
+        size_memo: dict[type, dict[Any, int]] = {}
+        max_message_size = 0
+        max_rounds = self._max_rounds
+        compose = algorithm.compose_messages
+        receive = algorithm.receive_messages
 
-        while not all(ctx.halted for ctx in contexts.values()):
-            if rounds >= self._max_rounds:
-                stuck = [n for n, c in contexts.items() if not c.halted][:5]
+        while active:
+            if rounds >= max_rounds:
+                stuck = [nodes[index] for index in active[:5]]
                 raise RoundLimitExceededError(
-                    f"round budget {self._max_rounds} exhausted; "
+                    f"round budget {max_rounds} exhausted; "
                     f"non-halted nodes include {stuck!r}"
                 )
             rounds += 1
 
-            # Phase 1: all nodes compose against start-of-round state.
-            inboxes: dict[Hashable, dict[int, Any]] = {
-                node: {} for node in contexts
-            }
-            for node, ctx in contexts.items():
+            # Phase 1: all active nodes compose against start-of-round
+            # state.  Inboxes spring into existence on first delivery.
+            inboxes: dict[int, dict[int, Any]] = {}
+            for index in active:
+                ctx = contexts[index]
                 if ctx.halted:
                     continue
-                outbox = algorithm.compose_messages(ctx)
+                outbox = compose(ctx)
+                if not outbox:
+                    continue
+                row = delivery[index]
+                degree = ctx.degree
                 for port, payload in outbox.items():
-                    ctx.require_port(port)
-                    receiver = network.neighbor_at_port(node, port)
-                    receiver_port = network.port_towards(receiver, node)
-                    inboxes[receiver][receiver_port] = payload
+                    if not 0 <= port < degree:
+                        ctx.require_port(port)  # raises ModelViolationError
+                    receiver_index, receiver_port = row[port]
+                    inbox = inboxes.get(receiver_index)
+                    if inbox is None:
+                        inboxes[receiver_index] = inbox = {}
+                    inbox[receiver_port] = payload
                     messages_sent += 1
-                    message = Message(
-                        sender=node,
-                        receiver=receiver,
-                        round_index=rounds,
-                        payload=payload,
-                    )
-                    max_message_size = max(max_message_size, message.size_estimate())
-                    if self._record_trace:
-                        trace.append(message)
+                    if audit:
+                        try:
+                            size = size_memo[payload.__class__][payload]
+                        except TypeError:  # unhashable: size it directly
+                            size = len(repr(payload))
+                        except KeyError:
+                            size = len(repr(payload))
+                            try:
+                                size_memo.setdefault(
+                                    payload.__class__, {}
+                                )[payload] = size
+                            except TypeError:  # unhashable: no memo entry
+                                pass
+                        if size > max_message_size:
+                            max_message_size = size
+                    if record_trace:
+                        trace.append(
+                            Message(
+                                sender=nodes[index],
+                                receiver=nodes[receiver_index],
+                                round_index=rounds,
+                                payload=payload,
+                            )
+                        )
 
-            # Phase 2: simultaneous delivery and state transition.
-            for node, ctx in contexts.items():
+            # Phase 2: simultaneous delivery and state transition.  A
+            # node that halted during its own compose is skipped, same
+            # as the reference.
+            next_active: list[int] = []
+            for index in active:
+                ctx = contexts[index]
                 if ctx.halted:
                     continue
-                algorithm.receive_messages(ctx, inboxes[node])
+                inbox = inboxes.get(index)
+                receive(ctx, inbox if inbox is not None else {})
+                if not ctx.halted:
+                    next_active.append(index)
+            active = next_active
 
-        outputs = {node: algorithm.output(ctx) for node, ctx in contexts.items()}
+        output = algorithm.output
+        outputs = {ctx.node: output(ctx) for ctx in contexts}
         return ExecutionResult(
             rounds=rounds,
             messages_sent=messages_sent,
             outputs=outputs,
-            max_message_size=max_message_size,
             trace=trace,
+            _max_message_size=max_message_size if audit else None,
         )
 
 

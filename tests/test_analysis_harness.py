@@ -1,8 +1,16 @@
 """Tests for the sweep harness."""
 
-from repro.analysis.harness import run_policy_sweep, run_race_sweep
+import networkx as nx
+
+from repro.analysis.harness import (
+    run_policy_sweep,
+    run_race_sweep,
+    run_scaling_sweep,
+)
 from repro.core.params import fixed_policy, scaled_policy
 from repro.graphs.generators import complete_bipartite, cycle_graph
+from repro.model.scheduler import run_on_graph
+from repro.primitives.node_algorithms import FloodMaxAlgorithm
 
 
 class TestRaceSweep:
@@ -28,6 +36,40 @@ class TestRaceSweep:
         row = sweep.rows[0]
         assert row.values["n"] == 6
         assert row.values["Δ̄"] == 2
+
+    def test_timing_capture_optional(self):
+        graphs = [(3, cycle_graph(6))]
+        plain = run_race_sweep(graphs, algorithms=[], seed=1)
+        assert "wall_clock_s" not in plain.rows[0].values
+        timed = run_race_sweep(graphs, algorithms=[], seed=1, capture_timing=True)
+        assert timed.rows[0].values["wall_clock_s"] > 0
+
+
+class TestScalingSweep:
+    def test_execution_results_get_throughput_columns(self):
+        cells = [
+            (n, lambda n=n: run_on_graph(FloodMaxAlgorithm(2), nx.cycle_graph(n)))
+            for n in (6, 12)
+        ]
+        sweep = run_scaling_sweep(cells, x_label="n", repeats=2)
+        assert sweep.xs() == [6, 12]
+        for row in sweep.rows:
+            assert row.values["wall_clock_s"] > 0
+            assert row.values["rounds"] == 2
+            assert row.values["messages_sent"] == 4 * row.x  # 2 per node per round
+            assert row.values["messages_per_s"] > 0
+            assert row.values["rounds_per_s"] > 0
+
+    def test_mapping_outcomes_merge_into_row(self):
+        sweep = run_scaling_sweep([(1, lambda: {"cells": 5})])
+        row = sweep.rows[0]
+        assert row.values["cells"] == 5
+        assert "rounds" not in row.values
+
+    def test_opaque_outcomes_still_get_wall_clock(self):
+        sweep = run_scaling_sweep([("a", lambda: object())], x_label="case")
+        assert sweep.x_label == "case"
+        assert list(sweep.rows[0].values) == ["wall_clock_s"]
 
 
 class TestPolicySweep:

@@ -54,6 +54,28 @@ class TestRaceCommand:
         assert "kuhn_wattenhofer" in out
 
 
+class TestBenchCoreCommand:
+    def test_bench_core_writes_record(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        import repro.analysis.bench_core as bench_core
+
+        # Shrink the headline instance so the smoke test stays fast.
+        monkeypatch.setattr(bench_core, "LARGEST_RACE_SIDE", 4)
+        out_path = tmp_path / "BENCH_scheduler.json"
+        assert main(["bench-core", "--quick", "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        record = json.loads(out_path.read_text())
+        headline = record["largest_race_instance"]
+        assert headline["identical_results"] is True
+        assert headline["before"]["wall_clock_s"] > 0
+        assert headline["after"]["wall_clock_s"] > 0
+        assert headline["speedup"] > 0
+        assert record["scaling_vs_n"][0]["messages_per_s"] > 0
+        assert record["scaling_vs_delta"][0]["wall_clock_s"] > 0
+
+
 class TestInfoCommand:
     def test_info_measurements(self, capsys):
         assert main(["info", "--family", "star", "--size", "5"]) == 0

@@ -98,3 +98,29 @@ class TestCongestExecution:
         net = Network(nx.path_graph(3))
         with pytest.raises(ParameterError):
             CongestScheduler(net, bandwidth_bits=0)
+
+    def test_audit_stays_type_strict_across_equal_payloads(self):
+        """The size memo must not let 1.0 (unsupported float) reuse the
+        cached size of the equal-comparing int 1."""
+        from repro.model.algorithm import NodeAlgorithm
+
+        class IntThenFloat(NodeAlgorithm):
+            def initialize(self, ctx):
+                ctx.state["round"] = 0
+
+            def compose_messages(self, ctx):
+                payload = 1 if ctx.state["round"] == 0 else 1.0
+                return {port: payload for port in range(ctx.degree)}
+
+            def receive_messages(self, ctx, inbox):
+                ctx.state["round"] += 1
+                if ctx.state["round"] >= 2:
+                    ctx.halt()
+
+            def output(self, ctx):
+                return None
+
+        net = Network(nx.path_graph(3))
+        scheduler = CongestScheduler(net, bandwidth_bits=8, strict=False)
+        with pytest.raises(ModelViolationError, match="float"):
+            scheduler.run_congest(IntThenFloat())

@@ -56,6 +56,38 @@ class TestPorts:
             net.port_towards(0, 2)
 
 
+class TestCompiledTables:
+    def test_indices_follow_canonical_order(self):
+        net = Network(nx.cycle_graph(5))
+        assert [net.node_at(i) for i in range(net.n)] == net.nodes()
+        for i, node in enumerate(net.nodes()):
+            assert net.index_of(node) == i
+
+    def test_degree_and_id_tables_align_with_accessors(self):
+        net = Network(nx.complete_bipartite_graph(2, 3))
+        nodes = net.nodes()
+        assert net.degree_table() == [net.degree(v) for v in nodes]
+        assert net.ids_by_index() == [net.id_of(v) for v in nodes]
+
+    def test_delivery_table_matches_port_api(self):
+        net = Network(nx.star_graph(4))
+        table = net.delivery_table()
+        for node in net.nodes():
+            i = net.index_of(node)
+            for port in range(net.degree(node)):
+                receiver = net.neighbor_at_port(node, port)
+                expected = (net.index_of(receiver), net.port_towards(receiver, node))
+                assert table[i][port] == expected
+
+    def test_cached_max_degree_and_n(self):
+        net = Network(nx.star_graph(7))
+        assert net.n == 8
+        assert net.max_degree == 7
+        empty = Network(nx.Graph())
+        assert empty.n == 0
+        assert empty.max_degree == 0
+
+
 class TestAccessors:
     def test_basic_measurements(self):
         net = Network(nx.complete_bipartite_graph(2, 3))

@@ -80,6 +80,60 @@ class TestSynchronousSemantics:
         result = run_on_graph(EchoOnce(), nx.path_graph(2))
         assert result.max_message_size >= 1
 
+    def test_max_message_size_audit_opt_out(self):
+        scheduler = Scheduler(
+            Network(nx.path_graph(2)), audit_message_sizes=False
+        )
+        result = scheduler.run(EchoOnce())
+        assert result.max_message_size == 0
+
+    def test_max_message_size_derived_from_trace_when_audit_off(self):
+        scheduler = Scheduler(
+            Network(nx.path_graph(2)),
+            audit_message_sizes=False,
+            record_trace=True,
+        )
+        result = scheduler.run(EchoOnce())
+        assert result.max_message_size >= 1
+
+    def test_message_size_estimate_cached(self):
+        from repro.model.message import Message
+
+        message = Message(sender=0, receiver=1, round_index=1, payload=[1, 2])
+        first = message.size_estimate()
+        message.payload.append(3)  # cache means later mutation is invisible
+        assert message.size_estimate() == first == len(repr([1, 2]))
+
+    def test_halted_nodes_are_not_iterated(self):
+        """Active-set scheduling: compose is never called on a node
+        that halted in an earlier round."""
+
+        class HaltEarly(NodeAlgorithm):
+            def __init__(self):
+                self.composed: list[tuple[int, int]] = []
+
+            def initialize(self, ctx):
+                ctx.state["round"] = 0
+
+            def compose_messages(self, ctx):
+                self.composed.append((ctx.unique_id, ctx.state["round"]))
+                return {}
+
+            def receive_messages(self, ctx, inbox):
+                ctx.state["round"] += 1
+                # Node with ID k halts after round k.
+                if ctx.state["round"] >= ctx.unique_id:
+                    ctx.halt()
+
+            def output(self, ctx):
+                return ctx.state["round"]
+
+        algorithm = HaltEarly()
+        result = run_on_graph(algorithm, nx.path_graph(3))
+        assert result.rounds == 3
+        for unique_id, round_index in algorithm.composed:
+            assert round_index < unique_id
+
     def test_zero_horizon_floodmax_halts_immediately(self):
         result = run_on_graph(FloodMaxAlgorithm(0), nx.path_graph(3))
         assert result.rounds == 0
