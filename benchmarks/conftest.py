@@ -24,30 +24,10 @@ from pathlib import Path
 
 import pytest
 
+# The ``slow`` marker and ``--skip-slow`` option are defined in the
+# repo-root conftest so they also cover the tier-1 run (CI invokes
+# ``python -m pytest -x -q --skip-slow`` at the rootdir).
 
-def pytest_configure(config) -> None:
-    config.addinivalue_line(
-        "markers",
-        "slow: heavyweight benchmark (deselect with -m 'not slow' or --skip-slow)",
-    )
-
-
-def pytest_addoption(parser) -> None:
-    parser.addoption(
-        "--skip-slow", action="store_true", default=False,
-        help="skip benchmarks marked slow",
-    )
-
-
-def pytest_collection_modifyitems(config, items) -> None:
-    if not config.getoption("--skip-slow"):
-        return
-    skip = pytest.mark.skip(reason="--skip-slow given")
-    for item in items:
-        if "slow" in item.keywords:
-            item.add_marker(skip)
-
-from repro.core.params import fixed_policy
 from repro.graphs.generators import complete_bipartite, random_regular
 
 #: Experiment tables accumulated during the run; dumped in the terminal
@@ -71,6 +51,22 @@ def pytest_terminal_summary(terminalreporter) -> None:
         terminalreporter.write_line("")
         for line in text.splitlines():
             terminalreporter.write_line(line)
+    # Only complete runs may refresh the mirror: a partial pass (slow
+    # tests skipped, -m/-k deselection, a single-file run) holds a
+    # subset of the tables, and overwriting would silently erase the
+    # other experiments' recorded results.
+    stats = terminalreporter.stats
+    if stats.get("deselected") or stats.get("skipped"):
+        return
+    ran_files = {
+        Path(report.nodeid.split("::")[0]).name
+        for reports in stats.values()
+        for report in reports
+        if "::" in getattr(report, "nodeid", "")
+    }
+    all_files = {p.name for p in Path(__file__).parent.glob("bench_*.py")}
+    if all_files - ran_files:
+        return
     _REPORT_FILE.write_text("\n\n".join(_REPORTS) + "\n")
 
 
@@ -78,7 +74,9 @@ def pytest_terminal_summary(terminalreporter) -> None:
 def machinery_policy():
     """β=2, p=4, low thresholds: the full recursion engages at
     simulation scale (see DESIGN.md §4, parameter policies)."""
-    return fixed_policy(2, 4, base_degree_threshold=4, base_palette_threshold=6)
+    from repro.core.params import machinery_policy as machinery
+
+    return machinery()
 
 
 @pytest.fixture(scope="session")

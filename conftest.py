@@ -1,0 +1,34 @@
+"""Repo-root pytest configuration.
+
+Defines the ``slow`` marker and the ``--skip-slow`` option at the
+rootdir so they work for every invocation — the tier-1 suite at the
+repo root (``python -m pytest -x -q --skip-slow``, what CI runs) as
+well as targeted runs inside ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: heavyweight benchmark (deselect with -m 'not slow' or --skip-slow)",
+    )
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--skip-slow", action="store_true", default=False,
+        help="skip benchmarks marked slow",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if not config.getoption("--skip-slow"):
+        return
+    skip = pytest.mark.skip(reason="--skip-slow given")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

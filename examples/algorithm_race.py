@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Race every algorithm on a Δ sweep, measured and predicted.
+"""Race every registered algorithm on a Δ sweep, measured and predicted.
 
 Reproduces the paper's positioning table (introduction): Linial's
 O(Δ²), Szegedy-Vishwanathan/Kuhn-Wattenhofer O(Δ log Δ), Kuhn SODA'20
@@ -7,11 +7,21 @@ O(Δ²), Szegedy-Vishwanathan/Kuhn-Wattenhofer O(Δ log Δ), Kuhn SODA'20
 quasi-polylog-in-Δ — measured on identical instances at feasible
 scale, plus the *predicted* curves and final crossovers in the
 asymptotic regime simulation cannot reach.
+
+The entrant list is not hardcoded: it comes from the unified algorithm
+registry (``repro.api``), so a newly registered baseline automatically
+joins the race.  Each cell is a declarative ``RunSpec`` executed by the
+batch executor — pass a second CLI argument > 1 to fan the sweep out
+over that many processes.
+
+Usage::
+
+    python examples/algorithm_race.py [max_side] [parallel]
 """
 
-import math
+import sys
 
-from repro.analysis.harness import run_race_sweep
+from repro.api import InstanceSpec, algorithm_names, run_many, specs_for_race
 from repro.analysis.tables import format_series
 from repro.analysis.theory import (
     crossover_log2_dbar,
@@ -20,21 +30,33 @@ from repro.analysis.theory import (
     predicted_kuhn_wattenhofer,
     predicted_linial_greedy,
 )
-from repro.graphs.generators import complete_bipartite
 
 
 def main() -> None:
-    sizes = [4, 8, 12, 16]
-    graphs = [(2 * s - 2, complete_bipartite(s, s)) for s in sizes]
-    print("measuring on K_{s,s} (uniform edge degree 2s-2) ...\n")
-    sweep = run_race_sweep(
-        graphs,
-        algorithms=["linial_greedy", "kuhn_wattenhofer", "kuhn_soda20",
-                    "randomized_luby"],
-        seed=2,
-    )
-    series = {name: sweep.series(name) for name in sweep.series_names()}
-    print(format_series("Δ̄", sweep.xs(), series,
+    max_side = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    parallel = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    sizes = [s for s in (4, 8, 12, 16) if s <= max_side] or [max_side]
+    print(f"entrants (from the unified registry): {algorithm_names()}")
+    print(f"measuring on K_{{s,s}} (uniform edge degree 2s-2), "
+          f"parallel={parallel} ...\n")
+
+    # One spec per (instance, algorithm) cell; the executor caches by
+    # spec fingerprint and fans out over processes when asked to.
+    specs = [
+        spec
+        for size in sizes
+        for spec in specs_for_race(
+            InstanceSpec(family="complete_bipartite", size=size, seed=2)
+        )
+    ]
+    results = run_many(specs, parallel=parallel)
+
+    per_algorithm: dict[str, list[int]] = {}
+    for spec, result in zip(specs, results):
+        per_algorithm.setdefault(result.name, []).append(result.rounds)
+    xs = [2 * s - 2 for s in sizes]
+    print(format_series("Δ̄", xs, per_algorithm,
                         title="measured LOCAL rounds"))
 
     print("\npredicted asymptotic crossovers (literal constants):")

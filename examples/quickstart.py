@@ -1,46 +1,44 @@
 #!/usr/bin/env python3
 """Quickstart: color the edges of a graph with 2Δ-1 colors.
 
-Runs the paper's algorithm (Balliu-Kuhn-Olivetti, PODC 2020) on a
-random regular graph, validates the result independently, and prints
-the LOCAL-round accounting per lemma.
+Describes the experiment as a declarative, serializable spec and runs
+it through ``repro.api`` — the library's canonical entry point.  The
+executor validates the coloring independently, stamps the result with
+the spec's fingerprint, and (for the paper's algorithm) returns the
+full LOCAL-round accounting per lemma.
 
 Usage::
 
-    python examples/quickstart.py [degree] [nodes]
+    python examples/quickstart.py [degree] [seed]
 """
 
 import sys
 
-from repro import (
-    check_palette_bound,
-    check_proper_edge_coloring,
-    solve_edge_coloring,
-)
-from repro.graphs.generators import random_regular
-from repro.graphs.properties import graph_summary
+from repro.api import InstanceSpec, RunSpec, run
 
 
 def main() -> None:
     degree = int(sys.argv[1]) if len(sys.argv) > 1 else 8
-    nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 30
-    if (degree * nodes) % 2:
-        nodes += 1
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
 
-    graph = random_regular(degree, nodes, seed=1)
-    summary = graph_summary(graph)
-    print(f"instance: {nodes} nodes, {summary.edges} edges, "
-          f"Δ = {summary.max_degree}, Δ̄ = {summary.max_edge_degree}")
+    # The whole experiment in one serializable object: the
+    # 'random_regular' family builds a degree-regular graph on ~4*degree
+    # nodes (adjusted to a feasible order by the family registry).
+    spec = RunSpec(
+        instance=InstanceSpec(family="random_regular", size=degree, seed=seed),
+        algorithm="bko20",
+        policy="scaled",
+    )
+    print(f"spec: {spec.to_json()}")
+    print(f"spec fingerprint: {spec.fingerprint()}\n")
 
-    result = solve_edge_coloring(graph, seed=2)
+    # run() builds the instance, executes the algorithm, and validates
+    # the coloring independently (properness + palette bound).
+    result = run(spec)
 
-    # Never trust an algorithm — validate independently.
-    check_proper_edge_coloring(graph, result.coloring)
-    check_palette_bound(result.coloring, summary.greedy_palette_size)
-
-    used = len(set(result.coloring.values()))
-    print(f"colored {summary.edges} edges with {used} colors "
-          f"(palette bound 2Δ-1 = {summary.greedy_palette_size})")
+    print(f"colored {len(result.coloring)} edges with "
+          f"{result.colors_used()} colors "
+          f"(palette bound 2Δ-1 = {result.palette_size})")
     print(f"LOCAL rounds: {result.rounds} "
           f"(initial X-coloring palette: {result.initial_palette})")
     print(f"policy: {result.policy_name}")

@@ -13,15 +13,32 @@ Cole-Vishkin chain coloring, the Section 4.1 defective edge coloring),
 and the baselines it is compared against — all on a shared, validated
 substrate with exact round accounting.
 
-Quickstart::
+The canonical entry point is :mod:`repro.api` — declarative specs in,
+reproducible fingerprinted results out::
+
+    from repro.api import (
+        InstanceSpec, RunSpec, algorithm_names, run, run_many,
+    )
+
+    spec = RunSpec(InstanceSpec(family="random_regular", size=8, seed=1))
+    result = run(spec)                    # validated RunResult
+    print(result.rounds, "LOCAL rounds")
+    print(result.colors_used(), "<=", result.palette_size, "colors")
+    print(result.fingerprint)            # ties the result to its spec
+
+    # every registered algorithm on the same instance, 4 processes
+    results = run_many(
+        [spec.with_algorithm(name) for name in algorithm_names()],
+        parallel=4,
+    )
+
+Direct solver calls remain available for graphs built by hand::
 
     import networkx as nx
     from repro import solve_edge_coloring
 
     graph = nx.random_regular_graph(8, 40, seed=1)
     result = solve_edge_coloring(graph, seed=2)
-    print(result.rounds, "LOCAL rounds")
-    print(max(result.coloring.values()), "<= 2Δ-1 colors")
 
 See ``examples/`` for list coloring, algorithm races and the LOCAL
 simulator, and ``benchmarks/`` for the experiment suite (DESIGN.md maps
@@ -57,8 +74,18 @@ from repro.core.solver import (
     solve_list_edge_coloring,
 )
 from repro.primitives.defective import defective_edge_coloring
+from repro.results import RunResult
+from repro.api import (
+    InstanceSpec,
+    RunSpec,
+    algorithm_names,
+    algorithm_registry,
+    run,
+    run_algorithm,
+    run_many,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ListAssignment",
@@ -83,5 +110,13 @@ __all__ = [
     "solve_edge_coloring",
     "solve_list_edge_coloring",
     "defective_edge_coloring",
+    "RunResult",
+    "InstanceSpec",
+    "RunSpec",
+    "algorithm_names",
+    "algorithm_registry",
+    "run",
+    "run_algorithm",
+    "run_many",
     "__version__",
 ]

@@ -1,79 +1,76 @@
 """Command-line interface: ``python -m repro <command>``.
 
+A thin shell over :mod:`repro.api` — instances, algorithms, and
+parameter policies all resolve through the same registries the library
+exposes programmatically.  ``solve`` goes through the spec-driven
+batch executor (so its runs are fingerprinted and cached); ``race``
+drives the unified registry via the sweep harness, and ``info`` /
+``list`` only read the registries.
+
 Commands
 --------
 ``solve``
     Color the edges of a graph (from an edge-list file or a generated
     family) with the paper's algorithm; optionally write the coloring.
 ``race``
-    Run every algorithm on one instance and print the round table.
+    Run every registered algorithm — the paper solver included — on
+    one instance and print the round table.
 ``info``
     Print instance measurements (n, m, Δ, Δ̄, palette sizes).
+``list``
+    Print the registries: instance families, algorithms, policies.
 ``bench-core``
     Benchmark the simulation core (reference loop vs fast path) and
     write the perf-trajectory record ``BENCH_scheduler.json``.
+
+``solve``, ``race``, ``info``, and ``list`` accept ``--json`` for
+machine-readable output.
 
 Examples::
 
     python -m repro solve --family complete_bipartite --size 8
     python -m repro solve --input graph.txt --output colors.txt
-    python -m repro race --family random_regular --size 6
+    python -m repro race --family random_regular --size 6 --json
     python -m repro info --input graph.txt
+    python -m repro list
     python -m repro bench-core --output BENCH_scheduler.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-import networkx as nx
-
+from repro.api import (
+    InstanceSpec,
+    RunSpec,
+    algorithm_registry,
+    run,
+    specs_for_race,
+)
 from repro.analysis.harness import run_race_sweep
 from repro.analysis.tables import format_series, format_table
-from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
-from repro.core.params import fixed_policy, kuhn20_style_policy, paper_policy, scaled_policy
-from repro.core.solver import solve_edge_coloring
-from repro.graphs import generators
-from repro.graphs.io import read_edge_list, write_coloring
+from repro.core.params import named_policies
+from repro.graphs.families import family_registry
+from repro.graphs.io import write_coloring
 from repro.graphs.properties import graph_summary
 
 
-_FAMILIES = {
-    "cycle": lambda size, seed: generators.cycle_graph(max(3, size)),
-    "complete": lambda size, seed: generators.complete_graph(max(2, size)),
-    "complete_bipartite": lambda size, seed: generators.complete_bipartite(
-        max(1, size), max(1, size)
-    ),
-    "random_regular": lambda size, seed: generators.random_regular(
-        max(1, size), 4 * max(1, size) + (4 * size * size) % 2, seed
-    ),
-    "torus": lambda size, seed: generators.torus_graph(max(3, size), max(3, size)),
-    "star": lambda size, seed: generators.star_graph(max(1, size)),
-}
-
-_POLICIES = {
-    "scaled": scaled_policy,
-    "paper": paper_policy,
-    "kuhn20": kuhn20_style_policy,
-    "machinery": lambda: fixed_policy(
-        2, 4, base_degree_threshold=4, base_palette_threshold=6
-    ),
-}
-
-
-def _load_graph(args: argparse.Namespace) -> nx.Graph:
+def _instance_spec(args: argparse.Namespace) -> InstanceSpec:
     if args.input:
-        return read_edge_list(args.input)
+        return InstanceSpec(path=args.input, seed=args.seed)
     if args.family:
-        return _FAMILIES[args.family](args.size, args.seed)
+        return InstanceSpec(family=args.family, size=args.size, seed=args.seed)
     raise SystemExit("provide --input FILE or --family NAME")
 
 
 def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--input", help="edge-list file (one 'u v' per line)")
     parser.add_argument(
-        "--family", choices=sorted(_FAMILIES), help="generated instance family"
+        "--family",
+        choices=sorted(family_registry()),
+        help="generated instance family (see 'repro list')",
     )
     parser.add_argument(
         "--size", type=int, default=8, help="family size parameter (default 8)"
@@ -83,59 +80,146 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+
+def _print_json(payload: object) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=repr))
+
+
 def _command_solve(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    summary = graph_summary(graph)
-    result = solve_edge_coloring(
-        graph, policy=_POLICIES[args.policy](), seed=args.seed
+    spec = RunSpec(
+        instance=_instance_spec(args),
+        algorithm="bko20",
+        policy=args.policy,
     )
-    check_proper_edge_coloring(graph, result.coloring)
-    check_palette_bound(result.coloring, max(1, summary.greedy_palette_size))
-    print(
-        f"colored {summary.edges} edges with "
-        f"{len(set(result.coloring.values()))} colors "
-        f"(bound 2Δ-1 = {summary.greedy_palette_size}) in "
-        f"{result.rounds} LOCAL rounds [policy: {result.policy_name}]"
-    )
-    if args.breakdown:
-        print(result.ledger.breakdown(max_depth=args.breakdown))
+    result = run(spec)  # validated (properness + palette bound) inside
+    if args.json:
+        payload = {"spec": spec.to_dict(), "result": result.to_dict()}
+        _print_json(payload)
+    else:
+        print(
+            f"colored {len(result.coloring)} edges with "
+            f"{result.colors_used()} colors "
+            f"(bound 2Δ-1 = {result.palette_size}) in "
+            f"{result.rounds} LOCAL rounds [policy: {result.policy_name}]"
+        )
+        if args.breakdown and result.ledger is not None:
+            print(result.ledger.breakdown(max_depth=args.breakdown))
     if args.output:
         write_coloring(result.coloring, args.output)
-        print(f"coloring written to {args.output}")
+        if not args.json:
+            print(f"coloring written to {args.output}")
     return 0
 
 
 def _command_race(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
+    instance = _instance_spec(args)
+    graph = instance.build()
     summary = graph_summary(graph)
+    # Algorithm list comes from the unified registry (None = everyone,
+    # the paper solver included as its own entrant).
     sweep = run_race_sweep(
-        [(summary.max_edge_degree, graph)],
-        algorithms=[
-            "linial_greedy",
-            "kuhn_wattenhofer",
-            "kuhn_soda20",
-            "randomized_luby",
-        ],
-        seed=args.seed,
+        [(summary.max_edge_degree, graph)], algorithms=None, seed=args.seed
     )
-    series = {name: sweep.series(name) for name in sweep.series_names()}
-    print(format_series("Δ̄", sweep.xs(), series, title="measured LOCAL rounds"))
+    if args.json:
+        _print_json(
+            {
+                "instance": instance.to_dict(),
+                "x_label": "Δ̄",
+                "xs": sweep.xs(),
+                "series": {
+                    name: sweep.series(name) for name in sweep.series_names()
+                },
+            }
+        )
+    else:
+        series = {name: sweep.series(name) for name in sweep.series_names()}
+        print(format_series("Δ̄", sweep.xs(), series, title="measured LOCAL rounds"))
     return 0
 
 
 def _command_info(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    summary = graph_summary(graph)
+    instance = _instance_spec(args)
+    summary = graph_summary(instance.build())
+    measures = [
+        ("nodes (n)", summary.nodes),
+        ("edges (m)", summary.edges),
+        ("max degree (Δ)", summary.max_degree),
+        ("max edge degree (Δ̄)", summary.max_edge_degree),
+        ("greedy palette (2Δ-1)", summary.greedy_palette_size),
+    ]
+    if args.json:
+        _print_json(
+            {
+                "instance": instance.to_dict(),
+                "fingerprint": instance.fingerprint(),
+                "measures": dict(measures),
+            }
+        )
+    else:
+        print(
+            format_table(
+                ["measure", "value"],
+                [[label, value] for label, value in measures],
+            )
+        )
+    return 0
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    families = family_registry()
+    algorithms = algorithm_registry()
+    policies = sorted(named_policies())
+    if args.json:
+        _print_json(
+            {
+                "families": {
+                    name: {
+                        "size_meaning": family.size_meaning,
+                        "description": family.description,
+                    }
+                    for name, family in sorted(families.items())
+                },
+                "algorithms": {
+                    name: {
+                        "kind": info.kind,
+                        "label": info.label,
+                        "description": info.description,
+                    }
+                    for name, info in algorithms.items()
+                },
+                "policies": policies,
+            }
+        )
+        return 0
     print(
         format_table(
-            ["measure", "value"],
+            ["family", "size parameter"],
+            [[name, families[name].size_meaning] for name in sorted(families)],
+            title="instance families (--family)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["algorithm", "kind", "description"],
             [
-                ["nodes (n)", summary.nodes],
-                ["edges (m)", summary.edges],
-                ["max degree (Δ)", summary.max_degree],
-                ["max edge degree (Δ̄)", summary.max_edge_degree],
-                ["greedy palette (2Δ-1)", summary.greedy_palette_size],
+                [name, info.kind, info.description]
+                for name, info in algorithms.items()
             ],
+            title="algorithms (race entrants / RunSpec.algorithm)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["policy"],
+            [[name] for name in policies],
+            title="parameter policies (--policy, paper solver only)",
         )
     )
     return 0
@@ -170,7 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve = commands.add_parser("solve", help="color a graph's edges")
     _add_instance_arguments(solve)
     solve.add_argument(
-        "--policy", choices=sorted(_POLICIES), default="scaled",
+        "--policy", choices=sorted(named_policies()), default="scaled",
         help="parameter policy (default: scaled)",
     )
     solve.add_argument("--output", help="write the coloring to this file")
@@ -178,15 +262,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--breakdown", type=int, default=0, metavar="DEPTH",
         help="print the round-ledger tree to this depth",
     )
+    _add_json_argument(solve)
     solve.set_defaults(handler=_command_solve)
 
-    race = commands.add_parser("race", help="compare all algorithms")
+    race = commands.add_parser(
+        "race", help="compare all registered algorithms (paper solver included)"
+    )
     _add_instance_arguments(race)
+    _add_json_argument(race)
     race.set_defaults(handler=_command_race)
 
     info = commands.add_parser("info", help="print instance measurements")
     _add_instance_arguments(info)
+    _add_json_argument(info)
     info.set_defaults(handler=_command_info)
+
+    listing = commands.add_parser(
+        "list", help="print the family / algorithm / policy registries"
+    )
+    _add_json_argument(listing)
+    listing.set_defaults(handler=_command_list)
 
     bench = commands.add_parser(
         "bench-core",

@@ -9,6 +9,13 @@ per-cell workload (wall-clock, rounds/sec, messages/sec), and
 :func:`run_race_sweep` optionally records wall-clock per cell — the
 repo's perf trajectory (``BENCH_scheduler.json``, written by
 ``python -m repro bench-core``) is built on these.
+
+Algorithms resolve through the unified registry
+(:mod:`repro.api.registry`) — the paper solver and every baseline via
+one interface — and spec-driven sweeps are first class:
+:func:`run_spec_sweep` feeds :class:`repro.api.RunSpec` batches through
+the fingerprinting batch executor (optionally in parallel), and
+:func:`spec_cells` adapts specs into :func:`run_scaling_sweep` cells.
 """
 
 from __future__ import annotations
@@ -20,11 +27,17 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import networkx as nx
 
-from repro.baselines.registry import BaselineResult, all_baselines
+from repro.api.registry import (
+    PAPER_ALGORITHM,
+    algorithm_registry,
+    get_algorithm,
+)
+from repro.api.runner import run_many
+from repro.api.spec import RunSpec
 from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
 from repro.core.params import ParameterPolicy
-from repro.core.solver import solve_edge_coloring
 from repro.graphs.properties import graph_summary
+from repro.results import RunResult
 
 
 @dataclass
@@ -151,10 +164,14 @@ def run_race_sweep(
     graphs:
         Iterable of ``(x_value, graph)`` pairs, e.g. a Δ sweep.
     algorithms:
-        Baseline names to include (default: all registered).
+        Names from the unified registry (:mod:`repro.api.registry`) to
+        include alongside the paper solver (default: every baseline).
+        The paper solver always races as its own column; naming it
+        here is allowed but adds nothing.
     paper_policy:
-        Policy for the paper's algorithm column (default policy of
-        :func:`repro.core.solver.solve_edge_coloring` when ``None``).
+        Policy for the paper's algorithm column — a
+        :class:`~repro.core.params.ParameterPolicy` or a registered
+        policy name (default policy when ``None``).
     seed:
         ID-assignment seed shared by all runs.
     validate:
@@ -164,8 +181,12 @@ def run_race_sweep(
         Record wall-clock seconds per cell (all algorithms of the
         cell, excluding validation) in a ``wall_clock_s`` column.
     """
-    registry = all_baselines()
-    names = list(algorithms) if algorithms is not None else sorted(registry)
+    registry = algorithm_registry()
+    if algorithms is None:
+        names = [n for n, a in sorted(registry.items()) if a.kind == "baseline"]
+    else:
+        names = [n for n in algorithms if n != PAPER_ALGORITHM]
+    entries = [registry[PAPER_ALGORITHM]] + [get_algorithm(n) for n in names]
     rows: list[ExperimentRow] = []
     for x_value, graph in graphs:
         summary = graph_summary(graph)
@@ -173,27 +194,77 @@ def run_race_sweep(
         row.values["n"] = summary.nodes
         row.values["Δ̄"] = summary.max_edge_degree
         cell_clock = 0.0
-        start = time.perf_counter()
-        paper_result = solve_edge_coloring(graph, policy=paper_policy, seed=seed)
-        cell_clock += time.perf_counter() - start
-        if validate:
-            check_proper_edge_coloring(graph, paper_result.coloring)
-            check_palette_bound(
-                paper_result.coloring, summary.greedy_palette_size
-            )
-        row.values["BKO20 (this paper)"] = paper_result.rounds
-        for name in names:
+        for entry in entries:
+            policy = paper_policy if entry.kind == "paper" else None
             start = time.perf_counter()
-            result: BaselineResult = registry[name](graph, seed=seed)
+            result: RunResult = entry.run(graph, seed=seed, policy=policy)
             cell_clock += time.perf_counter() - start
             if validate:
                 check_proper_edge_coloring(graph, result.coloring)
-                check_palette_bound(result.coloring, result.palette_size)
-            row.values[name] = result.rounds
+                check_palette_bound(
+                    result.coloring,
+                    result.palette_size or summary.greedy_palette_size,
+                )
+            row.values[entry.label] = result.rounds
         if capture_timing:
             row.values["wall_clock_s"] = cell_clock
         rows.append(row)
     return SweepResult(x_label="x", rows=rows)
+
+
+def run_spec_sweep(
+    specs: Sequence[RunSpec],
+    *,
+    parallel: int = 1,
+    validate: bool = True,
+    x_label: str = "spec",
+) -> SweepResult:
+    """Run a batch of specs through the executor; one row per spec.
+
+    The spec-driven sibling of :func:`run_race_sweep`: the instance /
+    algorithm / policy tables live in the specs (serializable,
+    fingerprinted), and ``parallel > 1`` fans the batch out over a
+    process pool via :func:`repro.api.run_many` with identical
+    results.
+    """
+    results = run_many(specs, parallel=parallel, validate=validate)
+    rows: list[ExperimentRow] = []
+    for spec, result in zip(specs, results):
+        row = ExperimentRow(x=spec.label())
+        row.values["algorithm"] = result.name
+        row.values["rounds"] = result.rounds
+        row.values["palette_size"] = result.palette_size
+        row.values["colors_used"] = result.colors_used()
+        row.values["fingerprint"] = result.fingerprint[:12]
+        rows.append(row)
+    return SweepResult(x_label=x_label, rows=rows)
+
+
+def spec_cells(
+    specs: Sequence[RunSpec], *, validate: bool = False
+) -> list[tuple[object, Callable[[], object]]]:
+    """Adapt specs into :func:`run_scaling_sweep` cells.
+
+    Each cell times one uncached executor run, so scaling sweeps can be
+    written purely in terms of specs::
+
+        sweep = run_scaling_sweep(spec_cells(specs), x_label="spec")
+
+    Validation is off by default so ``wall_clock_s`` measures the
+    algorithm alone — the same timing semantics as
+    :func:`run_race_sweep`'s ``capture_timing`` (which excludes
+    validation).  Use :func:`run_spec_sweep` when the sweep's point is
+    verified results rather than timing.
+    """
+    from repro.api.runner import run as run_spec
+
+    return [
+        (
+            spec.label(),
+            lambda spec=spec: run_spec(spec, validate=validate, cache=False),
+        )
+        for spec in specs
+    ]
 
 
 def run_policy_sweep(
@@ -208,7 +279,7 @@ def run_policy_sweep(
     """
     rows: list[ExperimentRow] = []
     for policy in policies:
-        result = solve_edge_coloring(graph, policy=policy, seed=seed)
+        result = get_algorithm(PAPER_ALGORITHM).run(graph, seed=seed, policy=policy)
         check_proper_edge_coloring(graph, result.coloring)
         row = ExperimentRow(x=policy.name)
         row.values["rounds"] = result.rounds

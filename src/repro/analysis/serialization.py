@@ -19,33 +19,8 @@ from typing import Any, Mapping
 
 from repro.core.ledger import LedgerEntry, RoundLedger
 from repro.core.solver import SolveResult
-from repro.errors import InvalidInstanceError
-from repro.graphs.edges import Edge
-
-
-def edge_to_token(edge: Edge) -> str:
-    """Serialise a canonical edge as ``"u--v"``."""
-    u, v = edge
-    return f"{u}--{v}"
-
-
-def token_to_edge(token: str) -> Edge:
-    """Parse an edge token back into a canonical tuple.
-
-    Integer labels are restored as integers; everything else stays a
-    string.
-    """
-    parts = token.split("--")
-    if len(parts) != 2:
-        raise InvalidInstanceError(f"malformed edge token {token!r}")
-
-    def parse(label: str):
-        try:
-            return int(label)
-        except ValueError:
-            return label
-
-    return (parse(parts[0]), parse(parts[1]))
+from repro.errors import InvalidInstanceError  # noqa: F401  (re-export)
+from repro.graphs.edges import Edge, edge_to_token, token_to_edge  # noqa: F401
 
 
 def ledger_entry_to_dict(entry: LedgerEntry) -> dict[str, Any]:

@@ -1,0 +1,70 @@
+"""repro.api — the one front door for running experiments.
+
+Declarative specs in, reproducible fingerprinted results out::
+
+    from repro.api import InstanceSpec, RunSpec, run, run_many
+
+    spec = RunSpec(InstanceSpec(family="complete_bipartite", size=8, seed=1))
+    result = run(spec)                      # validated RunResult
+    print(result.rounds, result.fingerprint)
+
+    specs = [spec.with_algorithm(name) for name in algorithm_names()]
+    results = run_many(specs, parallel=4)   # deterministic fan-out
+
+The pieces:
+
+* :class:`InstanceSpec` / :class:`RunSpec` — serializable experiment
+  descriptions (:mod:`repro.api.spec`), backed by the graph-family
+  registry (:mod:`repro.graphs.families`) and the named policies
+  (:func:`repro.core.params.named_policies`);
+* the unified algorithm registry (:mod:`repro.api.registry`) — the
+  paper solver and every baseline behind one interface, all returning
+  :class:`repro.results.RunResult`;
+* the batch executor (:mod:`repro.api.runner`) — ``run`` / ``run_many``
+  with validation, fingerprint-keyed caching, and process-pool
+  fan-out.
+
+The CLI (``python -m repro``) and the sweep harness
+(:mod:`repro.analysis.harness`) are built on these entry points.
+"""
+
+from repro.api.registry import (
+    PAPER_ALGORITHM,
+    PAPER_LABEL,
+    Algorithm,
+    AlgorithmInfo,
+    algorithm_names,
+    algorithm_registry,
+    get_algorithm,
+    run_algorithm,
+)
+from repro.api.runner import (
+    clear_result_cache,
+    result_cache_size,
+    run,
+    run_many,
+    specs_for_race,
+)
+from repro.api.spec import InstanceSpec, RunSpec
+from repro.results import RunResult, canonical_json, fingerprint_of
+
+__all__ = [
+    "PAPER_ALGORITHM",
+    "PAPER_LABEL",
+    "Algorithm",
+    "AlgorithmInfo",
+    "algorithm_names",
+    "algorithm_registry",
+    "get_algorithm",
+    "run_algorithm",
+    "clear_result_cache",
+    "result_cache_size",
+    "run",
+    "run_many",
+    "specs_for_race",
+    "InstanceSpec",
+    "RunSpec",
+    "RunResult",
+    "canonical_json",
+    "fingerprint_of",
+]

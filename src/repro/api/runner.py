@@ -1,0 +1,210 @@
+"""The batch executor: ``run(spec)`` and ``run_many(specs, parallel=N)``.
+
+The one front door for executing experiments.  Guarantees:
+
+* **Determinism** — a spec carries every input (family, size, seeds,
+  algorithm, policy name), so the same spec produces the same
+  :class:`~repro.results.RunResult` (byte-identical result
+  fingerprint) whether it runs serially, in a process pool, or in a
+  different session.
+* **Validation** — every coloring is re-checked independently
+  (properness + palette bound) before a result is returned; the whole
+  point of the harness is that results are verified.
+* **Caching** — results are memoised under the spec fingerprint;
+  repeated specs (within one ``run_many`` call or across calls) solve
+  once.  The cache is in-process and explicit
+  (:func:`clear_result_cache`); it stores private copies and hands out
+  copies, so mutating a returned result never corrupts later lookups,
+  and a hit produced under ``validate=False`` is validated before it
+  may satisfy a ``validate=True`` request.
+* **Fan-out** — ``parallel > 1`` distributes distinct specs over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Specs cross the
+  process boundary as plain dicts and results come back pickled; the
+  per-spec seeding makes worker-side runs bit-identical to serial
+  ones.
+"""
+
+from __future__ import annotations
+
+import copy
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Iterable, Sequence
+
+from repro.api.registry import get_algorithm
+from repro.api.spec import InstanceSpec, RunSpec
+from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
+from repro.results import RunResult
+
+#: Result cache: spec fingerprint -> (result, was_validated).  The
+#: stored result is private to the cache — lookups hand out deep
+#: copies, so no caller mutation can poison later hits.  In-process
+#: and unbounded; sweeps that would outgrow it should clear between
+#: phases.
+_RESULT_CACHE: dict[str, tuple[RunResult, bool]] = {}
+
+
+def clear_result_cache() -> int:
+    """Drop all cached results; returns how many were dropped."""
+    dropped = len(_RESULT_CACHE)
+    _RESULT_CACHE.clear()
+    return dropped
+
+
+def result_cache_size() -> int:
+    """Number of results currently cached."""
+    return len(_RESULT_CACHE)
+
+
+def _validate(result: RunResult, graph) -> None:
+    check_proper_edge_coloring(graph, result.coloring)
+    if result.palette_size:
+        check_palette_bound(result.coloring, result.palette_size)
+
+
+def _cache_lookup(fingerprint: str, spec: RunSpec, validate: bool) -> RunResult | None:
+    """Return a private copy of a cached result, validating if owed.
+
+    A hit produced by a ``validate=False`` run must not satisfy a
+    ``validate=True`` request unchecked — the validation happens now
+    (once) and the entry is upgraded.
+    """
+    entry = _RESULT_CACHE.get(fingerprint)
+    if entry is None:
+        return None
+    result, validated = entry
+    if validate and not validated:
+        _validate(result, spec.instance.build())
+        _RESULT_CACHE[fingerprint] = (result, True)
+    return copy.deepcopy(result)
+
+
+def _cache_store(fingerprint: str, result: RunResult, validated: bool) -> None:
+    _RESULT_CACHE[fingerprint] = (copy.deepcopy(result), validated)
+
+
+def run(
+    spec: RunSpec,
+    *,
+    validate: bool = True,
+    cache: bool = True,
+    _fingerprint: str | None = None,
+) -> RunResult:
+    """Execute one spec and return its fingerprinted, validated result."""
+    fingerprint = spec.fingerprint() if _fingerprint is None else _fingerprint
+    if cache:
+        hit = _cache_lookup(fingerprint, spec, validate)
+        if hit is not None:
+            return hit
+    graph = spec.instance.build()
+    algorithm = get_algorithm(spec.algorithm)
+    result = algorithm.run(
+        graph,
+        seed=spec.effective_seed(),
+        policy=spec.policy,
+        **dict(spec.params),
+    )
+    result.fingerprint = fingerprint
+    if validate:
+        _validate(result, graph)
+    if cache:
+        _cache_store(fingerprint, result, validate)
+    return result
+
+
+def _run_in_worker(payload: tuple[dict[str, Any], bool]) -> RunResult:
+    """Pool entry point: rebuild the spec from its dict form and run it."""
+    spec_dict, validate = payload
+    return run(RunSpec.from_dict(spec_dict), validate=validate, cache=False)
+
+
+def run_many(
+    specs: Iterable[RunSpec],
+    *,
+    parallel: int = 1,
+    validate: bool = True,
+    cache: bool = True,
+) -> list[RunResult]:
+    """Execute many specs, optionally fanning out over processes.
+
+    Results come back in spec order.  Duplicate specs (same
+    fingerprint) are executed once and share one result object;
+    already-cached specs are not re-executed at all.
+
+    Parameters
+    ----------
+    specs:
+        The run descriptions.
+    parallel:
+        Worker process count; ``1`` (the default) runs serially in
+        this process.  Parallel execution is deterministic: results
+        are keyed and ordered by spec fingerprint, never by completion
+        order.
+    validate / cache:
+        As for :func:`run` (validation happens inside workers).
+    """
+    ordered = list(specs)
+    fingerprints = [spec.fingerprint() for spec in ordered]
+    results: dict[str, RunResult] = {}
+    if cache:
+        for fingerprint, spec in zip(fingerprints, ordered):
+            if fingerprint not in results:
+                hit = _cache_lookup(fingerprint, spec, validate)
+                if hit is not None:
+                    results[fingerprint] = hit
+    pending: dict[str, RunSpec] = {}
+    for fingerprint, spec in zip(fingerprints, ordered):
+        if fingerprint not in results and fingerprint not in pending:
+            pending[fingerprint] = spec
+
+    if parallel <= 1 or len(pending) <= 1:
+        for fingerprint, spec in pending.items():
+            results[fingerprint] = run(
+                spec, validate=validate, cache=cache, _fingerprint=fingerprint
+            )
+    else:
+        payloads = [(spec.to_dict(), validate) for spec in pending.values()]
+        workers = min(parallel, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for fingerprint, result in zip(
+                pending, pool.map(_run_in_worker, payloads)
+            ):
+                results[fingerprint] = result
+                if cache:
+                    _cache_store(fingerprint, result, validate)
+
+    # Duplicate specs get independent copies (first occurrence keeps
+    # the original object).
+    first_index: dict[str, int] = {}
+    for index, fingerprint in enumerate(fingerprints):
+        first_index.setdefault(fingerprint, index)
+    return [
+        results[fingerprint]
+        if index == first_index[fingerprint]
+        else copy.deepcopy(results[fingerprint])
+        for index, fingerprint in enumerate(fingerprints)
+    ]
+
+
+def specs_for_race(
+    instance: InstanceSpec,
+    *,
+    algorithms: Sequence[str] | None = None,
+    policy: str | None = None,
+) -> list[RunSpec]:
+    """One spec per algorithm on a single instance (a "race").
+
+    ``algorithms=None`` means every registered algorithm — the paper
+    solver included, as its own entrant.  ``policy`` applies to the
+    paper solver only.
+    """
+    from repro.api.registry import algorithm_names, get_algorithm
+
+    names = list(algorithms) if algorithms is not None else algorithm_names()
+    return [
+        RunSpec(
+            instance=instance,
+            algorithm=name,
+            policy=policy if get_algorithm(name).kind == "paper" else None,
+        )
+        for name in names
+    ]

@@ -1,0 +1,265 @@
+"""Declarative, serializable run specifications.
+
+A spec is the unit of experiment description: a plain, frozen
+dataclass that round-trips through dicts and JSON, builds its own
+instance, and has a stable SHA-256 **fingerprint**.  Fingerprints key
+the executor's result cache and stamp every :class:`repro.results.RunResult`,
+so a result can always be traced back to the exact spec that produced
+it — the "specs in, reproducible fingerprinted runs out" contract.
+
+Two layers:
+
+* :class:`InstanceSpec` — *what graph*: either a registered family
+  (``family`` + ``size`` + ``seed``) or an edge-list file (``path``).
+  Path-based specs fingerprint the file *content*, not just the path,
+  so a changed file changes the fingerprint.
+* :class:`RunSpec` — *what run*: an instance plus an algorithm name
+  from the unified registry, an optional named parameter policy, an
+  optional run seed (defaults to the instance seed), and extra
+  keyword parameters.  Everything is a name or a primitive, so specs
+  cross process boundaries trivially (the batch executor ships them to
+  pool workers as dicts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+import networkx as nx
+
+from repro.core.params import DEFAULT_POLICY
+from repro.errors import InvalidInstanceError
+from repro.graphs.families import build_family, family_names
+from repro.graphs.io import read_edge_list
+from repro.results import fingerprint_of
+
+#: Content-hash memo: (path, size, mtime_ns) -> sha256 hex.  Sweeps
+#: fingerprint the same edge-list file once per spec; without the memo
+#: a 1000-spec batch would read and hash the file ~1000 times.
+_CONTENT_HASHES: dict[tuple[str, int, int], str] = {}
+
+
+def _file_content_sha256(path: str) -> str:
+    stat = Path(path).stat()
+    key = (str(Path(path).resolve()), stat.st_size, stat.st_mtime_ns)
+    if key not in _CONTENT_HASHES:
+        _CONTENT_HASHES[key] = hashlib.sha256(
+            Path(path).read_bytes()
+        ).hexdigest()
+    return _CONTENT_HASHES[key]
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """A serializable description of one graph instance.
+
+    Exactly one of ``family`` / ``path`` must be set.
+
+    Attributes
+    ----------
+    family:
+        Name of a registered family (:mod:`repro.graphs.families`).
+    size:
+        The family's size parameter (ignored for path instances).
+    seed:
+        Generator seed; also the default run seed of a
+        :class:`RunSpec` wrapping this instance.
+    path:
+        Edge-list file (one ``u v`` per line) instead of a family.
+    """
+
+    family: str | None = None
+    size: int = 8
+    seed: int = 1
+    path: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.family is None) == (self.path is None):
+            raise InvalidInstanceError(
+                "InstanceSpec needs exactly one of family= or path=, got "
+                f"family={self.family!r}, path={self.path!r}"
+            )
+        if self.family is not None and self.family not in family_names():
+            raise InvalidInstanceError(
+                f"unknown family {self.family!r}; have {family_names()}"
+            )
+
+    def label(self) -> str:
+        """Short human-readable identifier (table row label)."""
+        if self.path is not None:
+            return f"file:{Path(self.path).name}"
+        return f"{self.family}[{self.size}]"
+
+    def build(self) -> nx.Graph:
+        """Materialise the instance."""
+        if self.path is not None:
+            return read_edge_list(self.path)
+        assert self.family is not None
+        return build_family(self.family, self.size, self.seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (``None`` fields dropped)."""
+        payload: dict[str, Any] = {"size": self.size, "seed": self.seed}
+        if self.family is not None:
+            payload["family"] = self.family
+        if self.path is not None:
+            payload["path"] = self.path
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InstanceSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            family=payload.get("family"),
+            size=int(payload.get("size", 8)),
+            seed=int(payload.get("seed", 1)),
+            path=payload.get("path"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "InstanceSpec":
+        return cls.from_dict(json.loads(text))
+
+    def _fingerprint_payload(self) -> dict[str, Any]:
+        payload = self.to_dict()
+        if self.path is not None:
+            # ``size`` is ignored for path instances, so it must not
+            # split fingerprints of byte-identical runs.
+            payload.pop("size", None)
+            # Hash the instance *content* so a changed file cannot
+            # masquerade as a cached run of the old one.
+            payload["content_sha256"] = _file_content_sha256(self.path)
+        return payload
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 over the canonical spec (and file content)."""
+        return fingerprint_of(self._fingerprint_payload())
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A serializable description of one algorithm run.
+
+    Attributes
+    ----------
+    instance:
+        The graph to run on.
+    algorithm:
+        Name from the unified registry (:mod:`repro.api.registry`);
+        default is the paper solver.
+    policy:
+        Named parameter policy (:func:`repro.core.params.named_policies`)
+        for the paper solver; must be ``None`` for baselines.
+    run_seed:
+        Seed handed to the algorithm (ID assignment / randomness);
+        defaults to ``instance.seed``.
+    params:
+        Extra keyword arguments forwarded to the algorithm.  Accepts
+        any mapping; stored as a sorted tuple of pairs so specs stay
+        hashable (``dict(spec.params)`` recovers the mapping).
+    """
+
+    instance: InstanceSpec
+    algorithm: str = "bko20"
+    policy: str | None = None
+    run_seed: int | None = None
+    params: Mapping[str, Any] | tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalise params to a sorted tuple of pairs so specs are
+        # hashable (usable in sets/dict keys) and equal regardless of
+        # mapping insertion order.  ``dict(spec.params)`` still works.
+        object.__setattr__(
+            self, "params", tuple(sorted(dict(self.params).items()))
+        )
+
+    def effective_seed(self) -> int:
+        """The seed the algorithm actually receives."""
+        return self.instance.seed if self.run_seed is None else self.run_seed
+
+    def label(self) -> str:
+        """Short human-readable identifier (table row label)."""
+        suffix = f" policy={self.policy}" if self.policy else ""
+        return f"{self.algorithm} on {self.instance.label()}{suffix}"
+
+    def with_algorithm(self, algorithm: str) -> "RunSpec":
+        """A copy of this spec targeting a different algorithm."""
+        return replace(self, algorithm=algorithm)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (``None`` / empty fields dropped)."""
+        payload: dict[str, Any] = {
+            "instance": self.instance.to_dict(),
+            "algorithm": self.algorithm,
+        }
+        if self.policy is not None:
+            payload["policy"] = self.policy
+        if self.run_seed is not None:
+            payload["run_seed"] = self.run_seed
+        if self.params:
+            payload["params"] = dict(self.params)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            instance=InstanceSpec.from_dict(payload["instance"]),
+            algorithm=payload.get("algorithm", "bko20"),
+            policy=payload.get("policy"),
+            run_seed=payload.get("run_seed"),
+            params=dict(payload.get("params", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def _normalized_policy(self) -> str | None:
+        """The policy name that actually executes.
+
+        For the paper solver ``policy=None`` falls back to
+        :data:`repro.core.params.DEFAULT_POLICY`, so both spellings
+        must share one identity.  Baselines take no policy — their
+        ``None`` stays ``None`` (an *invalid* baseline spec carrying a
+        policy keeps a distinct fingerprint and still raises)."""
+        if self.policy is not None:
+            return self.policy
+        from repro.api.registry import get_algorithm
+
+        try:
+            kind = get_algorithm(self.algorithm).kind
+        except KeyError:
+            return None
+        return DEFAULT_POLICY if kind == "paper" else None
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 over the run description.
+
+        Defaults are normalised to what actually executes, so two
+        spellings of the same run share one fingerprint: the seed is
+        the *effective* seed (``run_seed=None`` equals an explicit
+        ``run_seed`` matching the instance seed), and for the paper
+        solver ``policy=None`` equals the solver's default policy name.
+        Includes the instance fingerprint, hence file content for
+        path-based instances.
+        """
+        return fingerprint_of(
+            {
+                "instance": self.instance._fingerprint_payload(),
+                "algorithm": self.algorithm,
+                "policy": self._normalized_policy(),
+                "run_seed": self.effective_seed(),
+                "params": dict(self.params),
+            }
+        )

@@ -8,42 +8,33 @@ so the benchmark harness can sweep them uniformly.  All results carry
 the number of LOCAL rounds under the same accounting rules as the main
 solver (sequential stages add, parallel stages take the max, primitives
 report simulated rounds).
+
+This per-kind registry is wrapped by the unified algorithm registry in
+:mod:`repro.api.registry`, which exposes the baselines *and* the paper
+solver behind one interface — new code should go through that.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import networkx as nx
 
-from repro.graphs.edges import Edge
+from repro.results import RunResult
 
 
 @dataclass
-class BaselineResult:
+class BaselineResult(RunResult):
     """Outcome of a baseline run.
 
-    Attributes
-    ----------
-    name:
-        Algorithm name (table row label).
-    coloring:
-        Edge -> color (palette ``{1, ..., 2Δ-1}`` unless noted).
-    rounds:
-        LOCAL rounds under the library's accounting rules.
-    palette_size:
-        Size of the palette the algorithm promises (``2Δ-1``).
-    details:
-        Algorithm-specific observables (e.g. Luby's trial count,
-        Linial's intermediate palette).
+    A :class:`repro.results.RunResult` specialisation kept as a named
+    class so existing ``from repro.baselines.registry import
+    BaselineResult`` imports (and isinstance checks) continue to work.
+    Baselines populate ``name``, ``coloring``, ``rounds``,
+    ``palette_size`` and ``details``; see the base class for field
+    semantics.
     """
-
-    name: str
-    coloring: dict[Edge, int]
-    rounds: int
-    palette_size: int
-    details: dict[str, object] = field(default_factory=dict)
 
 
 #: Registry: name -> callable(graph, *, seed) -> BaselineResult

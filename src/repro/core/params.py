@@ -182,3 +182,46 @@ def fixed_policy(beta_value: int, split_value: int, **kwargs) -> ParameterPolicy
         split=lambda dbar, palette: split_value,
         **kwargs,
     )
+
+
+def machinery_policy() -> ParameterPolicy:
+    """β=2, p=4, low thresholds: the full recursion engages at
+    simulation scale (see DESIGN.md §4, parameter policies)."""
+    return fixed_policy(2, 4, base_degree_threshold=4, base_palette_threshold=6)
+
+
+#: Name of the policy the solver falls back to when none is given
+#: (``solve_edge_coloring(policy=None)`` uses :func:`scaled_policy`).
+#: Spec fingerprints normalise ``policy=None`` to this name so the two
+#: spellings of the same run share one identity.
+DEFAULT_POLICY = "scaled"
+
+
+def named_policies() -> dict[str, Callable[[], ParameterPolicy]]:
+    """The policy registry: name -> zero-argument factory.
+
+    These names are the serializable policy identifiers used by the CLI
+    (``--policy``) and by :class:`repro.api.RunSpec` — a policy object
+    itself holds callables and cannot cross a process boundary, so
+    specs carry names and workers rebuild the policy from this table.
+    """
+    return {
+        "scaled": scaled_policy,
+        "paper": paper_policy,
+        "kuhn20": kuhn20_style_policy,
+        "machinery": machinery_policy,
+    }
+
+
+def resolve_policy(
+    policy: "ParameterPolicy | str | None",
+) -> ParameterPolicy | None:
+    """Resolve a policy name (or pass through a policy object / None)."""
+    if policy is None or isinstance(policy, ParameterPolicy):
+        return policy
+    registry = named_policies()
+    if policy not in registry:
+        raise ParameterError(
+            f"unknown policy {policy!r}; have {sorted(registry)}"
+        )
+    return registry[policy]()

@@ -35,7 +35,7 @@ path vs. the fallback engaged.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import networkx as nx
@@ -56,35 +56,20 @@ from repro.model.edge_network import edge_identifier
 from repro.primitives.color_reduction import kuhn_wattenhofer_reduction
 from repro.primitives.defective import defective_edge_coloring
 from repro.primitives.linial import linial_reduce
+from repro.results import RunResult
 
 
 @dataclass
-class SolveResult:
-    """Outcome of one solve, with full accounting.
+class SolveResult(RunResult):
+    """Outcome of one paper-solver run, with full accounting.
 
-    Attributes
-    ----------
-    coloring:
-        Edge -> color; validated against the instance before return.
-    rounds:
-        Total LOCAL rounds per the ledger.
-    ledger:
-        The full accounting tree (per-lemma breakdown + counters).
-    initial_palette:
-        ``X`` of the initial edge coloring the recursion consumed.
-    policy_name:
-        The parameter policy in force.
-    stats:
-        Structural statistics: ledger counters plus the Lemma 4.2
-        trajectory (see :class:`SlackLoopStats`).
+    A :class:`repro.results.RunResult` specialisation kept as a named
+    class so existing ``from repro.core.solver import SolveResult``
+    imports (and isinstance checks) continue to work.  The solver
+    always populates ``coloring``, ``rounds``, ``ledger``,
+    ``initial_palette``, ``policy_name``, ``palette_size`` and
+    ``stats``; see the base class for field semantics.
     """
-
-    coloring: dict[Edge, int]
-    rounds: int
-    ledger: RoundLedger
-    initial_palette: int
-    policy_name: str
-    stats: dict[str, object] = field(default_factory=dict)
 
 
 class RecursiveSolver:
@@ -517,10 +502,12 @@ def solve_list_edge_coloring(
     stats["betas"] = list(solver.slack_stats.betas)
     stats["relaxed_invocations"] = solver.slack_stats.relaxed_invocations
     return SolveResult(
+        name="bko20",
         coloring=coloring,
         rounds=ledger.total_rounds(),
         ledger=ledger,
         initial_palette=initial_palette or 0,
+        palette_size=len(lists.palette),
         policy_name=policy.name,
         stats=stats,
     )

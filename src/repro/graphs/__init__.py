@@ -9,6 +9,9 @@ provides
   covering the families the benchmarks sweep over (cycles, complete and
   bipartite graphs, random regular graphs, grids, tori, hypercubes,
   trees, blow-ups, ...);
+* the named family registry (:mod:`repro.graphs.families`) — the single
+  ``(family, size, seed) -> graph`` table behind the CLI, the sweep
+  harness, and :class:`repro.api.InstanceSpec`;
 * line-graph construction (:mod:`repro.graphs.line_graph`) — the
   algorithms reason about the *edge degree* ``deg(e)``, i.e. the degree
   of ``e`` in the line graph;
@@ -17,6 +20,15 @@ provides
 """
 
 from repro.graphs.edges import edge_key, edge_set, incident_edges
+from repro.graphs.families import (
+    Family,
+    build_family,
+    family_names,
+    family_registry,
+    feasible_regular_order,
+    get_family,
+    register_family,
+)
 from repro.graphs.generators import (
     GraphFamily,
     barbell,
@@ -49,6 +61,13 @@ __all__ = [
     "edge_key",
     "edge_set",
     "incident_edges",
+    "Family",
+    "build_family",
+    "family_names",
+    "family_registry",
+    "feasible_regular_order",
+    "get_family",
+    "register_family",
     "GraphFamily",
     "barbell",
     "blow_up_cycle",

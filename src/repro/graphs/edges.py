@@ -90,3 +90,33 @@ def iter_canonical(edges: Iterable[tuple[Hashable, Hashable]]) -> Iterator[Edge]
     """Yield the canonical form of every pair in ``edges``."""
     for u, v in edges:
         yield edge_key(u, v)
+
+
+def edge_to_token(edge: Edge) -> str:
+    """Serialise a canonical edge as ``"u--v"``.
+
+    The textual edge form shared by JSON exports
+    (:mod:`repro.analysis.serialization`) and run-result fingerprints
+    (:mod:`repro.results`).
+    """
+    u, v = edge
+    return f"{u}--{v}"
+
+
+def token_to_edge(token: str) -> Edge:
+    """Parse an edge token back into a canonical tuple.
+
+    Integer labels are restored as integers; everything else stays a
+    string.
+    """
+    parts = token.split("--")
+    if len(parts) != 2:
+        raise InvalidInstanceError(f"malformed edge token {token!r}")
+
+    def parse(label: str):
+        try:
+            return int(label)
+        except ValueError:
+            return label
+
+    return (parse(parts[0]), parse(parts[1]))

@@ -1,0 +1,270 @@
+"""The single registry of named, seedable graph families.
+
+Before this module the CLI (``repro.__main__``), the sweep harness,
+and several benchmark modules each carried their own hardcoded
+``name -> builder`` table.  They now all resolve family names here, so
+an instance is describable by the serializable triple
+``(family, size, seed)`` — the substrate of
+:class:`repro.api.InstanceSpec`.
+
+Every family maps one integer ``size`` knob (whose meaning is
+family-specific and documented per entry) plus a ``seed`` to a
+concrete :class:`networkx.Graph`, deterministically.  Families whose
+generator has feasibility constraints (e.g. random regular graphs need
+``degree * n`` even) perform an explicit, documented adjustment rather
+than relying on callers to pick feasible sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import networkx as nx
+
+from repro.errors import ParameterError
+from repro.graphs import generators
+
+
+@dataclass(frozen=True)
+class Family:
+    """A named instance family: ``(size, seed) -> graph``.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the ``--family`` value on the CLI).
+    size_meaning:
+        What the ``size`` parameter controls (nodes, degree, ...).
+    description:
+        Why the family is in the zoo (which regime it stresses).
+    build:
+        Deterministic builder ``(size, seed) -> nx.Graph``.
+    """
+
+    name: str
+    size_meaning: str
+    description: str
+    build: Callable[[int, int], nx.Graph] = field(repr=False)
+
+
+_REGISTRY: dict[str, Family] = {}
+
+
+def register_family(
+    name: str, *, size_meaning: str, description: str
+) -> Callable[[Callable[[int, int], nx.Graph]], Callable[[int, int], nx.Graph]]:
+    """Decorator adding a ``(size, seed) -> graph`` builder to the registry."""
+
+    def decorator(build: Callable[[int, int], nx.Graph]):
+        if name in _REGISTRY:
+            raise ParameterError(f"family {name!r} registered twice")
+        _REGISTRY[name] = Family(
+            name=name,
+            size_meaning=size_meaning,
+            description=description,
+            build=build,
+        )
+        return build
+
+    return decorator
+
+
+def family_registry() -> dict[str, Family]:
+    """Return the registered families (name -> :class:`Family`)."""
+    return dict(_REGISTRY)
+
+
+def family_names() -> list[str]:
+    """Sorted names of every registered family."""
+    return sorted(_REGISTRY)
+
+
+def get_family(name: str) -> Family:
+    """Look up a family by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown family {name!r}; have {family_names()}"
+        ) from None
+
+
+def build_family(name: str, size: int, seed: int = 1) -> nx.Graph:
+    """Build one instance of a registered family."""
+    return get_family(name).build(size, seed)
+
+
+def feasible_regular_order(degree: int, n: int) -> tuple[int, int]:
+    """Adjust ``(degree, n)`` so a simple ``degree``-regular graph exists.
+
+    Existence requires ``n > degree`` and ``degree * n`` even; ``n`` is
+    bumped (never the degree — the degree is the experimental knob) by
+    the minimum amount that satisfies both.
+    """
+    if degree < 0:
+        raise ParameterError(f"degree must be >= 0, got {degree}")
+    n = max(n, degree + 1)
+    if (degree * n) % 2:
+        n += 1
+    return degree, n
+
+
+# ----------------------------------------------------------------------
+# The standard zoo.  Size floors mirror each generator's own minimum so
+# that every (size >= 1, seed) pair builds.
+# ----------------------------------------------------------------------
+
+
+@register_family(
+    "cycle",
+    size_meaning="number of nodes (min 3)",
+    description="constant Δ, growing n: isolates the additive O(log* n) term",
+)
+def _cycle(size: int, seed: int) -> nx.Graph:
+    return generators.cycle_graph(max(3, size))
+
+
+@register_family(
+    "path",
+    size_meaning="number of nodes (min 2)",
+    description="the sparsest connected instance; boundary effects of the cycle",
+)
+def _path(size: int, seed: int) -> nx.Graph:
+    return generators.path_graph(max(2, size))
+
+
+@register_family(
+    "complete",
+    size_meaning="number of nodes (min 2)",
+    description="growing Δ = n-1: isolates the quasi-polylog-in-Δ term",
+)
+def _complete(size: int, seed: int) -> nx.Graph:
+    return generators.complete_graph(max(2, size))
+
+
+@register_family(
+    "complete_bipartite",
+    size_meaning="nodes per side (min 1)",
+    description="K_{s,s}: uniform edge degree 2s-2, the classic hard instance",
+)
+def _complete_bipartite(size: int, seed: int) -> nx.Graph:
+    return generators.complete_bipartite(max(1, size), max(1, size))
+
+
+@register_family(
+    "random_regular",
+    size_meaning="degree d (n = 4d, adjusted to a feasible order)",
+    description="uniform degrees, no helpful structure: the paper's typical instance",
+)
+def _random_regular(size: int, seed: int) -> nx.Graph:
+    degree, n = feasible_regular_order(max(1, size), 4 * max(1, size))
+    return generators.random_regular(degree, n, seed)
+
+
+@register_family(
+    "grid",
+    size_meaning="side length (size x size grid, min 2)",
+    description="Δ <= 4 planar instance with boundary-degree skew",
+)
+def _grid(size: int, seed: int) -> nx.Graph:
+    return generators.grid_graph(max(2, size), max(2, size))
+
+
+@register_family(
+    "torus",
+    size_meaning="side length (size x size torus, min 3)",
+    description="4-regular instance with no boundary effects",
+)
+def _torus(size: int, seed: int) -> nx.Graph:
+    return generators.torus_graph(max(3, size), max(3, size))
+
+
+@register_family(
+    "star",
+    size_meaning="number of leaves (min 1)",
+    description="Δ = n-1 at one hub: every edge shares the hub",
+)
+def _star(size: int, seed: int) -> nx.Graph:
+    return generators.star_graph(max(1, size))
+
+
+@register_family(
+    "hypercube",
+    size_meaning="dimension (min 1)",
+    description="Δ = log2 n: degree and diameter grow together",
+)
+def _hypercube(size: int, seed: int) -> nx.Graph:
+    return generators.hypercube(max(1, size))
+
+
+@register_family(
+    "random_tree",
+    size_meaning="number of nodes (min 1)",
+    description="uniformly random labelled tree: sparse with random degree skew",
+)
+def _random_tree(size: int, seed: int) -> nx.Graph:
+    return generators.random_tree(max(1, size), seed)
+
+
+@register_family(
+    "erdos_renyi",
+    size_meaning="number of nodes (min 2; edge probability fixed at 0.3)",
+    description="G(n, 0.3): irregular degrees around a concentrated mean",
+)
+def _erdos_renyi(size: int, seed: int) -> nx.Graph:
+    return generators.erdos_renyi(max(2, size), 0.3, seed)
+
+
+@register_family(
+    "friendship",
+    size_meaning="number of triangles (min 1)",
+    description="one hub of degree 2k against degree-2 spokes: extreme skew",
+)
+def _friendship(size: int, seed: int) -> nx.Graph:
+    return generators.friendship_graph(max(1, size))
+
+
+@register_family(
+    "book",
+    size_meaning="number of pages (min 1)",
+    description="triangles sharing one edge: two high-degree nodes",
+)
+def _book(size: int, seed: int) -> nx.Graph:
+    return generators.book_graph(max(1, size))
+
+
+@register_family(
+    "barbell",
+    size_meaning="clique size (min 3; bridge length 2)",
+    description="dense cores joined by a sparse tail: per-edge lists differ widely",
+)
+def _barbell(size: int, seed: int) -> nx.Graph:
+    return generators.barbell(max(3, size), 2)
+
+
+@register_family(
+    "blow_up_cycle",
+    size_meaning="group size (6-cycle blow-up, min 1)",
+    description="2g-regular with a locally dense line graph: stresses Lemma 4.3",
+)
+def _blow_up_cycle(size: int, seed: int) -> nx.Graph:
+    return generators.blow_up_cycle(6, max(1, size))
+
+
+@register_family(
+    "circulant",
+    size_meaning="number of nodes (min 6; offsets 1, 2, 5)",
+    description="expander-ish constant-degree instance: locally tree-like",
+)
+def _circulant(size: int, seed: int) -> nx.Graph:
+    return generators.circulant(max(6, size))
+
+
+@register_family(
+    "caterpillar",
+    size_meaning="spine length (3 legs per spine node, min 1)",
+    description="low-degree spine with moderate-degree hubs",
+)
+def _caterpillar(size: int, seed: int) -> nx.Graph:
+    return generators.caterpillar(max(1, size), 3)

@@ -332,21 +332,21 @@ def standard_families(seed: int = 7) -> list[GraphFamily]:
 
     The size parameter has a family-specific meaning (nodes for cycles,
     degree for regular graphs, side size for bipartite graphs); each
-    family documents it in its name.
+    family documents it in its name.  The builders resolve through the
+    central registry in :mod:`repro.graphs.families` — this function
+    only fixes the default sweep subset and binds the seed.
     """
+    from repro.graphs.families import build_family
+
+    labelled = [
+        ("cycle[n]", "cycle"),
+        ("complete[n]", "complete"),
+        ("complete_bipartite[n,n]", "complete_bipartite"),
+        ("random_regular[d, n=4d]", "random_regular"),
+        ("torus[n,n]", "torus"),
+        ("blow_up_cycle[6, g]", "blow_up_cycle"),
+    ]
     return [
-        GraphFamily("cycle[n]", lambda n: cycle_graph(max(3, n))),
-        GraphFamily("complete[n]", lambda n: complete_graph(max(2, n))),
-        GraphFamily(
-            "complete_bipartite[n,n]",
-            lambda n: complete_bipartite(max(1, n), max(1, n)),
-        ),
-        GraphFamily(
-            "random_regular[d, n=4d]",
-            lambda d: random_regular(
-                max(1, d), 4 * max(1, d) + (4 * max(1, d) * max(1, d)) % 2, seed
-            ),
-        ),
-        GraphFamily("torus[n,n]", lambda n: torus_graph(max(3, n), max(3, n))),
-        GraphFamily("blow_up_cycle[6, g]", lambda g: blow_up_cycle(6, max(1, g))),
+        GraphFamily(label, lambda n, name=name: build_family(name, n, seed))
+        for label, name in labelled
     ]

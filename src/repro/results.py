@@ -1,0 +1,131 @@
+"""Unified run results: the common outcome type of every algorithm.
+
+Historically the paper solver returned ``SolveResult`` and the
+baselines returned ``BaselineResult`` through a separate registry, so
+the harness, CLI, and benchmarks each handled two shapes.
+:class:`RunResult` is now the single common type: both legacy classes
+are thin subclasses of it (their old import paths keep working), and
+the :mod:`repro.api` entry points deal exclusively in ``RunResult``.
+
+A result knows how to render itself as a JSON-safe dict and how to
+compute a **result fingerprint** — the SHA-256 of its canonical JSON
+form.  Fingerprints are the reproducibility contract of the batch
+executor: the same :class:`repro.api.RunSpec` must produce the same
+result fingerprint whether it ran serially, in a process pool, or in a
+different session.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.graphs.edges import Edge, edge_to_token
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ledger import RoundLedger
+
+
+def canonical_json(payload: Any) -> str:
+    """Render ``payload`` as canonical (sorted, compact) JSON.
+
+    Non-JSON values fall back to ``repr`` so fingerprinting is total.
+    """
+    return json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=False,
+        default=repr,
+    )
+
+
+def fingerprint_of(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunResult:
+    """Outcome of running any registered algorithm on one instance.
+
+    Attributes
+    ----------
+    name:
+        Algorithm name (registry key / table row label).
+    coloring:
+        Edge -> color (palette ``{1, ..., 2Δ-1}`` unless noted).
+    rounds:
+        LOCAL rounds under the library's accounting rules (sequential
+        stages add, parallel stages take the max, primitives report
+        simulated rounds).
+    palette_size:
+        Size of the palette the algorithm promises (``2Δ-1``).
+    fingerprint:
+        Fingerprint of the :class:`repro.api.RunSpec` that produced
+        this result (empty for direct, spec-less invocations).
+    policy_name:
+        Parameter policy in force (paper solver only).
+    initial_palette:
+        ``X`` of the initial edge coloring the recursion consumed
+        (paper solver only).
+    stats:
+        Structural statistics (ledger counters, Lemma 4.2 trajectory).
+    details:
+        Algorithm-specific observables (e.g. Luby's trial count).
+    ledger:
+        Full round-accounting tree when the algorithm keeps one.
+    """
+
+    name: str = ""
+    coloring: dict[Edge, int] = field(default_factory=dict)
+    rounds: int = 0
+    palette_size: int = 0
+    fingerprint: str = ""
+    policy_name: str | None = None
+    initial_palette: int | None = None
+    stats: dict[str, object] = field(default_factory=dict)
+    details: dict[str, object] = field(default_factory=dict)
+    ledger: "RoundLedger | None" = field(default=None, repr=False)
+
+    def colors_used(self) -> int:
+        """Number of distinct colors actually used."""
+        return len(set(self.coloring.values()))
+
+    def to_dict(self, *, include_coloring: bool = True) -> dict[str, Any]:
+        """Render as a JSON-safe dict (edges become ``"u--v"`` tokens).
+
+        The ledger tree is summarised by its total (the full tree is
+        available via :mod:`repro.analysis.serialization`).
+        """
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "rounds": self.rounds,
+            "palette_size": self.palette_size,
+            "colors_used": self.colors_used(),
+            "edges": len(self.coloring),
+            "fingerprint": self.fingerprint,
+            "policy_name": self.policy_name,
+            "initial_palette": self.initial_palette,
+            "stats": self.stats,
+            "details": self.details,
+            "ledger_rounds": (
+                self.ledger.total_rounds() if self.ledger is not None else None
+            ),
+        }
+        if include_coloring:
+            payload["coloring"] = {
+                edge_to_token(edge): color
+                for edge, color in sorted(self.coloring.items(), key=repr)
+            }
+        return payload
+
+    def result_fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form of this result.
+
+        Two runs of the same spec — serial or parallel, this session or
+        the next — must agree byte-for-byte on this value.
+        """
+        return fingerprint_of(self.to_dict())

@@ -6,7 +6,10 @@ from repro.analysis.harness import (
     run_policy_sweep,
     run_race_sweep,
     run_scaling_sweep,
+    run_spec_sweep,
+    spec_cells,
 )
+from repro.api import InstanceSpec, RunSpec, clear_result_cache
 from repro.core.params import fixed_policy, scaled_policy
 from repro.graphs.generators import complete_bipartite, cycle_graph
 from repro.model.scheduler import run_on_graph
@@ -70,6 +73,48 @@ class TestScalingSweep:
         sweep = run_scaling_sweep([("a", lambda: object())], x_label="case")
         assert sweep.x_label == "case"
         assert list(sweep.rows[0].values) == ["wall_clock_s"]
+
+
+class TestSpecSweep:
+    def _specs(self):
+        return [
+            RunSpec(
+                instance=InstanceSpec(family="complete_bipartite", size=3, seed=2),
+                algorithm=name,
+            )
+            for name in ("bko20", "linial_greedy", "kuhn_wattenhofer")
+        ]
+
+    def test_one_row_per_spec_with_registry_columns(self):
+        clear_result_cache()
+        sweep = run_spec_sweep(self._specs())
+        assert len(sweep.rows) == 3
+        assert [row.values["algorithm"] for row in sweep.rows] == [
+            "bko20", "linial_greedy", "kuhn_wattenhofer",
+        ]
+        for row in sweep.rows:
+            assert row.values["rounds"] > 0
+            assert row.values["colors_used"] <= row.values["palette_size"]
+            assert len(row.values["fingerprint"]) == 12
+
+    def test_parallel_sweep_matches_serial(self):
+        clear_result_cache()
+        serial = run_spec_sweep(self._specs(), parallel=1)
+        clear_result_cache()
+        parallel = run_spec_sweep(self._specs(), parallel=2)
+        assert [r.values for r in serial.rows] == [r.values for r in parallel.rows]
+
+    def test_spec_cells_feed_the_scaling_sweep(self):
+        clear_result_cache()
+        specs = [
+            RunSpec(instance=InstanceSpec(family="cycle", size=n, seed=1))
+            for n in (6, 12)
+        ]
+        sweep = run_scaling_sweep(spec_cells(specs), x_label="spec")
+        assert sweep.xs() == ["bko20 on cycle[6]", "bko20 on cycle[12]"]
+        for row in sweep.rows:
+            assert row.values["wall_clock_s"] > 0
+            assert row.values["rounds"] > 0
 
 
 class TestPolicySweep:

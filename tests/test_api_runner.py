@@ -1,0 +1,206 @@
+"""Tests for the batch executor: run, run_many, caching, determinism."""
+
+import pytest
+
+from repro.api import (
+    InstanceSpec,
+    RunSpec,
+    clear_result_cache,
+    result_cache_size,
+    run,
+    run_many,
+    specs_for_race,
+)
+from repro.api.registry import algorithm_names
+from repro.baselines.registry import BaselineResult, run_baseline
+from repro.core.solver import SolveResult, solve_edge_coloring
+from repro.results import RunResult
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+def twelve_spec_sweep() -> list[RunSpec]:
+    """A 12-cell sweep mixing families, sizes, and algorithms."""
+    instances = [
+        InstanceSpec(family="cycle", size=8, seed=1),
+        InstanceSpec(family="complete_bipartite", size=3, seed=2),
+        InstanceSpec(family="star", size=6, seed=3),
+        InstanceSpec(family="grid", size=3, seed=4),
+    ]
+    algorithms = ["bko20", "linial_greedy", "randomized_luby"]
+    return [
+        RunSpec(instance=instance, algorithm=algorithm)
+        for instance in instances
+        for algorithm in algorithms
+    ]
+
+
+class TestRun:
+    def test_paper_run_matches_direct_solver_call(self):
+        spec = RunSpec(InstanceSpec(family="complete_bipartite", size=4, seed=2))
+        result = run(spec)
+        direct = solve_edge_coloring(spec.instance.build(), seed=2)
+        assert result.rounds == direct.rounds
+        assert result.coloring == direct.coloring
+        assert result.fingerprint == spec.fingerprint()
+
+    def test_baseline_run_matches_direct_baseline_call(self):
+        spec = RunSpec(
+            InstanceSpec(family="complete_bipartite", size=4, seed=2),
+            algorithm="kuhn_wattenhofer",
+        )
+        result = run(spec)
+        direct = run_baseline(
+            "kuhn_wattenhofer", spec.instance.build(), seed=2
+        )
+        assert result.rounds == direct.rounds
+        assert result.coloring == direct.coloring
+
+    def test_cache_serves_repeat_runs(self):
+        spec = RunSpec(InstanceSpec(family="cycle", size=9, seed=1))
+        first = run(spec)
+        assert result_cache_size() == 1
+        again = run(spec)
+        assert result_cache_size() == 1  # served from cache, not re-solved
+        assert again.result_fingerprint() == first.result_fingerprint()
+
+    def test_cached_results_are_mutation_safe(self):
+        # Cache entries are private copies: a caller trashing its
+        # returned result must not poison later lookups.
+        spec = RunSpec(InstanceSpec(family="cycle", size=9, seed=1))
+        first = run(spec)
+        pristine = first.result_fingerprint()
+        first.coloring.clear()
+        first.stats["injected"] = True
+        assert run(spec).result_fingerprint() == pristine
+
+    def test_validate_true_upgrades_unvalidated_cache_entries(self, monkeypatch):
+        # A validate=False run populates the cache; the next
+        # validate=True request must actually validate (once) before
+        # the entry may satisfy it.
+        import repro.api.runner as runner_module
+
+        spec = RunSpec(InstanceSpec(family="cycle", size=9, seed=1))
+        unvalidated = run(spec, validate=False)
+        calls: list[object] = []
+        monkeypatch.setattr(
+            runner_module, "_validate", lambda result, graph: calls.append(result)
+        )
+        validated = run(spec, validate=True)
+        assert validated.result_fingerprint() == unvalidated.result_fingerprint()
+        assert len(calls) == 1
+        run(spec, validate=True)
+        assert len(calls) == 1  # upgraded once, not re-checked per hit
+
+    def test_cache_opt_out(self):
+        spec = RunSpec(InstanceSpec(family="cycle", size=9, seed=1))
+        run(spec, cache=False)
+        assert result_cache_size() == 0
+
+
+class TestRunMany:
+    def test_results_come_back_in_spec_order(self):
+        specs = twelve_spec_sweep()
+        results = run_many(specs)
+        assert [r.fingerprint for r in results] == [s.fingerprint() for s in specs]
+
+    def test_duplicate_specs_solve_once(self):
+        spec = RunSpec(InstanceSpec(family="cycle", size=8, seed=1))
+        results = run_many([spec, spec, spec])
+        assert result_cache_size() == 1
+        fingerprints = {r.result_fingerprint() for r in results}
+        assert len(fingerprints) == 1
+        # ... but callers get independent copies, not one shared object.
+        results[0].coloring.clear()
+        assert results[1].coloring
+
+    def test_parallel_equals_serial_on_a_12_spec_sweep(self):
+        # Acceptance criterion: byte-identical RunResult fingerprints
+        # with parallel=1 and parallel=4.
+        specs = twelve_spec_sweep()
+        assert len(specs) == 12
+        serial = run_many(specs, parallel=1)
+        clear_result_cache()
+        parallel = run_many(specs, parallel=4)
+        assert [r.result_fingerprint() for r in serial] == [
+            r.result_fingerprint() for r in parallel
+        ]
+        # The fingerprint covers rounds + coloring, but check the
+        # headline fields directly too.
+        for a, b in zip(serial, parallel):
+            assert a.rounds == b.rounds
+            assert a.coloring == b.coloring
+            assert a.name == b.name
+
+    def test_parallel_results_land_in_the_cache(self):
+        specs = twelve_spec_sweep()
+        run_many(specs, parallel=4)
+        assert result_cache_size() == 12
+        # A second pass is served entirely from cache.
+        again = run_many(specs, parallel=4)
+        assert [r.result_fingerprint() for r in again] == [
+            r.result_fingerprint() for r in run_many(specs)
+        ]
+
+    def test_specs_for_race_covers_the_whole_registry(self):
+        instance = InstanceSpec(family="complete_bipartite", size=3, seed=2)
+        specs = specs_for_race(instance)
+        assert [s.algorithm for s in specs] == algorithm_names()
+        results = run_many(specs)
+        assert all(r.rounds >= 0 and r.coloring for r in results)
+
+
+class TestDeprecationShims:
+    """The legacy result types remain importable and RunResult-shaped."""
+
+    def test_solve_result_is_a_run_result(self):
+        assert issubclass(SolveResult, RunResult)
+        result = solve_edge_coloring(
+            InstanceSpec(family="cycle", size=6, seed=1).build(), seed=1
+        )
+        assert isinstance(result, RunResult)
+        assert result.name == "bko20"
+        assert result.palette_size > 0
+
+    def test_baseline_result_is_a_run_result(self):
+        assert issubclass(BaselineResult, RunResult)
+        result = run_baseline(
+            "greedy_sequential",
+            InstanceSpec(family="cycle", size=6, seed=1).build(),
+            seed=1,
+        )
+        assert isinstance(result, RunResult)
+        assert result.result_fingerprint()
+
+    def test_legacy_imports_keep_working(self):
+        from repro import SolveResult as top_level_solve_result
+        from repro.baselines.registry import BaselineResult as legacy_baseline
+        from repro.core.solver import SolveResult as legacy_solve
+
+        assert top_level_solve_result is legacy_solve
+        assert issubclass(legacy_baseline, RunResult)
+
+
+class TestResultSerialization:
+    def test_to_dict_is_json_safe_and_tokenized(self):
+        import json
+
+        result = run(RunSpec(InstanceSpec(family="cycle", size=5, seed=1)))
+        payload = result.to_dict()
+        text = json.dumps(payload, sort_keys=True, default=repr)
+        assert "--" in next(iter(payload["coloring"]))
+        assert json.loads(text)["rounds"] == result.rounds
+
+    def test_result_fingerprint_stable_across_runs(self):
+        spec = RunSpec(
+            InstanceSpec(family="complete_bipartite", size=3, seed=2),
+            algorithm="randomized_luby",
+        )
+        first = run(spec).result_fingerprint()
+        clear_result_cache()
+        assert run(spec).result_fingerprint() == first

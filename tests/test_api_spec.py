@@ -1,0 +1,159 @@
+"""Tests for the declarative specs: round-trips and fingerprints."""
+
+import json
+
+import pytest
+
+from repro.api import InstanceSpec, RunSpec
+from repro.errors import InvalidInstanceError
+from repro.graphs.edges import edge_set
+from repro.graphs.generators import complete_bipartite
+from repro.graphs.io import write_edge_list
+
+
+class TestInstanceSpec:
+    def test_family_spec_builds_expected_graph(self):
+        spec = InstanceSpec(family="cycle", size=7, seed=3)
+        graph = spec.build()
+        assert graph.number_of_nodes() == 7
+        assert graph.number_of_edges() == 7
+
+    def test_path_spec_builds_from_file(self, tmp_path):
+        graph = complete_bipartite(3, 3)
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        spec = InstanceSpec(path=str(path))
+        rebuilt = spec.build()
+        assert edge_set(rebuilt) == edge_set(graph)
+
+    def test_dict_round_trip(self):
+        spec = InstanceSpec(family="torus", size=5, seed=9)
+        assert InstanceSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = InstanceSpec(family="random_regular", size=4, seed=2)
+        restored = InstanceSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.fingerprint() == spec.fingerprint()
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(InvalidInstanceError):
+            InstanceSpec()
+        with pytest.raises(InvalidInstanceError):
+            InstanceSpec(family="cycle", path="g.txt")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown family"):
+            InstanceSpec(family="nope")
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = InstanceSpec(family="cycle", size=8, seed=1)
+        b = InstanceSpec(family="cycle", size=8, seed=1)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != InstanceSpec(family="cycle", size=9, seed=1).fingerprint()
+        assert a.fingerprint() != InstanceSpec(family="cycle", size=8, seed=2).fingerprint()
+        assert a.fingerprint() != InstanceSpec(family="path", size=8, seed=1).fingerprint()
+
+    def test_path_fingerprint_ignores_unused_size(self, tmp_path):
+        # size is documented as ignored for path instances, so it must
+        # not split fingerprints of byte-identical runs.
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        assert (
+            InstanceSpec(path=str(path)).fingerprint()
+            == InstanceSpec(path=str(path), size=99).fingerprint()
+        )
+
+    def test_path_fingerprint_tracks_file_content(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        before = InstanceSpec(path=str(path)).fingerprint()
+        assert InstanceSpec(path=str(path)).fingerprint() == before
+        path.write_text("0 1\n1 2\n2 3\n")
+        assert InstanceSpec(path=str(path)).fingerprint() != before
+
+
+class TestRunSpec:
+    def test_dict_round_trip_preserves_everything(self):
+        spec = RunSpec(
+            instance=InstanceSpec(family="complete", size=6, seed=4),
+            algorithm="linial_greedy",
+            run_seed=11,
+            params={"extra": 1},
+        )
+        restored = RunSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.fingerprint() == spec.fingerprint()
+
+    def test_json_round_trip_via_plain_json(self):
+        spec = RunSpec(
+            instance=InstanceSpec(family="star", size=5, seed=2),
+            algorithm="bko20",
+            policy="machinery",
+        )
+        payload = json.loads(spec.to_json())
+        assert payload["policy"] == "machinery"
+        assert RunSpec.from_dict(payload) == spec
+
+    def test_effective_seed_defaults_to_instance_seed(self):
+        instance = InstanceSpec(family="cycle", size=6, seed=7)
+        assert RunSpec(instance=instance).effective_seed() == 7
+        assert RunSpec(instance=instance, run_seed=3).effective_seed() == 3
+
+    def test_equivalent_seeds_fingerprint_identically(self):
+        # run_seed=None and an explicit run_seed equal to the instance
+        # seed execute identically, so they must share a fingerprint.
+        instance = InstanceSpec(family="cycle", size=6, seed=7)
+        assert (
+            RunSpec(instance=instance).fingerprint()
+            == RunSpec(instance=instance, run_seed=7).fingerprint()
+        )
+
+    def test_policy_none_equals_default_policy_fingerprint(self):
+        # policy=None executes with the solver's default ('scaled'), so
+        # the two spellings of the same run share one fingerprint.
+        instance = InstanceSpec(family="cycle", size=6, seed=1)
+        assert (
+            RunSpec(instance=instance).fingerprint()
+            == RunSpec(instance=instance, policy="scaled").fingerprint()
+        )
+
+    def test_baseline_policy_is_not_normalized(self):
+        # Baselines take no policy: a (invalid) baseline spec carrying
+        # one must NOT collide with the valid policy-less spec, or the
+        # executor cache would serve it a result instead of raising.
+        instance = InstanceSpec(family="cycle", size=6, seed=1)
+        valid = RunSpec(instance=instance, algorithm="linial_greedy")
+        invalid = RunSpec(
+            instance=instance, algorithm="linial_greedy", policy="scaled"
+        )
+        assert valid.fingerprint() != invalid.fingerprint()
+
+    def test_fingerprint_sensitive_to_algorithm_and_policy(self):
+        instance = InstanceSpec(family="cycle", size=6, seed=1)
+        base = RunSpec(instance=instance)
+        assert base.fingerprint() != base.with_algorithm("linial_greedy").fingerprint()
+        assert (
+            base.fingerprint()
+            != RunSpec(instance=instance, policy="machinery").fingerprint()
+        )
+
+    def test_specs_are_hashable_and_order_insensitive(self):
+        a = RunSpec(
+            instance=InstanceSpec(family="cycle", size=6, seed=1),
+            params={"b": 2, "a": 1},
+        )
+        b = RunSpec(
+            instance=InstanceSpec(family="cycle", size=6, seed=1),
+            params={"a": 1, "b": 2},
+        )
+        assert a == b
+        assert len({a, b}) == 1  # usable in sets / as dict keys
+        assert dict(a.params) == {"a": 1, "b": 2}
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_with_algorithm_keeps_instance(self):
+        spec = RunSpec(instance=InstanceSpec(family="grid", size=3, seed=1))
+        other = spec.with_algorithm("kuhn_wattenhofer")
+        assert other.instance == spec.instance
+        assert other.algorithm == "kuhn_wattenhofer"

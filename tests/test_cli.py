@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -46,12 +48,92 @@ class TestSolveCommand:
             main(["solve"])
 
 
+class TestSolveEquivalence:
+    """The spec-driven solve path matches the pre-redesign direct path."""
+
+    def test_solve_rounds_and_coloring_match_direct_solver(self, capsys, tmp_path):
+        from repro.core.params import scaled_policy
+        from repro.core.solver import solve_edge_coloring
+
+        out_path = tmp_path / "c.txt"
+        assert main([
+            "solve", "--family", "complete_bipartite", "--size", "4",
+            "--seed", "1", "--policy", "scaled", "--output", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        direct = solve_edge_coloring(
+            complete_bipartite(4, 4), policy=scaled_policy(), seed=1
+        )
+        assert f"in {direct.rounds} LOCAL rounds" in out
+        assert read_coloring(out_path) == direct.coloring
+
+
 class TestRaceCommand:
-    def test_race_prints_all_algorithms(self, capsys):
+    def test_race_prints_all_registered_algorithms(self, capsys):
+        from repro.api import algorithm_registry
+
         assert main(["race", "--family", "complete_bipartite", "--size", "3"]) == 0
         out = capsys.readouterr().out
         assert "BKO20 (this paper)" in out
-        assert "kuhn_wattenhofer" in out
+        for info in algorithm_registry().values():
+            assert info.label in out
+
+    def test_race_rounds_match_direct_runs(self, capsys):
+        """Registry-routed race rounds equal the pre-redesign direct calls."""
+        from repro.baselines.registry import run_baseline
+        from repro.core.solver import solve_edge_coloring
+
+        assert main([
+            "race", "--family", "complete_bipartite", "--size", "3",
+            "--seed", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        graph = complete_bipartite(3, 3)
+        assert payload["series"]["BKO20 (this paper)"] == [
+            solve_edge_coloring(graph, seed=1).rounds
+        ]
+        for name in ("linial_greedy", "kuhn_wattenhofer", "randomized_luby"):
+            assert payload["series"][name] == [
+                run_baseline(name, graph, seed=1).rounds
+            ]
+
+
+class TestListCommand:
+    def test_list_prints_all_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "complete_bipartite" in out
+        assert "bko20" in out and "randomized_luby" in out
+        assert "machinery" in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.baselines.registry import all_baselines
+        from repro.graphs.families import family_names
+
+        assert set(payload["families"]) == set(family_names())
+        assert set(payload["algorithms"]) == {"bko20", *all_baselines()}
+        assert payload["algorithms"]["bko20"]["kind"] == "paper"
+        assert set(payload["policies"]) == {"scaled", "paper", "kuhn20", "machinery"}
+
+
+class TestJsonOutput:
+    def test_solve_json_round_trips(self, capsys):
+        assert main([
+            "solve", "--family", "cycle", "--size", "6", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["name"] == "bko20"
+        assert payload["result"]["rounds"] > 0
+        assert payload["result"]["fingerprint"]
+        assert payload["spec"]["instance"]["family"] == "cycle"
+
+    def test_info_json(self, capsys):
+        assert main(["info", "--family", "star", "--size", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["measures"]["max degree (Δ)"] == 5
+        assert payload["fingerprint"]
 
 
 class TestBenchCoreCommand:

@@ -1,0 +1,89 @@
+"""Tests for the central graph-family registry."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.families import (
+    build_family,
+    family_names,
+    family_registry,
+    feasible_regular_order,
+    get_family,
+)
+from repro.graphs.generators import standard_families
+
+
+class TestRegistry:
+    def test_families_build_deterministically(self):
+        for name in family_names():
+            a = build_family(name, 4, seed=3)
+            b = build_family(name, 4, seed=3)
+            assert isinstance(a, nx.Graph)
+            assert a.number_of_edges() >= 1
+            assert set(a.edges()) == set(b.edges()), name
+
+    def test_small_sizes_never_reject(self):
+        # Size floors make every (size >= 1) request feasible.
+        for name in family_names():
+            for size in (1, 2, 3):
+                build_family(name, size, seed=1)
+
+    def test_metadata_present(self):
+        for family in family_registry().values():
+            assert family.size_meaning
+            assert family.description
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown family"):
+            get_family("nope")
+
+
+class TestRandomRegularFeasibility:
+    def test_odd_products_are_adjusted(self):
+        # degree 3 with n=3*4=12 is fine, but degree 3 with an odd n
+        # must be bumped: the registry adjusts n, never the degree.
+        degree, n = feasible_regular_order(3, 9)
+        assert degree == 3 and n == 10
+        assert (degree * n) % 2 == 0
+
+    def test_order_floor(self):
+        degree, n = feasible_regular_order(5, 2)
+        assert n > degree
+        assert (degree * n) % 2 == 0
+
+    def test_every_size_builds_a_regular_graph(self):
+        for size in range(1, 8):
+            graph = build_family("random_regular", size, seed=5)
+            degrees = {d for _, d in graph.degree()}
+            assert degrees == {max(1, size)}
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ParameterError):
+            feasible_regular_order(-1, 4)
+
+
+class TestStandardFamiliesDelegation:
+    def test_standard_families_route_through_registry(self):
+        # Same labels as before the registry existed, and every build
+        # still succeeds at the benchmark sweep sizes.
+        families = standard_families(seed=5)
+        labels = [family.name for family in families]
+        assert labels == [
+            "cycle[n]",
+            "complete[n]",
+            "complete_bipartite[n,n]",
+            "random_regular[d, n=4d]",
+            "torus[n,n]",
+            "blow_up_cycle[6, g]",
+        ]
+        for family in families:
+            assert family.build(4).number_of_edges() > 0
+
+    def test_random_regular_matches_registry_build(self):
+        family = next(
+            f for f in standard_families(seed=5) if f.name.startswith("random_regular")
+        )
+        assert set(family.build(4).edges()) == set(
+            build_family("random_regular", 4, seed=5).edges()
+        )
