@@ -6,17 +6,19 @@ the line graph of the RACE experiment's largest instance
 (``K_{16,16}``, 256 agents of degree 30).
 
 Shape claims checked:
-1. the fast path is *bit-identical* to the preserved seed loop
-   (``rounds``, ``messages_sent``, ``outputs``) — speed never buys a
-   different execution;
+1. the columnar fast path is *bit-identical* to the preserved seed
+   loop (``rounds``, ``messages_sent``, ``outputs``) — speed never
+   buys a different execution;
 2. the fast path beats the seed loop by a wide margin on the largest
    RACE instance (the recorded number in ``BENCH_scheduler.json``,
-   written by ``python -m repro bench-core``, shows >=5x; the assertion
-   here keeps a safety margin for noisy CI boxes);
+   written by ``python -m repro bench-core``, shows 8x with the
+   broadcast column; the assertion here keeps the standing tolerance
+   policy — floor at half the recorded value — for noisy CI boxes,
+   raised from 3x when the record was 6x);
 3. throughput scales: wall-clock per cell grows no worse than the
-   message volume over an n sweep and a Δ sweep (the quasi-polylog
-   claims of the paper only become visible at scale — the simulator
-   must not be the bottleneck).
+   message volume over an n sweep and a Δ sweep, including 10k+-node
+   instances (the quasi-polylog claims of the paper only become
+   visible at scale — the simulator must not be the bottleneck).
 """
 
 import pytest
@@ -24,6 +26,7 @@ import pytest
 from repro.analysis.bench_core import (
     compare_reference_vs_fast,
     largest_race_network,
+    scaling_large_n,
     scaling_vs_delta,
     scaling_vs_n,
 )
@@ -58,8 +61,9 @@ def test_scheduler_core_before_after(benchmark):
     assert record["identical_results"], (
         "fast path diverged from the reference loop"
     )
-    # Recorded trajectory shows >=5x; assert with margin for CI noise.
-    assert record["speedup"] >= 3.0, (
+    # Recorded trajectory shows 8x (columnar engine); floor at half
+    # the recorded value, same policy as the previous 6x/3x floor.
+    assert record["speedup"] >= 4.0, (
         f"simulation-core speedup regressed to {record['speedup']:.2f}x"
     )
 
@@ -90,6 +94,36 @@ def test_scheduler_core_scaling_vs_n():
     # Wall-clock must scale no worse than ~linearly in message volume:
     # time per message at the largest cell stays within 4x of the
     # smallest (generous; catches accidental quadratic regressions).
+    per_message = [
+        row.values["wall_clock_s"] / row.values["messages_sent"]
+        for row in sweep.rows
+    ]
+    assert per_message[-1] <= 4 * per_message[0]
+
+
+@pytest.mark.slow
+def test_scheduler_core_scaling_10k():
+    """The columnar engine at 10k+ nodes: throughput must not collapse.
+
+    Timing-free shape check (the recorded absolute numbers live in
+    ``BENCH_scheduler.json``): per-message cost on a 10,000-node
+    instance stays within 4x of a 1,000-node instance of the same
+    degree — the same generosity as the small-n sweep, catching
+    accidental super-linear costs in the flat-buffer delivery.
+    """
+    sweep = scaling_large_n(((1_000, 8, 4), (10_000, 8, 4)), repeats=1)
+    report(format_table(
+        ["instance", "wall-clock (s)", "messages", "messages/s"],
+        [
+            [row.x,
+             f"{row.values['wall_clock_s']:.4f}",
+             row.values["messages_sent"],
+             f"{row.values['messages_per_s']:,.0f}"]
+            for row in sweep.rows
+        ],
+        title="SCHEDULER CORE: columnar engine at 10k nodes (8-regular, flood h=4)",
+    ))
+    assert sweep.rows[-1].values["n"] == 10_000
     per_message = [
         row.values["wall_clock_s"] / row.values["messages_sent"]
         for row in sweep.rows

@@ -46,14 +46,17 @@ LARGEST_RACE_SIDE = 16
 HEADLINE_HORIZON = 16
 
 
-def largest_race_network() -> Network:
+def largest_race_network(side: int | None = None) -> Network:
     """The simulation substrate of the largest RACE instance.
 
     ``bench_race_vs_delta`` tops out at ``K_{16,16}``; its simulated
     algorithms run on the line graph of that graph (256 agents of
-    degree 30).
+    degree 30).  ``side`` overrides the bipartition size (smoke tests
+    shrink it).
     """
-    graph = complete_bipartite(LARGEST_RACE_SIDE, LARGEST_RACE_SIDE)
+    if side is None:
+        side = LARGEST_RACE_SIDE
+    graph = complete_bipartite(side, side)
     ids = assign_unique_ids(graph, seed=2)
     return line_graph_network(graph, node_ids=ids)
 
@@ -97,7 +100,7 @@ def compare_reference_vs_fast(
 
 
 def scaling_vs_n(
-    sizes: tuple[int, ...] = (64, 128, 256, 512),
+    sizes: tuple[int, ...] = (64, 256, 1024, 4096),
     *,
     degree: int = 6,
     horizon: int = 8,
@@ -111,6 +114,46 @@ def scaling_vs_n(
             (n, lambda net=network: Scheduler(net).run(FloodMaxAlgorithm(horizon)))
         )
     return run_scaling_sweep(cells, x_label="n", repeats=repeats)
+
+
+#: The large-scale cells of the scaling record: (n, degree, horizon).
+#: The first three rows push n past 10,000 at growing Δ — the regime
+#: the ROADMAP's "tens of thousands of nodes" open item asked for.
+LARGE_SCALE_CELLS: tuple[tuple[int, int, int], ...] = (
+    (10_000, 8, 8),
+    (10_000, 16, 6),
+    (10_000, 32, 4),
+    (20_000, 8, 6),
+)
+
+
+def scaling_large_n(
+    cells: tuple[tuple[int, int, int], ...] = LARGE_SCALE_CELLS,
+    *,
+    repeats: int = 2,
+) -> SweepResult:
+    """Fast-path throughput on 10k+-node regular instances.
+
+    Each cell is ``(n, degree, horizon)``; rows carry ``n`` and
+    ``degree`` columns so the recorded JSON is self-describing.  All
+    cells share one arena (via :func:`run_scaling_sweep`), so the flat
+    buffers are allocated once for the largest instance.
+    """
+    sweep_cells = []
+    for n, degree, horizon in cells:
+        network = Network(random_regular(degree, n, seed=7))
+
+        def cell(net=network, h=horizon, d=degree):
+            result = Scheduler(net).run(FloodMaxAlgorithm(h))
+            return {
+                "n": net.n,
+                "degree": d,
+                "rounds": result.rounds,
+                "messages_sent": result.messages_sent,
+            }
+
+        sweep_cells.append((f"n={n} Δ={degree}", cell))
+    return run_scaling_sweep(sweep_cells, x_label="instance", repeats=repeats)
 
 
 def scaling_vs_delta(
@@ -136,16 +179,22 @@ def _sweep_records(sweep: SweepResult) -> list[dict]:
     ]
 
 
-def collect_bench_core(*, repeats: int = 3, quick: bool = False) -> dict:
+def collect_bench_core(
+    *,
+    repeats: int = 3,
+    quick: bool = False,
+    headline_side: int | None = None,
+) -> dict:
     """Run the full bench-core suite; return the JSON-safe record."""
-    network = largest_race_network()
+    network = largest_race_network(headline_side)
     headline = compare_reference_vs_fast(
         network,
         horizon=4 if quick else HEADLINE_HORIZON,
         repeats=1 if quick else repeats,
     )
-    sizes = (64, 128) if quick else (64, 128, 256, 512)
+    sizes = (64, 128) if quick else (64, 256, 1024, 4096)
     degrees = (4, 8) if quick else (4, 8, 16, 32)
+    large_cells = ((200, 8, 2),) if quick else LARGE_SCALE_CELLS
     sweep_repeats = 1 if quick else 2
     return {
         "benchmark": "scheduler-core",
@@ -154,7 +203,9 @@ def collect_bench_core(*, repeats: int = 3, quick: bool = False) -> dict:
             "computation, so wall-clock isolates simulator overhead"
         ),
         "before_implementation": "repro.model.reference.reference_run (seed loop)",
-        "after_implementation": "repro.model.scheduler.Scheduler.run (fast path)",
+        "after_implementation": (
+            "repro.model.scheduler.Scheduler.run (columnar round engine)"
+        ),
         "largest_race_instance": {
             "instance": (
                 f"line graph of K_{{{LARGEST_RACE_SIDE},{LARGEST_RACE_SIDE}}} "
@@ -166,8 +217,82 @@ def collect_bench_core(*, repeats: int = 3, quick: bool = False) -> dict:
         "scaling_vs_delta": _sweep_records(
             scaling_vs_delta(degrees, repeats=sweep_repeats)
         ),
+        "scaling_large_n": _sweep_records(
+            scaling_large_n(large_cells, repeats=sweep_repeats)
+        ),
         "created_unix": time.time(),
     }
+
+
+#: Keys every bench record must carry, and the throughput keys every
+#: sweep row must carry.  ``validate_bench_record`` checks these — the
+#: structure consumers (CI smoke step, regression benchmarks, plots)
+#: rely on, never timing values.
+_REQUIRED_RECORD_KEYS = (
+    "benchmark",
+    "workload",
+    "before_implementation",
+    "after_implementation",
+    "largest_race_instance",
+    "scaling_vs_n",
+    "scaling_vs_delta",
+    "scaling_large_n",
+    "created_unix",
+)
+_REQUIRED_ROW_KEYS = ("wall_clock_s", "messages_sent", "messages_per_s")
+
+
+def validate_bench_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` is a well-formed record.
+
+    Structural checks only (keys present, numbers are numbers, the
+    headline diff ran to identical results) — no timing thresholds, so
+    the check is deterministic on any machine.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"bench record must be a dict, got {type(record)}")
+    missing = [key for key in _REQUIRED_RECORD_KEYS if key not in record]
+    if missing:
+        raise ValueError(f"bench record is missing keys: {missing}")
+    headline = record["largest_race_instance"]
+    for side in ("before", "after"):
+        timing = headline.get(side)
+        if not isinstance(timing, dict) or not isinstance(
+            timing.get("wall_clock_s"), (int, float)
+        ):
+            raise ValueError(f"headline {side!r} timing is malformed: {timing!r}")
+    if headline.get("identical_results") is not True:
+        raise ValueError("headline record does not certify identical results")
+    if not isinstance(headline.get("speedup"), (int, float)):
+        raise ValueError(f"headline speedup is malformed: {headline.get('speedup')!r}")
+    for sweep_key in ("scaling_vs_n", "scaling_vs_delta", "scaling_large_n"):
+        rows = record[sweep_key]
+        if not isinstance(rows, list) or not rows:
+            raise ValueError(f"{sweep_key} must be a non-empty list of rows")
+        for row in rows:
+            for key in _REQUIRED_ROW_KEYS:
+                if not isinstance(row.get(key), (int, float)):
+                    raise ValueError(
+                        f"{sweep_key} row is missing numeric {key!r}: {row!r}"
+                    )
+
+
+def smoke_check(path: str | Path) -> dict:
+    """CI smoke entry: tiny live run + structural check of ``path``.
+
+    Runs the suite in quick mode on a shrunken headline instance (no
+    timing assertions — only that the record machinery still produces
+    well-formed, identical-results records), validates the fresh
+    record, and validates the committed record at ``path`` if one
+    exists.  The committed record is never overwritten.  Returns the
+    fresh record.
+    """
+    record = collect_bench_core(repeats=1, quick=True, headline_side=4)
+    validate_bench_record(record)
+    committed = Path(path)
+    if committed.exists():
+        validate_bench_record(json.loads(committed.read_text()))
+    return record
 
 
 def write_bench_core(
@@ -175,5 +300,6 @@ def write_bench_core(
 ) -> dict:
     """Run the suite and write the record to ``path``; return the record."""
     record = collect_bench_core(repeats=repeats, quick=quick)
+    validate_bench_record(record)
     Path(path).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return record

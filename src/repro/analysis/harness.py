@@ -8,7 +8,10 @@ Sweeps can capture timing: :func:`run_scaling_sweep` times an arbitrary
 per-cell workload (wall-clock, rounds/sec, messages/sec), and
 :func:`run_race_sweep` optionally records wall-clock per cell — the
 repo's perf trajectory (``BENCH_scheduler.json``, written by
-``python -m repro bench-core``) is built on these.
+``python -m repro bench-core``) is built on these.  Batched sweeps
+share one :class:`~repro.model.scheduler.RoundArena` across cells, so
+the columnar engine's flat buffers are allocated once per sweep rather
+than once per cell.
 
 Algorithms resolve through the unified registry
 (:mod:`repro.api.registry`) — the paper solver and every baseline via
@@ -37,6 +40,7 @@ from repro.api.spec import RunSpec
 from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
 from repro.core.params import ParameterPolicy
 from repro.graphs.properties import graph_summary
+from repro.model.scheduler import RoundArena, shared_arena
 from repro.results import RunResult
 
 
@@ -92,17 +96,22 @@ def throughput_columns(outcome: object, wall_clock: float) -> dict[str, object]:
     """Derive the standard timing columns for one measured workload.
 
     Always includes ``wall_clock_s``; outcomes exposing integer
-    ``rounds`` / ``messages_sent`` (e.g.
-    :class:`~repro.model.scheduler.ExecutionResult`) additionally get
-    ``rounds``/``rounds_per_s`` and ``messages_sent``/``messages_per_s``.
+    ``rounds`` / ``messages_sent`` — as attributes (e.g.
+    :class:`~repro.model.scheduler.ExecutionResult`) or as mapping keys
+    — additionally get ``rounds``/``rounds_per_s`` and
+    ``messages_sent``/``messages_per_s``.
     """
     safe = max(wall_clock, 1e-9)
     columns: dict[str, object] = {"wall_clock_s": wall_clock}
     rounds = getattr(outcome, "rounds", None)
+    if rounds is None and isinstance(outcome, Mapping):
+        rounds = outcome.get("rounds")
     if isinstance(rounds, int):
         columns["rounds"] = rounds
         columns["rounds_per_s"] = rounds / safe
     messages = getattr(outcome, "messages_sent", None)
+    if messages is None and isinstance(outcome, Mapping):
+        messages = outcome.get("messages_sent")
     if isinstance(messages, int):
         columns["messages_sent"] = messages
         columns["messages_per_s"] = messages / safe
@@ -114,8 +123,16 @@ def run_scaling_sweep(
     *,
     x_label: str = "n",
     repeats: int = 1,
+    arena: RoundArena | None = None,
 ) -> SweepResult:
     """Time a workload per cell; report wall-clock and throughput.
+
+    The whole sweep executes under one shared
+    :class:`~repro.model.scheduler.RoundArena`: every scheduler a cell
+    constructs (directly or deep inside a solver) leases the same flat
+    delivery buffers, so per-cell setup cost is context construction
+    only — the arena is allocated once, grown to the largest cell, and
+    cleared when the sweep finishes.
 
     Parameters
     ----------
@@ -131,20 +148,19 @@ def run_scaling_sweep(
     repeats:
         Run each thunk this many times and keep the *minimum*
         wall-clock (the standard noise-robust estimator).
-
-    Returns
-    -------
-    SweepResult
-        One row per cell with at least a ``wall_clock_s`` column.
+    arena:
+        Reuse this arena instead of a sweep-private one (for callers
+        batching several sweeps back to back).
     """
     rows: list[ExperimentRow] = []
-    for x_value, thunk in cells:
-        best, outcome = time_best(thunk, repeats)
-        row = ExperimentRow(x=x_value)
-        row.values.update(throughput_columns(outcome, best))
-        if isinstance(outcome, Mapping):
-            row.values.update(outcome)
-        rows.append(row)
+    with shared_arena(arena):
+        for x_value, thunk in cells:
+            best, outcome = time_best(thunk, repeats)
+            row = ExperimentRow(x=x_value)
+            row.values.update(throughput_columns(outcome, best))
+            if isinstance(outcome, Mapping):
+                row.values.update(outcome)
+            rows.append(row)
     return SweepResult(x_label=x_label, rows=rows)
 
 
@@ -225,9 +241,16 @@ def run_spec_sweep(
     algorithm / policy tables live in the specs (serializable,
     fingerprinted), and ``parallel > 1`` fans the batch out over a
     process pool via :func:`repro.api.run_many` with identical
-    results.
+    results.  Serial batches run under one shared
+    :class:`~repro.model.scheduler.RoundArena`, so every simulated
+    cell reuses the same delivery buffers (workers of a parallel batch
+    are separate processes and lease their own).
     """
-    results = run_many(specs, parallel=parallel, validate=validate)
+    if parallel <= 1:
+        with shared_arena():
+            results = run_many(specs, parallel=parallel, validate=validate)
+    else:
+        results = run_many(specs, parallel=parallel, validate=validate)
     rows: list[ExperimentRow] = []
     for spec, result in zip(specs, results):
         row = ExperimentRow(x=spec.label())

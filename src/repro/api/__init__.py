@@ -21,8 +21,10 @@ The pieces:
   paper solver and every baseline behind one interface, all returning
   :class:`repro.results.RunResult`;
 * the batch executor (:mod:`repro.api.runner`) — ``run`` / ``run_many``
-  with validation, fingerprint-keyed caching, and process-pool
-  fan-out.
+  / ``run_many_iter`` with validation, fingerprint-keyed caching (in
+  process, plus an optional on-disk ``cache_dir=`` spill that lets
+  sweeps resume across sessions), process-pool fan-out, and streaming
+  ``(index, result)`` delivery as runs finish.
 
 The CLI (``python -m repro``) and the sweep harness
 (:mod:`repro.analysis.harness`) are built on these entry points.
@@ -43,6 +45,7 @@ from repro.api.runner import (
     result_cache_size,
     run,
     run_many,
+    run_many_iter,
     specs_for_race,
 )
 from repro.api.spec import InstanceSpec, RunSpec
@@ -61,6 +64,7 @@ __all__ = [
     "result_cache_size",
     "run",
     "run_many",
+    "run_many_iter",
     "specs_for_race",
     "InstanceSpec",
     "RunSpec",

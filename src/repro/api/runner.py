@@ -1,4 +1,4 @@
-"""The batch executor: ``run(spec)`` and ``run_many(specs, parallel=N)``.
+"""The batch executor: ``run``, ``run_many`` and ``run_many_iter``.
 
 The one front door for executing experiments.  Guarantees:
 
@@ -12,46 +12,67 @@ The one front door for executing experiments.  Guarantees:
   point of the harness is that results are verified.
 * **Caching** — results are memoised under the spec fingerprint;
   repeated specs (within one ``run_many`` call or across calls) solve
-  once.  The cache is in-process and explicit
+  once.  The in-process cache is explicit
   (:func:`clear_result_cache`); it stores private copies and hands out
   copies, so mutating a returned result never corrupts later lookups,
   and a hit produced under ``validate=False`` is validated before it
-  may satisfy a ``validate=True`` request.
+  may satisfy a ``validate=True`` request.  Passing ``cache_dir=``
+  adds a second, **on-disk** layer — one JSON file per spec
+  fingerprint — so sweeps resume across sessions: a fresh process
+  pointed at the same directory replays finished specs from disk
+  instead of re-solving them.  Disk entries embed the result
+  fingerprint and are ignored (treated as misses) if they fail to
+  round-trip, so a corrupt or hand-edited file can never masquerade as
+  a cached run.
 * **Fan-out** — ``parallel > 1`` distributes distinct specs over a
   :class:`~concurrent.futures.ProcessPoolExecutor`.  Specs cross the
   process boundary as plain dicts and results come back pickled; the
   per-spec seeding makes worker-side runs bit-identical to serial
   ones.
+* **Streaming** — :func:`run_many_iter` yields ``(index, result)``
+  pairs as runs finish (cache hits first, then completions), so
+  long sweeps can report progress and persist incrementally;
+  :func:`run_many` is built on it and returns the familiar
+  spec-ordered list, byte-identical to serial execution.
 """
 
 from __future__ import annotations
 
 import copy
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Iterable, Sequence
+import json
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.api.registry import get_algorithm
 from repro.api.spec import InstanceSpec, RunSpec
 from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
-from repro.results import RunResult
+from repro.results import RunResult, fingerprint_of
 
 #: Result cache: spec fingerprint -> (result, was_validated).  The
 #: stored result is private to the cache — lookups hand out deep
 #: copies, so no caller mutation can poison later hits.  In-process
 #: and unbounded; sweeps that would outgrow it should clear between
-#: phases.
+#: phases (or spill to disk with ``cache_dir=``).
 _RESULT_CACHE: dict[str, tuple[RunResult, bool]] = {}
+
+#: On-disk entry format version (bumped on incompatible layout change).
+_DISK_FORMAT = 1
 
 
 def clear_result_cache() -> int:
-    """Drop all cached results; returns how many were dropped."""
+    """Drop all in-process cached results; returns how many were dropped.
+
+    On-disk stores are not touched — delete the ``cache_dir`` contents
+    to forget those.
+    """
     dropped = len(_RESULT_CACHE)
     _RESULT_CACHE.clear()
     return dropped
 
 
 def result_cache_size() -> int:
-    """Number of results currently cached."""
+    """Number of results currently cached in-process."""
     return len(_RESULT_CACHE)
 
 
@@ -82,19 +103,118 @@ def _cache_store(fingerprint: str, result: RunResult, validated: bool) -> None:
     _RESULT_CACHE[fingerprint] = (copy.deepcopy(result), validated)
 
 
+# --- on-disk spill -----------------------------------------------------
+
+
+def _disk_path(cache_dir: str | Path, fingerprint: str) -> Path:
+    return Path(cache_dir) / f"{fingerprint}.json"
+
+
+def _disk_store(
+    cache_dir: str | Path, fingerprint: str, result: RunResult, validated: bool
+) -> None:
+    """Write one JSON file per fingerprint (atomic enough for sweeps).
+
+    The embedded ``result_fingerprint`` seals the payload; loads that
+    do not reproduce it are discarded.
+    """
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": _DISK_FORMAT,
+        "fingerprint": fingerprint,
+        "validated": bool(validated),
+        "result": result.to_dict(),
+        "result_fingerprint": result.result_fingerprint(),
+    }
+    path = _disk_path(directory, fingerprint)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True, default=repr))
+    tmp.replace(path)
+
+
+def _disk_lookup(
+    cache_dir: str | Path, fingerprint: str, spec: RunSpec, validate: bool
+) -> RunResult | None:
+    """Load a spilled result, verifying integrity and validating if owed.
+
+    Any malformed, mismatched, or unreadable entry is a miss — the
+    spec simply re-runs and the entry is rewritten.
+    """
+    path = _disk_path(cache_dir, fingerprint)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != _DISK_FORMAT
+        or payload.get("fingerprint") != fingerprint
+    ):
+        return None
+    try:
+        result = RunResult.from_dict(payload["result"])
+    except Exception:
+        return None
+    if fingerprint_of(result.to_dict()) != payload.get("result_fingerprint"):
+        return None
+    validated = bool(payload.get("validated"))
+    if validate and not validated:
+        _validate(result, spec.instance.build())
+        _disk_store(cache_dir, fingerprint, result, True)
+        validated = True
+    return result
+
+
+def _lookup_layers(
+    fingerprint: str,
+    spec: RunSpec,
+    validate: bool,
+    cache: bool,
+    cache_dir: str | Path | None,
+) -> RunResult | None:
+    """Consult both cache layers and keep them in sync on a hit.
+
+    A memory hit still owes the disk layer its entry (otherwise a
+    later session could not resume from it); a disk hit backfills the
+    in-process cache.
+    """
+    if cache:
+        hit = _cache_lookup(fingerprint, spec, validate)
+        if hit is not None:
+            if cache_dir is not None and not _disk_path(
+                cache_dir, fingerprint
+            ).exists():
+                _disk_store(cache_dir, fingerprint, hit, validate)
+            return hit
+    if cache_dir is not None:
+        hit = _disk_lookup(cache_dir, fingerprint, spec, validate)
+        if hit is not None:
+            if cache:
+                _cache_store(fingerprint, hit, validate)
+            return hit
+    return None
+
+
 def run(
     spec: RunSpec,
     *,
     validate: bool = True,
     cache: bool = True,
+    cache_dir: str | Path | None = None,
     _fingerprint: str | None = None,
 ) -> RunResult:
-    """Execute one spec and return its fingerprinted, validated result."""
+    """Execute one spec and return its fingerprinted, validated result.
+
+    ``cache`` controls the in-process memo; ``cache_dir`` adds the
+    cross-session on-disk layer (each is consulted and written
+    independently, so ``cache=False, cache_dir=...`` still resumes
+    from disk without touching process memory).
+    """
     fingerprint = spec.fingerprint() if _fingerprint is None else _fingerprint
-    if cache:
-        hit = _cache_lookup(fingerprint, spec, validate)
-        if hit is not None:
-            return hit
+    hit = _lookup_layers(fingerprint, spec, validate, cache, cache_dir)
+    if hit is not None:
+        return hit
     graph = spec.instance.build()
     algorithm = get_algorithm(spec.algorithm)
     result = algorithm.run(
@@ -108,6 +228,8 @@ def run(
         _validate(result, graph)
     if cache:
         _cache_store(fingerprint, result, validate)
+    if cache_dir is not None:
+        _disk_store(cache_dir, fingerprint, result, validate)
     return result
 
 
@@ -117,18 +239,98 @@ def _run_in_worker(payload: tuple[dict[str, Any], bool]) -> RunResult:
     return run(RunSpec.from_dict(spec_dict), validate=validate, cache=False)
 
 
+def run_many_iter(
+    specs: Iterable[RunSpec],
+    *,
+    parallel: int = 1,
+    validate: bool = True,
+    cache: bool = True,
+    cache_dir: str | Path | None = None,
+) -> Iterator[tuple[int, RunResult]]:
+    """Execute many specs, yielding ``(index, result)`` as runs finish.
+
+    Every spec index is yielded exactly once.  Cache hits (in-process
+    or on-disk) come first, in spec order; remaining specs follow as
+    their runs complete — in spec order when serial, in completion
+    order when ``parallel > 1``.  Duplicate specs (same fingerprint)
+    are executed once; the first occurrence yields the run's result
+    object and later occurrences yield independent copies — exactly
+    the object identity :func:`run_many` has always returned.
+
+    Streaming changes *when* results surface, never *what* they are:
+    collecting the pairs into spec order reproduces the serial
+    ``run_many`` list byte-for-byte.
+    """
+    ordered = list(specs)
+    fingerprints = [spec.fingerprint() for spec in ordered]
+    indices_of: dict[str, list[int]] = {}
+    for index, fingerprint in enumerate(fingerprints):
+        indices_of.setdefault(fingerprint, []).append(index)
+
+    def emissions(
+        fingerprint: str, result: RunResult
+    ) -> Iterator[tuple[int, RunResult]]:
+        indices = indices_of[fingerprint]
+        yield indices[0], result
+        for index in indices[1:]:
+            yield index, copy.deepcopy(result)
+
+    todo: dict[str, RunSpec] = {}
+    resolved: set[str] = set()
+    for fingerprint, spec in zip(fingerprints, ordered):
+        if fingerprint in resolved or fingerprint in todo:
+            continue
+        hit = _lookup_layers(fingerprint, spec, validate, cache, cache_dir)
+        if hit is not None:
+            resolved.add(fingerprint)
+            yield from emissions(fingerprint, hit)
+        else:
+            todo[fingerprint] = spec
+
+    if parallel <= 1 or len(todo) <= 1:
+        for fingerprint, spec in todo.items():
+            result = run(
+                spec,
+                validate=validate,
+                cache=cache,
+                cache_dir=cache_dir,
+                _fingerprint=fingerprint,
+            )
+            yield from emissions(fingerprint, result)
+    else:
+        workers = min(parallel, len(todo))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _run_in_worker, (spec.to_dict(), validate)
+                ): fingerprint
+                for fingerprint, spec in todo.items()
+            }
+            for future in as_completed(futures):
+                fingerprint = futures[future]
+                result = future.result()
+                if cache:
+                    _cache_store(fingerprint, result, validate)
+                if cache_dir is not None:
+                    _disk_store(cache_dir, fingerprint, result, validate)
+                yield from emissions(fingerprint, result)
+
+
 def run_many(
     specs: Iterable[RunSpec],
     *,
     parallel: int = 1,
     validate: bool = True,
     cache: bool = True,
+    cache_dir: str | Path | None = None,
 ) -> list[RunResult]:
     """Execute many specs, optionally fanning out over processes.
 
-    Results come back in spec order.  Duplicate specs (same
-    fingerprint) are executed once and share one result object;
-    already-cached specs are not re-executed at all.
+    Results come back in spec order, byte-identical to serial
+    execution regardless of ``parallel``.  Duplicate specs (same
+    fingerprint) are executed once and later occurrences get
+    independent copies; already-cached specs (in-process, or on-disk
+    when ``cache_dir`` is given) are not re-executed at all.
 
     Parameters
     ----------
@@ -137,52 +339,21 @@ def run_many(
     parallel:
         Worker process count; ``1`` (the default) runs serially in
         this process.  Parallel execution is deterministic: results
-        are keyed and ordered by spec fingerprint, never by completion
-        order.
-    validate / cache:
+        are keyed by spec fingerprint, never by completion order.
+    validate / cache / cache_dir:
         As for :func:`run` (validation happens inside workers).
     """
     ordered = list(specs)
-    fingerprints = [spec.fingerprint() for spec in ordered]
-    results: dict[str, RunResult] = {}
-    if cache:
-        for fingerprint, spec in zip(fingerprints, ordered):
-            if fingerprint not in results:
-                hit = _cache_lookup(fingerprint, spec, validate)
-                if hit is not None:
-                    results[fingerprint] = hit
-    pending: dict[str, RunSpec] = {}
-    for fingerprint, spec in zip(fingerprints, ordered):
-        if fingerprint not in results and fingerprint not in pending:
-            pending[fingerprint] = spec
-
-    if parallel <= 1 or len(pending) <= 1:
-        for fingerprint, spec in pending.items():
-            results[fingerprint] = run(
-                spec, validate=validate, cache=cache, _fingerprint=fingerprint
-            )
-    else:
-        payloads = [(spec.to_dict(), validate) for spec in pending.values()]
-        workers = min(parallel, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for fingerprint, result in zip(
-                pending, pool.map(_run_in_worker, payloads)
-            ):
-                results[fingerprint] = result
-                if cache:
-                    _cache_store(fingerprint, result, validate)
-
-    # Duplicate specs get independent copies (first occurrence keeps
-    # the original object).
-    first_index: dict[str, int] = {}
-    for index, fingerprint in enumerate(fingerprints):
-        first_index.setdefault(fingerprint, index)
-    return [
-        results[fingerprint]
-        if index == first_index[fingerprint]
-        else copy.deepcopy(results[fingerprint])
-        for index, fingerprint in enumerate(fingerprints)
-    ]
+    results: list[RunResult | None] = [None] * len(ordered)
+    for index, result in run_many_iter(
+        ordered,
+        parallel=parallel,
+        validate=validate,
+        cache=cache,
+        cache_dir=cache_dir,
+    ):
+        results[index] = result
+    return results  # type: ignore[return-value]
 
 
 def specs_for_race(

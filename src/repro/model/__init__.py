@@ -13,9 +13,13 @@ directly:
   halt / output);
 * :class:`repro.model.scheduler.Scheduler` — the synchronous round
   loop, with round and message accounting and a round budget.  This is
-  the *fast path*: it drives integer-indexed structures the network
-  precompiles at construction (dense node indices, delivery tables,
-  cached ``n``/``Δ``) and iterates only the active (non-halted) nodes;
+  the *columnar round engine*: delivery runs over the flat CSR columns
+  the network compiles at construction (dense node indices,
+  receiver / destination-slot columns, cached ``n``/``Δ``), uniform
+  broadcasts collapse into a per-sender column, inboxes materialise
+  from contiguous buffer slices, and the flat buffers pool in a
+  :class:`repro.model.scheduler.RoundArena` that sweeps share across
+  cells (:func:`repro.model.scheduler.shared_arena`);
 * :func:`repro.model.reference.reference_run` — the original seed loop
   kept as the slow oracle; equivalence tests pin the fast path to it
   bit-for-bit (``rounds``, ``messages_sent``, ``outputs``);
@@ -35,7 +39,12 @@ from repro.model.algorithm import NodeAlgorithm, NodeContext
 from repro.model.message import Message
 from repro.model.network import Network
 from repro.model.reference import reference_run
-from repro.model.scheduler import ExecutionResult, Scheduler
+from repro.model.scheduler import (
+    ExecutionResult,
+    RoundArena,
+    Scheduler,
+    shared_arena,
+)
 from repro.model.edge_network import line_graph_network
 
 __all__ = [
@@ -44,7 +53,9 @@ __all__ = [
     "Message",
     "Network",
     "ExecutionResult",
+    "RoundArena",
     "Scheduler",
     "line_graph_network",
     "reference_run",
+    "shared_arena",
 ]

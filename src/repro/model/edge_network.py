@@ -14,9 +14,11 @@ space (edge IDs are ``n^{O(1)}`` whenever node IDs are).
 
 The returned :class:`~repro.model.network.Network` is a *compiled*
 network like any other: the line graph's (tuple-labelled) nodes are
-sorted once, indexed densely, and get a precomputed delivery table, so
-edge-agent simulations run on the same fast scheduler path as node
-simulations.
+sorted once, indexed densely, and get the full columnar delivery
+layout (CSR ``row_start`` plus receiver / receiver-port / destination-
+slot columns — see :meth:`~repro.model.network.Network.delivery_columns`),
+so edge-agent simulations run on the same columnar scheduler path as
+node simulations, flat buffers and all.
 """
 
 from __future__ import annotations

@@ -18,9 +18,17 @@ path is pure list indexing:
   ``sorted(..., key=repr)`` order, so the deterministic port-numbering
   contract is unchanged);
 * ``n``, ``Δ``, per-node degrees and IDs are cached in flat tables;
-* a *delivery table* maps ``(sender_index, port)`` to
-  ``(receiver_index, receiver_port)``, so delivering a message costs
-  two list indexings instead of two dictionary lookups.
+* the delivery structure is compiled into **columnar flat buffers** in
+  CSR layout: ``row_start`` (per-sender offsets, length ``n + 1``) plus
+  three parallel columns of length ``2m`` indexed by
+  ``row_start[i] + port`` — receiver index, receiver port, and the
+  *destination slot* ``row_start[j] + receiver_port`` a message lands
+  in.  Delivering a message is then pure flat-list indexing, and the
+  scheduler's per-round inbox arena is addressed by the very same
+  slots (see :mod:`repro.model.scheduler`);
+* the nested *delivery table* view (``(sender_index, port) ->
+  (receiver_index, receiver_port)``) is derived from the columns on
+  demand for callers that prefer the row-per-node shape.
 
 None of this changes observable behavior: ordering, IDs and ports are
 bit-identical to the uncompiled implementation (the scheduler
@@ -84,16 +92,29 @@ class Network:
             for port, neighbor in enumerate(neighbors):
                 self._port_of[(node, neighbor)] = port
 
-        # Delivery table: _delivery[i][port] == (receiver_index,
-        # receiver_port).  The scheduler's per-message hot path is two
-        # list indexings into this structure.
-        self._delivery: list[list[tuple[int, int]]] = [
-            [
-                (rank(neighbor), self._port_of[(neighbor, node)])
-                for neighbor in self._ports[node]
-            ]
-            for node in self._sorted_nodes
+        # Columnar delivery layout (CSR).  Slot row_start[i] + port
+        # holds the delivery facts for a message sent by node index i
+        # through that port: receiver index, receiver port, and the
+        # flat destination slot (row_start[receiver] + receiver_port)
+        # the payload lands in on the receiving side.
+        row_start: list[int] = [0] * (self._n + 1)
+        for index in range(self._n):
+            row_start[index + 1] = row_start[index] + self._degrees[index]
+        self._row_start = row_start
+        col_receiver: list[int] = []
+        col_receiver_port: list[int] = []
+        for node in self._sorted_nodes:
+            for neighbor in self._ports[node]:
+                col_receiver.append(rank(neighbor))
+                col_receiver_port.append(self._port_of[(neighbor, node)])
+        self._col_receiver = col_receiver
+        self._col_receiver_port = col_receiver_port
+        self._col_dest_slot: list[int] = [
+            row_start[receiver] + port
+            for receiver, port in zip(col_receiver, col_receiver_port)
         ]
+        self._delivery: list[list[tuple[int, int]]] | None = None
+        self._neighbor_rows: list[list[int]] | None = None
         self._max_degree = max(self._degrees, default=0)
         self._ids_by_index: list[int] = [
             self._ids[node] for node in self._sorted_nodes
@@ -183,13 +204,75 @@ class Network:
         return self._ids_by_index
 
     def delivery_table(self) -> list[list[tuple[int, int]]]:
-        """The compiled delivery structure (do not mutate).
+        """The nested delivery view (do not mutate).
 
         ``delivery_table()[i][port] == (j, receiver_port)`` means: a
         message sent by node index ``i`` through ``port`` arrives at
-        node index ``j`` on ``receiver_port``.
+        node index ``j`` on ``receiver_port``.  Derived from the
+        columnar layout on first use (see :meth:`delivery_columns`).
         """
+        if self._delivery is None:
+            row_start = self._row_start
+            pairs = list(zip(self._col_receiver, self._col_receiver_port))
+            self._delivery = [
+                pairs[row_start[index] : row_start[index + 1]]
+                for index in range(self._n)
+            ]
         return self._delivery
+
+    def row_start_table(self) -> list[int]:
+        """CSR row offsets (length ``n + 1``; do not mutate).
+
+        Node index ``i`` owns the flat slots
+        ``row_start_table()[i] .. row_start_table()[i + 1] - 1`` — one
+        per port, in port order.  ``row_start_table()[n]`` is the total
+        number of directed slots (``2m``).
+        """
+        return self._row_start
+
+    def delivery_columns(
+        self,
+    ) -> tuple[list[int], list[int], list[int], list[int]]:
+        """The columnar delivery layout (do not mutate any column).
+
+        Returns ``(row_start, receiver, receiver_port, dest_slot)``.
+        For the flat index ``idx = row_start[i] + port`` of a sender-
+        side slot:
+
+        * ``receiver[idx]`` is the dense index of the receiving node;
+        * ``receiver_port[idx]`` is the port the message arrives on;
+        * ``dest_slot[idx] == row_start[receiver[idx]] +
+          receiver_port[idx]`` is the flat *receiver-side* slot the
+          payload lands in — the address the scheduler's inbox arena is
+          indexed by.
+
+        Port symmetry holds by construction: following ``dest_slot``
+        twice is the identity (``dest_slot[dest_slot[idx]] == idx``).
+        """
+        return (
+            self._row_start,
+            self._col_receiver,
+            self._col_receiver_port,
+            self._col_dest_slot,
+        )
+
+    def neighbor_index_rows(self) -> list[list[int]]:
+        """Per-node neighbor *indices* in port order (do not mutate).
+
+        ``neighbor_index_rows()[j][q]`` is the dense index of the node
+        reached through port ``q`` of node index ``j`` — the receiver
+        column resliced per node.  Because port numbering is symmetric,
+        this is also the sender a message arriving on port ``q`` came
+        from; the scheduler's pull-side (broadcast) delivery reads it.
+        """
+        if self._neighbor_rows is None:
+            row_start = self._row_start
+            col_receiver = self._col_receiver
+            self._neighbor_rows = [
+                col_receiver[row_start[index] : row_start[index + 1]]
+                for index in range(self._n)
+            ]
+        return self._neighbor_rows
 
 
 def network_from_edges(

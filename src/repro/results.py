@@ -20,9 +20,9 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Mapping
 
-from repro.graphs.edges import Edge, edge_to_token
+from repro.graphs.edges import Edge, edge_to_token, token_to_edge
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.ledger import RoundLedger
@@ -89,6 +89,12 @@ class RunResult:
     stats: dict[str, object] = field(default_factory=dict)
     details: dict[str, object] = field(default_factory=dict)
     ledger: "RoundLedger | None" = field(default=None, repr=False)
+    #: Ledger total carried by deserialized results (the tree itself is
+    #: not persisted); keeps ``to_dict`` — and hence the result
+    #: fingerprint — exact across a disk round-trip.
+    _ledger_rounds: int | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def colors_used(self) -> int:
         """Number of distinct colors actually used."""
@@ -112,7 +118,9 @@ class RunResult:
             "stats": self.stats,
             "details": self.details,
             "ledger_rounds": (
-                self.ledger.total_rounds() if self.ledger is not None else None
+                self.ledger.total_rounds()
+                if self.ledger is not None
+                else self._ledger_rounds
             ),
         }
         if include_coloring:
@@ -121,6 +129,33 @@ class RunResult:
                 for edge, color in sorted(self.coloring.items(), key=repr)
             }
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from its :meth:`to_dict` form.
+
+        The inverse used by the on-disk result cache
+        (:mod:`repro.api.runner`).  Edge tokens are parsed back into
+        canonical tuples (integer labels restored as integers); the
+        ledger tree is not serialized by :meth:`to_dict` and therefore
+        comes back as ``None`` — everything :meth:`result_fingerprint`
+        covers round-trips exactly.
+        """
+        return cls(
+            name=payload.get("name", ""),
+            coloring={
+                token_to_edge(token): color
+                for token, color in payload.get("coloring", {}).items()
+            },
+            rounds=int(payload.get("rounds", 0)),
+            palette_size=int(payload.get("palette_size", 0)),
+            fingerprint=payload.get("fingerprint", ""),
+            policy_name=payload.get("policy_name"),
+            initial_palette=payload.get("initial_palette"),
+            stats=dict(payload.get("stats", {})),
+            details=dict(payload.get("details", {})),
+            _ledger_rounds=payload.get("ledger_rounds"),
+        )
 
     def result_fingerprint(self) -> str:
         """SHA-256 over the canonical JSON form of this result.

@@ -1,4 +1,7 @@
-"""Tests for the batch executor: run, run_many, caching, determinism."""
+"""Tests for the batch executor: run, run_many, caching, determinism,
+the on-disk cache spill, and streaming run_many_iter."""
+
+import json
 
 import pytest
 
@@ -9,6 +12,7 @@ from repro.api import (
     result_cache_size,
     run,
     run_many,
+    run_many_iter,
     specs_for_race,
 )
 from repro.api.registry import algorithm_names
@@ -153,6 +157,111 @@ class TestRunMany:
         assert [s.algorithm for s in specs] == algorithm_names()
         results = run_many(specs)
         assert all(r.rounds >= 0 and r.coloring for r in results)
+
+
+class TestDiskCache:
+    """The cache_dir= spill: sweeps resume across sessions."""
+
+    def test_run_writes_one_json_per_fingerprint(self, tmp_path):
+        spec = RunSpec(InstanceSpec(family="cycle", size=9, seed=1))
+        result = run(spec, cache_dir=tmp_path)
+        path = tmp_path / f"{spec.fingerprint()}.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["fingerprint"] == spec.fingerprint()
+        assert payload["validated"] is True
+        assert payload["result"]["rounds"] == result.rounds
+
+    def test_disk_hit_survives_cleared_memory_cache(self, tmp_path, monkeypatch):
+        spec = RunSpec(InstanceSpec(family="complete_bipartite", size=3, seed=2))
+        first = run(spec, cache_dir=tmp_path)
+        pristine = first.result_fingerprint()
+        clear_result_cache()  # "new session"
+
+        import repro.api.runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module,
+            "get_algorithm",
+            lambda name: pytest.fail("disk hit should not re-solve"),
+        )
+        resumed = run(spec, cache_dir=tmp_path)
+        assert resumed.result_fingerprint() == pristine
+        assert resumed.rounds == first.rounds
+        assert resumed.coloring == first.coloring
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        spec = RunSpec(InstanceSpec(family="cycle", size=9, seed=1))
+        first = run(spec, cache_dir=tmp_path)
+        path = tmp_path / f"{spec.fingerprint()}.json"
+        payload = json.loads(path.read_text())
+        payload["result"]["rounds"] = 999  # tampered: seal must break
+        path.write_text(json.dumps(payload))
+        clear_result_cache()
+        again = run(spec, cache_dir=tmp_path)
+        assert again.rounds == first.rounds  # re-solved, not trusted
+
+    def test_unvalidated_disk_entry_upgrades_on_validate(self, tmp_path):
+        spec = RunSpec(InstanceSpec(family="cycle", size=9, seed=1))
+        run(spec, validate=False, cache=False, cache_dir=tmp_path)
+        path = tmp_path / f"{spec.fingerprint()}.json"
+        assert json.loads(path.read_text())["validated"] is False
+        run(spec, validate=True, cache=False, cache_dir=tmp_path)
+        assert json.loads(path.read_text())["validated"] is True
+
+    def test_memory_hit_still_spills_to_disk(self, tmp_path):
+        spec = RunSpec(InstanceSpec(family="cycle", size=9, seed=1))
+        run(spec)  # warm the in-process cache only
+        run(spec, cache_dir=tmp_path)  # memory hit — must still spill
+        assert (tmp_path / f"{spec.fingerprint()}.json").exists()
+
+    def test_run_many_resumes_from_disk(self, tmp_path):
+        specs = twelve_spec_sweep()
+        first = run_many(specs, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 12
+        clear_result_cache()
+        resumed = run_many(specs, cache_dir=tmp_path)
+        assert [r.result_fingerprint() for r in resumed] == [
+            r.result_fingerprint() for r in first
+        ]
+
+
+class TestRunManyIter:
+    """Streaming delivery: same results, surfaced as they finish."""
+
+    def test_serial_stream_matches_run_many(self):
+        specs = twelve_spec_sweep()
+        streamed = dict(run_many_iter(specs))
+        clear_result_cache()
+        listed = run_many(specs)
+        assert sorted(streamed) == list(range(12))
+        assert [streamed[i].result_fingerprint() for i in range(12)] == [
+            r.result_fingerprint() for r in listed
+        ]
+
+    def test_parallel_stream_matches_serial(self):
+        specs = twelve_spec_sweep()
+        serial = run_many(specs, parallel=1)
+        clear_result_cache()
+        streamed = dict(run_many_iter(specs, parallel=4))
+        assert sorted(streamed) == list(range(12))
+        assert [streamed[i].result_fingerprint() for i in range(12)] == [
+            r.result_fingerprint() for r in serial
+        ]
+
+    def test_cache_hits_stream_before_fresh_runs(self):
+        specs = twelve_spec_sweep()
+        run(specs[5])  # pre-cache one spec
+        order = [index for index, _ in run_many_iter(specs)]
+        assert order[0] == 5  # the hit surfaces first
+        assert sorted(order) == list(range(12))
+
+    def test_duplicate_specs_yield_independent_copies(self):
+        spec = RunSpec(InstanceSpec(family="cycle", size=8, seed=1))
+        pairs = dict(run_many_iter([spec, spec]))
+        assert pairs[0] is not pairs[1]
+        pairs[0].coloring.clear()
+        assert pairs[1].coloring
 
 
 class TestDeprecationShims:

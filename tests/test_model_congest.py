@@ -94,6 +94,16 @@ class TestCongestExecution:
         assert report.violations > 0
         assert report.max_bits_seen >= 41
 
+    def test_result_still_reports_repr_size_metric(self):
+        """The send-log audit must not cost the LOCAL size metric:
+        max_message_size stays available on CONGEST results."""
+        g = nx.path_graph(10)
+        scheduler = CongestScheduler(
+            Network(g), bandwidth_bits=standard_bandwidth(10)
+        )
+        report = scheduler.run_congest(FloodMaxAlgorithm(horizon=2))
+        assert report.result.max_message_size == len(repr(10))
+
     def test_rejects_bad_bandwidth(self):
         net = Network(nx.path_graph(3))
         with pytest.raises(ParameterError):

@@ -6,7 +6,12 @@ import pytest
 from repro.errors import RoundLimitExceededError
 from repro.model.algorithm import NodeAlgorithm
 from repro.model.network import Network
-from repro.model.scheduler import Scheduler, run_on_graph
+from repro.model.scheduler import (
+    RoundArena,
+    Scheduler,
+    run_on_graph,
+    shared_arena,
+)
 from repro.primitives.node_algorithms import FloodMaxAlgorithm
 
 
@@ -138,3 +143,88 @@ class TestSynchronousSemantics:
         result = run_on_graph(FloodMaxAlgorithm(0), nx.path_graph(3))
         assert result.rounds == 0
         assert result.outputs[2] == 3
+
+
+class TestMaxMessageSizeFlagMatrix:
+    """Regression for the audit x trace flag combinations.
+
+    ``audit_message_sizes=False`` must still derive
+    ``max_message_size`` from a recorded trace when tracing is on; it
+    reports 0 only when *neither* source exists.
+    """
+
+    @pytest.mark.parametrize("audit", [True, False])
+    @pytest.mark.parametrize("trace", [True, False])
+    def test_all_flag_combinations(self, audit, trace):
+        scheduler = Scheduler(
+            Network(nx.path_graph(4)),
+            audit_message_sizes=audit,
+            record_trace=trace,
+        )
+        result = scheduler.run(FloodMaxAlgorithm(2))
+        expected = len(repr(4))  # largest flooded ID
+        if audit or trace:
+            assert result.max_message_size == expected
+        else:
+            assert result.max_message_size == 0
+        assert len(result.trace) == (result.messages_sent if trace else 0)
+
+
+class TestRoundArena:
+    def test_shared_arena_reuse_is_observably_free(self):
+        """Back-to-back runs of different networks in one arena match
+        fresh private-arena runs exactly (stale stamps cannot leak)."""
+        big = Network(nx.random_regular_graph(4, 24, seed=3))
+        small = Network(nx.path_graph(5))
+        fresh = [
+            Scheduler(big).run(FloodMaxAlgorithm(3)),
+            Scheduler(small).run(FloodMaxAlgorithm(2)),
+            Scheduler(big).run(FloodMaxAlgorithm(1)),
+        ]
+        with shared_arena() as arena:
+            pooled = [
+                Scheduler(big).run(FloodMaxAlgorithm(3)),
+                Scheduler(small).run(FloodMaxAlgorithm(2)),
+                Scheduler(big).run(FloodMaxAlgorithm(1)),
+            ]
+        for a, b in zip(fresh, pooled):
+            assert a.rounds == b.rounds
+            assert a.messages_sent == b.messages_sent
+            assert a.outputs == b.outputs
+            assert a.max_message_size == b.max_message_size
+        # Exiting the context cleared payload references.
+        assert set(arena._payload_buf) == {None}
+
+    def test_explicit_arena_parameter(self):
+        arena = RoundArena()
+        network = Network(nx.cycle_graph(6))
+        first = Scheduler(network, arena=arena).run(FloodMaxAlgorithm(2))
+        second = Scheduler(network, arena=arena).run(FloodMaxAlgorithm(2))
+        assert first.outputs == second.outputs
+        assert arena._clock == first.rounds + second.rounds
+
+    def test_send_log_requires_flag(self):
+        scheduler = Scheduler(Network(nx.path_graph(3)))
+        scheduler.run(FloodMaxAlgorithm(1))
+        with pytest.raises(RuntimeError):
+            scheduler.send_log()
+
+    def test_failed_run_clears_previous_send_log(self):
+        scheduler = Scheduler(
+            Network(nx.path_graph(3)), record_send_log=True, max_rounds=2
+        )
+        scheduler.run(FloodMaxAlgorithm(1))  # succeeds, log populated
+        with pytest.raises(RoundLimitExceededError):
+            scheduler.run(NeverHalts())
+        with pytest.raises(RuntimeError):
+            scheduler.send_log()  # stale log must not survive
+
+    def test_send_log_columns_cover_every_message(self):
+        network = Network(nx.path_graph(4))
+        scheduler = Scheduler(network, record_send_log=True)
+        result = scheduler.run(FloodMaxAlgorithm(2))
+        rounds_col, slot_col, payload_col = scheduler.send_log()
+        assert len(rounds_col) == len(slot_col) == len(payload_col)
+        assert len(payload_col) == result.messages_sent
+        row_start, *_ = network.delivery_columns()
+        assert all(0 <= slot < row_start[network.n] for slot in slot_col)

@@ -22,16 +22,58 @@ import pytest
 from repro.baselines.randomized_luby import randomized_luby_coloring
 from repro.core.solver import solve_edge_coloring
 from repro.graphs.edges import edge_set
+from repro.graphs.generators import random_regular
 from repro.graphs.properties import assign_unique_ids, max_degree
+from repro.model.algorithm import NodeAlgorithm
 from repro.model.edge_network import line_graph_network
 from repro.model.network import Network
 from repro.model.reference import reference_run
-from repro.model.scheduler import Scheduler
+from repro.model.scheduler import Scheduler, shared_arena
 from repro.primitives.node_algorithms import (
     FloodMaxAlgorithm,
     GreedyClassSweepAlgorithm,
     LinialColorReductionAlgorithm,
 )
+
+
+class MixedSendPattern(NodeAlgorithm):
+    """Exercises every delivery path of the columnar engine at once.
+
+    By ``unique_id % 3`` a node, each round: broadcasts one shared
+    tuple through every port (the broadcast-column pull path), sends a
+    distinct payload per *even* port (the partial push path), or stays
+    silent.  Receivers accumulate ``list(inbox.items())`` per round, so
+    the *iteration order* of every inbox — not just its contents — is
+    part of the output the equivalence check diffs.
+    """
+
+    def __init__(self, horizon: int) -> None:
+        self._horizon = horizon
+
+    def initialize(self, ctx):
+        ctx.state["round"] = 0
+        ctx.state["seen"] = []
+
+    def compose_messages(self, ctx):
+        mode = ctx.unique_id % 3
+        if mode == 0:
+            message = ("bcast", ctx.unique_id, ctx.state["round"])
+            return dict.fromkeys(range(ctx.degree), message)
+        if mode == 1:
+            return {
+                port: ("uni", ctx.unique_id, port)
+                for port in range(0, ctx.degree, 2)
+            }
+        return {}
+
+    def receive_messages(self, ctx, inbox):
+        ctx.state["seen"].append(list(inbox.items()))
+        ctx.state["round"] += 1
+        if ctx.state["round"] >= self._horizon:
+            ctx.halt()
+
+    def output(self, ctx):
+        return ctx.state["seen"]
 
 
 def _random_graph(seed: int) -> nx.Graph:
@@ -136,6 +178,94 @@ class TestFastPathMatchesReference:
         fast = Scheduler(network).run(GrowThenShrink())
         assert ref.max_message_size == fast.max_message_size
         assert fast.max_message_size == len(repr(list(range(50))))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mixed_push_pull_rounds_preserve_inbox_order(self, seed):
+        """Broadcast, partial-push and silent senders in the same
+        round: contents *and* iteration order of every inbox must
+        match the reference (the outputs embed list(inbox.items()))."""
+        graph = _random_graph(seed)
+        ids = assign_unique_ids(graph, seed=seed % 3 or None)
+        network = Network(graph, ids=ids)
+        _assert_equivalent(network, lambda: MixedSendPattern(3 + seed % 3))
+
+    def test_equal_but_distinct_payloads_are_not_collapsed(self):
+        """The broadcast column requires the *same object* on every
+        port: ==-equal but distinct payloads (1 vs 1.0, fresh tuples)
+        must keep exact per-port delivery and size accounting."""
+
+        class EqualNotIdentical(NodeAlgorithm):
+            def initialize(self, ctx):
+                ctx.state["seen"] = []
+
+            def compose_messages(self, ctx):
+                # Port 0 sends int 1, later ports send float 1.0 —
+                # all == equal, none interchangeable for CONGEST or
+                # repr-size purposes.
+                return {
+                    port: 1 if port == 0 else 1.0
+                    for port in range(ctx.degree)
+                }
+
+            def receive_messages(self, ctx, inbox):
+                ctx.state["seen"] = [
+                    (port, value, type(value).__name__)
+                    for port, value in inbox.items()
+                ]
+                ctx.halt()
+
+            def output(self, ctx):
+                return ctx.state["seen"]
+
+        network = Network(nx.path_graph(3))
+        ref = reference_run(network, EqualNotIdentical())
+        fast = Scheduler(network).run(EqualNotIdentical())
+        assert ref.outputs == fast.outputs
+        assert ref.max_message_size == fast.max_message_size == len("1.0")
+
+    def test_noninteger_ports_raise_like_the_reference(self):
+        """Float port keys — integral or not — must not slip through
+        the broadcast path's pigeonhole check."""
+
+        class FloatPorts(NodeAlgorithm):
+            def compose_messages(self, ctx):
+                if ctx.degree >= 2:
+                    keys = [0, 1.5] + list(range(2, ctx.degree))
+                    return dict.fromkeys(keys, "x")
+                return dict.fromkeys(range(ctx.degree), "x")
+
+            def receive_messages(self, ctx, inbox):
+                ctx.halt()
+
+            def output(self, ctx):
+                return None
+
+        network = Network(nx.star_graph(3))
+        with pytest.raises(TypeError):
+            reference_run(network, FloatPorts())
+        with pytest.raises(TypeError):
+            Scheduler(network).run(FloatPorts())
+
+    def test_mixed_pattern_under_a_shared_arena(self):
+        """Arena reuse across back-to-back runs must not leak stale
+        slots into later executions (stamps are monotone)."""
+        graphs = [_random_graph(s) for s in (2, 8)]
+        networks = [Network(g, ids=assign_unique_ids(g)) for g in graphs]
+        with shared_arena():
+            for network in networks + networks:  # reuse both twice
+                _assert_equivalent(network, lambda: MixedSendPattern(3))
+                _assert_equivalent(network, lambda: FloodMaxAlgorithm(2))
+
+    @pytest.mark.slow
+    def test_equivalence_on_10k_node_instance(self):
+        """Acceptance anchor: the columnar engine stays bit-identical
+        to the seed loop on a 10,000-node instance (the scale the
+        recorded BENCH_scheduler.json rows are measured at)."""
+        graph = random_regular(6, 10_000, seed=11)
+        ids = assign_unique_ids(graph, seed=5)
+        network = Network(graph, ids=ids)
+        fast = _assert_equivalent(network, lambda: FloodMaxAlgorithm(2))
+        assert fast.messages_sent == 10_000 * 6 * 2
 
     def test_trace_matches_reference(self):
         graph = _random_graph(5)
