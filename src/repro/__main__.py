@@ -15,25 +15,36 @@ Commands
 ``race``
     Run every registered algorithm — the paper solver included — on
     one instance and print the round table.
+``scenario``
+    Run a scenario-capable algorithm under an adversarial execution
+    model (asynchrony, crash faults, message loss) and print the
+    degradation observables; ``--smoke`` runs the CI structural check.
 ``info``
     Print instance measurements (n, m, Δ, Δ̄, palette sizes).
 ``list``
-    Print the registries: instance families, algorithms, policies.
+    Print the registries: instance families, algorithms, policies —
+    and, with ``--scenarios``, the execution models.
 ``bench-core``
     Benchmark the simulation core (reference loop vs fast path) and
     write the perf-trajectory record ``BENCH_scheduler.json``.
+``cache-prune``
+    Evict least-recently-used entries of an on-disk result cache.
 
-``solve``, ``race``, ``info``, and ``list`` accept ``--json`` for
-machine-readable output.
+``solve``, ``race``, ``scenario``, ``info``, ``list``, and
+``cache-prune`` accept ``--json`` for machine-readable output.
 
 Examples::
 
     python -m repro solve --family complete_bipartite --size 8
     python -m repro solve --input graph.txt --output colors.txt
     python -m repro race --family random_regular --size 6 --json
+    python -m repro scenario --family grid --size 4 --model lossy_links \\
+        --set drop=0.2 --scenario-seed 7
+    python -m repro scenario --smoke
     python -m repro info --input graph.txt
-    python -m repro list
+    python -m repro list --scenarios
     python -m repro bench-core --output BENCH_scheduler.json
+    python -m repro cache-prune --cache-dir results/ --max-entries 500
 """
 
 from __future__ import annotations
@@ -45,7 +56,9 @@ import sys
 from repro.api import (
     InstanceSpec,
     RunSpec,
+    ScenarioSpec,
     algorithm_registry,
+    prune_cache,
     run,
     specs_for_race,
 )
@@ -55,6 +68,7 @@ from repro.core.params import named_policies
 from repro.graphs.families import family_registry
 from repro.graphs.io import write_coloring
 from repro.graphs.properties import graph_summary
+from repro.scenarios import model_names, scenario_capable, scenario_registry
 
 
 def _instance_spec(args: argparse.Namespace) -> InstanceSpec:
@@ -142,6 +156,109 @@ def _command_race(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_model_params(pairs: list[str]) -> dict[str, object]:
+    """Parse ``--set key=value`` pairs (ints, then floats, then strings)."""
+    params: dict[str, object] = {}
+    for pair in pairs:
+        key, separator, text = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        value: object = text
+        try:
+            value = int(text)
+        except ValueError:
+            try:
+                value = float(text)
+            except ValueError:
+                pass
+        params[key] = value
+    return params
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    if args.smoke:
+        from repro.scenarios import smoke_check
+
+        summary = smoke_check()
+        if args.json:
+            _print_json(summary)
+        else:
+            models = ", ".join(sorted(summary["deterministic_models"]))
+            print(
+                "scenario smoke ok: synchronous identity pinned "
+                f"(fingerprint {summary['identity_fingerprint']}); "
+                f"deterministic under fixed seeds: {models}"
+            )
+        return 0
+    spec = RunSpec(
+        instance=_instance_spec(args),
+        algorithm=args.algorithm,
+        scenario=ScenarioSpec(
+            model=args.model,
+            seed=args.scenario_seed,
+            params=_parse_model_params(args.set),
+        ),
+    )
+    result = run(spec)  # survivor-validated inside for adversarial models
+    if args.json:
+        _print_json({"spec": spec.to_dict(), "result": result.to_dict()})
+        return 0
+    details = result.details
+    scenario = details.get("scenario")
+    if scenario is None:
+        # Identity model: the run took the plain path, bit-for-bit.
+        print(
+            f"synchronous (identity) run: {len(result.coloring)} edges, "
+            f"{result.colors_used()} colors, {result.rounds} rounds "
+            f"[fingerprint {result.fingerprint[:12]}]"
+        )
+        return 0
+    measures = [
+        ("model", scenario["model"]),
+        ("adversary seed", scenario["seed"]),
+        ("params", ", ".join(f"{k}={v}" for k, v in sorted(scenario["params"].items())) or "-"),
+        ("rounds to quiescence", details["rounds_to_quiescence"]),
+        ("messages delivered", details["messages_delivered"]),
+        ("messages dropped", details["messages_dropped"]),
+        ("messages deferred", details["messages_deferred"]),
+        ("messages duplicated", details["messages_duplicated"]),
+        ("undelivered at finish", details["undelivered_at_finish"]),
+        ("crashed agents", details["crashed_count"]),
+        # Survivor fields are null on aborted runs (no per-agent outcome).
+        ("survivors", "unknown" if details["survivors"] is None else details["survivors"]),
+        ("uncolored survivors", "unknown" if details["uncolored_survivors"] is None else details["uncolored_survivors"]),
+        ("conflicts on survivors", details["conflicts_on_survivors"]),
+        ("proper on survivors", details["proper_on_survivors"]),
+        ("aborted", details["aborted"] or "-"),
+    ]
+    print(
+        format_table(
+            ["observable", "value"],
+            [[label, value] for label, value in measures],
+            title=f"{spec.label()} [fingerprint {result.fingerprint[:12]}]",
+        )
+    )
+    return 0
+
+
+def _command_cache_prune(args: argparse.Namespace) -> int:
+    removed = prune_cache(args.cache_dir, args.max_entries)
+    if args.json:
+        _print_json(
+            {
+                "cache_dir": args.cache_dir,
+                "max_entries": args.max_entries,
+                "removed": removed,
+            }
+        )
+    else:
+        print(
+            f"pruned {removed} least-recently-used entries from "
+            f"{args.cache_dir} (budget {args.max_entries})"
+        )
+    return 0
+
+
 def _command_info(args: argparse.Namespace) -> int:
     instance = _instance_spec(args)
     summary = graph_summary(instance.build())
@@ -175,27 +292,60 @@ def _command_list(args: argparse.Namespace) -> int:
     algorithms = algorithm_registry()
     policies = sorted(named_policies())
     if args.json:
-        _print_json(
-            {
-                "families": {
-                    name: {
-                        "size_meaning": family.size_meaning,
-                        "description": family.description,
-                    }
-                    for name, family in sorted(families.items())
-                },
-                "algorithms": {
-                    name: {
-                        "kind": info.kind,
-                        "label": info.label,
-                        "description": info.description,
-                    }
-                    for name, info in algorithms.items()
-                },
-                "policies": policies,
+        payload = {
+            "families": {
+                name: {
+                    "size_meaning": family.size_meaning,
+                    "description": family.description,
+                }
+                for name, family in sorted(families.items())
+            },
+            "algorithms": {
+                name: {
+                    "kind": info.kind,
+                    "label": info.label,
+                    "description": info.description,
+                }
+                for name, info in algorithms.items()
+            },
+            "policies": policies,
+        }
+        if args.scenarios:
+            payload["scenarios"] = {
+                name: {
+                    "identity": model.identity,
+                    "description": model.description,
+                    "params": dict(model.param_docs),
+                }
+                for name, model in scenario_registry().items()
             }
-        )
+            payload["scenario_capable_algorithms"] = scenario_capable()
+        _print_json(payload)
         return 0
+    if args.scenarios:
+        print(
+            format_table(
+                ["model", "parameters", "description"],
+                [
+                    [
+                        name,
+                        ", ".join(sorted(model.param_docs)) or "-",
+                        model.description,
+                    ]
+                    for name, model in scenario_registry().items()
+                ],
+                title="execution models (scenario --model / ScenarioSpec.model)",
+            )
+        )
+        print()
+        print(
+            format_table(
+                ["algorithm"],
+                [[name] for name in scenario_capable()],
+                title="scenario-capable algorithms (have a message-passing program)",
+            )
+        )
+        print()
     print(
         format_table(
             ["family", "size parameter"],
@@ -283,6 +433,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_argument(race)
     race.set_defaults(handler=_command_race)
 
+    scenario = commands.add_parser(
+        "scenario",
+        help="run an algorithm under an adversarial execution model",
+    )
+    _add_instance_arguments(scenario)
+    scenario.add_argument(
+        "--algorithm", default="greedy_sequential",
+        help="scenario-capable algorithm (see 'repro list --scenarios'; "
+             "default: greedy_sequential)",
+    )
+    scenario.add_argument(
+        "--model", choices=model_names(), default="lossy_links",
+        help="execution model (default: lossy_links)",
+    )
+    scenario.add_argument(
+        "--scenario-seed", type=int, default=0,
+        help="adversary seed — fixes the drop/crash/quota schedule "
+             "(default 0)",
+    )
+    scenario.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="model parameter, repeatable (e.g. --set drop=0.2 --set f=3)",
+    )
+    scenario.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: identity bit-for-bit + per-model determinism "
+             "checks on a tiny instance, nothing written",
+    )
+    _add_json_argument(scenario)
+    scenario.set_defaults(handler=_command_scenario)
+
     info = commands.add_parser("info", help="print instance measurements")
     _add_instance_arguments(info)
     _add_json_argument(info)
@@ -291,8 +472,27 @@ def build_parser() -> argparse.ArgumentParser:
     listing = commands.add_parser(
         "list", help="print the family / algorithm / policy registries"
     )
+    listing.add_argument(
+        "--scenarios", action="store_true",
+        help="also list execution models and scenario-capable algorithms",
+    )
     _add_json_argument(listing)
     listing.set_defaults(handler=_command_list)
+
+    cache = commands.add_parser(
+        "cache-prune",
+        help="evict least-recently-used entries of an on-disk result cache",
+    )
+    cache.add_argument(
+        "--cache-dir", required=True,
+        help="the cache directory (as passed to run/run_many cache_dir=)",
+    )
+    cache.add_argument(
+        "--max-entries", type=int, required=True,
+        help="number of most-recently-used entries to keep",
+    )
+    _add_json_argument(cache)
+    cache.set_defaults(handler=_command_cache_prune)
 
     bench = commands.add_parser(
         "bench-core",

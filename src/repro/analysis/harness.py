@@ -17,8 +17,11 @@ Algorithms resolve through the unified registry
 (:mod:`repro.api.registry`) — the paper solver and every baseline via
 one interface — and spec-driven sweeps are first class:
 :func:`run_spec_sweep` feeds :class:`repro.api.RunSpec` batches through
-the fingerprinting batch executor (optionally in parallel), and
-:func:`spec_cells` adapts specs into :func:`run_scaling_sweep` cells.
+the fingerprinting batch executor (optionally in parallel),
+:func:`run_scenario_sweep` does the same for adversarial
+execution-model specs (:mod:`repro.scenarios`) and reports the
+degradation observables per cell, and :func:`spec_cells` adapts specs
+into :func:`run_scaling_sweep` cells.
 """
 
 from __future__ import annotations
@@ -258,6 +261,59 @@ def run_spec_sweep(
         row.values["rounds"] = result.rounds
         row.values["palette_size"] = result.palette_size
         row.values["colors_used"] = result.colors_used()
+        row.values["fingerprint"] = result.fingerprint[:12]
+        rows.append(row)
+    return SweepResult(x_label=x_label, rows=rows)
+
+
+def run_scenario_sweep(
+    specs: Sequence[RunSpec],
+    *,
+    parallel: int = 1,
+    validate: bool = True,
+    cache: bool = True,
+    cache_dir=None,
+    x_label: str = "scenario",
+) -> SweepResult:
+    """Run scenario specs through the executor; one outcome row per spec.
+
+    The adversarial sibling of :func:`run_spec_sweep`: each row reports
+    the scenario outcome fields (rounds to quiescence, delivered /
+    dropped / deferred / duplicated messages, crash and survivor
+    counts, survivor-induced validity) next to the execution-model
+    label.  Plain (scenario-less or identity-scenario) specs are
+    welcome in the same batch — they fill the adversary columns with
+    zeros, which makes the degradation-vs-baseline table read off
+    directly.  ``parallel > 1`` fans out over the process pool with
+    byte-identical results; ``cache_dir`` resumes finished cells across
+    sessions like any other spec batch.
+    """
+    results = run_many(
+        specs,
+        parallel=parallel,
+        validate=validate,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    rows: list[ExperimentRow] = []
+    for spec, result in zip(specs, results):
+        details = result.details
+        scenario = details.get("scenario") or {}
+        row = ExperimentRow(x=spec.label())
+        row.values["algorithm"] = result.name
+        row.values["model"] = scenario.get("model", "synchronous")
+        row.values["rounds"] = details.get(
+            "rounds_to_quiescence", result.rounds
+        )
+        row.values["delivered"] = details.get("messages_delivered", 0)
+        row.values["dropped"] = details.get("messages_dropped", 0)
+        row.values["deferred"] = details.get("messages_deferred", 0)
+        row.values["duplicated"] = details.get("messages_duplicated", 0)
+        row.values["crashed"] = details.get("crashed_count", 0)
+        row.values["uncolored"] = details.get("uncolored_survivors", 0)
+        row.values["conflicts"] = details.get("conflicts_on_survivors", 0)
+        row.values["proper"] = details.get("proper_on_survivors", True)
+        row.values["aborted"] = details.get("aborted")
         row.values["fingerprint"] = result.fingerprint[:12]
         rows.append(row)
     return SweepResult(x_label=x_label, rows=rows)

@@ -23,8 +23,13 @@ The pieces:
 * the batch executor (:mod:`repro.api.runner`) — ``run`` / ``run_many``
   / ``run_many_iter`` with validation, fingerprint-keyed caching (in
   process, plus an optional on-disk ``cache_dir=`` spill that lets
-  sweeps resume across sessions), process-pool fan-out, and streaming
-  ``(index, result)`` delivery as runs finish.
+  sweeps resume across sessions and an LRU eviction policy via
+  :func:`prune_cache` / ``cache_max_entries=``), process-pool fan-out,
+  and streaming ``(index, result)`` delivery as runs finish;
+* execution models (:mod:`repro.scenarios`) — a :class:`ScenarioSpec`
+  on a run spec executes the same experiment under asynchrony, crash
+  faults, or message loss, fingerprinted and cached like any other
+  run.
 
 The CLI (``python -m repro``) and the sweep harness
 (:mod:`repro.analysis.harness`) are built on these entry points.
@@ -42,14 +47,17 @@ from repro.api.registry import (
 )
 from repro.api.runner import (
     clear_result_cache,
+    prune_cache,
     result_cache_size,
     run,
     run_many,
     run_many_iter,
     specs_for_race,
+    specs_for_scenarios,
 )
 from repro.api.spec import InstanceSpec, RunSpec
 from repro.results import RunResult, canonical_json, fingerprint_of
+from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
     "PAPER_ALGORITHM",
@@ -61,14 +69,17 @@ __all__ = [
     "get_algorithm",
     "run_algorithm",
     "clear_result_cache",
+    "prune_cache",
     "result_cache_size",
     "run",
     "run_many",
     "run_many_iter",
     "specs_for_race",
+    "specs_for_scenarios",
     "InstanceSpec",
     "RunSpec",
     "RunResult",
+    "ScenarioSpec",
     "canonical_json",
     "fingerprint_of",
 ]

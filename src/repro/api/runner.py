@@ -23,7 +23,10 @@ The one front door for executing experiments.  Guarantees:
   instead of re-solving them.  Disk entries embed the result
   fingerprint and are ignored (treated as misses) if they fail to
   round-trip, so a corrupt or hand-edited file can never masquerade as
-  a cached run.
+  a cached run.  Large stores stay bounded: entries are touched on
+  every hit, and :func:`prune_cache` (or ``cache_max_entries=`` on the
+  entry points, or ``python -m repro cache-prune``) evicts
+  least-recently-used entries beyond a budget.
 * **Fan-out** — ``parallel > 1`` distributes distinct specs over a
   :class:`~concurrent.futures.ProcessPoolExecutor`.  Specs cross the
   process boundary as plain dicts and results come back pickled; the
@@ -40,6 +43,7 @@ from __future__ import annotations
 
 import copy
 import json
+import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
@@ -48,6 +52,7 @@ from repro.api.registry import get_algorithm
 from repro.api.spec import InstanceSpec, RunSpec
 from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
 from repro.results import RunResult, fingerprint_of
+from repro.scenarios.spec import ScenarioSpec
 
 #: Result cache: spec fingerprint -> (result, was_validated).  The
 #: stored result is private to the cache — lookups hand out deep
@@ -77,6 +82,19 @@ def result_cache_size() -> int:
 
 
 def _validate(result: RunResult, graph) -> None:
+    if "scenario" in result.details:
+        # Scenario results are validated against their *survivor*
+        # claims (adversarial executions may legitimately crash agents
+        # or produce measured conflicts — a full-graph properness check
+        # would reject exactly the outcomes the scenario measures).
+        from repro.scenarios.executor import (
+            is_scenario_result,
+            validate_scenario_result,
+        )
+
+        if is_scenario_result(result):
+            validate_scenario_result(result, graph)
+            return
     check_proper_edge_coloring(graph, result.coloring)
     if result.palette_size:
         check_palette_bound(result.coloring, result.palette_size)
@@ -163,7 +181,51 @@ def _disk_lookup(
         _validate(result, spec.instance.build())
         _disk_store(cache_dir, fingerprint, result, True)
         validated = True
+    else:
+        # Refresh the entry's mtime on every hit: the eviction policy
+        # (:func:`prune_cache`) is LRU-by-mtime, so recently *used*
+        # entries survive pruning, not just recently written ones.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
     return result
+
+
+def prune_cache(cache_dir: str | Path, max_entries: int) -> int:
+    """Evict the least-recently-used on-disk entries beyond a budget.
+
+    Recency is file mtime — entries are touched on every cache hit and
+    rewritten on every store, so mtime order is use order.  Keeps the
+    ``max_entries`` most recent entries, deletes the rest, and returns
+    how many files were removed.  ``max_entries=0`` empties the store;
+    a missing directory is a no-op.  Exposed on the CLI as
+    ``python -m repro cache-prune`` and applied automatically when the
+    executor entry points are given ``cache_max_entries=``.
+    """
+    if max_entries < 0:
+        raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+    directory = Path(cache_dir)
+    if not directory.is_dir():
+        return 0
+    found = list(directory.glob("*.json"))
+    if len(found) <= max_entries:
+        # Under budget: skip the per-entry stat and the sort, so
+        # per-run pruning (``run(..., cache_max_entries=)`` in a loop)
+        # costs one directory scan, not O(store) stats each call.
+        return 0
+    entries = sorted(
+        found, key=lambda path: (path.stat().st_mtime_ns, path.name)
+    )
+    excess = entries[: len(entries) - max_entries] if max_entries else entries
+    removed = 0
+    for path in excess:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
 
 
 def _lookup_layers(
@@ -202,6 +264,7 @@ def run(
     validate: bool = True,
     cache: bool = True,
     cache_dir: str | Path | None = None,
+    cache_max_entries: int | None = None,
     _fingerprint: str | None = None,
 ) -> RunResult:
     """Execute one spec and return its fingerprinted, validated result.
@@ -209,20 +272,36 @@ def run(
     ``cache`` controls the in-process memo; ``cache_dir`` adds the
     cross-session on-disk layer (each is consulted and written
     independently, so ``cache=False, cache_dir=...`` still resumes
-    from disk without touching process memory).
+    from disk without touching process memory).  ``cache_max_entries``
+    caps the on-disk store: after a store, the least-recently-used
+    entries beyond the cap are pruned (see :func:`prune_cache`).
+
+    A spec carrying a non-identity scenario routes through
+    :func:`repro.scenarios.executor.execute_scenario` — same result
+    type, same caches, same fingerprint discipline; the identity
+    (``synchronous``) scenario is normalised away and takes this plain
+    path bit-for-bit.
     """
     fingerprint = spec.fingerprint() if _fingerprint is None else _fingerprint
     hit = _lookup_layers(fingerprint, spec, validate, cache, cache_dir)
     if hit is not None:
         return hit
     graph = spec.instance.build()
-    algorithm = get_algorithm(spec.algorithm)
-    result = algorithm.run(
-        graph,
-        seed=spec.effective_seed(),
-        policy=spec.policy,
-        **dict(spec.params),
-    )
+    scenario = spec.scenario
+    if scenario is not None and not scenario.is_identity():
+        # The scenario capability table is its own registry — a
+        # program added via register_program() need not exist in the
+        # api algorithm registry to run under an adversary.
+        from repro.scenarios.executor import execute_scenario
+
+        result = execute_scenario(spec, graph)
+    else:
+        result = get_algorithm(spec.algorithm).run(
+            graph,
+            seed=spec.effective_seed(),
+            policy=spec.policy,
+            **dict(spec.params),
+        )
     result.fingerprint = fingerprint
     if validate:
         _validate(result, graph)
@@ -230,6 +309,8 @@ def run(
         _cache_store(fingerprint, result, validate)
     if cache_dir is not None:
         _disk_store(cache_dir, fingerprint, result, validate)
+        if cache_max_entries is not None:
+            prune_cache(cache_dir, cache_max_entries)
     return result
 
 
@@ -246,6 +327,7 @@ def run_many_iter(
     validate: bool = True,
     cache: bool = True,
     cache_dir: str | Path | None = None,
+    cache_max_entries: int | None = None,
 ) -> Iterator[tuple[int, RunResult]]:
     """Execute many specs, yielding ``(index, result)`` as runs finish.
 
@@ -261,6 +343,30 @@ def run_many_iter(
     collecting the pairs into spec order reproduces the serial
     ``run_many`` list byte-for-byte.
     """
+    try:
+        yield from _run_many_iter_inner(
+            specs,
+            parallel=parallel,
+            validate=validate,
+            cache=cache,
+            cache_dir=cache_dir,
+        )
+    finally:
+        # One prune per batch (not per store) — in a finally so the
+        # cap holds even when a streaming consumer stops early and
+        # closes the generator.
+        if cache_dir is not None and cache_max_entries is not None:
+            prune_cache(cache_dir, cache_max_entries)
+
+
+def _run_many_iter_inner(
+    specs: Iterable[RunSpec],
+    *,
+    parallel: int,
+    validate: bool,
+    cache: bool,
+    cache_dir: str | Path | None,
+) -> Iterator[tuple[int, RunResult]]:
     ordered = list(specs)
     fingerprints = [spec.fingerprint() for spec in ordered]
     indices_of: dict[str, list[int]] = {}
@@ -323,6 +429,7 @@ def run_many(
     validate: bool = True,
     cache: bool = True,
     cache_dir: str | Path | None = None,
+    cache_max_entries: int | None = None,
 ) -> list[RunResult]:
     """Execute many specs, optionally fanning out over processes.
 
@@ -340,7 +447,7 @@ def run_many(
         Worker process count; ``1`` (the default) runs serially in
         this process.  Parallel execution is deterministic: results
         are keyed by spec fingerprint, never by completion order.
-    validate / cache / cache_dir:
+    validate / cache / cache_dir / cache_max_entries:
         As for :func:`run` (validation happens inside workers).
     """
     ordered = list(specs)
@@ -351,6 +458,7 @@ def run_many(
         validate=validate,
         cache=cache,
         cache_dir=cache_dir,
+        cache_max_entries=cache_max_entries,
     ):
         results[index] = result
     return results  # type: ignore[return-value]
@@ -378,4 +486,23 @@ def specs_for_race(
             policy=policy if get_algorithm(name).kind == "paper" else None,
         )
         for name in names
+    ]
+
+
+def specs_for_scenarios(
+    instance: InstanceSpec,
+    scenarios: Sequence["ScenarioSpec"],
+    *,
+    algorithm: str = "greedy_sequential",
+) -> list[RunSpec]:
+    """One spec per execution model on a single instance and algorithm.
+
+    The scenario sibling of :func:`specs_for_race`: sweep *conditions*
+    instead of contestants.  The algorithm must be scenario-capable for
+    non-identity models (see
+    :func:`repro.scenarios.programs.scenario_capable`).
+    """
+    return [
+        RunSpec(instance=instance, algorithm=algorithm, scenario=scenario)
+        for scenario in scenarios
     ]

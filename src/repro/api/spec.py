@@ -15,10 +15,20 @@ Two layers:
   so a changed file changes the fingerprint.
 * :class:`RunSpec` — *what run*: an instance plus an algorithm name
   from the unified registry, an optional named parameter policy, an
-  optional run seed (defaults to the instance seed), and extra
-  keyword parameters.  Everything is a name or a primitive, so specs
-  cross process boundaries trivially (the batch executor ships them to
-  pool workers as dicts).
+  optional run seed (defaults to the instance seed), an optional
+  execution-model scenario (:class:`repro.scenarios.ScenarioSpec` —
+  the identity scenario fingerprints away entirely, so synchronous
+  runs stay bit-for-bit compatible with scenario-less specs), and
+  extra keyword parameters.  Everything is a name or a primitive, so
+  specs cross process boundaries trivially (the batch executor ships
+  them to pool workers as dicts).
+
+Deserialization is strict: ``from_dict`` raises
+:class:`~repro.errors.SpecFormatError` on fields it does not know,
+instead of silently dropping them and round-tripping a *different*
+experiment (the failure mode that would otherwise let cached JSON
+written by a newer library version — say, one with more ``scenario``
+machinery — masquerade as an older, simpler spec).
 """
 
 from __future__ import annotations
@@ -32,10 +42,17 @@ from typing import Any, Mapping
 import networkx as nx
 
 from repro.core.params import DEFAULT_POLICY
-from repro.errors import InvalidInstanceError
+from repro.errors import InvalidInstanceError, check_known_keys
 from repro.graphs.families import build_family, family_names
 from repro.graphs.io import read_edge_list
 from repro.results import fingerprint_of
+from repro.scenarios.spec import ScenarioSpec
+
+#: Keys a serialized InstanceSpec / RunSpec may carry.
+_INSTANCE_KEYS = frozenset({"family", "size", "seed", "path"})
+_RUN_KEYS = frozenset(
+    {"instance", "algorithm", "policy", "run_seed", "params", "scenario"}
+)
 
 #: Content-hash memo: (path, size, mtime_ns) -> sha256 hex.  Sweeps
 #: fingerprint the same edge-list file once per spec; without the memo
@@ -112,7 +129,8 @@ class InstanceSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "InstanceSpec":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`; unknown fields raise."""
+        check_known_keys(payload, _INSTANCE_KEYS, "InstanceSpec")
         return cls(
             family=payload.get("family"),
             size=int(payload.get("size", 8)),
@@ -164,6 +182,14 @@ class RunSpec:
         Extra keyword arguments forwarded to the algorithm.  Accepts
         any mapping; stored as a sorted tuple of pairs so specs stay
         hashable (``dict(spec.params)`` recovers the mapping).
+    scenario:
+        Optional execution model
+        (:class:`repro.scenarios.ScenarioSpec`; plain mappings are
+        accepted and parsed).  ``None`` and the identity
+        (``synchronous``) scenario are the same experiment: both run
+        the untouched engine and share one fingerprint.  Non-identity
+        scenarios route through :mod:`repro.scenarios.executor` and
+        fingerprint their model/seed/normalised parameters.
     """
 
     instance: InstanceSpec
@@ -171,6 +197,7 @@ class RunSpec:
     policy: str | None = None
     run_seed: int | None = None
     params: Mapping[str, Any] | tuple[tuple[str, Any], ...] = ()
+    scenario: ScenarioSpec | None = None
 
     def __post_init__(self) -> None:
         # Normalise params to a sorted tuple of pairs so specs are
@@ -179,6 +206,12 @@ class RunSpec:
         object.__setattr__(
             self, "params", tuple(sorted(dict(self.params).items()))
         )
+        if self.scenario is not None and not isinstance(
+            self.scenario, ScenarioSpec
+        ):
+            object.__setattr__(
+                self, "scenario", ScenarioSpec.from_dict(self.scenario)
+            )
 
     def effective_seed(self) -> int:
         """The seed the algorithm actually receives."""
@@ -187,11 +220,17 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable identifier (table row label)."""
         suffix = f" policy={self.policy}" if self.policy else ""
+        if self.scenario is not None and not self.scenario.is_identity():
+            suffix += f" @ {self.scenario.label()}"
         return f"{self.algorithm} on {self.instance.label()}{suffix}"
 
     def with_algorithm(self, algorithm: str) -> "RunSpec":
         """A copy of this spec targeting a different algorithm."""
         return replace(self, algorithm=algorithm)
+
+    def with_scenario(self, scenario: ScenarioSpec | None) -> "RunSpec":
+        """A copy of this spec under a different execution model."""
+        return replace(self, scenario=scenario)
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (``None`` / empty fields dropped)."""
@@ -205,17 +244,24 @@ class RunSpec:
             payload["run_seed"] = self.run_seed
         if self.params:
             payload["params"] = dict(self.params)
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario.to_dict()
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunSpec":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`; unknown fields raise."""
+        check_known_keys(payload, _RUN_KEYS, "RunSpec")
+        scenario = payload.get("scenario")
         return cls(
             instance=InstanceSpec.from_dict(payload["instance"]),
             algorithm=payload.get("algorithm", "bko20"),
             policy=payload.get("policy"),
             run_seed=payload.get("run_seed"),
             params=dict(payload.get("params", {})),
+            scenario=(
+                None if scenario is None else ScenarioSpec.from_dict(scenario)
+            ),
         )
 
     def to_json(self) -> str:
@@ -249,17 +295,22 @@ class RunSpec:
         Defaults are normalised to what actually executes, so two
         spellings of the same run share one fingerprint: the seed is
         the *effective* seed (``run_seed=None`` equals an explicit
-        ``run_seed`` matching the instance seed), and for the paper
-        solver ``policy=None`` equals the solver's default policy name.
+        ``run_seed`` matching the instance seed), for the paper solver
+        ``policy=None`` equals the solver's default policy name, and a
+        missing / identity scenario contributes nothing (synchronous
+        scenario runs are bit-for-bit plain runs, so they must share
+        the plain runs' fingerprints — and cache entries — exactly;
+        this also keeps every pre-scenario fingerprint stable).
         Includes the instance fingerprint, hence file content for
         path-based instances.
         """
-        return fingerprint_of(
-            {
-                "instance": self.instance._fingerprint_payload(),
-                "algorithm": self.algorithm,
-                "policy": self._normalized_policy(),
-                "run_seed": self.effective_seed(),
-                "params": dict(self.params),
-            }
-        )
+        payload: dict[str, Any] = {
+            "instance": self.instance._fingerprint_payload(),
+            "algorithm": self.algorithm,
+            "policy": self._normalized_policy(),
+            "run_seed": self.effective_seed(),
+            "params": dict(self.params),
+        }
+        if self.scenario is not None and not self.scenario.is_identity():
+            payload["scenario"] = self.scenario._fingerprint_payload()
+        return fingerprint_of(payload)

@@ -60,3 +60,43 @@ class ParameterError(ReproError, ValueError):
     Examples: a slack parameter smaller than one, a color-space split
     parameter ``p`` outside ``[2, C]``, or a non-positive defect target.
     """
+
+
+class SpecFormatError(ReproError, ValueError):
+    """A serialized spec carries fields this library does not understand.
+
+    Raised by the ``from_dict`` constructors of
+    :class:`repro.api.InstanceSpec` / :class:`repro.api.RunSpec` /
+    :class:`repro.scenarios.ScenarioSpec` when a payload contains
+    unknown keys.  Silently dropping them would let a spec written by a
+    newer library version round-trip into a *different* experiment (and
+    a different fingerprint), so unknown fields are an error, never a
+    warning.
+    """
+
+
+def check_known_keys(payload, allowed, what: str) -> None:
+    """Raise :class:`SpecFormatError` on keys ``from_dict`` would drop.
+
+    Shared by every spec deserializer (it lives here, next to the error
+    it raises, because the api and scenarios spec layers both use it):
+    a payload written by a newer (or foreign) library version must fail
+    loudly instead of silently round-tripping into a different
+    experiment.
+    """
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise SpecFormatError(
+            f"{what} payload carries unknown fields {unknown} "
+            f"(known: {sorted(allowed)}); refusing to drop them — "
+            "the payload may come from a newer library version"
+        )
+
+
+class ScenarioError(ReproError, ValueError):
+    """A scenario description cannot be executed.
+
+    Examples: an unknown execution model, a model parameter outside its
+    range, or an algorithm that has no message-passing program and
+    therefore cannot run under an adversarial execution model.
+    """

@@ -126,12 +126,58 @@ from __future__ import annotations
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable, Iterable, Iterator, Protocol
 
 from repro.errors import RoundLimitExceededError
 from repro.model.algorithm import NodeAlgorithm, NodeContext
 from repro.model.message import Message
 from repro.model.network import Network
+
+#: One composed message: ``(sender_index, port, payload)`` — the unit
+#: the delivery-hook seam gates.  Sender index and port are the dense
+#: network coordinates; ``row_start[sender] + port`` is the flat CSR
+#: slot the engine flushes through.
+Send = tuple[int, int, Any]
+
+
+class DeliveryHook(Protocol):
+    """The narrow seam adversarial execution models plug into.
+
+    A hook never forks the engine: the scheduler still composes,
+    flushes through the same flat stamp/payload columns, and
+    materialises inboxes from them — the hook only decides *which*
+    composed messages flush *when*, and which nodes the adversary
+    crashes.  :mod:`repro.scenarios.models` implements the concrete
+    models (bounded asynchrony, crash-stop, lossy links) on top of it.
+
+    Contract notes:
+
+    * ``gate`` receives this round's freshly composed sends and returns
+      the sends to flush now; anything withheld (a backlog the hook
+      owns) must resurface through a later ``gate`` or be reported via
+      its own bookkeeping.  Dropping and duplicating are the hook's
+      business — the engine delivers exactly what ``gate`` returns,
+      except that a link (sender, port) carries at most one message per
+      round: surplus sends on a busy link are handed back through
+      ``requeue`` and should be re-gated later.
+    * ``round_crashes`` is consulted once per round *before* compose;
+      returned node indices are halted immediately and excluded from
+      the run's outputs.  ``initially_crashed`` lets a hook re-apply
+      crashes at the start of a follow-up run on the same agents
+      (multi-stage programs keep one adversary timeline).
+    """
+
+    def begin_run(self, network: Network) -> None: ...
+
+    def initially_crashed(self) -> Iterable[int]: ...
+
+    def round_crashes(self, round_index: int) -> Iterable[int]: ...
+
+    def gate(self, round_index: int, new_sends: list[Send]) -> list[Send]: ...
+
+    def requeue(self, round_index: int, sends: list[Send]) -> None: ...
+
+    def end_run(self, rounds: int, delivered: int) -> None: ...
 
 
 @dataclass
@@ -334,6 +380,17 @@ class Scheduler:
     arena:
         Buffer arena to lease from.  ``None`` uses the ambient arena
         installed by :func:`shared_arena`, or a private one.
+    delivery_hook:
+        Optional :class:`DeliveryHook` realising an adversarial
+        execution model (see :mod:`repro.scenarios`).  ``None`` (the
+        default) runs the untouched synchronous fast path — the hooked
+        loop is a separate method, so the hook costs nothing when
+        absent.  With a hook installed, ``messages_sent`` counts
+        messages actually *flushed* into the delivery columns (dropped
+        and still-deferred messages are the hook's bookkeeping), the
+        trace/send-log record deliveries rather than sends, and
+        ``ExecutionResult.outputs`` covers surviving (non-crashed)
+        nodes only.
     """
 
     def __init__(
@@ -345,6 +402,7 @@ class Scheduler:
         audit_message_sizes: bool = True,
         record_send_log: bool = False,
         arena: RoundArena | None = None,
+        delivery_hook: DeliveryHook | None = None,
     ) -> None:
         self._network = network
         self._max_rounds = max_rounds
@@ -352,6 +410,7 @@ class Scheduler:
         self._audit_message_sizes = audit_message_sizes
         self._record_send_log = record_send_log
         self._arena = arena
+        self._delivery_hook = delivery_hook
         self._send_log: tuple[list[int], list[int], list[Any]] | None = None
 
     def send_log(self) -> tuple[list[int], list[int], list[Any]]:
@@ -372,6 +431,8 @@ class Scheduler:
 
     def run(self, algorithm: NodeAlgorithm) -> ExecutionResult:
         """Execute ``algorithm`` to global halting and return the result."""
+        if self._delivery_hook is not None:
+            return self._run_hooked(algorithm)
         network = self._network
         nodes = network.nodes()
         degrees = network.degree_table()
@@ -618,6 +679,197 @@ class Scheduler:
             self._send_log = log_cols
         output = algorithm.output
         outputs = {ctx.node: output(ctx) for ctx in contexts}
+        return ExecutionResult(
+            rounds=rounds,
+            messages_sent=messages_sent,
+            outputs=outputs,
+            trace=trace,
+            _max_message_size=max_message_size if audit else None,
+        )
+
+    def _run_hooked(self, algorithm: NodeAlgorithm) -> ExecutionResult:
+        """The gated round loop behind the delivery-hook seam.
+
+        Same compose → flush → receive cycle over the same flat
+        stamp/payload columns as the fast path, with three differences:
+        every outbox takes the per-message push path (a hook gates
+        individual messages, so the broadcast column does not apply),
+        composed sends are flushed only when the hook's ``gate``
+        releases them (withheld sends carry over inside the hook and
+        re-enter through later gates — the monotone stamps make late
+        flushes indistinguishable from fresh ones), and the hook may
+        crash nodes at the start of any round.  Crashed nodes stop
+        composing and receiving immediately and are excluded from
+        ``outputs``; survivors keep running against whatever stale
+        state their inboxes reflect.
+        """
+        network = self._network
+        nodes = network.nodes()
+        degrees = network.degree_table()
+        row_start, col_receiver, _col_port, col_dest = (
+            network.delivery_columns()
+        )
+        n = network.n
+        hook = self._delivery_hook
+        assert hook is not None
+
+        contexts, active = build_contexts(network, algorithm)
+
+        arena = self._arena
+        if arena is None:
+            arena = _ACTIVE_ARENA.get()
+        if arena is None or arena._in_use:
+            arena = RoundArena()
+        payload_buf, stamp_buf, recv_stamp, _bcast_payload, _bcast_stamp = (
+            arena.lease(row_start[n], n)
+        )
+        arena._in_use = True
+
+        hook.begin_run(network)
+        crashed: set[int] = set()
+        for index in hook.initially_crashed():
+            crashed.add(index)
+            contexts[index].halt()
+        if crashed:
+            active = [index for index in active if index not in crashed]
+
+        rounds = 0
+        messages_sent = 0
+        trace: list[Message] = []
+        trace_append = trace.append
+        record_trace = self._record_trace
+        audit = self._audit_message_sizes
+        size_memo: dict[type, dict[Any, int]] = {}
+        max_message_size = 0
+        max_rounds = self._max_rounds
+        compose = algorithm.compose_messages
+        receive = algorithm.receive_messages
+        self._send_log = None
+        log_cols: tuple[list[int], list[int], list[Any]] | None = None
+        if self._record_send_log:
+            log_cols = ([], [], [])
+
+        try:
+            while active:
+                if rounds >= max_rounds:
+                    stuck = [nodes[index] for index in active[:5]]
+                    raise RoundLimitExceededError(
+                        f"round budget {max_rounds} exhausted; "
+                        f"non-halted nodes include {stuck!r}"
+                    )
+                rounds += 1
+                stamp = arena.tick()
+
+                # Adversary phase: crashes take effect before compose,
+                # so a node crashed in round r sends nothing in r.
+                for index in hook.round_crashes(rounds):
+                    if index not in crashed:
+                        crashed.add(index)
+                        contexts[index].halt()
+
+                # Compose phase: collect this round's sends without
+                # touching the buffers — delivery is the gate's call.
+                new_sends: list[Send] = []
+                new_sends_append = new_sends.append
+                for index in active:
+                    ctx = contexts[index]
+                    if ctx.halted:
+                        continue
+                    outbox = compose(ctx)
+                    if not outbox:
+                        continue
+                    degree = degrees[index]
+                    for port, payload in outbox.items():
+                        if not 0 <= port < degree:
+                            ctx.require_port(port)  # raises
+                        new_sends_append((index, port, payload))
+
+                # Flush phase: exactly the sends the hook releases land
+                # in the flat columns.  A link carries one message per
+                # round — surplus sends on a busy link go back to the
+                # hook and re-enter through a later gate.
+                busy: list[Send] = []
+                for send in hook.gate(rounds, new_sends):
+                    sender, port, payload = send
+                    idx = row_start[sender] + port
+                    slot = col_dest[idx]
+                    if stamp_buf[slot] == stamp:
+                        busy.append(send)
+                        continue
+                    payload_buf[slot] = payload
+                    stamp_buf[slot] = stamp
+                    receiver = col_receiver[idx]
+                    if recv_stamp[receiver] != stamp:
+                        recv_stamp[receiver] = stamp
+                    messages_sent += 1
+                    if audit:
+                        try:
+                            size = size_memo[payload.__class__][payload]
+                        except TypeError:  # unhashable
+                            size = len(repr(payload))
+                        except KeyError:
+                            size = len(repr(payload))
+                            try:
+                                size_memo.setdefault(
+                                    payload.__class__, {}
+                                )[payload] = size
+                            except TypeError:  # unhashable
+                                pass
+                        if size > max_message_size:
+                            max_message_size = size
+                    if record_trace:
+                        trace_append(
+                            Message(
+                                sender=nodes[sender],
+                                receiver=nodes[receiver],
+                                round_index=rounds,
+                                payload=payload,
+                            )
+                        )
+                    if log_cols is not None:
+                        log_cols[0].append(rounds)
+                        log_cols[1].append(idx)
+                        log_cols[2].append(payload)
+                if busy:
+                    hook.requeue(rounds, busy)
+
+                # Receive phase: pushed slices only (no broadcast
+                # column in hooked mode), same stamp-gated materialise
+                # as the fast path's push branch.
+                next_active: list[int] = []
+                next_active_append = next_active.append
+                for index in active:
+                    ctx = contexts[index]
+                    if ctx.halted:
+                        continue
+                    if recv_stamp[index] == stamp:
+                        base = row_start[index]
+                        end = row_start[index + 1]
+                        stamps = stamp_buf[base:end]
+                        payloads = payload_buf[base:end]
+                        inbox = {
+                            port: payloads[port]
+                            for port in range(end - base)
+                            if stamps[port] == stamp
+                        }
+                    else:
+                        inbox = {}
+                    receive(ctx, inbox)
+                    if not ctx.halted:
+                        next_active_append(index)
+                active = next_active
+        finally:
+            arena._in_use = False
+            hook.end_run(rounds, messages_sent)
+
+        if log_cols is not None:
+            self._send_log = log_cols
+        output = algorithm.output
+        outputs = {
+            ctx.node: output(ctx)
+            for index, ctx in enumerate(contexts)
+            if index not in crashed
+        }
         return ExecutionResult(
             rounds=rounds,
             messages_sent=messages_sent,

@@ -1,0 +1,306 @@
+"""Scenario programs: message-passing workloads an adversary can drive.
+
+An execution model can only perturb an algorithm that actually
+*exchanges messages*.  Most registry entries (the paper solver, the
+ledger-accounted baselines) compute centrally with round accounting —
+there is nothing for an adversary to delay, drop, or crash.  This
+module therefore keeps its own capability table: algorithm name ->
+:class:`ScenarioProgram`, a genuinely distributed
+:class:`~repro.model.algorithm.NodeAlgorithm` realisation of that
+algorithm, runnable on the columnar engine with a delivery hook
+installed.  Asking for a scenario run of an algorithm without a
+program raises a clear :class:`~repro.errors.ScenarioError` naming the
+capable ones; registering a new program is one
+:func:`register_program` call.
+
+Two programs ship:
+
+``greedy_sequential``
+    The sequential greedy baseline as a distributed sweep on the line
+    graph: the launcher ranks the edge-agents by their (seeded)
+    derived IDs, and agent ``r`` picks its color in round ``r + 1``,
+    greedily avoiding every color announced so far.  Colored agents
+    *retransmit* their color every round until global halting, which
+    makes the program naturally fault-tolerant — a dropped or deferred
+    announcement usually arrives before it matters, so degradation
+    under adversarial schedules is gradual and measurable.
+``linial_greedy``
+    The two-stage [Lin87]-style pipeline (Linial color reduction, then
+    a class sweep) from :mod:`repro.primitives.distributed_pipeline`,
+    run stage after stage under *one* adversary timeline.  Linial's
+    reduction assumes its invariants hold round by round, so harsh
+    schedules can abort it — the executor records the abort as an
+    outcome instead of crashing the sweep (brittleness under
+    asynchrony is itself a measurement).
+
+Agents of both programs are the *edges* of the underlying graph, so
+"crash a node" at the model layer means "crash an edge-agent" here;
+survivor-induced validation happens over the edges whose agents
+survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import networkx as nx
+
+from repro.errors import AlgorithmInvariantError, ScenarioError
+from repro.graphs.edges import Edge, edge_set
+from repro.graphs.properties import assign_unique_ids, max_degree
+from repro.model.algorithm import NodeAlgorithm, NodeContext
+from repro.model.edge_network import edge_identifier, line_graph_network
+from repro.model.scheduler import Scheduler
+from repro.primitives.node_algorithms import LinialColorReductionAlgorithm
+from repro.scenarios.models import ScenarioHook
+
+
+@dataclass(frozen=True)
+class ProgramOutcome:
+    """What one scenario program run observed.
+
+    Attributes
+    ----------
+    coloring:
+        Edge -> color over the *surviving, colored* agents only.
+    rounds:
+        Simulated rounds to quiescence (all survivors halted), summed
+        over the program's stages.
+    messages:
+        Messages actually delivered into the columns (the hook's
+        counters hold the dropped/deferred/duplicated complement).
+    crashed_edges:
+        Edges whose agents the adversary crashed (no output).
+    uncolored_survivors:
+        Surviving agents that finished without a color (their decision
+        inputs never arrived).
+    extra:
+        Program-specific JSON-safe observables (e.g. the intermediate
+        class-palette size of the pipeline).
+    """
+
+    coloring: dict[Edge, int]
+    rounds: int
+    messages: int
+    crashed_edges: list[Edge] = field(default_factory=list)
+    uncolored_survivors: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+#: Signature of a program runner: build the network(s), run the
+#: scheduler(s) with ``delivery_hook=hook``, and report what happened.
+ProgramRunner = Callable[..., ProgramOutcome]
+
+
+@dataclass(frozen=True)
+class ScenarioProgram:
+    """One capability-table entry."""
+
+    name: str
+    description: str
+    runner: ProgramRunner = field(repr=False)
+
+
+class ResilientGreedySweepAlgorithm(NodeAlgorithm):
+    """A class sweep that retransmits, built to degrade gracefully.
+
+    Like :class:`~repro.primitives.node_algorithms.GreedyClassSweepAlgorithm`
+    — in round ``r`` the agents of class ``r`` pick the smallest list
+    color no neighbor has announced — but hardened for adversarial
+    delivery: a colored agent rebroadcasts its color *every* round
+    until halting (so a single dropped announcement is not fatal), and
+    class assignments arrive from the launcher rather than over the
+    wire.  Under the identity model the sweep is exactly sequential
+    greedy in class order; under faults the only possible failure is a
+    *conflict* (two neighbors picking the same color after a lost
+    announcement), which the executor measures rather than forbids.
+    """
+
+    def __init__(
+        self,
+        classes: Mapping[Any, int],
+        lists: Mapping[Any, frozenset[int]],
+        class_count: int,
+    ) -> None:
+        self._classes = dict(classes)
+        self._lists = dict(lists)
+        self._class_count = class_count
+
+    def initialize(self, ctx: NodeContext) -> None:
+        ctx.state["class"] = self._classes[ctx.node]
+        ctx.state["taken"] = set()
+        ctx.state["round"] = 0
+        ctx.state["color"] = None
+
+    def compose_messages(self, ctx: NodeContext) -> Mapping[int, Any]:
+        color = ctx.state["color"]
+        if color is None:
+            return {}
+        return dict.fromkeys(range(ctx.degree), color)
+
+    def receive_messages(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        taken = ctx.state["taken"]
+        taken.update(inbox.values())
+        if ctx.state["round"] == ctx.state["class"] and ctx.state["color"] is None:
+            free = [c for c in self._lists[ctx.node] if c not in taken]
+            if not free:
+                # Cannot happen under the identity model (the palette
+                # strictly exceeds the agent's degree); under faults a
+                # neighborhood could in principle over-announce via
+                # duplication, so fail loudly rather than miscolor.
+                raise AlgorithmInvariantError(
+                    f"agent {ctx.unique_id} ran out of list colors"
+                )
+            ctx.state["color"] = min(free)
+        ctx.state["round"] += 1
+        # One extra round after the last class lets the final picks be
+        # announced before everyone halts.
+        if ctx.state["round"] > self._class_count:
+            ctx.halt()
+
+    def output(self, ctx: NodeContext) -> int | None:
+        return ctx.state["color"]
+
+
+def _greedy_palette(graph: nx.Graph) -> frozenset[int]:
+    delta = max_degree(graph)
+    return frozenset(range(1, max(2, 2 * delta)))
+
+
+def _collect(
+    graph: nx.Graph, outputs: Mapping[Any, int | None]
+) -> tuple[dict[Edge, int], list[Edge], int]:
+    """Split scheduler outputs into (coloring, crashed edges, uncolored)."""
+    coloring = {
+        edge: color for edge, color in outputs.items() if color is not None
+    }
+    uncolored = sum(1 for color in outputs.values() if color is None)
+    crashed = [edge for edge in edge_set(graph) if edge not in outputs]
+    return coloring, crashed, uncolored
+
+
+def _run_greedy_sweep(
+    graph: nx.Graph,
+    *,
+    seed: int,
+    hook: ScenarioHook,
+    max_rounds: int = 100_000,
+) -> ProgramOutcome:
+    """Distributed sequential greedy (ID-rank sweep) under ``hook``."""
+    if graph.number_of_edges() == 0:
+        return ProgramOutcome(coloring={}, rounds=0, messages=0)
+    node_ids = assign_unique_ids(graph, seed=seed)
+    network = line_graph_network(graph, node_ids=node_ids)
+    edges = edge_set(graph)
+    # Rank the agents by their derived IDs: the run seed scatters the
+    # node IDs, so it also permutes the sweep order — deterministic,
+    # and locally known to every agent's launcher-side twin.
+    max_id = max(node_ids.values())
+    order = sorted(edges, key=lambda edge: edge_identifier(edge, node_ids, max_id))
+    classes = {edge: rank for rank, edge in enumerate(order)}
+    palette = _greedy_palette(graph)
+    lists = {edge: palette for edge in edges}
+    execution = Scheduler(
+        network, max_rounds=max_rounds, delivery_hook=hook
+    ).run(ResilientGreedySweepAlgorithm(classes, lists, len(edges)))
+    coloring, crashed, uncolored = _collect(graph, execution.outputs)
+    return ProgramOutcome(
+        coloring=coloring,
+        rounds=execution.rounds,
+        messages=execution.messages_sent,
+        crashed_edges=crashed,
+        uncolored_survivors=uncolored,
+    )
+
+
+def _run_linial_pipeline(
+    graph: nx.Graph,
+    *,
+    seed: int,
+    hook: ScenarioHook,
+    max_rounds: int = 100_000,
+) -> ProgramOutcome:
+    """The two-stage Linial+sweep pipeline under one adversary timeline."""
+    if graph.number_of_edges() == 0:
+        return ProgramOutcome(coloring={}, rounds=0, messages=0)
+    node_ids = assign_unique_ids(graph, seed=seed)
+    network = line_graph_network(graph, node_ids=node_ids)
+    edges = edge_set(graph)
+
+    # Stage 1: Linial color reduction to an O(Δ̄²) class assignment.
+    stage1 = Scheduler(
+        network, max_rounds=max_rounds, delivery_hook=hook
+    ).run(LinialColorReductionAlgorithm(id_space=network.max_id()))
+    survivors_classes = dict(stage1.outputs)
+    class_count = max(survivors_classes.values(), default=0) + 1
+
+    # Stage 2: the class sweep.  The same hook carries the adversary
+    # timeline over (its crash set is re-applied before round 1);
+    # crashed agents still need *a* class for initialisation, but they
+    # never act on it.
+    classes = {edge: survivors_classes.get(edge, 0) for edge in edges}
+    palette = _greedy_palette(graph)
+    lists = {edge: palette for edge in edges}
+    stage2 = Scheduler(
+        network, max_rounds=max_rounds, delivery_hook=hook
+    ).run(ResilientGreedySweepAlgorithm(classes, lists, class_count))
+
+    coloring, crashed, uncolored = _collect(graph, stage2.outputs)
+    return ProgramOutcome(
+        coloring=coloring,
+        rounds=stage1.rounds + stage2.rounds,
+        messages=stage1.messages_sent + stage2.messages_sent,
+        crashed_edges=crashed,
+        uncolored_survivors=uncolored,
+        extra={"class_palette": class_count},
+    )
+
+
+_PROGRAMS: dict[str, ScenarioProgram] = {}
+
+
+def register_program(program: ScenarioProgram) -> ScenarioProgram:
+    """Add (or replace) a capability-table entry."""
+    _PROGRAMS[program.name] = program
+    return program
+
+
+register_program(
+    ScenarioProgram(
+        name="greedy_sequential",
+        description=(
+            "distributed ID-rank greedy sweep on the line graph, with "
+            "per-round retransmission (fault-tolerant by construction)"
+        ),
+        runner=_run_greedy_sweep,
+    )
+)
+register_program(
+    ScenarioProgram(
+        name="linial_greedy",
+        description=(
+            "two-stage Linial reduction + class sweep pipeline; stage 1 "
+            "may abort under harsh schedules (recorded, not raised)"
+        ),
+        runner=_run_linial_pipeline,
+    )
+)
+
+
+def scenario_capable() -> list[str]:
+    """Algorithm names that have a message-passing program, sorted."""
+    return sorted(_PROGRAMS)
+
+
+def get_program(name: str) -> ScenarioProgram:
+    """Look up the program behind an algorithm name."""
+    try:
+        return _PROGRAMS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"algorithm {name!r} has no message-passing program, so it "
+            "cannot run under an adversarial execution model; "
+            f"scenario-capable algorithms: {scenario_capable()} "
+            "(register one via repro.scenarios.programs.register_program)"
+        ) from None

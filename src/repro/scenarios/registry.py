@@ -1,0 +1,47 @@
+"""The execution-model registry, mirroring ``repro.api.registry``.
+
+One table, one lookup idiom: models register here, scenario specs name
+them, the CLI lists them (``python -m repro list --scenarios``).  To
+add a new execution model, subclass
+:class:`~repro.scenarios.models.ExecutionModel` (a parameter schema
+plus a seeded hook factory) and add an instance to :data:`_MODELS`;
+the spec layer, fingerprints, executor, harness and CLI pick it up
+with no further wiring.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScenarioError
+from repro.scenarios.models import (
+    BoundedAsynchrony,
+    CrashStop,
+    ExecutionModel,
+    LossyLinks,
+    Synchronous,
+)
+
+#: The registered execution models, identity model first.
+_MODELS: dict[str, ExecutionModel] = {
+    model.name: model
+    for model in (Synchronous(), BoundedAsynchrony(), CrashStop(), LossyLinks())
+}
+
+
+def scenario_registry() -> dict[str, ExecutionModel]:
+    """Return the model registry (name -> :class:`ExecutionModel`)."""
+    return dict(_MODELS)
+
+
+def model_names() -> list[str]:
+    """Every registered model name, identity model first."""
+    return list(_MODELS)
+
+
+def get_model(name: str) -> ExecutionModel:
+    """Look up one execution model by name."""
+    try:
+        return _MODELS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown execution model {name!r}; have {list(_MODELS)}"
+        ) from None

@@ -313,3 +313,117 @@ class TestResultSerialization:
         first = run(spec).result_fingerprint()
         clear_result_cache()
         assert run(spec).result_fingerprint() == first
+
+
+class TestCacheEviction:
+    """The on-disk store's LRU-by-mtime eviction policy."""
+
+    def specs(self, count=5):
+        return [
+            RunSpec(
+                InstanceSpec(family="cycle", size=5 + index, seed=1),
+                algorithm="greedy_sequential",
+            )
+            for index in range(count)
+        ]
+
+    def entries(self, cache_dir):
+        return sorted(path.name for path in cache_dir.glob("*.json"))
+
+    def test_prune_keeps_the_most_recent_entries(self, tmp_path):
+        import os
+
+        from repro.api import prune_cache
+
+        specs = self.specs()
+        run_many(specs, cache=False, cache_dir=tmp_path)
+        assert len(self.entries(tmp_path)) == 5
+        # Make use-order unambiguous regardless of filesystem mtime
+        # granularity, oldest first.
+        for index, spec in enumerate(specs):
+            path = tmp_path / f"{spec.fingerprint()}.json"
+            os.utime(path, ns=(10**9 * index, 10**9 * index))
+        removed = prune_cache(tmp_path, 2)
+        assert removed == 3
+        survivors = self.entries(tmp_path)
+        assert survivors == sorted(
+            f"{spec.fingerprint()}.json" for spec in specs[-2:]
+        )
+
+    def test_prune_budget_larger_than_store_is_a_no_op(self, tmp_path):
+        from repro.api import prune_cache
+
+        run_many(self.specs(3), cache=False, cache_dir=tmp_path)
+        assert prune_cache(tmp_path, 10) == 0
+        assert len(self.entries(tmp_path)) == 3
+
+    def test_prune_zero_empties_the_store(self, tmp_path):
+        from repro.api import prune_cache
+
+        run_many(self.specs(3), cache=False, cache_dir=tmp_path)
+        assert prune_cache(tmp_path, 0) == 3
+        assert self.entries(tmp_path) == []
+
+    def test_prune_missing_directory_is_a_no_op(self, tmp_path):
+        from repro.api import prune_cache
+
+        assert prune_cache(tmp_path / "absent", 3) == 0
+
+    def test_prune_negative_budget_raises(self, tmp_path):
+        from repro.api import prune_cache
+
+        with pytest.raises(ValueError):
+            prune_cache(tmp_path, -1)
+
+    def test_cache_max_entries_bounds_run_many(self, tmp_path):
+        results = run_many(
+            self.specs(5), cache=False, cache_dir=tmp_path, cache_max_entries=2
+        )
+        assert len(results) == 5
+        assert len(self.entries(tmp_path)) == 2
+
+    def test_cache_max_entries_bounds_single_runs(self, tmp_path):
+        for spec in self.specs(4):
+            run(spec, cache=False, cache_dir=tmp_path, cache_max_entries=3)
+        assert len(self.entries(tmp_path)) == 3
+
+    def test_hits_refresh_recency(self, tmp_path):
+        import os
+
+        from repro.api import prune_cache
+
+        specs = self.specs(3)
+        run_many(specs, cache=False, cache_dir=tmp_path)
+        for index, spec in enumerate(specs):
+            path = tmp_path / f"{spec.fingerprint()}.json"
+            os.utime(path, ns=(10**9 * index, 10**9 * index))
+        # Touch the *oldest* entry via a cache hit; it must now outrank
+        # the untouched middle entry.
+        oldest = specs[0]
+        hit = run(oldest, cache=False, cache_dir=tmp_path)
+        assert hit.result_fingerprint()
+        prune_cache(tmp_path, 2)
+        survivors = self.entries(tmp_path)
+        assert f"{oldest.fingerprint()}.json" in survivors
+        assert f"{specs[1].fingerprint()}.json" not in survivors
+
+    def test_pruned_specs_simply_rerun(self, tmp_path):
+        from repro.api import prune_cache
+
+        specs = self.specs(3)
+        first = run_many(specs, cache=False, cache_dir=tmp_path)
+        prune_cache(tmp_path, 0)
+        second = run_many(specs, cache=False, cache_dir=tmp_path)
+        assert [r.result_fingerprint() for r in first] == [
+            r.result_fingerprint() for r in second
+        ]
+
+    def test_cache_max_entries_holds_when_streaming_stops_early(self, tmp_path):
+        # A consumer that breaks out of run_many_iter closes the
+        # generator; the cap must be enforced anyway.
+        iterator = run_many_iter(
+            self.specs(4), cache=False, cache_dir=tmp_path, cache_max_entries=1
+        )
+        next(iterator)
+        iterator.close()
+        assert len(self.entries(tmp_path)) <= 1

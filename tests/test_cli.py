@@ -164,3 +164,107 @@ class TestInfoCommand:
         out = capsys.readouterr().out
         assert "max degree (Δ)" in out
         assert "5" in out
+
+
+class TestScenarioCommand:
+    def test_scenario_prints_outcome_table(self, capsys):
+        assert main([
+            "scenario", "--family", "grid", "--size", "3",
+            "--model", "crash_stop", "--set", "f=2", "--scenario-seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rounds to quiescence" in out
+        assert "crashed agents" in out
+        assert "proper on survivors" in out
+
+    def test_scenario_json_round_trips(self, capsys):
+        assert main([
+            "scenario", "--family", "cycle", "--size", "6",
+            "--model", "lossy_links", "--set", "drop=0.2",
+            "--scenario-seed", "3", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["scenario"]["model"] == "lossy_links"
+        assert payload["spec"]["scenario"]["params"]["drop"] == 0.2
+        details = payload["result"]["details"]
+        assert details["scenario"]["seed"] == 3
+        assert "conflicts_on_survivors" in details
+
+    def test_scenario_synchronous_takes_identity_path(self, capsys):
+        assert main([
+            "scenario", "--family", "cycle", "--size", "6",
+            "--model", "synchronous",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "identity" in out
+
+    def test_scenario_smoke(self, capsys):
+        assert main(["scenario", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario smoke ok" in out
+        assert "bounded_async" in out
+
+    def test_scenario_bad_set_pair_exits(self):
+        with pytest.raises(SystemExit):
+            main([
+                "scenario", "--family", "cycle", "--size", "6",
+                "--model", "lossy_links", "--set", "drop",
+            ])
+
+    def test_scenario_requires_instance_source(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "--model", "lossy_links"])
+
+
+class TestListScenarios:
+    def test_list_scenarios_prints_models(self, capsys):
+        assert main(["list", "--scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "execution models" in out
+        assert "bounded_async" in out and "lossy_links" in out
+        assert "greedy_sequential" in out
+        # The regular registries still print after the scenario tables.
+        assert "instance families" in out
+
+    def test_list_scenarios_json(self, capsys):
+        assert main(["list", "--scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["scenarios"]) == {
+            "synchronous", "bounded_async", "crash_stop", "lossy_links",
+        }
+        assert payload["scenarios"]["synchronous"]["identity"] is True
+        assert "quota" in payload["scenarios"]["bounded_async"]["params"]
+        assert "greedy_sequential" in payload["scenario_capable_algorithms"]
+
+    def test_plain_list_has_no_scenario_section(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "scenarios" not in payload
+
+
+class TestCachePruneCommand:
+    def test_cache_prune_reports_removed_count(self, tmp_path, capsys):
+        from repro.api import InstanceSpec, RunSpec, run_many
+
+        specs = [
+            RunSpec(
+                InstanceSpec(family="cycle", size=5 + index, seed=1),
+                algorithm="greedy_sequential",
+            )
+            for index in range(4)
+        ]
+        run_many(specs, cache=False, cache_dir=tmp_path)
+        assert main([
+            "cache-prune", "--cache-dir", str(tmp_path), "--max-entries", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 3" in out
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_cache_prune_json(self, tmp_path, capsys):
+        assert main([
+            "cache-prune", "--cache-dir", str(tmp_path / "absent"),
+            "--max-entries", "5", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["removed"] == 0

@@ -1,0 +1,181 @@
+"""Tests for ScenarioSpec and its composition into RunSpec.
+
+Covers the fingerprint contract (identity scenarios vanish; adversarial
+scenarios normalise their parameters), serialization round-trips, and
+the strict unknown-field policy of every spec deserializer.
+"""
+
+import pytest
+
+from repro.api import InstanceSpec, RunSpec, ScenarioSpec
+from repro.errors import ReproError, ScenarioError, SpecFormatError
+from repro.scenarios import get_model, model_names, scenario_registry
+
+
+def instance() -> InstanceSpec:
+    return InstanceSpec(family="cycle", size=8, seed=1)
+
+
+class TestScenarioSpec:
+    def test_default_is_identity(self):
+        spec = ScenarioSpec()
+        assert spec.model == "synchronous"
+        assert spec.is_identity()
+
+    def test_adversarial_models_are_not_identity(self):
+        for name in ("bounded_async", "crash_stop", "lossy_links"):
+            assert not ScenarioSpec(model=name).is_identity()
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ScenarioError, match="unknown execution model"):
+            ScenarioSpec(model="byzantine")
+
+    def test_unknown_param_raises_eagerly(self):
+        with pytest.raises(ScenarioError, match="does not take parameters"):
+            ScenarioSpec(model="lossy_links", params={"dorp": 0.1})
+
+    def test_identity_model_takes_no_params(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec(model="synchronous", params={"quota": 1})
+
+    @pytest.mark.parametrize(
+        "model,params",
+        [
+            ("bounded_async", {"quota": 0}),
+            ("bounded_async", {"quota": 1.5}),
+            ("bounded_async", {"jitter": -1}),
+            ("crash_stop", {"f": -1}),
+            ("crash_stop", {"horizon": 0}),
+            ("lossy_links", {"drop": 1.0}),
+            ("lossy_links", {"drop": -0.1}),
+            ("lossy_links", {"duplicate": "lots"}),
+        ],
+    )
+    def test_out_of_range_params_raise(self, model, params):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec(model=model, params=params)
+
+    def test_normalized_params_fill_defaults(self):
+        spec = ScenarioSpec(model="lossy_links")
+        assert spec.normalized_params() == {"drop": 0.1, "duplicate": 0.0}
+
+    def test_params_hashable_and_order_independent(self):
+        a = ScenarioSpec(model="crash_stop", params={"f": 2, "horizon": 4})
+        b = ScenarioSpec(model="crash_stop", params={"horizon": 4, "f": 2})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_json_round_trip(self):
+        spec = ScenarioSpec(model="bounded_async", seed=9, params={"quota": 3})
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_from_dict_unknown_key_raises_repro_error(self):
+        with pytest.raises(SpecFormatError, match="unknown fields"):
+            ScenarioSpec.from_dict({"model": "lossy_links", "mode": "hard"})
+        # SpecFormatError is a ReproError — one catchable base class.
+        assert issubclass(SpecFormatError, ReproError)
+
+    def test_label_mentions_model_and_seed(self):
+        label = ScenarioSpec(model="crash_stop", seed=7, params={"f": 2}).label()
+        assert "crash_stop" in label and "f=2" in label and "s7" in label
+        assert ScenarioSpec().label() == "synchronous"
+
+    def test_registry_lists_all_models(self):
+        assert model_names() == [
+            "synchronous", "bounded_async", "crash_stop", "lossy_links",
+        ]
+        assert set(scenario_registry()) == set(model_names())
+        assert get_model("synchronous").identity
+
+
+class TestRunSpecScenarioComposition:
+    def test_identity_scenario_shares_fingerprint_with_plain_spec(self):
+        plain = RunSpec(instance=instance(), algorithm="greedy_sequential")
+        sync = plain.with_scenario(ScenarioSpec(model="synchronous"))
+        assert sync.fingerprint() == plain.fingerprint()
+
+    def test_adversarial_scenario_changes_fingerprint(self):
+        plain = RunSpec(instance=instance(), algorithm="greedy_sequential")
+        lossy = plain.with_scenario(ScenarioSpec(model="lossy_links", seed=1))
+        assert lossy.fingerprint() != plain.fingerprint()
+
+    def test_default_params_and_explicit_defaults_share_fingerprint(self):
+        base = RunSpec(
+            instance=instance(),
+            algorithm="greedy_sequential",
+            scenario=ScenarioSpec(model="lossy_links", seed=1),
+        )
+        spelled = base.with_scenario(
+            ScenarioSpec(
+                model="lossy_links", seed=1,
+                params={"drop": 0.1, "duplicate": 0.0},
+            )
+        )
+        assert spelled.fingerprint() == base.fingerprint()
+
+    def test_seed_and_params_split_fingerprints(self):
+        fingerprints = {
+            RunSpec(
+                instance=instance(),
+                algorithm="greedy_sequential",
+                scenario=scenario,
+            ).fingerprint()
+            for scenario in (
+                ScenarioSpec(model="lossy_links", seed=1),
+                ScenarioSpec(model="lossy_links", seed=2),
+                ScenarioSpec(model="lossy_links", seed=1, params={"drop": 0.2}),
+                ScenarioSpec(model="crash_stop", seed=1),
+            )
+        }
+        assert len(fingerprints) == 4
+
+    def test_dict_round_trip_with_scenario(self):
+        spec = RunSpec(
+            instance=instance(),
+            algorithm="greedy_sequential",
+            scenario=ScenarioSpec(model="crash_stop", seed=3, params={"f": 2}),
+        )
+        rebuilt = RunSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_scenario_mapping_is_parsed(self):
+        spec = RunSpec(
+            instance=instance(),
+            algorithm="greedy_sequential",
+            scenario={"model": "lossy_links", "seed": 2},
+        )
+        assert isinstance(spec.scenario, ScenarioSpec)
+        assert spec.scenario.model == "lossy_links"
+
+    def test_old_format_dict_still_loads(self):
+        # Pre-scenario cached JSON has no 'scenario' key — must load.
+        payload = {
+            "instance": {"family": "cycle", "size": 8, "seed": 1},
+            "algorithm": "greedy_sequential",
+        }
+        spec = RunSpec.from_dict(payload)
+        assert spec.scenario is None
+
+    def test_run_spec_unknown_key_raises(self):
+        payload = {
+            "instance": {"family": "cycle", "size": 8, "seed": 1},
+            "algorithm": "greedy_sequential",
+            "scenerio": {"model": "lossy_links"},  # typo'd field
+        }
+        with pytest.raises(SpecFormatError, match="scenerio"):
+            RunSpec.from_dict(payload)
+
+    def test_instance_spec_unknown_key_raises(self):
+        with pytest.raises(SpecFormatError, match="sized"):
+            InstanceSpec.from_dict({"family": "cycle", "sized": 8})
+
+    def test_label_mentions_scenario(self):
+        spec = RunSpec(
+            instance=instance(),
+            algorithm="greedy_sequential",
+            scenario=ScenarioSpec(model="lossy_links", seed=5),
+        )
+        assert "lossy_links" in spec.label()
+        sync = spec.with_scenario(ScenarioSpec())
+        assert "synchronous" not in sync.label()
