@@ -29,9 +29,21 @@ Commands
     write the perf-trajectory record ``BENCH_scheduler.json``.
 ``cache-prune``
     Evict least-recently-used entries of an on-disk result cache.
+``shard``
+    The cluster layer's coordinator verbs (:mod:`repro.cluster`):
+    ``plan`` a spec batch into a sharded job directory, print a job's
+    ``status`` (done / running / stale / pending shards), ``merge`` a
+    completed job into the ordered result list; ``--smoke`` runs the
+    CI end-to-end check (plan → 2 worker subprocesses → merge →
+    byte-identical to serial ``run_many``).
+``worker``
+    Drain claimable shards of a job directory through the batch
+    executor — run any number of these, on any machine that shares
+    the directory.
 
-``solve``, ``race``, ``scenario``, ``info``, ``list``, and
-``cache-prune`` accept ``--json`` for machine-readable output.
+``solve``, ``race``, ``scenario``, ``info``, ``list``, ``cache-prune``,
+``shard``, and ``worker`` accept ``--json`` for machine-readable
+output.
 
 Examples::
 
@@ -45,6 +57,12 @@ Examples::
     python -m repro list --scenarios
     python -m repro bench-core --output BENCH_scheduler.json
     python -m repro cache-prune --cache-dir results/ --max-entries 500
+    python -m repro shard plan --specs sweep.json --job-dir jobs/sweep \\
+        --shards 4
+    python -m repro worker jobs/sweep
+    python -m repro shard status --job-dir jobs/sweep
+    python -m repro shard merge --job-dir jobs/sweep --output results.json
+    python -m repro shard --smoke
 """
 
 from __future__ import annotations
@@ -238,6 +256,128 @@ def _command_scenario(args: argparse.Namespace) -> int:
             title=f"{spec.label()} [fingerprint {result.fingerprint[:12]}]",
         )
     )
+    return 0
+
+
+def _command_shard(args: argparse.Namespace) -> int:
+    from repro.cluster import coordinator, planner
+
+    if args.smoke:
+        summary = coordinator.smoke_check()
+        if args.json:
+            _print_json(summary)
+        else:
+            print(
+                f"shard smoke ok: {summary['specs']} mixed specs over "
+                f"{summary['shards']} shards via 2 worker subprocesses, "
+                "merged byte-identical to serial run_many "
+                f"(plan {summary['plan_fingerprint']})"
+            )
+        return 0
+    if args.action is None:
+        raise SystemExit("shard needs an action (plan|status|merge) or --smoke")
+    if args.job_dir is None:
+        raise SystemExit("shard actions need --job-dir DIR")
+    if args.action == "plan":
+        if not args.specs:
+            raise SystemExit("shard plan needs --specs FILE (JSON spec list)")
+        with open(args.specs) as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, list):
+            raise SystemExit(
+                f"{args.specs} must hold a JSON list of RunSpec dicts"
+            )
+        specs = [RunSpec.from_dict(entry) for entry in payload]
+        plan = planner.ensure_plan(specs, args.job_dir, shards=args.shards)
+        if args.json:
+            _print_json(
+                {
+                    "job_dir": args.job_dir,
+                    "plan_fingerprint": plan.plan_fingerprint(),
+                    "shards": plan.shards,
+                    "specs": len(plan.specs),
+                    "distinct_specs": len(set(plan.fingerprints)),
+                }
+            )
+        else:
+            print(
+                f"planned {len(plan.specs)} specs "
+                f"({len(set(plan.fingerprints))} distinct) into "
+                f"{plan.shards} shards at {args.job_dir} "
+                f"[plan {plan.plan_fingerprint()[:12]}]; start workers "
+                f"with: python -m repro worker {args.job_dir}"
+            )
+        return 0
+    if args.action == "status":
+        status = coordinator.job_status(args.job_dir, lease_ttl=args.lease_ttl)
+        if args.json:
+            _print_json(status)
+        else:
+            print(
+                f"job {args.job_dir} [plan "
+                f"{status['plan_fingerprint'][:12]}]: "
+                f"{len(status['done'])}/{status['shards']} shards done "
+                f"({status['specs_done']}/{status['distinct_specs']} "
+                f"distinct specs), {len(status['running'])} running, "
+                f"{len(status['stale'])} stale, "
+                f"{len(status['pending'])} pending"
+            )
+        return 0
+    # merge
+    results = coordinator.merge_results(None, args.job_dir)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(
+                [result.to_dict() for result in results],
+                handle,
+                sort_keys=True,
+                default=repr,
+            )
+    if args.json:
+        _print_json(
+            {
+                "job_dir": args.job_dir,
+                "results": len(results),
+                "result_fingerprints": [
+                    result.result_fingerprint() for result in results
+                ],
+                "output": args.output,
+            }
+        )
+    else:
+        print(
+            f"merged {len(results)} results from {args.job_dir}"
+            + (f" -> {args.output}" if args.output else "")
+        )
+        for result in results:
+            print(f"  {result.result_fingerprint()[:12]}  {result.name}")
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from repro.cluster import work_loop
+
+    summary = work_loop(
+        args.job_dir,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        validate=not args.no_validate,
+    )
+    if args.json:
+        _print_json(summary)
+    else:
+        outstanding = summary["outstanding"]
+        print(
+            f"worker {summary['worker']} drained "
+            f"{len(summary['completed'])} shards "
+            f"({summary['specs_run']} specs run) from {args.job_dir}; "
+            + (
+                "job complete"
+                if summary["job_complete"]
+                else f"shards {outstanding} still outstanding "
+                     "(leased to live workers)"
+            )
+        )
     return 0
 
 
@@ -478,6 +618,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_argument(listing)
     listing.set_defaults(handler=_command_list)
+
+    shard = commands.add_parser(
+        "shard",
+        help="plan / inspect / merge a sharded multi-worker job",
+    )
+    shard.add_argument(
+        "action", nargs="?", choices=["plan", "status", "merge"],
+        help="coordinator verb (omit with --smoke)",
+    )
+    shard.add_argument(
+        "--job-dir",
+        help="shared job directory all workers coordinate through",
+    )
+    shard.add_argument(
+        "--specs", metavar="FILE",
+        help="plan: JSON file holding a list of RunSpec dicts",
+    )
+    shard.add_argument(
+        "--shards", type=int, default=2,
+        help="plan: number of work units to split the batch into (default 2)",
+    )
+    shard.add_argument(
+        "--lease-ttl", type=float, default=60.0,
+        help="status: seconds without a heartbeat before a lease counts "
+             "as stale (default 60)",
+    )
+    shard.add_argument(
+        "--output", metavar="FILE",
+        help="merge: also write the ordered result dicts to this JSON file",
+    )
+    shard.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: plan a tiny mixed batch, drain it with 2 worker "
+             "subprocesses, merge, and assert byte-identity with serial "
+             "run_many (temporary directory, nothing kept)",
+    )
+    _add_json_argument(shard)
+    shard.set_defaults(handler=_command_shard)
+
+    worker = commands.add_parser(
+        "worker",
+        help="drain claimable shards of a job directory (run many of these)",
+    )
+    worker.add_argument(
+        "job_dir",
+        help="the shared job directory (see 'repro shard plan')",
+    )
+    worker.add_argument(
+        "--worker-id",
+        help="lease identity (default: hostname:pid)",
+    )
+    worker.add_argument(
+        "--lease-ttl", type=float, default=60.0,
+        help="seconds without a heartbeat before a foreign lease may be "
+             "reclaimed (default 60)",
+    )
+    worker.add_argument(
+        "--no-validate", action="store_true",
+        help="skip independent re-validation of every produced coloring",
+    )
+    _add_json_argument(worker)
+    worker.set_defaults(handler=_command_worker)
 
     cache = commands.add_parser(
         "cache-prune",

@@ -273,6 +273,9 @@ def run_scenario_sweep(
     validate: bool = True,
     cache: bool = True,
     cache_dir=None,
+    job_dir=None,
+    shards: int = 2,
+    local_workers: int = 0,
     x_label: str = "scenario",
 ) -> SweepResult:
     """Run scenario specs through the executor; one outcome row per spec.
@@ -287,14 +290,43 @@ def run_scenario_sweep(
     directly.  ``parallel > 1`` fans out over the process pool with
     byte-identical results; ``cache_dir`` resumes finished cells across
     sessions like any other spec batch.
+
+    **Sharded path** (``job_dir=``): the batch executes through
+    :func:`repro.cluster.run_sharded` instead — split into ``shards``
+    work units in ``job_dir``, optionally drained by ``local_workers``
+    worker subprocesses (plus any ``python -m repro worker`` processes
+    pointed at the same directory, on any machine), merged
+    byte-identically.  Row contents are unchanged; re-running with the
+    same batch and directory resumes a half-finished sweep.  On this
+    path ``parallel`` and ``cache`` do not apply (workers are the
+    parallelism; the job's own ``cache/`` is the spill), and passing a
+    separate ``cache_dir`` alongside ``job_dir`` is a loud error
+    rather than a silently ignored argument.
     """
-    results = run_many(
-        specs,
-        parallel=parallel,
-        validate=validate,
-        cache=cache,
-        cache_dir=cache_dir,
-    )
+    if job_dir is not None:
+        if cache_dir is not None:
+            raise ValueError(
+                "run_scenario_sweep: cache_dir= does not combine with "
+                "job_dir= — sharded jobs spill into <job_dir>/cache "
+                "(pass one or the other)"
+            )
+        from repro.cluster import run_sharded
+
+        results = run_sharded(
+            specs,
+            job_dir,
+            shards=shards,
+            local_workers=local_workers,
+            validate=validate,
+        )
+    else:
+        results = run_many(
+            specs,
+            parallel=parallel,
+            validate=validate,
+            cache=cache,
+            cache_dir=cache_dir,
+        )
     rows: list[ExperimentRow] = []
     for spec, result in zip(specs, results):
         details = result.details

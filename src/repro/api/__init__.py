@@ -29,7 +29,11 @@ The pieces:
 * execution models (:mod:`repro.scenarios`) — a :class:`ScenarioSpec`
   on a run spec executes the same experiment under asynchrony, crash
   faults, or message loss, fingerprinted and cached like any other
-  run.
+  run;
+* the cluster layer (:mod:`repro.cluster`) — ``run_sharded`` splits a
+  spec batch into deterministic shards drained by independent worker
+  processes/machines over a shared directory, and merges the results
+  byte-identical to ``run_many``.
 
 The CLI (``python -m repro``) and the sweep harness
 (:mod:`repro.analysis.harness`) are built on these entry points.

@@ -42,17 +42,33 @@ The one front door for executing experiments.  Guarantees:
 from __future__ import annotations
 
 import copy
-import json
-import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro.api.diskcache import (
+    disk_load,
+    disk_path,
+    disk_store,
+    prune_cache,
+    touch_entry,
+)
 from repro.api.registry import get_algorithm
 from repro.api.spec import InstanceSpec, RunSpec
 from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
-from repro.results import RunResult, fingerprint_of
+from repro.results import RunResult
 from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "clear_result_cache",
+    "prune_cache",  # canonical home: repro.api.diskcache (re-exported)
+    "result_cache_size",
+    "run",
+    "run_many",
+    "run_many_iter",
+    "specs_for_race",
+    "specs_for_scenarios",
+]
 
 #: Result cache: spec fingerprint -> (result, was_validated).  The
 #: stored result is private to the cache — lookups hand out deep
@@ -60,10 +76,6 @@ from repro.scenarios.spec import ScenarioSpec
 #: and unbounded; sweeps that would outgrow it should clear between
 #: phases (or spill to disk with ``cache_dir=``).
 _RESULT_CACHE: dict[str, tuple[RunResult, bool]] = {}
-
-#: On-disk entry format version (bumped on incompatible layout change).
-_DISK_FORMAT = 1
-
 
 def clear_result_cache() -> int:
     """Drop all in-process cached results; returns how many were dropped.
@@ -122,33 +134,13 @@ def _cache_store(fingerprint: str, result: RunResult, validated: bool) -> None:
 
 
 # --- on-disk spill -----------------------------------------------------
+#
+# The store/load/prune mechanics live in :mod:`repro.api.diskcache`
+# (shared with the cluster layer); this wrapper adds the executor's
+# validation-upgrade and LRU-touch semantics.
 
-
-def _disk_path(cache_dir: str | Path, fingerprint: str) -> Path:
-    return Path(cache_dir) / f"{fingerprint}.json"
-
-
-def _disk_store(
-    cache_dir: str | Path, fingerprint: str, result: RunResult, validated: bool
-) -> None:
-    """Write one JSON file per fingerprint (atomic enough for sweeps).
-
-    The embedded ``result_fingerprint`` seals the payload; loads that
-    do not reproduce it are discarded.
-    """
-    directory = Path(cache_dir)
-    directory.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "format": _DISK_FORMAT,
-        "fingerprint": fingerprint,
-        "validated": bool(validated),
-        "result": result.to_dict(),
-        "result_fingerprint": result.result_fingerprint(),
-    }
-    path = _disk_path(directory, fingerprint)
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True, default=repr))
-    tmp.replace(path)
+_disk_path = disk_path  # backwards-compatible aliases
+_disk_store = disk_store
 
 
 def _disk_lookup(
@@ -159,73 +151,19 @@ def _disk_lookup(
     Any malformed, mismatched, or unreadable entry is a miss — the
     spec simply re-runs and the entry is rewritten.
     """
-    path = _disk_path(cache_dir, fingerprint)
-    try:
-        payload = json.loads(path.read_text())
-    except (OSError, ValueError):
+    entry = disk_load(cache_dir, fingerprint)
+    if entry is None:
         return None
-    if (
-        not isinstance(payload, dict)
-        or payload.get("format") != _DISK_FORMAT
-        or payload.get("fingerprint") != fingerprint
-    ):
-        return None
-    try:
-        result = RunResult.from_dict(payload["result"])
-    except Exception:
-        return None
-    if fingerprint_of(result.to_dict()) != payload.get("result_fingerprint"):
-        return None
-    validated = bool(payload.get("validated"))
+    result, validated = entry
     if validate and not validated:
         _validate(result, spec.instance.build())
-        _disk_store(cache_dir, fingerprint, result, True)
-        validated = True
+        disk_store(cache_dir, fingerprint, result, True)
     else:
         # Refresh the entry's mtime on every hit: the eviction policy
         # (:func:`prune_cache`) is LRU-by-mtime, so recently *used*
         # entries survive pruning, not just recently written ones.
-        try:
-            os.utime(path)
-        except OSError:
-            pass
+        touch_entry(cache_dir, fingerprint)
     return result
-
-
-def prune_cache(cache_dir: str | Path, max_entries: int) -> int:
-    """Evict the least-recently-used on-disk entries beyond a budget.
-
-    Recency is file mtime — entries are touched on every cache hit and
-    rewritten on every store, so mtime order is use order.  Keeps the
-    ``max_entries`` most recent entries, deletes the rest, and returns
-    how many files were removed.  ``max_entries=0`` empties the store;
-    a missing directory is a no-op.  Exposed on the CLI as
-    ``python -m repro cache-prune`` and applied automatically when the
-    executor entry points are given ``cache_max_entries=``.
-    """
-    if max_entries < 0:
-        raise ValueError(f"max_entries must be >= 0, got {max_entries}")
-    directory = Path(cache_dir)
-    if not directory.is_dir():
-        return 0
-    found = list(directory.glob("*.json"))
-    if len(found) <= max_entries:
-        # Under budget: skip the per-entry stat and the sort, so
-        # per-run pruning (``run(..., cache_max_entries=)`` in a loop)
-        # costs one directory scan, not O(store) stats each call.
-        return 0
-    entries = sorted(
-        found, key=lambda path: (path.stat().st_mtime_ns, path.name)
-    )
-    excess = entries[: len(entries) - max_entries] if max_entries else entries
-    removed = 0
-    for path in excess:
-        try:
-            path.unlink()
-            removed += 1
-        except OSError:
-            pass
-    return removed
 
 
 def _lookup_layers(

@@ -1,0 +1,77 @@
+"""repro.cluster — sharded, resumable multi-worker spec execution.
+
+The layer above :func:`repro.api.run_many` for sweeps too big for one
+process (or one machine): a spec batch is deterministically partitioned
+into shards, independent workers drain the shards through the ordinary
+batch executor against a shared directory, and the coordinator merges
+the sealed shard outputs back into the exact ordered result list
+``run_many`` would have produced — byte for byte::
+
+    from repro.api import InstanceSpec, RunSpec
+    from repro.cluster import run_sharded
+
+    specs = [RunSpec(InstanceSpec(family="grid", size=s)) for s in range(3, 9)]
+    results = run_sharded(specs, "jobs/grid-sweep", shards=4, local_workers=2)
+    # == run_many(specs), byte-identical
+
+No external dependencies: the *filesystem is the cluster*.  Workers on
+any machine that shares the job directory participate by running
+``python -m repro worker <job_dir>``; coordination is three kinds of
+file —
+
+* **task files** (written once by the deterministic planner,
+  :mod:`repro.cluster.planner`): which fingerprints a shard owns;
+* **claim files** (:mod:`repro.cluster.queue`): advisory leases with
+  heartbeats; crashed workers' leases go stale and their shards are
+  reclaimed by anyone still alive;
+* **sealed result files** (:mod:`repro.cluster.worker`): published by
+  atomic rename, integrity-checked on merge
+  (:mod:`repro.cluster.coordinator`).
+
+Everything is content-addressed and idempotent, so any component may
+die and be re-run: per-spec results spill into the job's shared
+``cache/`` as they finish (a reclaimed shard replays them instead of
+re-solving), and duplicate execution during a lease race publishes
+byte-identical files.  The CLI front ends are ``python -m repro worker``
+and ``python -m repro shard plan|status|merge`` (plus ``--smoke``, the
+CI check).
+"""
+
+from repro.cluster.coordinator import (
+    job_status,
+    load_shard_results,
+    merge_results,
+    run_sharded,
+    smoke_check,
+    spawn_local_worker,
+)
+from repro.cluster.planner import (
+    ShardPlan,
+    ensure_plan,
+    load_plan,
+    load_task,
+    plan_shards,
+    write_plan,
+)
+from repro.cluster.queue import DEFAULT_LEASE_TTL, ShardQueue, default_worker_id
+from repro.cluster.worker import cache_dir_of, publish_shard_result, work_loop
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "ShardPlan",
+    "ShardQueue",
+    "cache_dir_of",
+    "default_worker_id",
+    "ensure_plan",
+    "job_status",
+    "load_plan",
+    "load_shard_results",
+    "load_task",
+    "merge_results",
+    "plan_shards",
+    "publish_shard_result",
+    "run_sharded",
+    "smoke_check",
+    "spawn_local_worker",
+    "work_loop",
+]

@@ -1,0 +1,343 @@
+"""The coordinator: plan, drive workers, merge — byte-identical to serial.
+
+:func:`run_sharded` is the cluster twin of :func:`repro.api.run_many`:
+same input (a spec batch), same output (the spec-ordered result list),
+same bytes.  In between it (1) plans the batch into a job directory
+(or verifies and adopts the plan already there — that is what makes a
+re-run *resume* instead of restart), (2) optionally spawns local
+worker subprocesses (``python -m repro worker``), (3) drains whatever
+remains in-process — reclaiming the stale leases of crashed workers —
+and (4) merges the sealed shard results.
+
+**The byte-identical contract.**  Merging reads each distinct spec's
+result from its shard file and lays results out in batch order, first
+occurrence getting the loaded object and duplicates getting deep
+copies — the exact object discipline of ``run_many``.  Results
+round-trip through JSON on the way (shard files are sealed JSON), and
+:meth:`repro.results.RunResult.to_dict` round-trips exactly, so
+``canonical_json(r.to_dict())`` of every merged result equals its
+serial counterpart byte for byte; ``tests/test_cluster_coordinator.py``
+pins this over mixed adversarial batches.
+
+**Resume guarantees.**  Every layer is idempotent-by-content: the plan
+is a pure function of the specs, per-spec results spill into the
+shared cache as they finish, shard results publish atomically, and
+leases go stale rather than wedging the job.  Killing any worker (or
+the coordinator itself) at any point loses at most the specs currently
+in flight; re-running ``run_sharded`` with the same batch and
+directory completes the job from the surviving state.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.api.diskcache import read_json
+from repro.api.spec import RunSpec
+from repro.cluster.planner import PLAN_FORMAT, ensure_plan, load_plan
+from repro.cluster.queue import DEFAULT_LEASE_TTL, ShardQueue, result_path
+from repro.cluster.worker import work_loop
+from repro.errors import ClusterError
+from repro.results import RunResult, fingerprint_of
+
+
+def load_shard_results(
+    job_dir: str | Path, shard: int, *, plan_fingerprint: str
+) -> dict[str, RunResult] | None:
+    """Load one shard's sealed results, or ``None`` if absent/invalid.
+
+    An invalid file (torn seal, foreign plan) is treated exactly like a
+    missing one — the shard counts as not done and re-runs — so a
+    corrupted result can never reach a merge.
+    """
+    payload = read_json(result_path(job_dir, shard))
+    if not isinstance(payload, dict):
+        return None
+    body = {key: value for key, value in payload.items() if key != "seal"}
+    if (
+        payload.get("seal") != fingerprint_of(body)
+        or body.get("format") != PLAN_FORMAT
+        or body.get("shard") != shard
+        or body.get("plan_fingerprint") != plan_fingerprint
+    ):
+        return None
+    try:
+        return {
+            fingerprint: RunResult.from_dict(result)
+            for fingerprint, result in body["results"].items()
+        }
+    except Exception:
+        return None
+
+
+def merge_results(
+    specs: Sequence[RunSpec] | None, job_dir: str | Path
+) -> list[RunResult]:
+    """Merge a completed job into the ordered ``run_many`` result list.
+
+    ``specs=None`` merges in the planned batch's own order (the CLI
+    path); passing the batch explicitly additionally asserts it matches
+    the plan.  Raises :class:`~repro.errors.ClusterError` naming the
+    missing shards if the job is incomplete.
+    """
+    plan = load_plan(job_dir)
+    if specs is not None:
+        from repro.cluster.planner import plan_shards
+
+        offered = plan_shards(specs, shards=plan.shards)
+        if offered.plan_fingerprint() != plan.plan_fingerprint():
+            raise ClusterError(
+                f"job directory {Path(job_dir)} holds plan "
+                f"{plan.plan_fingerprint()[:12]} but the offered specs "
+                f"plan to {offered.plan_fingerprint()[:12]}; refusing to "
+                "merge a different experiment's batch"
+            )
+    return _merge_with_plan(plan, job_dir)
+
+
+def _merge_with_plan(plan, job_dir: str | Path) -> list[RunResult]:
+    """Merge against an already-verified plan (no manifest re-reads).
+
+    Spec fingerprints hash edge-list file *content* for path-based
+    instances, so recomputing the plan is real I/O — callers that just
+    planned (``run_sharded``) hand their plan straight in.
+    """
+    plan_fingerprint = plan.plan_fingerprint()
+    by_fingerprint: dict[str, RunResult] = {}
+    missing: list[int] = []
+    for shard in range(plan.shards):
+        loaded = load_shard_results(
+            job_dir, shard, plan_fingerprint=plan_fingerprint
+        )
+        if loaded is None:
+            missing.append(shard)
+            continue
+        absent = [f for f in plan.assignment[shard] if f not in loaded]
+        if absent:
+            raise ClusterError(
+                f"shard {shard} result file lacks fingerprints "
+                f"{[f[:12] for f in absent]}; the shard was published "
+                "against a different task — re-plan the job"
+            )
+        by_fingerprint.update(loaded)
+    if missing:
+        raise ClusterError(
+            f"job {Path(job_dir)} is incomplete: shards {missing} have no "
+            "valid sealed result yet (run workers or run_sharded to "
+            "finish it)"
+        )
+    # run_many's object discipline: first occurrence of a fingerprint
+    # yields the loaded object, later occurrences independent copies.
+    seen: set[str] = set()
+    results: list[RunResult] = []
+    for fingerprint in plan.fingerprints:
+        result = by_fingerprint[fingerprint]
+        if fingerprint in seen:
+            result = copy.deepcopy(result)
+        seen.add(fingerprint)
+        results.append(result)
+    return results
+
+
+def job_status(
+    job_dir: str | Path,
+    *,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    clock: Callable[[], float] = time.time,
+) -> dict[str, Any]:
+    """JSON-safe snapshot of a job's progress (CLI ``shard status``)."""
+    plan = load_plan(job_dir)
+    queue = ShardQueue(job_dir, lease_ttl=lease_ttl, clock=clock)
+    status = queue.status(plan.shards)
+    status["plan_fingerprint"] = plan.plan_fingerprint()
+    status["specs"] = len(plan.specs)
+    status["distinct_specs"] = len(set(plan.fingerprints))
+    status["specs_done"] = sum(
+        len(plan.assignment[shard]) for shard in status["done"]
+    )
+    return status
+
+
+def spawn_local_worker(
+    job_dir: str | Path,
+    *,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    validate: bool = True,
+) -> subprocess.Popen:
+    """Start one detached ``python -m repro worker`` on this machine.
+
+    The child gets ``repro``'s own package root prepended to
+    ``PYTHONPATH``, so spawning works from any checkout layout without
+    the caller exporting anything.
+    """
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else os.pathsep.join([src_dir, existing])
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        str(job_dir),
+        "--lease-ttl",
+        str(lease_ttl),
+    ]
+    if not validate:
+        command.append("--no-validate")
+    return subprocess.Popen(
+        command,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def run_sharded(
+    specs: Sequence[RunSpec],
+    job_dir: str | Path,
+    *,
+    shards: int = 2,
+    local_workers: int = 0,
+    validate: bool = True,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    clock: Callable[[], float] = time.time,
+) -> list[RunResult]:
+    """Execute a spec batch shard-wise; returns the ``run_many`` list.
+
+    Parameters
+    ----------
+    specs:
+        The batch.  Must match the plan already in ``job_dir`` if one
+        exists (that is a *resume*); a fresh directory is planned.
+    job_dir:
+        Shared directory all workers (local subprocesses, other
+        machines) coordinate through.
+    shards:
+        Work units to split the batch into (fresh plans only).
+    local_workers:
+        Worker subprocesses to spawn on this machine.  ``0`` (default)
+        runs everything in-process.  Whatever the subprocess workers
+        leave unfinished — all of it, if they are killed — the
+        coordinator drains in-process afterwards, so ``run_sharded``
+        returns only with the complete, merged result list.
+    validate / lease_ttl / clock:
+        As for the worker loop.
+    """
+    plan = ensure_plan(specs, job_dir, shards=shards)
+    procs = [
+        spawn_local_worker(job_dir, lease_ttl=lease_ttl, validate=validate)
+        for _ in range(max(0, local_workers))
+    ]
+    for proc in procs:
+        proc.wait()
+    # Drain every remaining shard in-process.  Live foreign leases are
+    # waited out (they either finish or go stale and get reclaimed);
+    # the shared ``verified`` set keeps the polling from re-parsing
+    # every completed shard's result file on each tick.
+    verified: set[int] = set()
+    while True:
+        summary = work_loop(
+            job_dir,
+            lease_ttl=lease_ttl,
+            clock=clock,
+            validate=validate,
+            verified=verified,
+        )
+        if summary["job_complete"]:
+            break
+        time.sleep(min(1.0, max(0.05, lease_ttl / 20)))
+    return _merge_with_plan(plan, job_dir)
+
+
+def smoke_check() -> dict[str, Any]:
+    """CI smoke: plan, drain with 2 worker subprocesses, merge, compare.
+
+    The whole cluster contract on a tiny mixed batch (plain specs plus
+    ``crash_stop`` and ``lossy_links`` scenarios): the merged result
+    list must be **byte-identical** to serial
+    :func:`repro.api.run_many` — same canonical JSON for every result,
+    in order.  Runs in a temporary directory, writes nothing else, and
+    raises :class:`~repro.errors.ClusterError` on any mismatch.
+    Exposed as ``python -m repro shard --smoke`` (a CI step).
+    """
+    import tempfile
+
+    from repro.api.runner import run_many
+    from repro.api.spec import InstanceSpec
+    from repro.results import canonical_json
+    from repro.scenarios.spec import ScenarioSpec
+
+    instance = InstanceSpec(family="complete_bipartite", size=3, seed=2)
+    specs = [
+        RunSpec(instance=instance, algorithm="greedy_sequential"),
+        RunSpec(instance=instance, algorithm="bko20"),
+        RunSpec(
+            instance=instance,
+            algorithm="greedy_sequential",
+            scenario=ScenarioSpec(model="crash_stop", seed=5, params={"f": 2}),
+        ),
+        RunSpec(
+            instance=instance,
+            algorithm="greedy_sequential",
+            scenario=ScenarioSpec(
+                model="lossy_links", seed=5, params={"drop": 0.2}
+            ),
+        ),
+        # A duplicate: merge must fan one shard result over both.
+        RunSpec(instance=instance, algorithm="greedy_sequential"),
+    ]
+    serial = run_many(specs, cache=False)
+    with tempfile.TemporaryDirectory(prefix="repro-shard-smoke-") as job_dir:
+        # Drive the worker subprocesses explicitly (not through
+        # run_sharded, whose self-healing in-process drain would mask a
+        # broken ``python -m repro worker`` entry point): both must
+        # exit cleanly and between them finish the *whole* job.
+        ensure_plan(specs, job_dir, shards=2)
+        procs = [spawn_local_worker(job_dir) for _ in range(2)]
+        for proc in procs:
+            proc.wait()
+        failed = [proc.returncode for proc in procs if proc.returncode != 0]
+        if failed:
+            raise ClusterError(
+                f"smoke worker subprocesses exited with {failed}; "
+                "'python -m repro worker' is broken"
+            )
+        status = job_status(job_dir)
+        if not status["complete"]:
+            raise ClusterError(
+                "smoke worker subprocesses exited cleanly but left the "
+                f"job incomplete: {status}"
+            )
+        merged = merge_results(specs, job_dir)
+    if len(merged) != len(serial):
+        raise ClusterError(
+            f"smoke merge returned {len(merged)} results for "
+            f"{len(serial)} specs"
+        )
+    for index, (ours, theirs) in enumerate(zip(merged, serial)):
+        if canonical_json(ours.to_dict()) != canonical_json(theirs.to_dict()):
+            raise ClusterError(
+                f"smoke result {index} ({specs[index].label()}) is not "
+                "byte-identical to serial run_many — the cluster merge "
+                "contract is broken"
+            )
+    return {
+        "specs": len(specs),
+        "shards": status["shards"],
+        "plan_fingerprint": status["plan_fingerprint"][:12],
+        "byte_identical": True,
+        "result_fingerprints": [
+            result.result_fingerprint()[:12] for result in merged
+        ],
+    }

@@ -1,0 +1,245 @@
+"""Deterministic shard planning: spec lists into fingerprinted manifests.
+
+:func:`plan_shards` partitions a :class:`~repro.api.RunSpec` batch into
+``shards`` disjoint work units **by spec fingerprint**: every distinct
+fingerprint is assigned to the shard ``int(fingerprint, 16) % shards``.
+The rule is a pure function of content, so any process that holds the
+same spec list computes the same plan — no coordination, no RNG, no
+clock.  Duplicate specs (same fingerprint) collapse into one unit of
+work exactly as :func:`repro.api.run_many` collapses them; the merge
+step fans the shared result back out over every occurrence.
+
+On disk a plan is a **job directory**:
+
+``manifest.json``
+    The whole job, sealed: format version, shard count, every spec in
+    batch order with its fingerprint, the per-shard fingerprint
+    assignment, and the plan fingerprint over all of it.  The plan
+    fingerprint is the job's identity — a coordinator re-attaching to
+    a directory refuses to proceed if its spec list plans to a
+    different fingerprint (that would silently merge results of a
+    *different* experiment).
+``shards/shard-NNNN.json``
+    One sealed task file per shard: the shard's spec dicts (one per
+    distinct fingerprint, in sorted fingerprint order) plus the plan
+    fingerprint they belong to.  Workers read only their task file.
+
+Sealing uses the same :func:`repro.results.fingerprint_of` discipline
+as the result cache: a file that does not reproduce its embedded seal
+is rejected (:class:`~repro.errors.ClusterError`), never half-trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.api.diskcache import atomic_write_json, read_json
+from repro.api.spec import RunSpec
+from repro.errors import ClusterError
+from repro.results import fingerprint_of
+
+#: Job-directory layout version (bumped on incompatible change).
+PLAN_FORMAT = 1
+
+_MANIFEST = "manifest.json"
+_SHARD_DIR = "shards"
+
+
+def shard_name(shard: int) -> str:
+    """Canonical shard token, used by task / claim / result filenames."""
+    return f"shard-{shard:04d}"
+
+
+def manifest_path(job_dir: str | Path) -> Path:
+    return Path(job_dir) / _MANIFEST
+
+
+def task_path(job_dir: str | Path, shard: int) -> Path:
+    return Path(job_dir) / _SHARD_DIR / f"{shard_name(shard)}.json"
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A planned job: the spec batch and its deterministic partition.
+
+    Attributes
+    ----------
+    shards:
+        Number of work units the batch was split into.
+    specs:
+        The full batch, in caller order (duplicates preserved — merge
+        order depends on it).
+    fingerprints:
+        ``specs[i].fingerprint()``, precomputed, parallel to ``specs``.
+    assignment:
+        Per shard, the sorted tuple of distinct fingerprints it owns.
+        Every distinct fingerprint appears in exactly one shard; a
+        shard may legitimately be empty (more shards than distinct
+        specs).
+    """
+
+    shards: int
+    specs: tuple[RunSpec, ...]
+    fingerprints: tuple[str, ...]
+    assignment: tuple[tuple[str, ...], ...]
+
+    def spec_of(self, fingerprint: str) -> RunSpec:
+        """The first spec in batch order carrying ``fingerprint``."""
+        return self.specs[self.fingerprints.index(fingerprint)]
+
+    def shard_of(self, fingerprint: str) -> int:
+        """The shard a fingerprint was assigned to."""
+        return int(fingerprint, 16) % self.shards
+
+    def plan_fingerprint(self) -> str:
+        """SHA-256 identity of this plan (specs, order, shard count)."""
+        return fingerprint_of(
+            {
+                "format": PLAN_FORMAT,
+                "shards": self.shards,
+                "fingerprints": list(self.fingerprints),
+            }
+        )
+
+    def to_manifest(self) -> dict:
+        """The sealed ``manifest.json`` payload."""
+        return {
+            "format": PLAN_FORMAT,
+            "shards": self.shards,
+            "specs": [spec.to_dict() for spec in self.specs],
+            "fingerprints": list(self.fingerprints),
+            "assignment": [list(group) for group in self.assignment],
+            "plan_fingerprint": self.plan_fingerprint(),
+        }
+
+
+def plan_shards(specs: Sequence[RunSpec], *, shards: int = 2) -> ShardPlan:
+    """Partition a spec batch into ``shards`` deterministic work units.
+
+    Pure: no filesystem, no randomness.  Distinct fingerprints land on
+    ``int(fingerprint, 16) % shards``, so the partition is stable
+    across processes, machines, and sessions, and is balanced in
+    expectation (fingerprints are SHA-256 digests — uniform).
+    """
+    if shards < 1:
+        raise ClusterError(f"shards must be >= 1, got {shards}")
+    ordered = tuple(specs)
+    if not ordered:
+        raise ClusterError("cannot plan an empty spec batch")
+    fingerprints = tuple(spec.fingerprint() for spec in ordered)
+    groups: list[list[str]] = [[] for _ in range(shards)]
+    for fingerprint in sorted(set(fingerprints)):
+        groups[int(fingerprint, 16) % shards].append(fingerprint)
+    return ShardPlan(
+        shards=shards,
+        specs=ordered,
+        fingerprints=fingerprints,
+        assignment=tuple(tuple(group) for group in groups),
+    )
+
+
+def write_plan(plan: ShardPlan, job_dir: str | Path) -> str:
+    """Materialise a plan as a job directory; returns the plan fingerprint.
+
+    Idempotent: rewriting the same plan over an existing job directory
+    publishes byte-identical files (atomic, last-writer-wins) and
+    touches neither claims nor results — resuming a half-finished job
+    is exactly "write the plan again, start workers".
+    """
+    plan_fingerprint = plan.plan_fingerprint()
+    spec_of = {
+        fingerprint: spec.to_dict()
+        for fingerprint, spec in zip(plan.fingerprints, plan.specs)
+    }
+    for shard, group in enumerate(plan.assignment):
+        body = {
+            "format": PLAN_FORMAT,
+            "shard": shard,
+            "shards": plan.shards,
+            "plan_fingerprint": plan_fingerprint,
+            "fingerprints": list(group),
+            "specs": [spec_of[fingerprint] for fingerprint in group],
+        }
+        atomic_write_json(
+            task_path(job_dir, shard), {**body, "seal": fingerprint_of(body)}
+        )
+    # The manifest lands last: a directory with a readable manifest is
+    # guaranteed to have all its task files.
+    atomic_write_json(manifest_path(job_dir), plan.to_manifest())
+    return plan_fingerprint
+
+
+def load_plan(job_dir: str | Path) -> ShardPlan:
+    """Rebuild the plan from ``manifest.json`` (integrity-checked)."""
+    payload = read_json(manifest_path(job_dir))
+    if not isinstance(payload, dict) or payload.get("format") != PLAN_FORMAT:
+        raise ClusterError(
+            f"{manifest_path(job_dir)} is missing or not a format-"
+            f"{PLAN_FORMAT} job manifest; run the planner first "
+            "(repro shard plan / run_sharded)"
+        )
+    plan = ShardPlan(
+        shards=int(payload["shards"]),
+        specs=tuple(RunSpec.from_dict(spec) for spec in payload["specs"]),
+        fingerprints=tuple(payload["fingerprints"]),
+        assignment=tuple(tuple(group) for group in payload["assignment"]),
+    )
+    if plan.plan_fingerprint() != payload.get("plan_fingerprint"):
+        raise ClusterError(
+            f"{manifest_path(job_dir)} fails its integrity check — the "
+            "manifest was edited or truncated; re-plan the job"
+        )
+    recomputed = tuple(spec.fingerprint() for spec in plan.specs)
+    if recomputed != plan.fingerprints:
+        raise ClusterError(
+            f"{manifest_path(job_dir)} records fingerprints its own specs "
+            "do not reproduce (a path-based instance file may have "
+            "changed since planning); re-plan the job"
+        )
+    return plan
+
+
+def load_task(job_dir: str | Path, shard: int) -> dict:
+    """Load one shard's sealed task file as ``fingerprint -> RunSpec``."""
+    path = task_path(job_dir, shard)
+    payload = read_json(path)
+    if not isinstance(payload, dict):
+        raise ClusterError(f"{path} is missing or unreadable; re-plan the job")
+    body = {key: value for key, value in payload.items() if key != "seal"}
+    if payload.get("seal") != fingerprint_of(body) or body.get("shard") != shard:
+        raise ClusterError(
+            f"{path} fails its integrity check; re-plan the job"
+        )
+    return {
+        fingerprint: RunSpec.from_dict(spec)
+        for fingerprint, spec in zip(body["fingerprints"], body["specs"])
+    }
+
+
+def ensure_plan(
+    specs: Sequence[RunSpec], job_dir: str | Path, *, shards: int = 2
+) -> ShardPlan:
+    """Plan into ``job_dir``, or verify and adopt the plan already there.
+
+    The coordinator's entry point: a fresh directory gets the plan
+    written; a directory that already holds a manifest is accepted only
+    if *this* spec batch (and shard count) plans to the same plan
+    fingerprint — otherwise merging would silently mix experiments, so
+    a :class:`~repro.errors.ClusterError` names both fingerprints.
+    """
+    plan = plan_shards(specs, shards=shards)
+    if manifest_path(job_dir).exists():
+        existing = load_plan(job_dir)
+        if existing.plan_fingerprint() != plan.plan_fingerprint():
+            raise ClusterError(
+                f"job directory {Path(job_dir)} already holds plan "
+                f"{existing.plan_fingerprint()[:12]} but these specs plan "
+                f"to {plan.plan_fingerprint()[:12]}; use a fresh job "
+                "directory (or the original spec batch) — refusing to mix "
+                "experiments"
+            )
+        return existing
+    write_plan(plan, job_dir)
+    return plan

@@ -1,0 +1,234 @@
+"""The file-based work queue: claims, leases, and stale reclamation.
+
+No external dependencies, no daemon: the queue *is* the shared job
+directory.  Each shard has at most three files —
+
+``shards/shard-NNNN.json``
+    The task (written once by the planner, read-only here).
+``claims/shard-NNNN.json``
+    The lease: which worker is running the shard, since when, and the
+    last heartbeat.  Created with ``O_CREAT | O_EXCL`` (the filesystem
+    arbitrates racing claimants); refreshed by atomic replace on every
+    heartbeat; deleted on release.
+``results/shard-NNNN.json``
+    The sealed output.  Its existence is the *only* "done" signal —
+    results are published by atomic rename, so a shard is either fully
+    done or not done at all.
+
+**Stale-lease reclamation.**  A worker that dies leaves its claim file
+behind.  Any other worker may take the shard over once the lease's
+heartbeat is older than ``lease_ttl`` seconds: it atomically replaces
+the claim with its own and re-reads the file to learn who won the
+race.  Leases are therefore *advisory*, not mutual exclusion — in the
+worst interleaving two workers can briefly run the same shard, which
+is safe by construction: shard execution is deterministic, per-spec
+results spill into the shared cache (atomic, last-writer-wins), and
+both workers publish byte-identical sealed result files.  The protocol
+trades a little duplicate work for having no lock server.
+
+All timestamps come from an injectable ``clock`` (``time.time`` by
+default), so lease expiry is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.api.diskcache import atomic_write_json, read_json
+from repro.cluster.planner import shard_name
+
+#: Seconds a lease may go without a heartbeat before any worker may
+#: reclaim the shard.  Workers heartbeat after every spec, so a healthy
+#: worker refreshes far more often than this unless a single spec runs
+#: longer than the TTL — size it to the slowest expected spec.
+DEFAULT_LEASE_TTL = 60.0
+
+_CLAIM_DIR = "claims"
+_RESULT_DIR = "results"
+
+
+def claim_path(job_dir: str | Path, shard: int) -> Path:
+    return Path(job_dir) / _CLAIM_DIR / f"{shard_name(shard)}.json"
+
+
+def result_path(job_dir: str | Path, shard: int) -> Path:
+    return Path(job_dir) / _RESULT_DIR / f"{shard_name(shard)}.json"
+
+
+def default_worker_id() -> str:
+    """host:pid — unique among live workers sharing a directory."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class ShardQueue:
+    """One worker's (or the coordinator's) view of a job's queue state.
+
+    Parameters
+    ----------
+    job_dir:
+        The shared job directory (planned by :mod:`repro.cluster.planner`).
+    worker_id:
+        This process's identity in claim files; defaults to host:pid.
+    lease_ttl:
+        Seconds without a heartbeat after which a lease counts as stale.
+    clock:
+        Time source (``time.time`` compatible); injectable for tests.
+    """
+
+    def __init__(
+        self,
+        job_dir: str | Path,
+        *,
+        worker_id: str | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self.job_dir = Path(job_dir)
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_ttl = lease_ttl
+        self._clock = clock
+
+    # -- inspection ----------------------------------------------------
+
+    def is_done(self, shard: int) -> bool:
+        """Has the shard published a result file?  (Existence only —
+        merge re-checks the seal.)"""
+        return result_path(self.job_dir, shard).exists()
+
+    def lease_of(self, shard: int) -> dict[str, Any] | None:
+        """The current claim payload, or ``None`` (unclaimed / unreadable)."""
+        payload = read_json(claim_path(self.job_dir, shard))
+        return payload if isinstance(payload, dict) else None
+
+    def is_stale(self, lease: dict[str, Any]) -> bool:
+        """Is this lease past its TTL (or malformed)?"""
+        heartbeat = lease.get("heartbeat_at")
+        if not isinstance(heartbeat, (int, float)):
+            return True
+        return self._clock() - heartbeat > self.lease_ttl
+
+    def claimable(self, shard: int) -> bool:
+        """Could a claim attempt on this shard succeed right now?"""
+        if self.is_done(shard):
+            return False
+        lease = self.lease_of(shard)
+        return lease is None or self.is_stale(lease)
+
+    # -- the lease protocol --------------------------------------------
+
+    def _lease_payload(self, claimed_at: float | None = None) -> dict[str, Any]:
+        now = self._clock()
+        return {
+            "worker": self.worker_id,
+            "claimed_at": now if claimed_at is None else claimed_at,
+            "heartbeat_at": now,
+        }
+
+    def claim(self, shard: int) -> bool:
+        """Try to take the shard; ``True`` iff this worker now holds it.
+
+        Fresh shards are claimed with an exclusive create (exactly one
+        racing worker wins).  Stale leases are taken over by atomic
+        replace followed by a read-back: whichever claimant's file
+        survived owns the shard, every other claimant sees a foreign
+        worker id and backs off.
+        """
+        if self.is_done(shard):
+            return False
+        path = claim_path(self.job_dir, shard)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            descriptor = os.open(
+                path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            lease = self.lease_of(shard)
+            if lease is None:
+                if not path.exists():
+                    # Claim vanished between our create and read — the
+                    # owner released (finished or abandoned); next pass
+                    # decides what the shard needs.
+                    return False
+                # The file exists but holds no readable lease: a worker
+                # died between creating the claim and writing its JSON.
+                # Treat it exactly like a stale lease — otherwise the
+                # torn file wedges the shard forever (O_EXCL can never
+                # succeed, and no heartbeat will ever age out).
+            elif lease.get("worker") == self.worker_id:
+                return True  # already ours (re-entrant claim)
+            elif not self.is_stale(lease):
+                return False
+            # Stale (or torn): take over, then read back to see who won.
+            atomic_write_json(path, self._lease_payload())
+            current = self.lease_of(shard)
+            return (
+                current is not None
+                and current.get("worker") == self.worker_id
+            )
+        else:
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(
+                    json.dumps(self._lease_payload(), sort_keys=True)
+                )
+            return True
+
+    def heartbeat(self, shard: int) -> bool:
+        """Refresh our lease; ``False`` means we lost it (stop working).
+
+        A worker that stalls past the TTL can find its shard reclaimed;
+        the read-check-rewrite keeps it from clobbering the usurper's
+        lease and tells it to abandon the shard.
+        """
+        lease = self.lease_of(shard)
+        if lease is None or lease.get("worker") != self.worker_id:
+            return False
+        atomic_write_json(
+            claim_path(self.job_dir, shard),
+            self._lease_payload(claimed_at=lease.get("claimed_at")),
+        )
+        return True
+
+    def release(self, shard: int) -> None:
+        """Drop our claim (after publishing the result, or on abandon)."""
+        lease = self.lease_of(shard)
+        if lease is None or lease.get("worker") != self.worker_id:
+            return  # never ours, or already reclaimed — leave it alone
+        try:
+            claim_path(self.job_dir, shard).unlink()
+        except OSError:
+            pass
+
+    # -- status --------------------------------------------------------
+
+    def status(self, shards: int) -> dict[str, Any]:
+        """Queue-state summary over all ``shards`` work units."""
+        done: list[int] = []
+        running: list[int] = []
+        stale: list[int] = []
+        pending: list[int] = []
+        for shard in range(shards):
+            if self.is_done(shard):
+                done.append(shard)
+            else:
+                lease = self.lease_of(shard)
+                if lease is None:
+                    pending.append(shard)
+                elif self.is_stale(lease):
+                    stale.append(shard)
+                else:
+                    running.append(shard)
+        return {
+            "shards": shards,
+            "done": done,
+            "running": running,
+            "stale": stale,
+            "pending": pending,
+            "complete": len(done) == shards,
+        }

@@ -1,0 +1,206 @@
+"""The worker loop: drain claimable shards through the batch executor.
+
+``python -m repro worker <job_dir>`` runs this (any number of times, on
+any machine that sees the directory).  One pass of the loop:
+
+1. scan the shards for one that is not done and claimable (unclaimed,
+   or holding a stale lease) — lowest shard index first, so workers
+   starting together fan out deterministically after their first
+   collisions;
+2. claim it, then run its specs **serially** through
+   :func:`repro.api.run_many_iter` with ``cache_dir=`` pointed at the
+   job's shared spill directory.  Every finished spec lands in the
+   cache immediately, so a worker that dies mid-shard leaves its
+   progress behind — the reclaiming worker replays the finished specs
+   from disk and only executes the remainder;
+3. heartbeat the lease after every spec (a heartbeat that fails means
+   the lease was reclaimed from us: abandon the shard without
+   publishing);
+4. publish the sealed result file atomically and release the claim.
+
+The loop exits when a full scan finds nothing claimable: either the
+job is complete, or every remaining shard is leased to a live worker
+(the summary distinguishes the two).  Workers never merge — that is
+the coordinator's job — and never need to agree on anything but the
+directory: all coordination is the claim files.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.api.diskcache import atomic_write_json
+from repro.api.runner import run_many_iter
+from repro.cluster.planner import (
+    PLAN_FORMAT,
+    load_plan,
+    load_task,
+    shard_name,
+)
+from repro.cluster.queue import DEFAULT_LEASE_TTL, ShardQueue, result_path
+from repro.results import fingerprint_of
+
+#: Subdirectory of the job dir all workers spill per-spec results into.
+CACHE_SUBDIR = "cache"
+
+
+def cache_dir_of(job_dir: str | Path) -> Path:
+    """The job's shared per-spec result cache (intra-shard resume)."""
+    return Path(job_dir) / CACHE_SUBDIR
+
+
+def publish_shard_result(
+    job_dir: str | Path,
+    shard: int,
+    plan_fingerprint: str,
+    results: dict[str, dict],
+) -> None:
+    """Seal and atomically publish one shard's ``fingerprint -> result``."""
+    body = {
+        "format": PLAN_FORMAT,
+        "shard": shard,
+        "plan_fingerprint": plan_fingerprint,
+        "results": results,
+    }
+    atomic_write_json(
+        result_path(job_dir, shard), {**body, "seal": fingerprint_of(body)}
+    )
+
+
+def run_shard(
+    job_dir: str | Path,
+    shard: int,
+    queue: ShardQueue,
+    *,
+    plan_fingerprint: str,
+    validate: bool = True,
+) -> int | None:
+    """Execute one claimed shard; returns specs run, or ``None`` if lost.
+
+    The caller must hold the shard's lease.  Specs run serially in the
+    task file's (sorted-fingerprint) order with the job cache as spill;
+    the lease is heartbeaten after every spec.  A failed heartbeat
+    means another worker reclaimed the shard — abandon it silently
+    (the usurper will publish the identical result).
+    """
+    specs = load_task(job_dir, shard)
+    ordered = list(specs.items())
+    results: dict[str, dict] = {}
+    executed = 0
+    if ordered:
+        batch = [spec for _, spec in ordered]
+        for index, result in run_many_iter(
+            batch,
+            parallel=1,
+            validate=validate,
+            cache=False,  # worker processes are short-lived; disk is the memo
+            cache_dir=cache_dir_of(job_dir),
+        ):
+            results[ordered[index][0]] = result.to_dict()
+            executed += 1
+            if not queue.heartbeat(shard):
+                return None
+    publish_shard_result(job_dir, shard, plan_fingerprint, results)
+    queue.release(shard)
+    return executed
+
+
+def work_loop(
+    job_dir: str | Path,
+    *,
+    worker_id: str | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    clock: Callable[[], float] = time.time,
+    validate: bool = True,
+    max_shards: int | None = None,
+    verified: set[int] | None = None,
+) -> dict[str, Any]:
+    """Drain claimable shards until none remain; return a summary.
+
+    ``max_shards`` caps how many shards this call will execute (used by
+    tests to model a worker dying between shards, and handy for
+    time-boxed draining).  ``verified`` is an optional persistent set
+    of shard indices whose result files have already passed their
+    integrity check — the coordinator's polling drain passes one so
+    repeated calls do not re-parse every completed shard per tick.
+    The summary is JSON-safe::
+
+        {"worker": ..., "completed": [shard, ...], "specs_run": n,
+         "abandoned": [...], "job_complete": bool, "outstanding": [...]}
+
+    ``abandoned`` lists shards whose lease was reclaimed from under us
+    mid-run; ``outstanding`` lists shards neither done nor claimable
+    when the loop exited (live leases of other workers).
+    """
+    plan = load_plan(job_dir)
+    plan_fingerprint = plan.plan_fingerprint()
+    queue = ShardQueue(
+        job_dir, worker_id=worker_id, lease_ttl=lease_ttl, clock=clock
+    )
+    if verified is None:
+        verified = set()
+
+    def shard_done(shard: int) -> bool:
+        # "Done" means a result file that passes its integrity check —
+        # a torn or foreign file must re-run, not wedge the merge.  The
+        # seal is verified once per shard per loop (memoised); later
+        # scans fall back to the cheap existence probe.
+        if shard in verified:
+            return queue.is_done(shard)
+        if not queue.is_done(shard):
+            return False
+        from repro.cluster.coordinator import load_shard_results
+
+        if (
+            load_shard_results(
+                job_dir, shard, plan_fingerprint=plan_fingerprint
+            )
+            is None
+        ):
+            try:
+                result_path(job_dir, shard).unlink()
+            except OSError:
+                pass
+            return False
+        verified.add(shard)
+        return True
+
+    completed: list[int] = []
+    abandoned: list[int] = []
+    specs_run = 0
+    progressed = True
+    while progressed:
+        progressed = False
+        for shard in range(plan.shards):
+            if max_shards is not None and len(completed) >= max_shards:
+                progressed = False
+                break
+            if shard_done(shard) or not queue.claim(shard):
+                continue
+            executed = run_shard(
+                job_dir,
+                shard,
+                queue,
+                plan_fingerprint=plan_fingerprint,
+                validate=validate,
+            )
+            if executed is None:
+                abandoned.append(shard)
+            else:
+                completed.append(shard)
+                specs_run += executed
+            progressed = True
+    outstanding = [
+        shard for shard in range(plan.shards) if not shard_done(shard)
+    ]
+    return {
+        "worker": queue.worker_id,
+        "completed": completed,
+        "specs_run": specs_run,
+        "abandoned": abandoned,
+        "outstanding": outstanding,
+        "job_complete": not outstanding,
+        "shards": [shard_name(shard) for shard in completed],
+    }

@@ -100,3 +100,14 @@ class ScenarioError(ReproError, ValueError):
     range, or an algorithm that has no message-passing program and
     therefore cannot run under an adversarial execution model.
     """
+
+
+class ClusterError(ReproError, RuntimeError):
+    """A sharded job's on-disk state is unusable or inconsistent.
+
+    Examples: a job directory whose manifest does not match the specs
+    handed to the coordinator, a sealed shard-result file that fails
+    its integrity check, or a merge attempted while shards are still
+    missing.  Stale *leases* are never an error — crashed workers are
+    an expected execution condition and their shards are reclaimed.
+    """

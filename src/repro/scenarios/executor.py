@@ -63,8 +63,6 @@ from repro.scenarios.registry import get_model
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.spec import RunSpec
 
-#: Run-level parameters a scenario program accepts (``RunSpec.params``).
-_PROGRAM_PARAMS = frozenset({"max_rounds"})
 
 
 def conflict_count(graph: nx.Graph, coloring: Mapping[Edge, int]) -> int:
@@ -117,11 +115,14 @@ def execute_scenario(spec: "RunSpec", graph: nx.Graph) -> RunResult:
             f"{spec.policy!r}); policies configure the paper solver only"
         )
     run_params = dict(spec.params)
-    unknown = sorted(set(run_params) - _PROGRAM_PARAMS)
+    # Each program declares its own run-parameter set (``max_rounds``
+    # everywhere, plus program-specific knobs like randomized_luby's
+    # ``patience``); a typo must fail loudly, not configure nothing.
+    unknown = sorted(set(run_params) - program.params)
     if unknown:
         raise ScenarioError(
             f"scenario program {spec.algorithm!r} does not take run "
-            f"parameters {unknown}; have {sorted(_PROGRAM_PARAMS)}"
+            f"parameters {unknown}; have {sorted(program.params)}"
         )
 
     hook = model.build_hook(scenario.seed, params)

@@ -13,7 +13,7 @@ program raises a clear :class:`~repro.errors.ScenarioError` naming the
 capable ones; registering a new program is one
 :func:`register_program` call.
 
-Two programs ship:
+Three programs ship:
 
 ``greedy_sequential``
     The sequential greedy baseline as a distributed sweep on the line
@@ -32,6 +32,20 @@ Two programs ship:
     schedules can abort it — the executor records the abort as an
     outcome instead of crashing the sweep (brittleness under
     asynchrony is itself a measurement).
+``randomized_luby``
+    The randomized ``O(log n)`` trial baseline [ABI86/Lub86 style] as a
+    genuinely distributed protocol: each round every uncolored agent
+    draws a uniform proposal from its residual list (using a private
+    per-agent RNG derived from the run seed, so the randomness is
+    independent of message timing), announces it, and keeps it if no
+    neighbor proposed or already owns the same color.  Colored agents
+    rebroadcast their final color every round; an agent halts once all
+    its neighbors are final — or, so crashed neighbors cannot wedge
+    the run, after ``patience`` consecutive silent rounds.  *Liveness*
+    is fault-tolerant — losses lower the per-round success rate but
+    never wedge the run; *safety* degrades measurably — symmetric
+    proposal loss can finalize a conflict, recorded (like the sibling
+    programs' conflicts) in ``conflicts_on_survivors``, not forbidden.
 
 Agents of both programs are the *edges* of the underlying graph, so
 "crash a node" at the model layer means "crash an edge-agent" here;
@@ -41,6 +55,8 @@ survived.
 
 from __future__ import annotations
 
+import hashlib
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -95,11 +111,19 @@ ProgramRunner = Callable[..., ProgramOutcome]
 
 @dataclass(frozen=True)
 class ScenarioProgram:
-    """One capability-table entry."""
+    """One capability-table entry.
+
+    ``params`` names the run-level keyword arguments
+    (``RunSpec.params``) the runner accepts — the executor rejects
+    anything else with a :class:`~repro.errors.ScenarioError` naming
+    this set, so a typo'd parameter fails loudly instead of silently
+    configuring nothing.
+    """
 
     name: str
     description: str
     runner: ProgramRunner = field(repr=False)
+    params: frozenset[str] = frozenset({"max_rounds"})
 
 
 class ResilientGreedySweepAlgorithm(NodeAlgorithm):
@@ -257,6 +281,129 @@ def _run_linial_pipeline(
     )
 
 
+class RandomizedTrialAlgorithm(NodeAlgorithm):
+    """Distributed Luby-style random trials, hardened for adversaries.
+
+    Protocol per round, per agent:
+
+    * **uncolored** — draw a uniform proposal from the residual list
+      (the ``2Δ̄-1`` palette minus every color a neighbor has announced
+      as final) and broadcast ``("prop", color)``.  On receive, keep
+      the proposal iff no neighbor proposed the same color this round
+      and no arriving final claims it.  Residual lists can never empty:
+      the palette strictly exceeds the line-graph degree.
+    * **colored** — broadcast ``("final", color)`` every round (so a
+      single dropped announcement is not fatal), and halt once a final
+      has arrived from every port, or after ``patience`` consecutive
+      rounds without any proposal traffic (a crashed neighbor sends
+      nothing forever; waiting for its final would wedge the run).
+
+    Each agent draws from a private ``random.Random`` seeded from
+    ``(run seed, unique id)`` through SHA-256, so randomness is
+    deterministic per spec, identical across processes, and — unlike a
+    single shared RNG — independent of message timing: the adversary
+    reorders deliveries, never the dice.
+    """
+
+    def __init__(
+        self,
+        lists: Mapping[Any, frozenset[int]],
+        seed: int,
+        patience: int = 3,
+    ) -> None:
+        self._lists = dict(lists)
+        self._seed = seed
+        self._patience = patience
+
+    def initialize(self, ctx: NodeContext) -> None:
+        digest = hashlib.sha256(
+            f"luby:{self._seed}:{ctx.unique_id}".encode()
+        ).digest()
+        ctx.state["rng"] = random.Random(int.from_bytes(digest[:8], "big"))
+        ctx.state["color"] = None
+        ctx.state["proposal"] = None
+        ctx.state["neighbor_finals"] = set()
+        ctx.state["final_ports"] = set()
+        ctx.state["quiet"] = 0
+
+    def compose_messages(self, ctx: NodeContext) -> Mapping[int, Any]:
+        color = ctx.state["color"]
+        if color is not None:
+            return dict.fromkeys(range(ctx.degree), ("final", color))
+        residual = sorted(
+            self._lists[ctx.node] - ctx.state["neighbor_finals"]
+        )
+        if not residual:
+            # Impossible under faithful delivery (palette > degree);
+            # duplication echoing stale finals cannot add *distinct*
+            # colors either, so this is a genuine invariant.
+            raise AlgorithmInvariantError(
+                f"agent {ctx.unique_id} ran out of residual colors"
+            )
+        proposal = ctx.state["rng"].choice(residual)
+        ctx.state["proposal"] = proposal
+        return dict.fromkeys(range(ctx.degree), ("prop", proposal))
+
+    def receive_messages(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        finals = ctx.state["neighbor_finals"]
+        proposals_heard = set()
+        for port, (kind, color) in inbox.items():
+            if kind == "final":
+                finals.add(color)
+                ctx.state["final_ports"].add(port)
+            else:
+                proposals_heard.add(color)
+        if ctx.state["color"] is None:
+            proposal = ctx.state["proposal"]
+            if (
+                proposal is not None
+                and proposal not in proposals_heard
+                and proposal not in finals
+            ):
+                ctx.state["color"] = proposal
+            return
+        if len(ctx.state["final_ports"]) == ctx.degree:
+            ctx.halt()
+            return
+        if proposals_heard:
+            ctx.state["quiet"] = 0
+        else:
+            ctx.state["quiet"] += 1
+            if ctx.state["quiet"] >= self._patience:
+                ctx.halt()
+
+    def output(self, ctx: NodeContext) -> int | None:
+        return ctx.state["color"]
+
+
+def _run_randomized_luby(
+    graph: nx.Graph,
+    *,
+    seed: int,
+    hook: ScenarioHook,
+    max_rounds: int = 100_000,
+    patience: int = 3,
+) -> ProgramOutcome:
+    """Distributed randomized trials on the line graph, under ``hook``."""
+    if graph.number_of_edges() == 0:
+        return ProgramOutcome(coloring={}, rounds=0, messages=0)
+    node_ids = assign_unique_ids(graph, seed=seed)
+    network = line_graph_network(graph, node_ids=node_ids)
+    palette = _greedy_palette(graph)
+    lists = {edge: palette for edge in edge_set(graph)}
+    execution = Scheduler(
+        network, max_rounds=max_rounds, delivery_hook=hook
+    ).run(RandomizedTrialAlgorithm(lists, seed, patience=patience))
+    coloring, crashed, uncolored = _collect(graph, execution.outputs)
+    return ProgramOutcome(
+        coloring=coloring,
+        rounds=execution.rounds,
+        messages=execution.messages_sent,
+        crashed_edges=crashed,
+        uncolored_survivors=uncolored,
+    )
+
+
 _PROGRAMS: dict[str, ScenarioProgram] = {}
 
 
@@ -284,6 +431,18 @@ register_program(
             "may abort under harsh schedules (recorded, not raised)"
         ),
         runner=_run_linial_pipeline,
+    )
+)
+register_program(
+    ScenarioProgram(
+        name="randomized_luby",
+        description=(
+            "distributed randomized trials on the line graph (per-agent "
+            "seeded RNG, per-round retransmission of finals); losses "
+            "never wedge the run, but may finalize measured conflicts"
+        ),
+        runner=_run_randomized_luby,
+        params=frozenset({"max_rounds", "patience"}),
     )
 )
 

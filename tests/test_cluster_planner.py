@@ -1,0 +1,141 @@
+"""Shard planning: determinism, partition laws, sealed manifests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import InstanceSpec, RunSpec, ScenarioSpec
+from repro.cluster import ensure_plan, load_plan, load_task, plan_shards, write_plan
+from repro.cluster.planner import manifest_path, task_path
+from repro.errors import ClusterError
+
+
+def make_specs(count: int = 6) -> list[RunSpec]:
+    return [
+        RunSpec(
+            instance=InstanceSpec(family="complete_bipartite", size=3, seed=s),
+            algorithm="greedy_sequential",
+        )
+        for s in range(1, count + 1)
+    ]
+
+
+class TestPlanShards:
+    def test_every_distinct_fingerprint_in_exactly_one_shard(self):
+        specs = make_specs(8)
+        plan = plan_shards(specs, shards=3)
+        placed = [f for group in plan.assignment for f in group]
+        assert sorted(placed) == sorted(set(plan.fingerprints))
+
+    def test_partition_is_pure_function_of_fingerprint(self):
+        specs = make_specs(8)
+        plan = plan_shards(specs, shards=3)
+        for shard, group in enumerate(plan.assignment):
+            for fingerprint in group:
+                assert int(fingerprint, 16) % 3 == shard
+
+    def test_deterministic_across_calls_and_orderings(self):
+        specs = make_specs(6)
+        a = plan_shards(specs, shards=4)
+        b = plan_shards(list(specs), shards=4)
+        assert a.assignment == b.assignment
+        assert a.plan_fingerprint() == b.plan_fingerprint()
+        # A reordered batch is a *different* plan (merge order differs)
+        # but the same partition (content-addressed).
+        c = plan_shards(list(reversed(specs)), shards=4)
+        assert c.assignment == a.assignment
+        assert c.plan_fingerprint() != a.plan_fingerprint()
+
+    def test_duplicates_collapse_into_one_unit_of_work(self):
+        specs = make_specs(3)
+        plan = plan_shards(specs + specs, shards=2)
+        assert len(plan.specs) == 6
+        placed = [f for group in plan.assignment for f in group]
+        assert len(placed) == 3
+
+    def test_scenario_specs_fingerprint_into_the_plan(self):
+        base = make_specs(1)[0]
+        adversarial = base.with_scenario(
+            ScenarioSpec(model="lossy_links", seed=3, params={"drop": 0.2})
+        )
+        plan = plan_shards([base, adversarial], shards=2)
+        assert len(set(plan.fingerprints)) == 2
+
+    def test_empty_batch_and_bad_shard_count_raise(self):
+        with pytest.raises(ClusterError):
+            plan_shards([], shards=2)
+        with pytest.raises(ClusterError):
+            plan_shards(make_specs(2), shards=0)
+
+    def test_more_shards_than_specs_leaves_empty_shards(self):
+        plan = plan_shards(make_specs(2), shards=8)
+        sizes = [len(group) for group in plan.assignment]
+        assert sum(sizes) == 2 and len(sizes) == 8
+
+
+class TestPlanOnDisk:
+    def test_round_trip(self, tmp_path):
+        specs = make_specs(5)
+        plan = plan_shards(specs, shards=3)
+        write_plan(plan, tmp_path)
+        loaded = load_plan(tmp_path)
+        assert loaded == plan
+        for shard in range(3):
+            task = load_task(tmp_path, shard)
+            assert sorted(task) == list(plan.assignment[shard])
+            for fingerprint, spec in task.items():
+                assert spec.fingerprint() == fingerprint
+
+    def test_write_plan_is_idempotent(self, tmp_path):
+        plan = plan_shards(make_specs(4), shards=2)
+        write_plan(plan, tmp_path)
+        before = manifest_path(tmp_path).read_bytes()
+        write_plan(plan, tmp_path)
+        assert manifest_path(tmp_path).read_bytes() == before
+
+    def test_tampered_manifest_rejected(self, tmp_path):
+        write_plan(plan_shards(make_specs(3), shards=2), tmp_path)
+        payload = json.loads(manifest_path(tmp_path).read_text())
+        payload["shards"] = 5
+        manifest_path(tmp_path).write_text(json.dumps(payload))
+        with pytest.raises(ClusterError, match="integrity"):
+            load_plan(tmp_path)
+
+    def test_tampered_task_file_rejected(self, tmp_path):
+        write_plan(plan_shards(make_specs(3), shards=1), tmp_path)
+        payload = json.loads(task_path(tmp_path, 0).read_text())
+        payload["fingerprints"] = list(reversed(payload["fingerprints"]))
+        task_path(tmp_path, 0).write_text(json.dumps(payload))
+        with pytest.raises(ClusterError, match="integrity"):
+            load_task(tmp_path, 0)
+
+    def test_missing_manifest_names_the_planner(self, tmp_path):
+        with pytest.raises(ClusterError, match="plan"):
+            load_plan(tmp_path)
+
+
+class TestEnsurePlan:
+    def test_fresh_directory_gets_planned(self, tmp_path):
+        specs = make_specs(4)
+        plan = ensure_plan(specs, tmp_path, shards=2)
+        assert manifest_path(tmp_path).exists()
+        assert load_plan(tmp_path) == plan
+
+    def test_same_batch_is_adopted(self, tmp_path):
+        specs = make_specs(4)
+        first = ensure_plan(specs, tmp_path, shards=2)
+        again = ensure_plan(list(specs), tmp_path, shards=2)
+        assert again == first
+
+    def test_different_batch_refuses_to_mix_experiments(self, tmp_path):
+        ensure_plan(make_specs(4), tmp_path, shards=2)
+        with pytest.raises(ClusterError, match="refusing to mix"):
+            ensure_plan(make_specs(5), tmp_path, shards=2)
+
+    def test_different_shard_count_is_a_different_plan(self, tmp_path):
+        specs = make_specs(4)
+        ensure_plan(specs, tmp_path, shards=2)
+        with pytest.raises(ClusterError, match="refusing to mix"):
+            ensure_plan(specs, tmp_path, shards=3)

@@ -1,0 +1,155 @@
+"""The lease protocol: claims, heartbeats, stale reclamation (fake clock)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster import ShardQueue
+from repro.cluster.queue import claim_path, result_path
+
+
+class FakeClock:
+    """Injectable time source — lease expiry without sleeping."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_queue(job_dir, worker: str, clock: FakeClock, ttl: float = 10.0):
+    return ShardQueue(job_dir, worker_id=worker, lease_ttl=ttl, clock=clock)
+
+
+class TestClaim:
+    def test_fresh_claim_wins_and_records_the_lease(self, tmp_path):
+        clock = FakeClock(5.0)
+        queue = make_queue(tmp_path, "w1", clock)
+        assert queue.claim(0)
+        lease = queue.lease_of(0)
+        assert lease["worker"] == "w1"
+        assert lease["claimed_at"] == 5.0
+        assert lease["heartbeat_at"] == 5.0
+
+    def test_second_worker_cannot_claim_a_live_lease(self, tmp_path):
+        clock = FakeClock()
+        assert make_queue(tmp_path, "w1", clock).claim(0)
+        assert not make_queue(tmp_path, "w2", clock).claim(0)
+
+    def test_claim_is_reentrant_for_the_owner(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, "w1", clock)
+        assert queue.claim(0)
+        assert queue.claim(0)
+
+    def test_done_shard_is_never_claimed(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, "w1", clock)
+        result_path(tmp_path, 0).parent.mkdir(parents=True)
+        result_path(tmp_path, 0).write_text("{}")
+        assert not queue.claim(0)
+        assert not queue.claimable(0)
+
+
+class TestStaleReclamation:
+    def test_lease_goes_stale_only_after_the_ttl(self, tmp_path):
+        clock = FakeClock()
+        w1 = make_queue(tmp_path, "w1", clock, ttl=10.0)
+        w2 = make_queue(tmp_path, "w2", clock, ttl=10.0)
+        assert w1.claim(0)
+        clock.advance(9.9)
+        assert not w2.claimable(0)
+        assert not w2.claim(0)
+        clock.advance(0.2)  # 10.1 > ttl
+        assert w2.claimable(0)
+        assert w2.claim(0)
+        assert w2.lease_of(0)["worker"] == "w2"
+
+    def test_heartbeat_keeps_the_lease_alive(self, tmp_path):
+        clock = FakeClock()
+        w1 = make_queue(tmp_path, "w1", clock, ttl=10.0)
+        w2 = make_queue(tmp_path, "w2", clock, ttl=10.0)
+        assert w1.claim(0)
+        for _ in range(5):
+            clock.advance(6.0)
+            assert w1.heartbeat(0)
+        # 30 seconds of wall clock, never stale: heartbeats refreshed it.
+        assert not w2.claim(0)
+
+    def test_heartbeat_preserves_claimed_at(self, tmp_path):
+        clock = FakeClock(1.0)
+        queue = make_queue(tmp_path, "w1", clock)
+        queue.claim(0)
+        clock.advance(3.0)
+        queue.heartbeat(0)
+        lease = queue.lease_of(0)
+        assert lease["claimed_at"] == 1.0
+        assert lease["heartbeat_at"] == 4.0
+
+    def test_usurped_worker_learns_from_failed_heartbeat(self, tmp_path):
+        clock = FakeClock()
+        w1 = make_queue(tmp_path, "w1", clock, ttl=10.0)
+        w2 = make_queue(tmp_path, "w2", clock, ttl=10.0)
+        assert w1.claim(0)
+        clock.advance(11.0)
+        assert w2.claim(0)  # reclaims the stale lease
+        assert not w1.heartbeat(0)  # w1 must abandon the shard
+        assert w2.lease_of(0)["worker"] == "w2"
+
+    def test_torn_claim_file_does_not_wedge_the_shard(self, tmp_path):
+        # A worker can die between creating the claim (O_CREAT|O_EXCL)
+        # and writing its lease JSON.  The empty file must be treated
+        # like a stale lease — otherwise no claim can ever succeed and
+        # the shard is stuck until someone hand-deletes the file.
+        clock = FakeClock()
+        claim_path(tmp_path, 0).parent.mkdir(parents=True)
+        claim_path(tmp_path, 0).touch()  # torn: exists, no content
+        queue = make_queue(tmp_path, "w1", clock)
+        assert queue.claimable(0)
+        assert queue.claim(0)
+        assert queue.lease_of(0)["worker"] == "w1"
+
+    def test_malformed_lease_counts_as_stale(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, "w1", clock)
+        claim_path(tmp_path, 0).parent.mkdir(parents=True)
+        claim_path(tmp_path, 0).write_text(json.dumps({"worker": "ghost"}))
+        assert queue.claimable(0)
+        assert queue.claim(0)
+        assert queue.lease_of(0)["worker"] == "w1"
+
+
+class TestReleaseAndStatus:
+    def test_release_only_touches_our_own_lease(self, tmp_path):
+        clock = FakeClock()
+        w1 = make_queue(tmp_path, "w1", clock)
+        w2 = make_queue(tmp_path, "w2", clock)
+        assert w1.claim(0)
+        w2.release(0)  # not w2's — must be a no-op
+        assert w1.lease_of(0)["worker"] == "w1"
+        w1.release(0)
+        assert w1.lease_of(0) is None
+        w1.release(0)  # idempotent
+
+    def test_status_buckets(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, "w1", clock, ttl=10.0)
+        # shard 0 done, shard 1 running, shard 2 stale, shard 3 pending
+        result_path(tmp_path, 0).parent.mkdir(parents=True)
+        result_path(tmp_path, 0).write_text("{}")
+        other = make_queue(tmp_path, "other", clock, ttl=10.0)
+        assert other.claim(1)
+        assert other.claim(2)
+        clock.advance(11.0)
+        assert other.heartbeat(1)
+        # shard 2's heartbeat lapses (simulated crash: no heartbeat)
+        status = queue.status(4)
+        assert status["done"] == [0]
+        assert status["running"] == [1]
+        assert status["stale"] == [2]
+        assert status["pending"] == [3]
+        assert not status["complete"]

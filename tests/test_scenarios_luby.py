@@ -1,0 +1,182 @@
+"""The randomized_luby scenario program: a distributed trial protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import InstanceSpec, RunSpec, ScenarioSpec, run
+from repro.coloring.verify import check_proper_edge_coloring
+from repro.errors import ScenarioError
+from repro.graphs.generators import complete_bipartite, grid_graph
+from repro.scenarios import get_program, run_under_model, scenario_capable
+from repro.scenarios.executor import conflict_count
+from repro.scenarios.programs import RandomizedTrialAlgorithm  # noqa: F401
+
+
+def luby_spec(model: str, *, size: int = 4, seed: int = 7, **params) -> RunSpec:
+    return RunSpec(
+        instance=InstanceSpec(family="complete_bipartite", size=size, seed=2),
+        algorithm="randomized_luby",
+        scenario=ScenarioSpec(model=model, seed=seed, params=params),
+    )
+
+
+class TestRegistration:
+    def test_randomized_luby_is_scenario_capable(self):
+        assert "randomized_luby" in scenario_capable()
+
+    def test_program_declares_its_run_parameters(self):
+        program = get_program("randomized_luby")
+        assert program.params == frozenset({"max_rounds", "patience"})
+
+    def test_unknown_run_parameter_names_the_allowed_set(self):
+        spec = RunSpec(
+            instance=InstanceSpec(family="complete_bipartite", size=3, seed=2),
+            algorithm="randomized_luby",
+            scenario=ScenarioSpec(model="lossy_links", seed=1),
+            params={"patienec": 5},
+        )
+        with pytest.raises(ScenarioError, match="patience"):
+            run(spec, cache=False)
+
+    def test_other_programs_still_reject_patience(self):
+        spec = RunSpec(
+            instance=InstanceSpec(family="complete_bipartite", size=3, seed=2),
+            algorithm="greedy_sequential",
+            scenario=ScenarioSpec(model="lossy_links", seed=1),
+            params={"patience": 5},
+        )
+        with pytest.raises(ScenarioError, match="max_rounds"):
+            run(spec, cache=False)
+
+
+class TestCleanWorld:
+    def test_hook_free_run_yields_a_proper_coloring(self):
+        # Engine-level: the program under the identity model must color
+        # the whole line graph properly within the 2Δ̄-1 palette.
+        graph = grid_graph(3, 4)
+        program = get_program("randomized_luby")
+        from repro.scenarios.registry import get_model
+
+        hook = get_model("bounded_async").build_hook(0, {"quota": 10**9})
+        outcome = program.runner(graph, seed=3, hook=hook)
+        assert len(outcome.coloring) == graph.number_of_edges()
+        check_proper_edge_coloring(graph, outcome.coloring)
+        assert outcome.uncolored_survivors == 0
+        assert outcome.crashed_edges == []
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        program = get_program("randomized_luby")
+        outcome = program.runner(nx.empty_graph(4), seed=1, hook=None)
+        assert outcome.coloring == {} and outcome.rounds == 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "model,params",
+        [
+            ("lossy_links", {"drop": 0.25}),
+            ("crash_stop", {"f": 3}),
+            ("bounded_async", {"quota": 3}),
+        ],
+    )
+    def test_fixed_seeds_reproduce_byte_identically(self, model, params):
+        first = run(luby_spec(model, **params), cache=False)
+        second = run(luby_spec(model, **params), cache=False)
+        assert first.result_fingerprint() == second.result_fingerprint()
+
+    def test_different_adversary_seed_same_dice(self):
+        # The run seed fixes the agents' RNG; the adversary seed only
+        # reorders/drops deliveries.  Two adversary seeds must disagree
+        # on the schedule (with overwhelming probability) while both
+        # runs stay valid — pinning that per-agent randomness is not
+        # consumed from the adversary's stream.
+        a = run(luby_spec("lossy_links", seed=1, drop=0.3), cache=False)
+        b = run(luby_spec("lossy_links", seed=2, drop=0.3), cache=False)
+        assert a.details["messages_dropped"] != b.details["messages_dropped"]
+
+    def test_run_seed_changes_the_trials(self):
+        base = luby_spec("bounded_async", quota=4)
+        other = RunSpec(
+            instance=base.instance,
+            algorithm="randomized_luby",
+            run_seed=99,
+            scenario=base.scenario,
+        )
+        a = run(base, cache=False)
+        b = run(other, cache=False)
+        assert a.result_fingerprint() != b.result_fingerprint()
+
+
+class TestDegradation:
+    def test_crash_stop_excludes_crashed_edges_and_stays_quiescent(self):
+        result = run(luby_spec("crash_stop", f=3, horizon=2), cache=False)
+        details = result.details
+        assert details["aborted"] is None  # patience: crashes never wedge
+        assert details["crashed_count"] == len(details["crashed_edges"])
+        for token in details["crashed_edges"]:
+            assert all(token != t for t in result.coloring)
+
+    def test_lossy_links_conflicts_are_recomputed_truthfully(self):
+        result = run(luby_spec("lossy_links", drop=0.3, size=5), cache=False)
+        graph = complete_bipartite(5, 5)
+        assert result.details["conflicts_on_survivors"] == conflict_count(
+            graph, result.coloring
+        )
+
+    def test_patience_parameter_reaches_the_program(self):
+        # horizon=1 pins the crashes to round 1, before quiescence, so
+        # the crashed agents' neighbors must quiesce via patience —
+        # more patience therefore means strictly later quiescence.
+        scenario = ScenarioSpec(
+            model="crash_stop", seed=7, params={"f": 2, "horizon": 1}
+        )
+        instance = InstanceSpec(family="complete_bipartite", size=4, seed=2)
+        quick = run(
+            RunSpec(
+                instance=instance,
+                algorithm="randomized_luby",
+                scenario=scenario,
+            ),
+            cache=False,
+        )
+        slow = run(
+            RunSpec(
+                instance=instance,
+                algorithm="randomized_luby",
+                scenario=scenario,
+                params={"patience": 12},
+            ),
+            cache=False,
+        )
+        assert quick.details["crashed_count"] == 2
+        assert slow.details["rounds_to_quiescence"] > quick.details[
+            "rounds_to_quiescence"
+        ]
+
+
+class TestEngineEntry:
+    def test_run_under_model_drives_the_algorithm_directly(self):
+        from repro.graphs.properties import assign_unique_ids
+        from repro.model.edge_network import line_graph_network
+        from repro.graphs.edges import edge_set
+
+        graph = complete_bipartite(3, 3)
+        node_ids = assign_unique_ids(graph, seed=3)
+        network = line_graph_network(graph, node_ids=node_ids)
+        palette = frozenset(range(1, 2 * 3))
+        lists = {edge: palette for edge in edge_set(graph)}
+        execution = run_under_model(
+            network,
+            RandomizedTrialAlgorithm(lists, seed=3),
+            model="synchronous",
+        )
+        coloring = {
+            edge: color
+            for edge, color in execution.outputs.items()
+            if color is not None
+        }
+        assert len(coloring) == graph.number_of_edges()
+        check_proper_edge_coloring(graph, coloring)
