@@ -39,11 +39,19 @@ Commands
 ``worker``
     Drain claimable shards of a job directory through the batch
     executor — run any number of these, on any machine that shares
-    the directory.
+    the directory.  ``--on-error capture`` (the default) quarantines
+    poison specs as dead letters instead of dying; ``--retries`` /
+    ``--backoff-s`` / ``--timeout-s`` set the failure policy.
+``chaos``
+    The deterministic fault-injection harness (:mod:`repro.faults`);
+    ``--smoke`` drives a seeded schedule of poison/flaky/hang specs,
+    torn writes, killed workers, and a stale lease through
+    ``run_sharded`` end-to-end and asserts the failure-domain
+    contracts (CI step).
 
 ``solve``, ``race``, ``scenario``, ``info``, ``list``, ``cache-prune``,
-``shard``, and ``worker`` accept ``--json`` for machine-readable
-output.
+``shard``, ``worker``, and ``chaos`` accept ``--json`` for
+machine-readable output.
 
 Examples::
 
@@ -63,6 +71,7 @@ Examples::
     python -m repro shard status --job-dir jobs/sweep
     python -m repro shard merge --job-dir jobs/sweep --output results.json
     python -m repro shard --smoke
+    python -m repro chaos --smoke --chaos-seed 7
 """
 
 from __future__ import annotations
@@ -320,8 +329,17 @@ def _command_shard(args: argparse.Namespace) -> int:
                 f"({status['specs_done']}/{status['distinct_specs']} "
                 f"distinct specs), {len(status['running'])} running, "
                 f"{len(status['stale'])} stale, "
-                f"{len(status['pending'])} pending"
+                f"{len(status['pending'])} pending, "
+                f"{len(status['failed'])} specs quarantined"
             )
+            for fingerprint, failure in status["failed"].items():
+                print(
+                    f"  failed {fingerprint[:12]}: "
+                    f"{failure['error_type']}: {failure['error_message']} "
+                    f"({failure['attempts']} attempts)"
+                )
+            for event in status["worker_events"]:
+                print(f"  worker event: {event}")
         return 0
     # merge
     results = coordinator.merge_results(None, args.job_dir)
@@ -333,11 +351,13 @@ def _command_shard(args: argparse.Namespace) -> int:
                 sort_keys=True,
                 default=repr,
             )
+    failures = sum(1 for result in results if result.is_failure())
     if args.json:
         _print_json(
             {
                 "job_dir": args.job_dir,
                 "results": len(results),
+                "failures": failures,
                 "result_fingerprints": [
                     result.result_fingerprint() for result in results
                 ],
@@ -347,21 +367,41 @@ def _command_shard(args: argparse.Namespace) -> int:
     else:
         print(
             f"merged {len(results)} results from {args.job_dir}"
+            + (f" ({failures} captured failures)" if failures else "")
             + (f" -> {args.output}" if args.output else "")
         )
         for result in results:
-            print(f"  {result.result_fingerprint()[:12]}  {result.name}")
+            marker = "FAILED " if result.is_failure() else ""
+            print(
+                f"  {marker}{result.result_fingerprint()[:12]}  {result.name}"
+            )
     return 0
+
+
+def _failure_policy(args: argparse.Namespace) -> "object":
+    from repro.api import FailurePolicy
+
+    return FailurePolicy(
+        on_error=args.on_error,
+        retries=args.retries,
+        backoff_s=args.backoff_s,
+        timeout_s=args.timeout_s,
+    )
 
 
 def _command_worker(args: argparse.Namespace) -> int:
     from repro.cluster import work_loop
+    from repro.faults import install_from_env
 
+    # A coordinator running a chaos schedule ships its fault plan in
+    # the environment; ordinary workers find nothing and install nothing.
+    install_from_env()
     summary = work_loop(
         args.job_dir,
         worker_id=args.worker_id,
         lease_ttl=args.lease_ttl,
         validate=not args.no_validate,
+        on_error=_failure_policy(args),
     )
     if args.json:
         _print_json(summary)
@@ -377,6 +417,32 @@ def _command_worker(args: argparse.Namespace) -> int:
                 else f"shards {outstanding} still outstanding "
                      "(leased to live workers)"
             )
+        )
+    return 0
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    if not args.smoke:
+        raise SystemExit(
+            "chaos currently has one mode: --smoke (the seeded "
+            "end-to-end fault schedule); compose custom schedules "
+            "programmatically via repro.faults"
+        )
+    from repro.faults import chaos_smoke
+
+    summary = chaos_smoke(args.chaos_seed)
+    if args.json:
+        _print_json(summary)
+    else:
+        print(
+            f"chaos smoke ok (seed {summary['seed']}): "
+            f"{summary['specs']} specs under fault plan "
+            f"{summary['plan_fingerprint']}; slots "
+            f"{summary['failed_slots']} quarantined "
+            f"({', '.join(summary['failed_fingerprints'])}), survivors "
+            "byte-identical to the fault-free serial baseline, failure "
+            "records reproduced by a serial replay "
+            f"[{summary['worker_kills_observed']} worker kill(s) observed]"
         )
     return 0
 
@@ -678,8 +744,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-validate", action="store_true",
         help="skip independent re-validation of every produced coloring",
     )
+    worker.add_argument(
+        "--on-error", choices=["raise", "capture"], default="capture",
+        help="failure policy: capture quarantines poison specs as dead "
+             "letters; raise dies on the first failure (default: capture)",
+    )
+    worker.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per failing spec (default 0)",
+    )
+    worker.add_argument(
+        "--backoff-s", type=float, default=0.0,
+        help="base seconds of deterministic backoff between attempts "
+             "(doubles per retry; default 0 = immediate)",
+    )
+    worker.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="per-attempt wall-clock budget in seconds (default: none)",
+    )
     _add_json_argument(worker)
     worker.set_defaults(handler=_command_worker)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="deterministic fault-injection harness (repro.faults)",
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: drive a seeded mixed-fault schedule through "
+             "run_sharded end-to-end and assert the failure-domain "
+             "contracts (temporary directory, nothing kept)",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the fault schedule (default 0)",
+    )
+    _add_json_argument(chaos)
+    chaos.set_defaults(handler=_command_chaos)
 
     cache = commands.add_parser(
         "cache-prune",

@@ -30,6 +30,12 @@ The pieces:
   on a run spec executes the same experiment under asynchrony, crash
   faults, or message loss, fingerprinted and cached like any other
   run;
+* failure domains (:mod:`repro.api.failures`) — every entry point takes
+  ``on_error="raise"|"capture"`` or a full :class:`FailurePolicy`
+  (bounded retries, seeded deterministic backoff, per-attempt
+  timeouts); captured failures surface as deterministic
+  :class:`~repro.results.FailedResult` slots instead of aborting the
+  batch;
 * the cluster layer (:mod:`repro.cluster`) — ``run_sharded`` splits a
   spec batch into deterministic shards drained by independent worker
   processes/machines over a shared directory, and merges the results
@@ -49,6 +55,12 @@ from repro.api.registry import (
     get_algorithm,
     run_algorithm,
 )
+from repro.api.failures import (
+    FailurePolicy,
+    backoff_delay,
+    execution_deadline,
+    resolve_policy,
+)
 from repro.api.runner import (
     clear_result_cache,
     prune_cache,
@@ -60,7 +72,12 @@ from repro.api.runner import (
     specs_for_scenarios,
 )
 from repro.api.spec import InstanceSpec, RunSpec
-from repro.results import RunResult, canonical_json, fingerprint_of
+from repro.results import (
+    FailedResult,
+    RunResult,
+    canonical_json,
+    fingerprint_of,
+)
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
@@ -72,6 +89,10 @@ __all__ = [
     "algorithm_registry",
     "get_algorithm",
     "run_algorithm",
+    "FailurePolicy",
+    "backoff_delay",
+    "execution_deadline",
+    "resolve_policy",
     "clear_result_cache",
     "prune_cache",
     "result_cache_size",
@@ -82,6 +103,7 @@ __all__ = [
     "specs_for_scenarios",
     "InstanceSpec",
     "RunSpec",
+    "FailedResult",
     "RunResult",
     "ScenarioSpec",
     "canonical_json",

@@ -28,12 +28,21 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.results import RunResult, fingerprint_of
 
 #: On-disk entry format version (bumped on incompatible layout change).
 DISK_FORMAT = 1
+
+#: Chaos seam (:mod:`repro.faults`): when set, consulted before every
+#: atomic publish as ``hook(path, text)``.  Returning ``True`` means
+#: the hook already "published" (e.g. wrote a deliberately torn file
+#: straight to the target, bypassing the atomic rename) and the normal
+#: path is skipped.  Every reader in the library treats a torn file as
+#: absent and re-runs, so injected tears exercise exactly the recovery
+#: paths a real mid-write crash would.
+_PUBLISH_FAULT: Callable[[Path, str], bool] | None = None
 
 
 def atomic_write_json(path: str | Path, payload: Any) -> None:
@@ -47,12 +56,16 @@ def atomic_write_json(path: str | Path, payload: Any) -> None:
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    fault = _PUBLISH_FAULT
+    if fault is not None and fault(target, text):
+        return
     descriptor, tmp_name = tempfile.mkstemp(
         dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
     )
     try:
         with os.fdopen(descriptor, "w") as handle:
-            handle.write(json.dumps(payload, sort_keys=True, default=repr))
+            handle.write(text)
         os.replace(tmp_name, target)
     except BaseException:
         try:

@@ -37,14 +37,31 @@ The one front door for executing experiments.  Guarantees:
   long sweeps can report progress and persist incrementally;
   :func:`run_many` is built on it and returns the familiar
   spec-ordered list, byte-identical to serial execution.
+* **Failure domains** — every entry point takes
+  ``on_error="raise"|"capture"`` (or a full
+  :class:`~repro.api.failures.FailurePolicy` with retries, seeded
+  deterministic backoff, and a per-attempt ``timeout_s``).  Under
+  ``"raise"`` a failing spec aborts the batch, with the spec's index
+  and fingerprint attached to the propagated exception; under
+  ``"capture"`` the spec's slot holds a deterministic
+  :class:`~repro.results.FailedResult` (exception type/message,
+  traceback digest, attempt count) and the rest of the batch proceeds.
+  Capture happens at the execution site — inside :func:`run`, never at
+  the pool boundary — so serial and parallel batches are byte-identical
+  *including* their failure records.  Failures are never written to
+  either cache layer (a transient failure must not poison later runs);
+  the cluster layer quarantines them in its own dead-letter store.
 """
 
 from __future__ import annotations
 
 import copy
+import hashlib
+import time
+import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.api.diskcache import (
     disk_load,
@@ -53,10 +70,17 @@ from repro.api.diskcache import (
     prune_cache,
     touch_entry,
 )
+from repro.api import failures as _failures
+from repro.api.failures import (
+    FailurePolicy,
+    backoff_delay,
+    execution_deadline,
+    resolve_policy,
+)
 from repro.api.registry import get_algorithm
 from repro.api.spec import InstanceSpec, RunSpec
 from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
-from repro.results import RunResult
+from repro.results import FailedResult, RunResult
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
@@ -69,6 +93,14 @@ __all__ = [
     "specs_for_race",
     "specs_for_scenarios",
 ]
+
+#: Chaos seam (:mod:`repro.faults`): when set, called as
+#: ``hook(fingerprint, attempt)`` at the start of every execution
+#: attempt, *inside* the attempt's deadline and retry scope.  The hook
+#: may raise (``poison`` / ``flaky`` faults) or stall (``hang``
+#: faults); whatever it does is handled exactly like an organic
+#: failure of the spec.  Cache hits never consult the hook.
+_FAULT_HOOK: Callable[[str, int], None] | None = None
 
 #: Result cache: spec fingerprint -> (result, was_validated).  The
 #: stored result is private to the cache — lookups hand out deep
@@ -196,34 +228,8 @@ def _lookup_layers(
     return None
 
 
-def run(
-    spec: RunSpec,
-    *,
-    validate: bool = True,
-    cache: bool = True,
-    cache_dir: str | Path | None = None,
-    cache_max_entries: int | None = None,
-    _fingerprint: str | None = None,
-) -> RunResult:
-    """Execute one spec and return its fingerprinted, validated result.
-
-    ``cache`` controls the in-process memo; ``cache_dir`` adds the
-    cross-session on-disk layer (each is consulted and written
-    independently, so ``cache=False, cache_dir=...`` still resumes
-    from disk without touching process memory).  ``cache_max_entries``
-    caps the on-disk store: after a store, the least-recently-used
-    entries beyond the cap are pruned (see :func:`prune_cache`).
-
-    A spec carrying a non-identity scenario routes through
-    :func:`repro.scenarios.executor.execute_scenario` — same result
-    type, same caches, same fingerprint discipline; the identity
-    (``synchronous``) scenario is normalised away and takes this plain
-    path bit-for-bit.
-    """
-    fingerprint = spec.fingerprint() if _fingerprint is None else _fingerprint
-    hit = _lookup_layers(fingerprint, spec, validate, cache, cache_dir)
-    if hit is not None:
-        return hit
+def _execute_once(spec: RunSpec, fingerprint: str, validate: bool) -> RunResult:
+    """One execution attempt: build, run, stamp, validate."""
     graph = spec.instance.build()
     scenario = spec.scenario
     if scenario is not None and not scenario.is_identity():
@@ -243,6 +249,97 @@ def run(
     result.fingerprint = fingerprint
     if validate:
         _validate(result, graph)
+    return result
+
+
+def _execute_with_policy(
+    spec: RunSpec, fingerprint: str, validate: bool, policy: FailurePolicy
+) -> RunResult:
+    """Drive the attempt loop: deadline, retries, backoff, capture.
+
+    Everything a failure domain needs happens here, at the execution
+    site: the per-attempt ``SIGALRM`` deadline, the chaos fault hook,
+    bounded retries with seeded deterministic backoff, and — under
+    ``on_error="capture"`` — the conversion of the last attempt's
+    exception into a :class:`~repro.results.FailedResult`.  A spec
+    that succeeds (on any attempt) returns its ordinary result,
+    unchanged: retried successes are byte-identical to first-try ones.
+    """
+    started = time.perf_counter()
+    last_exc: Exception | None = None
+    last_traceback = ""
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            with execution_deadline(policy.timeout_s):
+                hook = _FAULT_HOOK
+                if hook is not None:
+                    hook(fingerprint, attempt)
+                return _execute_once(spec, fingerprint, validate)
+        except Exception as exc:
+            last_exc = exc
+            last_traceback = "".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            )
+            if attempt < policy.attempts:
+                delay = backoff_delay(policy, fingerprint, attempt)
+                if delay > 0:
+                    _failures._sleep(delay)
+    assert last_exc is not None
+    if not policy.captures:
+        raise last_exc
+    return FailedResult(
+        name=spec.algorithm,
+        fingerprint=fingerprint,
+        error_type=type(last_exc).__name__,
+        error_message=str(last_exc),
+        traceback_digest=hashlib.sha256(
+            last_traceback.encode("utf-8")
+        ).hexdigest(),
+        attempts=policy.attempts,
+        wall_clock_s=time.perf_counter() - started,
+        traceback_text=last_traceback,
+    )
+
+
+def run(
+    spec: RunSpec,
+    *,
+    validate: bool = True,
+    cache: bool = True,
+    cache_dir: str | Path | None = None,
+    cache_max_entries: int | None = None,
+    on_error: str | FailurePolicy = "raise",
+    _fingerprint: str | None = None,
+) -> RunResult:
+    """Execute one spec and return its fingerprinted, validated result.
+
+    ``cache`` controls the in-process memo; ``cache_dir`` adds the
+    cross-session on-disk layer (each is consulted and written
+    independently, so ``cache=False, cache_dir=...`` still resumes
+    from disk without touching process memory).  ``cache_max_entries``
+    caps the on-disk store: after a store, the least-recently-used
+    entries beyond the cap are pruned (see :func:`prune_cache`).
+
+    ``on_error`` is the failure policy (``"raise"`` / ``"capture"`` or
+    a :class:`~repro.api.failures.FailurePolicy`): under capture a
+    failing spec returns a :class:`~repro.results.FailedResult` after
+    exhausting the policy's attempts instead of raising.  Failures are
+    never cached — only successful results enter either cache layer.
+
+    A spec carrying a non-identity scenario routes through
+    :func:`repro.scenarios.executor.execute_scenario` — same result
+    type, same caches, same fingerprint discipline; the identity
+    (``synchronous``) scenario is normalised away and takes this plain
+    path bit-for-bit.
+    """
+    policy = resolve_policy(on_error)
+    fingerprint = spec.fingerprint() if _fingerprint is None else _fingerprint
+    hit = _lookup_layers(fingerprint, spec, validate, cache, cache_dir)
+    if hit is not None:
+        return hit
+    result = _execute_with_policy(spec, fingerprint, validate, policy)
+    if result.is_failure():
+        return result
     if cache:
         _cache_store(fingerprint, result, validate)
     if cache_dir is not None:
@@ -252,10 +349,28 @@ def run(
     return result
 
 
-def _run_in_worker(payload: tuple[dict[str, Any], bool]) -> RunResult:
-    """Pool entry point: rebuild the spec from its dict form and run it."""
-    spec_dict, validate = payload
-    return run(RunSpec.from_dict(spec_dict), validate=validate, cache=False)
+def _run_in_worker(
+    payload: tuple[dict[str, Any], bool, dict[str, Any] | None]
+) -> RunResult:
+    """Pool entry point: rebuild the spec from its dict form and run it.
+
+    The failure policy crosses the pool boundary as a dict so capture
+    (and its retries/deadline) happens *inside* the worker — the
+    traceback the failure record digests is the algorithm's, identical
+    to what a serial run would have captured.
+    """
+    spec_dict, validate, policy_dict = payload
+    policy = (
+        FailurePolicy.from_dict(policy_dict)
+        if policy_dict is not None
+        else FailurePolicy()
+    )
+    return run(
+        RunSpec.from_dict(spec_dict),
+        validate=validate,
+        cache=False,
+        on_error=policy,
+    )
 
 
 def run_many_iter(
@@ -266,6 +381,7 @@ def run_many_iter(
     cache: bool = True,
     cache_dir: str | Path | None = None,
     cache_max_entries: int | None = None,
+    on_error: str | FailurePolicy = "raise",
 ) -> Iterator[tuple[int, RunResult]]:
     """Execute many specs, yielding ``(index, result)`` as runs finish.
 
@@ -276,6 +392,14 @@ def run_many_iter(
     are executed once; the first occurrence yields the run's result
     object and later occurrences yield independent copies — exactly
     the object identity :func:`run_many` has always returned.
+
+    Under ``on_error="capture"`` a failing spec yields a
+    :class:`~repro.results.FailedResult` at its index (duplicates get
+    copies, like any result); under ``"raise"`` the exception
+    propagates annotated with the failing spec's batch index, label,
+    and fingerprint (``spec_index`` / ``spec_fingerprint`` attributes
+    plus an exception note), so a poison spec in a thousand-spec batch
+    is identifiable from the traceback alone.
 
     Streaming changes *when* results surface, never *what* they are:
     collecting the pairs into spec order reproduces the serial
@@ -288,6 +412,7 @@ def run_many_iter(
             validate=validate,
             cache=cache,
             cache_dir=cache_dir,
+            policy=resolve_policy(on_error),
         )
     finally:
         # One prune per batch (not per store) — in a finally so the
@@ -297,6 +422,24 @@ def run_many_iter(
             prune_cache(cache_dir, cache_max_entries)
 
 
+def _annotate_spec_failure(
+    exc: Exception, index: int, spec: RunSpec, fingerprint: str
+) -> None:
+    """Attach the failing spec's batch position to a propagating error.
+
+    The exception *type* is preserved (callers keep catching what the
+    algorithm raised); the batch context rides along as attributes and
+    an exception note, so an aborted ``run_many`` names which spec
+    killed it.
+    """
+    exc.spec_index = index  # type: ignore[attr-defined]
+    exc.spec_fingerprint = fingerprint  # type: ignore[attr-defined]
+    exc.add_note(
+        f"while executing spec {index} ({spec.label()}, "
+        f"fingerprint {fingerprint[:12]}) of a run_many batch"
+    )
+
+
 def _run_many_iter_inner(
     specs: Iterable[RunSpec],
     *,
@@ -304,6 +447,7 @@ def _run_many_iter_inner(
     validate: bool,
     cache: bool,
     cache_dir: str | Path | None,
+    policy: FailurePolicy,
 ) -> Iterator[tuple[int, RunResult]]:
     ordered = list(specs)
     fingerprints = [spec.fingerprint() for spec in ordered]
@@ -333,30 +477,48 @@ def _run_many_iter_inner(
 
     if parallel <= 1 or len(todo) <= 1:
         for fingerprint, spec in todo.items():
-            result = run(
-                spec,
-                validate=validate,
-                cache=cache,
-                cache_dir=cache_dir,
-                _fingerprint=fingerprint,
-            )
+            try:
+                result = run(
+                    spec,
+                    validate=validate,
+                    cache=cache,
+                    cache_dir=cache_dir,
+                    on_error=policy,
+                    _fingerprint=fingerprint,
+                )
+            except Exception as exc:
+                _annotate_spec_failure(
+                    exc, indices_of[fingerprint][0], spec, fingerprint
+                )
+                raise
             yield from emissions(fingerprint, result)
     else:
         workers = min(parallel, len(todo))
+        policy_dict = policy.to_dict()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
-                    _run_in_worker, (spec.to_dict(), validate)
+                    _run_in_worker, (spec.to_dict(), validate, policy_dict)
                 ): fingerprint
                 for fingerprint, spec in todo.items()
             }
             for future in as_completed(futures):
                 fingerprint = futures[future]
-                result = future.result()
-                if cache:
-                    _cache_store(fingerprint, result, validate)
-                if cache_dir is not None:
-                    _disk_store(cache_dir, fingerprint, result, validate)
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    _annotate_spec_failure(
+                        exc,
+                        indices_of[fingerprint][0],
+                        todo[fingerprint],
+                        fingerprint,
+                    )
+                    raise
+                if not result.is_failure():
+                    if cache:
+                        _cache_store(fingerprint, result, validate)
+                    if cache_dir is not None:
+                        _disk_store(cache_dir, fingerprint, result, validate)
                 yield from emissions(fingerprint, result)
 
 
@@ -368,6 +530,7 @@ def run_many(
     cache: bool = True,
     cache_dir: str | Path | None = None,
     cache_max_entries: int | None = None,
+    on_error: str | FailurePolicy = "raise",
 ) -> list[RunResult]:
     """Execute many specs, optionally fanning out over processes.
 
@@ -387,6 +550,12 @@ def run_many(
         are keyed by spec fingerprint, never by completion order.
     validate / cache / cache_dir / cache_max_entries:
         As for :func:`run` (validation happens inside workers).
+    on_error:
+        Failure policy (see :func:`run_many_iter`): ``"raise"``
+        (default) aborts the batch with the failing spec's index and
+        fingerprint attached to the exception; ``"capture"`` puts a
+        :class:`~repro.results.FailedResult` in the failing spec's
+        slot — byte-identical serial vs. parallel, failures included.
     """
     ordered = list(specs)
     results: list[RunResult | None] = [None] * len(ordered)
@@ -397,6 +566,7 @@ def run_many(
         cache=cache,
         cache_dir=cache_dir,
         cache_max_entries=cache_max_entries,
+        on_error=on_error,
     ):
         results[index] = result
     return results  # type: ignore[return-value]

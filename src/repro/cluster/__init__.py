@@ -35,15 +35,29 @@ re-solving), and duplicate execution during a lease race publishes
 byte-identical files.  The CLI front ends are ``python -m repro worker``
 and ``python -m repro shard plan|status|merge`` (plus ``--smoke``, the
 CI check).
+
+**Failure domains.**  Workers execute specs under a
+:class:`~repro.api.FailurePolicy` (default capture): a poison spec
+becomes a quarantined dead letter in the job's ``failed/`` directory
+and merges as a :class:`~repro.results.FailedResult` slot; the
+coordinator bounds its wait on spawned workers
+(:func:`wait_for_workers`), escalating terminate → kill on any worker
+whose lease heartbeats stop, and records the events in ``events.json``.
+The deterministic chaos harness (:mod:`repro.faults`,
+``python -m repro chaos --smoke``) drives injected faults through this
+whole stack end-to-end.
 """
 
 from repro.cluster.coordinator import (
     job_status,
     load_shard_results,
+    load_worker_events,
     merge_results,
+    record_worker_events,
     run_sharded,
     smoke_check,
     spawn_local_worker,
+    wait_for_workers,
 )
 from repro.cluster.planner import (
     ShardPlan,
@@ -54,24 +68,39 @@ from repro.cluster.planner import (
     write_plan,
 )
 from repro.cluster.queue import DEFAULT_LEASE_TTL, ShardQueue, default_worker_id
-from repro.cluster.worker import cache_dir_of, publish_shard_result, work_loop
+from repro.cluster.worker import (
+    cache_dir_of,
+    dead_letter_path,
+    load_dead_letter,
+    load_dead_letters,
+    publish_shard_result,
+    quarantine_failure,
+    work_loop,
+)
 
 __all__ = [
     "DEFAULT_LEASE_TTL",
     "ShardPlan",
     "ShardQueue",
     "cache_dir_of",
+    "dead_letter_path",
     "default_worker_id",
     "ensure_plan",
     "job_status",
+    "load_dead_letter",
+    "load_dead_letters",
     "load_plan",
     "load_shard_results",
     "load_task",
+    "load_worker_events",
     "merge_results",
     "plan_shards",
     "publish_shard_result",
+    "quarantine_failure",
+    "record_worker_events",
     "run_sharded",
     "smoke_check",
     "spawn_local_worker",
+    "wait_for_workers",
     "work_loop",
 ]

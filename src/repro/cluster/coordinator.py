@@ -26,6 +26,18 @@ leases go stale rather than wedging the job.  Killing any worker (or
 the coordinator itself) at any point loses at most the specs currently
 in flight; re-running ``run_sharded`` with the same batch and
 directory completes the job from the surviving state.
+
+**Failure modes.**  The coordinator never blocks forever on its own
+workers: :func:`wait_for_workers` watches each subprocess's *lease
+heartbeats* (a healthy worker heartbeats after every spec) and a
+worker that shows no sign of life past its grace window is escalated
+— ``terminate()``, a short grace, then ``kill()`` — with the event
+recorded in the job's ``events.json`` and surfaced by ``shard
+status``.  Specs run under a failure policy (default capture):
+poison specs end up quarantined in ``failed/`` as
+:class:`~repro.results.FailedResult` records that merge into their
+batch slots, so ``run_sharded`` terminates with an account of every
+spec — what succeeded, what failed, why, and what was retried.
 """
 
 from __future__ import annotations
@@ -36,15 +48,29 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
-from repro.api.diskcache import read_json
+from repro.api.diskcache import atomic_write_json, read_json
+from repro.api.failures import FailurePolicy, resolve_policy
 from repro.api.spec import RunSpec
 from repro.cluster.planner import PLAN_FORMAT, ensure_plan, load_plan
-from repro.cluster.queue import DEFAULT_LEASE_TTL, ShardQueue, result_path
-from repro.cluster.worker import work_loop
+from repro.cluster.queue import (
+    DEFAULT_LEASE_TTL,
+    ShardQueue,
+    claim_path,
+    result_path,
+)
+from repro.cluster.worker import load_dead_letters, work_loop
 from repro.errors import ClusterError
 from repro.results import RunResult, fingerprint_of
+
+#: Job-directory file recording coordinator-observed worker events
+#: (hung-worker escalations, non-zero exits) — surfaced by ``shard
+#: status``.
+EVENTS_FILE = "events.json"
+
+#: Seconds a terminated worker gets to exit before it is killed.
+TERMINATE_GRACE_S = 5.0
 
 
 def load_shard_results(
@@ -145,13 +171,41 @@ def _merge_with_plan(plan, job_dir: str | Path) -> list[RunResult]:
     return results
 
 
+def record_worker_events(
+    job_dir: str | Path, events: Sequence[Mapping[str, Any]]
+) -> None:
+    """Append coordinator-observed worker events to ``events.json``."""
+    if not events:
+        return
+    path = Path(job_dir) / EVENTS_FILE
+    existing = read_json(path)
+    log = existing if isinstance(existing, list) else []
+    log.extend(dict(event) for event in events)
+    atomic_write_json(path, log)
+
+
+def load_worker_events(job_dir: str | Path) -> list[dict[str, Any]]:
+    """The job's recorded worker events (empty if none / unreadable)."""
+    payload = read_json(Path(job_dir) / EVENTS_FILE)
+    if not isinstance(payload, list):
+        return []
+    return [event for event in payload if isinstance(event, dict)]
+
+
 def job_status(
     job_dir: str | Path,
     *,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     clock: Callable[[], float] = time.time,
 ) -> dict[str, Any]:
-    """JSON-safe snapshot of a job's progress (CLI ``shard status``)."""
+    """JSON-safe snapshot of a job's progress (CLI ``shard status``).
+
+    Alongside the shard queue state, reports the job's failure
+    account: ``failed`` (quarantined spec fingerprints with error type
+    and attempt count, from the ``failed/`` dead-letter store) and
+    ``worker_events`` (hung-worker escalations and non-zero worker
+    exits recorded by the coordinator).
+    """
     plan = load_plan(job_dir)
     queue = ShardQueue(job_dir, lease_ttl=lease_ttl, clock=clock)
     status = queue.status(plan.shards)
@@ -161,6 +215,18 @@ def job_status(
     status["specs_done"] = sum(
         len(plan.assignment[shard]) for shard in status["done"]
     )
+    letters = load_dead_letters(
+        job_dir, plan_fingerprint=plan.plan_fingerprint()
+    )
+    status["failed"] = {
+        fingerprint: {
+            "error_type": failed.error_type,
+            "error_message": failed.error_message,
+            "attempts": failed.attempts,
+        }
+        for fingerprint, failed in sorted(letters.items())
+    }
+    status["worker_events"] = load_worker_events(job_dir)
     return status
 
 
@@ -169,21 +235,28 @@ def spawn_local_worker(
     *,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     validate: bool = True,
+    on_error: str | FailurePolicy = "capture",
+    extra_env: Mapping[str, str] | None = None,
 ) -> subprocess.Popen:
     """Start one detached ``python -m repro worker`` on this machine.
 
     The child gets ``repro``'s own package root prepended to
     ``PYTHONPATH``, so spawning works from any checkout layout without
-    the caller exporting anything.
+    the caller exporting anything.  The failure policy is forwarded as
+    CLI flags; ``extra_env`` adds environment variables (the chaos
+    harness ships its fault plan to workers this way).
     """
     import repro
 
+    policy = resolve_policy(on_error)
     src_dir = str(Path(repro.__file__).resolve().parent.parent)
     env = dict(os.environ)
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = (
         src_dir if not existing else os.pathsep.join([src_dir, existing])
     )
+    if extra_env:
+        env.update(extra_env)
     command = [
         sys.executable,
         "-m",
@@ -192,7 +265,15 @@ def spawn_local_worker(
         str(job_dir),
         "--lease-ttl",
         str(lease_ttl),
+        "--on-error",
+        policy.on_error,
+        "--retries",
+        str(policy.retries),
+        "--backoff-s",
+        str(policy.backoff_s),
     ]
+    if policy.timeout_s is not None:
+        command.extend(["--timeout-s", str(policy.timeout_s)])
     if not validate:
         command.append("--no-validate")
     return subprocess.Popen(
@@ -201,6 +282,101 @@ def spawn_local_worker(
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
     )
+
+
+def _escalate(proc: subprocess.Popen) -> str:
+    """terminate → grace → kill; returns the action that ended the proc."""
+    proc.terminate()
+    try:
+        proc.wait(timeout=TERMINATE_GRACE_S)
+        return "terminated"
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        return "killed"
+
+
+def wait_for_workers(
+    procs: Sequence[subprocess.Popen],
+    job_dir: str | Path,
+    *,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    grace_s: float | None = None,
+    poll_s: float = 0.1,
+    clock: Callable[[], float] = time.time,
+) -> list[dict[str, Any]]:
+    """Wait for worker subprocesses with bounded patience; reap the wedged.
+
+    A healthy worker shows signs of life: it heartbeats its shard
+    lease after every spec (the lease's ``worker`` id ends with its
+    pid), and eventually exits.  A worker that does neither for
+    ``grace_s`` seconds (default ``max(2 * lease_ttl, 10)``) is
+    **wedged** — hung in a spec with no deadline, or stuck before its
+    first claim — and is escalated: ``terminate()``, then ``kill()``
+    after :data:`TERMINATE_GRACE_S`.  Its shard (if any) is recovered
+    by the ordinary stale-lease protocol.  Returns the event list
+    (hung-worker escalations and non-zero exits), which callers
+    persist via :func:`record_worker_events`.
+
+    This is the liveness guarantee ``run_sharded`` builds on: the
+    coordinator can always outwait its own workers, so a submitted
+    batch always terminates with an account of every spec.
+    """
+    if grace_s is None:
+        grace_s = max(2 * lease_ttl, 10.0)
+    events: list[dict[str, Any]] = []
+    waiting = {index: proc for index, proc in enumerate(procs)}
+    last_alive = {index: clock() for index in waiting}
+    claims_dir = claim_path(job_dir, 0).parent
+    while waiting:
+        for index, proc in list(waiting.items()):
+            if proc.poll() is None:
+                continue
+            if proc.returncode != 0:
+                events.append(
+                    {
+                        "event": "worker_exit_nonzero",
+                        "pid": proc.pid,
+                        "returncode": proc.returncode,
+                    }
+                )
+            del waiting[index]
+        if not waiting:
+            break
+        now = clock()
+        live_pids: set[int] = set()
+        if claims_dir.is_dir():
+            for path in claims_dir.glob("*.json"):
+                lease = read_json(path)
+                if not isinstance(lease, dict):
+                    continue
+                heartbeat = lease.get("heartbeat_at")
+                worker = lease.get("worker", "")
+                if (
+                    isinstance(heartbeat, (int, float))
+                    and now - heartbeat <= lease_ttl
+                    and isinstance(worker, str)
+                ):
+                    _, _, pid_text = worker.rpartition(":")
+                    if pid_text.isdigit():
+                        live_pids.add(int(pid_text))
+        for index, proc in list(waiting.items()):
+            if proc.pid in live_pids:
+                last_alive[index] = now
+            elif now - last_alive[index] > grace_s:
+                action = _escalate(proc)
+                events.append(
+                    {
+                        "event": "worker_hung",
+                        "pid": proc.pid,
+                        "action": action,
+                        "waited_s": round(now - last_alive[index], 3),
+                    }
+                )
+                del waiting[index]
+        if waiting:
+            time.sleep(poll_s)
+    return events
 
 
 def run_sharded(
@@ -212,6 +388,9 @@ def run_sharded(
     validate: bool = True,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     clock: Callable[[], float] = time.time,
+    on_error: str | FailurePolicy = "capture",
+    worker_grace_s: float | None = None,
+    worker_env: Mapping[str, str] | None = None,
 ) -> list[RunResult]:
     """Execute a spec batch shard-wise; returns the ``run_many`` list.
 
@@ -228,19 +407,43 @@ def run_sharded(
     local_workers:
         Worker subprocesses to spawn on this machine.  ``0`` (default)
         runs everything in-process.  Whatever the subprocess workers
-        leave unfinished — all of it, if they are killed — the
-        coordinator drains in-process afterwards, so ``run_sharded``
-        returns only with the complete, merged result list.
+        leave unfinished — all of it, if they are killed or reaped as
+        hung — the coordinator drains in-process afterwards, so
+        ``run_sharded`` returns only with the complete, merged result
+        list.
+    on_error:
+        Failure policy for spec execution (default ``"capture"``:
+        poison specs merge as :class:`~repro.results.FailedResult`
+        slots instead of aborting the job).
+    worker_grace_s:
+        Seconds a worker subprocess may show no lease heartbeat before
+        the coordinator escalates terminate → kill (``None`` =
+        ``max(2 * lease_ttl, 10)``; see :func:`wait_for_workers`).
+    worker_env:
+        Extra environment variables for spawned workers (the chaos
+        harness ships fault plans this way).
     validate / lease_ttl / clock:
         As for the worker loop.
     """
     plan = ensure_plan(specs, job_dir, shards=shards)
     procs = [
-        spawn_local_worker(job_dir, lease_ttl=lease_ttl, validate=validate)
+        spawn_local_worker(
+            job_dir,
+            lease_ttl=lease_ttl,
+            validate=validate,
+            on_error=on_error,
+            extra_env=worker_env,
+        )
         for _ in range(max(0, local_workers))
     ]
-    for proc in procs:
-        proc.wait()
+    if procs:
+        events = wait_for_workers(
+            procs,
+            job_dir,
+            lease_ttl=lease_ttl,
+            grace_s=worker_grace_s,
+        )
+        record_worker_events(job_dir, events)
     # Drain every remaining shard in-process.  Live foreign leases are
     # waited out (they either finish or go stale and get reclaimed);
     # the shared ``verified`` set keeps the polling from re-parsing
@@ -253,6 +456,7 @@ def run_sharded(
             clock=clock,
             validate=validate,
             verified=verified,
+            on_error=on_error,
         )
         if summary["job_complete"]:
             break
@@ -305,8 +509,11 @@ def smoke_check() -> dict[str, Any]:
         # exit cleanly and between them finish the *whole* job.
         ensure_plan(specs, job_dir, shards=2)
         procs = [spawn_local_worker(job_dir) for _ in range(2)]
-        for proc in procs:
-            proc.wait()
+        events = wait_for_workers(procs, job_dir)
+        if events:
+            raise ClusterError(
+                f"smoke worker subprocesses misbehaved: {events}"
+            )
         failed = [proc.returncode for proc in procs if proc.returncode != 0]
         if failed:
             raise ClusterError(

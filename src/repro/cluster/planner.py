@@ -228,10 +228,21 @@ def ensure_plan(
     if *this* spec batch (and shard count) plans to the same plan
     fingerprint — otherwise merging would silently mix experiments, so
     a :class:`~repro.errors.ClusterError` names both fingerprints.
+
+    A manifest that fails to load (torn mid-write by a crashed planner,
+    truncated, or unreadable) is treated as **absent** and rewritten:
+    write_plan is idempotent and task files carry their own seals, so
+    re-planning over the wreckage is always safe.  Only a *valid*
+    manifest belonging to a different experiment refuses.
     """
     plan = plan_shards(specs, shards=shards)
     if manifest_path(job_dir).exists():
-        existing = load_plan(job_dir)
+        try:
+            existing = load_plan(job_dir)
+        except ClusterError:
+            # Corrupt manifest == no manifest: re-plan in place.
+            write_plan(plan, job_dir)
+            return plan
         if existing.plan_fingerprint() != plan.plan_fingerprint():
             raise ClusterError(
                 f"job directory {Path(job_dir)} already holds plan "

@@ -108,7 +108,13 @@ class ShardQueue:
         return payload if isinstance(payload, dict) else None
 
     def is_stale(self, lease: dict[str, Any]) -> bool:
-        """Is this lease past its TTL (or malformed)?"""
+        """Is this lease past its TTL (or malformed)?
+
+        A lease whose ``heartbeat_at`` is garbage (missing, or not a
+        number — e.g. a torn write or hand-edited claim) counts as
+        stale immediately: a timestamp we cannot read can never be
+        refreshed, so treating it as live would wedge the shard.
+        """
         heartbeat = lease.get("heartbeat_at")
         if not isinstance(heartbeat, (int, float)):
             return True

@@ -23,6 +23,20 @@ job is complete, or every remaining shard is leased to a live worker
 (the summary distinguishes the two).  Workers never merge — that is
 the coordinator's job — and never need to agree on anything but the
 directory: all coordination is the claim files.
+
+**Failure modes.**  Workers execute with a failure policy (default
+``on_error="capture"``): a spec whose every attempt raises becomes a
+:class:`~repro.results.FailedResult` recorded in the shard's sealed
+result file *and* quarantined as a **dead letter** —
+``failed/<fingerprint>.json``, sealed, holding the failure record plus
+the full traceback text for debugging.  A reclaiming worker (or a
+resumed job) reuses valid dead letters instead of re-looping the
+poison spec, exactly as it replays successful specs from the shared
+cache; a torn or foreign dead-letter file is treated as absent and the
+spec re-runs.  Under ``on_error="raise"`` a poison spec kills the
+worker process — its lease goes stale and another worker (or the
+coordinator's drain) inherits the shard, so *some* account of the spec
+is still forced: prefer capture for unattended fleets.
 """
 
 from __future__ import annotations
@@ -31,7 +45,8 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.api.diskcache import atomic_write_json
+from repro.api.diskcache import atomic_write_json, read_json
+from repro.api.failures import FailurePolicy, resolve_policy
 from repro.api.runner import run_many_iter
 from repro.cluster.planner import (
     PLAN_FORMAT,
@@ -40,15 +55,102 @@ from repro.cluster.planner import (
     shard_name,
 )
 from repro.cluster.queue import DEFAULT_LEASE_TTL, ShardQueue, result_path
-from repro.results import fingerprint_of
+from repro.results import FailedResult, fingerprint_of
 
 #: Subdirectory of the job dir all workers spill per-spec results into.
 CACHE_SUBDIR = "cache"
+
+#: Subdirectory holding dead-letter records of captured spec failures
+#: (one sealed JSON per failed spec fingerprint, next to ``results/``).
+FAILED_SUBDIR = "failed"
+
+#: Dead-letter file format version.
+DEAD_LETTER_FORMAT = 1
 
 
 def cache_dir_of(job_dir: str | Path) -> Path:
     """The job's shared per-spec result cache (intra-shard resume)."""
     return Path(job_dir) / CACHE_SUBDIR
+
+
+def dead_letter_path(job_dir: str | Path, fingerprint: str) -> Path:
+    """The dead-letter file of one failed spec fingerprint."""
+    return Path(job_dir) / FAILED_SUBDIR / f"{fingerprint}.json"
+
+
+def quarantine_failure(
+    job_dir: str | Path, plan_fingerprint: str, failed: FailedResult
+) -> None:
+    """Seal and atomically publish one captured failure as a dead letter.
+
+    The sealed body carries the deterministic failure record plus the
+    observational extras (full traceback text, wall-clock) that stay
+    out of the record itself.  Concurrent quarantiners of the same
+    fingerprint publish equivalent records; the last write wins.
+    """
+    body = {
+        "format": DEAD_LETTER_FORMAT,
+        "fingerprint": failed.fingerprint,
+        "plan_fingerprint": plan_fingerprint,
+        "result": failed.to_dict(),
+        "traceback": failed.traceback_text,
+        "wall_clock_s": failed.wall_clock_s,
+    }
+    atomic_write_json(
+        dead_letter_path(job_dir, failed.fingerprint),
+        {**body, "seal": fingerprint_of(body)},
+    )
+
+
+def load_dead_letter(
+    job_dir: str | Path, fingerprint: str, *, plan_fingerprint: str
+) -> FailedResult | None:
+    """Load one quarantined failure, or ``None`` if absent/invalid.
+
+    The integrity discipline of every other cluster file: a torn seal,
+    a foreign plan, or a record that is not actually a failure is
+    treated exactly like a missing file — the spec re-runs rather than
+    half-trusting a corrupt quarantine entry.
+    """
+    payload = read_json(dead_letter_path(job_dir, fingerprint))
+    if not isinstance(payload, dict):
+        return None
+    body = {key: value for key, value in payload.items() if key != "seal"}
+    if (
+        payload.get("seal") != fingerprint_of(body)
+        or body.get("format") != DEAD_LETTER_FORMAT
+        or body.get("fingerprint") != fingerprint
+        or body.get("plan_fingerprint") != plan_fingerprint
+    ):
+        return None
+    try:
+        result = FailedResult.from_dict(body["result"])
+    except Exception:
+        return None
+    if not result.is_failure() or result.fingerprint != fingerprint:
+        return None
+    traceback_text = body.get("traceback")
+    if isinstance(traceback_text, str):
+        result.traceback_text = traceback_text
+    return result
+
+
+def load_dead_letters(
+    job_dir: str | Path, *, plan_fingerprint: str
+) -> dict[str, FailedResult]:
+    """All valid quarantined failures of a job, by spec fingerprint."""
+    directory = Path(job_dir) / FAILED_SUBDIR
+    if not directory.is_dir():
+        return {}
+    letters: dict[str, FailedResult] = {}
+    for path in sorted(directory.glob("*.json")):
+        fingerprint = path.stem
+        loaded = load_dead_letter(
+            job_dir, fingerprint, plan_fingerprint=plan_fingerprint
+        )
+        if loaded is not None:
+            letters[fingerprint] = loaded
+    return letters
 
 
 def publish_shard_result(
@@ -76,6 +178,7 @@ def run_shard(
     *,
     plan_fingerprint: str,
     validate: bool = True,
+    on_error: str | FailurePolicy = "capture",
 ) -> int | None:
     """Execute one claimed shard; returns specs run, or ``None`` if lost.
 
@@ -84,21 +187,38 @@ def run_shard(
     the lease is heartbeaten after every spec.  A failed heartbeat
     means another worker reclaimed the shard — abandon it silently
     (the usurper will publish the identical result).
+
+    Failures already quarantined in ``failed/`` are reused (never
+    re-looped); fresh captured failures are quarantined as they stream
+    out and recorded in the shard's result file alongside successes.
     """
+    policy = resolve_policy(on_error)
     specs = load_task(job_dir, shard)
     ordered = list(specs.items())
     results: dict[str, dict] = {}
     executed = 0
-    if ordered:
-        batch = [spec for _, spec in ordered]
+    todo: list[tuple[str, object]] = []
+    for fingerprint, spec in ordered:
+        quarantined = load_dead_letter(
+            job_dir, fingerprint, plan_fingerprint=plan_fingerprint
+        )
+        if quarantined is not None:
+            results[fingerprint] = quarantined.to_dict()
+        else:
+            todo.append((fingerprint, spec))
+    if todo:
+        batch = [spec for _, spec in todo]
         for index, result in run_many_iter(
             batch,
             parallel=1,
             validate=validate,
             cache=False,  # worker processes are short-lived; disk is the memo
             cache_dir=cache_dir_of(job_dir),
+            on_error=policy,
         ):
-            results[ordered[index][0]] = result.to_dict()
+            if result.is_failure():
+                quarantine_failure(job_dir, plan_fingerprint, result)
+            results[todo[index][0]] = result.to_dict()
             executed += 1
             if not queue.heartbeat(shard):
                 return None
@@ -116,6 +236,7 @@ def work_loop(
     validate: bool = True,
     max_shards: int | None = None,
     verified: set[int] | None = None,
+    on_error: str | FailurePolicy = "capture",
 ) -> dict[str, Any]:
     """Drain claimable shards until none remain; return a summary.
 
@@ -125,7 +246,9 @@ def work_loop(
     of shard indices whose result files have already passed their
     integrity check — the coordinator's polling drain passes one so
     repeated calls do not re-parse every completed shard per tick.
-    The summary is JSON-safe::
+    ``on_error`` is the failure policy specs execute under (see
+    :func:`run_shard`; default capture — poison specs are quarantined,
+    not fatal).  The summary is JSON-safe::
 
         {"worker": ..., "completed": [shard, ...], "specs_run": n,
          "abandoned": [...], "job_complete": bool, "outstanding": [...]}
@@ -185,6 +308,7 @@ def work_loop(
                 queue,
                 plan_fingerprint=plan_fingerprint,
                 validate=validate,
+                on_error=on_error,
             )
             if executed is None:
                 abandoned.append(shard)

@@ -111,3 +111,32 @@ class ClusterError(ReproError, RuntimeError):
     missing.  Stale *leases* are never an error — crashed workers are
     an expected execution condition and their shards are reclaimed.
     """
+
+
+class SpecTimeoutError(ReproError, TimeoutError):
+    """A single spec execution exceeded its ``timeout_s`` budget.
+
+    Raised by the executor's per-attempt deadline
+    (:func:`repro.api.failures.execution_deadline`) when one attempt at
+    one spec runs past the failure policy's ``timeout_s``.  Under
+    ``on_error="capture"`` it is recorded in a
+    :class:`~repro.results.FailedResult` like any other per-spec
+    failure; under ``on_error="raise"`` it propagates.
+    """
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A failure deliberately injected by the chaos harness.
+
+    Raised by :mod:`repro.faults` fault hooks (``poison`` / ``flaky``
+    fault kinds) so injected failures are distinguishable from organic
+    ones in captured failure records and dead-letter files.
+    """
+
+
+class FaultError(ReproError, ValueError):
+    """A fault-injection description cannot be executed.
+
+    Examples: an unknown fault kind, a fault parameter outside its
+    range, or a fault plan payload that fails to deserialize.
+    """

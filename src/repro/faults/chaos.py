@@ -1,0 +1,236 @@
+"""The chaos smoke: one seeded fault schedule through the whole stack.
+
+:func:`chaos_smoke` is the failure-domain twin of
+:func:`repro.cluster.coordinator.smoke_check`: a small adversarial
+batch is executed with ``run_sharded`` under an injected fault plan —
+a poison spec that can never succeed, a flaky spec that recovers on
+retry, a hang spec that trips the per-attempt deadline, a torn shard
+result file, worker subprocesses that kill themselves mid-job, and a
+pre-planted stale lease — and the merged output is held to the
+library's contracts:
+
+1. **Termination** — the coordinator returns despite every injected
+   failure (no wedged leases, no immortal workers, no infinite
+   re-publishing).
+2. **Exact quarantine** — precisely the unsurvivable specs (poison +
+   hang) come back as :class:`~repro.results.FailedResult` slots and
+   appear in the job's dead-letter store; nothing else does.
+3. **Byte-identity of survivors** — every surviving slot is
+   byte-identical to a fault-free serial ``run_many`` baseline
+   (retried-and-recovered specs included: recovery must not leave
+   marks on results).
+4. **Reproducible failure records** — a serial ``run_many`` pass under
+   the *same* fault plan and policy reproduces the sharded run's
+   output byte for byte, failure slots included: failure capture obeys
+   the same serial == parallel == sharded discipline as success.
+
+Exposed as ``python -m repro chaos --smoke`` (a CI step).  The whole
+run is a pure function of ``seed``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Any
+
+from repro.api.failures import FailurePolicy
+from repro.api.runner import run_many
+from repro.api.spec import InstanceSpec, RunSpec
+from repro.cluster.coordinator import job_status, run_sharded
+from repro.cluster.planner import ensure_plan
+from repro.errors import ClusterError
+from repro.faults.injector import (
+    KILL_EXIT_CODE,
+    active_faults,
+    apply_stale_leases,
+    env_with_faults,
+)
+from repro.faults.spec import FaultPlan, make_fault
+from repro.results import canonical_json
+from repro.scenarios.spec import ScenarioSpec
+
+#: Per-attempt deadline in the smoke's failure policy; the hang fault
+#: sleeps well past it so both attempts time out deterministically.
+SMOKE_TIMEOUT_S = 0.5
+SMOKE_HANG_SLEEP_S = 4.0
+
+
+def _smoke_batch() -> list[RunSpec]:
+    """The adversarial batch: plain, scenario, and duplicate specs."""
+    instance = InstanceSpec(family="complete_bipartite", size=3, seed=2)
+    return [
+        RunSpec(instance=instance, algorithm="greedy_sequential"),
+        RunSpec(instance=instance, algorithm="bko20"),
+        RunSpec(
+            instance=instance,
+            algorithm="greedy_sequential",
+            scenario=ScenarioSpec(model="crash_stop", seed=5, params={"f": 2}),
+        ),
+        RunSpec(
+            instance=instance,
+            algorithm="greedy_sequential",
+            scenario=ScenarioSpec(
+                model="lossy_links", seed=5, params={"drop": 0.2}
+            ),
+        ),
+        # A duplicate: a failed fingerprint must fan its FailedResult
+        # over every occurrence exactly as successes fan out.
+        RunSpec(instance=instance, algorithm="greedy_sequential"),
+    ]
+
+
+def smoke_plan(seed: int, fingerprints: list[str]) -> FaultPlan:
+    """The seeded fault schedule over a batch's distinct fingerprints.
+
+    Target selection is a pure function of ``seed`` and the sorted
+    distinct fingerprints: rotating the sorted list by ``seed`` picks
+    which spec is poisoned, which hangs, and which is merely flaky —
+    so different seeds exercise different specs, and the same seed
+    always rebuilds the same plan.
+    """
+    distinct = sorted(set(fingerprints))
+    if len(distinct) < 3:
+        raise ClusterError(
+            f"chaos smoke needs >= 3 distinct specs, got {len(distinct)}"
+        )
+    poison = distinct[seed % len(distinct)]
+    hang = distinct[(seed + 1) % len(distinct)]
+    flaky = distinct[(seed + 2) % len(distinct)]
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            make_fault("poison", target=poison),
+            make_fault("hang", target=hang, sleep_s=SMOKE_HANG_SLEEP_S),
+            make_fault("flaky", target=flaky, fail_attempts=1),
+            make_fault("torn_write", match="results/", count=1),
+            make_fault("worker_kill", after_specs=1),
+            make_fault("stale_lease", shard=0, age_s=1e6),
+        ),
+    )
+
+
+def chaos_smoke(seed: int = 0) -> dict[str, Any]:
+    """Run the seeded chaos schedule end-to-end; raise on any breach.
+
+    See the module docstring for the four contracts checked.  Returns
+    a JSON-safe summary (CLI: ``python -m repro chaos --smoke``).
+    """
+    specs = _smoke_batch()
+    fingerprints = [spec.fingerprint() for spec in specs]
+    plan = smoke_plan(seed, fingerprints)
+    policy = FailurePolicy(
+        on_error="capture",
+        retries=1,
+        backoff_s=0.0,
+        timeout_s=SMOKE_TIMEOUT_S,
+        backoff_seed=seed,
+    )
+    poison_target = plan.of_kind("poison")[0].params["target"]
+    hang_target = plan.of_kind("hang")[0].params["target"]
+    doomed = {poison_target, hang_target}
+
+    # Fault-free serial baseline: what every surviving slot must equal.
+    baseline = run_many(specs, cache=False)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as job_dir:
+        # Plant the stale lease before any worker starts, then run the
+        # sharded job with the fault plan active both in the worker
+        # subprocesses (via the environment) and in this process (the
+        # coordinator's drain executes specs too).
+        ensure_plan(specs, job_dir, shards=2)
+        apply_stale_leases(plan, job_dir)
+        with active_faults(plan):
+            merged = run_sharded(
+                specs,
+                job_dir,
+                shards=2,
+                local_workers=2,
+                lease_ttl=2.0,
+                on_error=policy,
+                worker_env=env_with_faults(plan),
+            )
+        status = job_status(job_dir)
+
+    if len(merged) != len(specs):
+        raise ClusterError(
+            f"chaos merge returned {len(merged)} results for "
+            f"{len(specs)} specs"
+        )
+
+    # Contract 2: exactly the doomed specs fail, everywhere they occur,
+    # and the dead-letter store agrees.
+    expected_failures = {
+        index
+        for index, fingerprint in enumerate(fingerprints)
+        if fingerprint in doomed
+    }
+    actual_failures = {
+        index for index, result in enumerate(merged) if result.is_failure()
+    }
+    if actual_failures != expected_failures:
+        raise ClusterError(
+            f"chaos quarantined slots {sorted(actual_failures)}, expected "
+            f"{sorted(expected_failures)} (poison + hang targets only)"
+        )
+    if set(status["failed"]) != doomed:
+        raise ClusterError(
+            f"dead-letter store holds {sorted(status['failed'])}, expected "
+            f"{sorted(doomed)}"
+        )
+    for index in sorted(expected_failures):
+        failed = merged[index]
+        expected_type = (
+            "InjectedFault"
+            if fingerprints[index] == poison_target
+            else "SpecTimeoutError"
+        )
+        if failed.error_type != expected_type:
+            raise ClusterError(
+                f"chaos slot {index} failed with {failed.error_type}, "
+                f"expected {expected_type}"
+            )
+        if failed.attempts != policy.attempts:
+            raise ClusterError(
+                f"chaos slot {index} records {failed.attempts} attempts, "
+                f"expected {policy.attempts}"
+            )
+
+    # Contract 3: survivors (the flaky-but-recovered spec included) are
+    # byte-identical to the fault-free baseline.
+    for index, (ours, theirs) in enumerate(zip(merged, baseline)):
+        if index in expected_failures:
+            continue
+        if canonical_json(ours.to_dict()) != canonical_json(theirs.to_dict()):
+            raise ClusterError(
+                f"chaos surviving slot {index} ({specs[index].label()}) is "
+                "not byte-identical to the fault-free serial baseline"
+            )
+
+    # Contract 4: a serial pass under the same fault plan reproduces
+    # the sharded output byte for byte — failure records included.
+    with active_faults(plan):
+        replay = run_many(specs, cache=False, on_error=policy)
+    for index, (ours, theirs) in enumerate(zip(merged, replay)):
+        if canonical_json(ours.to_dict()) != canonical_json(theirs.to_dict()):
+            raise ClusterError(
+                f"chaos slot {index} differs between the sharded run and "
+                "the serial replay under the same fault plan — failure "
+                "records are not reproducible"
+            )
+
+    kill_events = [
+        event
+        for event in status["worker_events"]
+        if event.get("returncode") == KILL_EXIT_CODE
+    ]
+    return {
+        "seed": seed,
+        "specs": len(specs),
+        "plan_fingerprint": plan.fingerprint()[:12],
+        "failed_slots": sorted(expected_failures),
+        "failed_fingerprints": sorted(f[:12] for f in doomed),
+        "survivors_byte_identical": True,
+        "failures_reproducible": True,
+        "worker_kills_observed": len(kill_events),
+        "worker_events": status["worker_events"],
+    }

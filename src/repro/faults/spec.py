@@ -1,0 +1,261 @@
+"""Fault descriptions: what to break, where, and how many times.
+
+A :class:`FaultSpec` names one deterministic failure to inject into the
+execution stack; a :class:`FaultPlan` is a seeded, fingerprinted batch
+of them — the chaos twin of a spec batch.  Like every other spec layer
+in this library, fault descriptions are frozen, normalised, strictly
+validated (:class:`~repro.errors.FaultError` on anything the injector
+could not execute), and round-trip exactly through
+``to_dict``/``from_dict`` and JSON — the plan a worker subprocess
+rebuilds from its environment is byte-for-byte the plan the harness
+authored.
+
+Fault kinds (``params`` per kind):
+
+``poison``
+    ``{"target": <fingerprint prefix | "*">}`` — every execution
+    attempt of a matching spec raises
+    :class:`~repro.errors.InjectedFault`.  The spec can only ever
+    become a captured failure.
+``flaky``
+    ``{"target": ..., "fail_attempts": k}`` — attempts ``1..k`` of a
+    matching spec raise; attempt ``k+1`` onward executes normally.
+    With ``retries >= k`` the spec *recovers* and must produce a result
+    byte-identical to a fault-free run.
+``hang``
+    ``{"target": ..., "sleep_s": s}`` — matching attempts stall for
+    ``s`` wall-clock seconds before executing.  Pair with a policy
+    ``timeout_s < s`` to exercise the per-attempt deadline, or with no
+    timeout to wedge a worker for the coordinator to reap.
+``torn_write``
+    ``{"match": <path substring>, "count": n}`` — the first ``n``
+    atomic JSON publishes (in each process) whose destination path
+    contains ``match`` write a truncated file *in place of* the atomic
+    rename: exactly the artefact of a crash mid-``write()``.  Every
+    reader treats torn files as absent, so this exercises each layer's
+    re-run/re-publish recovery.
+``worker_kill``
+    ``{"after_specs": n}`` — a *worker subprocess* (never the
+    coordinating process) exits hard at the next spec boundary after
+    executing ``n`` specs, leaving a stale lease and whatever it
+    spilled to the shared cache.
+``stale_lease``
+    ``{"shard": i, "age_s": s}`` — the harness pre-plants a claim file
+    on shard ``i`` whose heartbeat is ``s`` seconds old, held by a
+    worker id that can never heartbeat again.  Exercises stale-lease
+    reclamation under real worker traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import FaultError, check_known_keys
+from repro.results import fingerprint_of
+
+#: Fault-plan serialization format version.
+FAULT_FORMAT = 1
+
+#: kind -> (required param names, validator).  Validators raise
+#: FaultError; they run on construction *and* deserialization.
+_TARGET_KINDS = frozenset({"poison", "flaky", "hang"})
+
+_SPEC_KEYS = frozenset({"kind", "params"})
+_PLAN_KEYS = frozenset({"format", "seed", "faults"})
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise FaultError(message)
+
+
+def _validate_target(params: Mapping[str, Any]) -> None:
+    target = params.get("target")
+    _require(
+        isinstance(target, str) and bool(target),
+        f"fault target must be a non-empty fingerprint prefix or '*', "
+        f"got {target!r}",
+    )
+
+
+_PARAM_KEYS: dict[str, frozenset[str]] = {
+    "poison": frozenset({"target"}),
+    "flaky": frozenset({"target", "fail_attempts"}),
+    "hang": frozenset({"target", "sleep_s"}),
+    "torn_write": frozenset({"match", "count"}),
+    "worker_kill": frozenset({"after_specs"}),
+    "stale_lease": frozenset({"shard", "age_s"}),
+}
+
+FAULT_KINDS = frozenset(_PARAM_KEYS)
+
+
+def _validate_params(kind: str, params: Mapping[str, Any]) -> None:
+    _require(
+        kind in FAULT_KINDS,
+        f"unknown fault kind {kind!r}; known: {sorted(FAULT_KINDS)}",
+    )
+    allowed = _PARAM_KEYS[kind]
+    unknown = set(params) - allowed
+    _require(
+        not unknown,
+        f"fault kind {kind!r} does not take params {sorted(unknown)} "
+        f"(allowed: {sorted(allowed)})",
+    )
+    missing = allowed - set(params)
+    _require(
+        not missing,
+        f"fault kind {kind!r} requires params {sorted(missing)}",
+    )
+    if kind in _TARGET_KINDS:
+        _validate_target(params)
+    if kind == "flaky":
+        k = params["fail_attempts"]
+        _require(
+            isinstance(k, int) and k >= 1,
+            f"flaky fail_attempts must be an int >= 1, got {k!r}",
+        )
+    elif kind == "hang":
+        s = params["sleep_s"]
+        _require(
+            isinstance(s, (int, float)) and s > 0,
+            f"hang sleep_s must be > 0, got {s!r}",
+        )
+    elif kind == "torn_write":
+        match, count = params["match"], params["count"]
+        _require(
+            isinstance(match, str) and bool(match),
+            f"torn_write match must be a non-empty substring, got {match!r}",
+        )
+        _require(
+            isinstance(count, int) and count >= 1,
+            f"torn_write count must be an int >= 1, got {count!r}",
+        )
+    elif kind == "worker_kill":
+        n = params["after_specs"]
+        _require(
+            isinstance(n, int) and n >= 0,
+            f"worker_kill after_specs must be an int >= 0, got {n!r}",
+        )
+    elif kind == "stale_lease":
+        shard, age = params["shard"], params["age_s"]
+        _require(
+            isinstance(shard, int) and shard >= 0,
+            f"stale_lease shard must be an int >= 0, got {shard!r}",
+        )
+        _require(
+            isinstance(age, (int, float)) and age > 0,
+            f"stale_lease age_s must be > 0, got {age!r}",
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault to inject (see module docstring for kinds)."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _validate_params(self.kind, self.params)
+        # Freeze params into a plain sorted dict so equal specs hash
+        # and serialize identically regardless of construction order.
+        object.__setattr__(
+            self, "params", dict(sorted(self.params.items()))
+        )
+
+    def matches(self, fingerprint: str) -> bool:
+        """Does this (targeted) fault apply to a spec fingerprint?"""
+        target = self.params.get("target", "")
+        return target == "*" or fingerprint.startswith(target)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        check_known_keys(payload, _SPEC_KEYS, "FaultSpec")
+        _require("kind" in payload, "FaultSpec payload lacks 'kind'")
+        params = payload.get("params", {})
+        _require(
+            isinstance(params, Mapping),
+            f"FaultSpec params must be a mapping, got {type(params).__name__}",
+        )
+        return cls(kind=payload["kind"], params=dict(params))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded batch of faults — the unit the chaos harness replays.
+
+    The ``seed`` feeds the failure policy's deterministic backoff and
+    any harness-level choices (which specs to target), so one integer
+    reproduces an entire chaos run.  :meth:`fingerprint` identifies the
+    plan the way spec fingerprints identify experiments.
+    """
+
+    seed: int = 0
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.seed, int),
+            f"fault plan seed must be an int, got {self.seed!r}",
+        )
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def of_kind(self, kind: str) -> tuple[FaultSpec, ...]:
+        """The plan's faults of one kind, in plan order."""
+        _require(kind in FAULT_KINDS, f"unknown fault kind {kind!r}")
+        return tuple(f for f in self.faults if f.kind == kind)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": FAULT_FORMAT,
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        check_known_keys(payload, _PLAN_KEYS, "FaultPlan")
+        _require(
+            payload.get("format") == FAULT_FORMAT,
+            f"fault plan format {payload.get('format')!r} is not "
+            f"{FAULT_FORMAT}",
+        )
+        faults = payload.get("faults", [])
+        _require(
+            isinstance(faults, Sequence) and not isinstance(faults, str),
+            "fault plan 'faults' must be a list",
+        )
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            faults=tuple(FaultSpec.from_dict(fault) for fault in faults),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise FaultError(f"fault plan is not valid JSON: {exc}") from exc
+        _require(isinstance(payload, dict), "fault plan JSON must be an object")
+        return cls.from_dict(payload)
+
+    def fingerprint(self) -> str:
+        """SHA-256 identity of the plan (seed, faults, order)."""
+        return fingerprint_of(self.to_dict())
+
+
+def make_fault(kind: str, **params: Any) -> FaultSpec:
+    """Convenience constructor: ``make_fault("poison", target=fp)``."""
+    return FaultSpec(kind=kind, params=params)

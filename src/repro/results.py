@@ -130,6 +130,10 @@ class RunResult:
             }
         return payload
 
+    def is_failure(self) -> bool:
+        """``True`` for captured per-spec failures (:class:`FailedResult`)."""
+        return False
+
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
         """Rebuild a result from its :meth:`to_dict` form.
@@ -140,7 +144,14 @@ class RunResult:
         ledger tree is not serialized by :meth:`to_dict` and therefore
         comes back as ``None`` — everything :meth:`result_fingerprint`
         covers round-trips exactly.
+
+        Captured failure records (payloads carrying a ``"failure"``
+        block, see :class:`FailedResult`) deserialize back into
+        ``FailedResult``, so shard result files and dead-letter entries
+        round-trip failures exactly like successes.
         """
+        if "failure" in payload and cls is RunResult:
+            return FailedResult.from_dict(payload)
         return cls(
             name=payload.get("name", ""),
             coloring={
@@ -164,3 +175,77 @@ class RunResult:
         the next — must agree byte-for-byte on this value.
         """
         return fingerprint_of(self.to_dict())
+
+
+@dataclass
+class FailedResult(RunResult):
+    """A captured per-spec failure: the executor's account of a poison spec.
+
+    Produced by the batch executor under ``on_error="capture"``
+    (:mod:`repro.api.runner`) when every attempt at a spec raised: the
+    spec's slot in the batch holds this record instead of aborting the
+    whole pool.  The serialized **failure record**
+    (:meth:`to_dict` / :meth:`result_fingerprint`) is deterministic —
+    serial and parallel executions of the same deterministic failure
+    agree byte for byte, and re-running with the same fault seed
+    reproduces it exactly.  Wall-clock and the full traceback text are
+    observational: they live on the in-memory object (and in
+    dead-letter files) but stay out of the canonical record.
+
+    Attributes
+    ----------
+    error_type:
+        Exception class name of the last attempt's failure.
+    error_message:
+        ``str()`` of that exception.
+    traceback_digest:
+        SHA-256 over the last attempt's formatted traceback (captured
+        at the execution site, so it is identical whether the spec ran
+        serially, in a pool worker, or in a cluster worker).
+    attempts:
+        How many attempts were made (1 + retries).
+    wall_clock_s:
+        Total wall-clock across all attempts (not serialized).
+    traceback_text:
+        The full formatted traceback of the last attempt (not
+        serialized into the record; dead-letter files keep a copy for
+        debugging).
+    """
+
+    error_type: str = ""
+    error_message: str = ""
+    traceback_digest: str = ""
+    attempts: int = 1
+    wall_clock_s: float | None = field(default=None, compare=False)
+    traceback_text: str | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def is_failure(self) -> bool:
+        return True
+
+    def to_dict(self, *, include_coloring: bool = True) -> dict[str, Any]:
+        """The canonical failure record (deterministic, no wall-clock)."""
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "failure": {
+                "error_type": self.error_type,
+                "error_message": self.error_message,
+                "traceback_digest": self.traceback_digest,
+                "attempts": self.attempts,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FailedResult":
+        """Rebuild a failure record from its :meth:`to_dict` form."""
+        failure = dict(payload.get("failure", {}))
+        return cls(
+            name=payload.get("name", ""),
+            fingerprint=payload.get("fingerprint", ""),
+            error_type=str(failure.get("error_type", "")),
+            error_message=str(failure.get("error_message", "")),
+            traceback_digest=str(failure.get("traceback_digest", "")),
+            attempts=int(failure.get("attempts", 1)),
+        )

@@ -1,0 +1,228 @@
+"""The chaos harness: fault specs, the injector, and the end-to-end smoke.
+
+Pins the :mod:`repro.faults` contracts:
+
+* fault descriptions are validated, normalised, fingerprinted, and
+  round-trip exactly through JSON (the worker-environment channel);
+* the injector is deterministic, scoped (install/uninstall leaves no
+  residue, even across failures), and refuses to stack;
+* torn-write injection produces exactly the artefact every reader
+  treats as absent, and recovery re-publishes;
+* the seeded chaos smoke — poison + flaky + hang specs, torn shard
+  results, killed workers, a stale lease, all at once through
+  ``run_sharded`` — terminates with exact quarantine, byte-identical
+  survivors, and serially-reproducible failure records (the PR's
+  acceptance scenario).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import FailurePolicy, InstanceSpec, RunSpec, run
+from repro.api import diskcache as diskcache_module
+from repro.api import runner as runner_module
+from repro.api.diskcache import atomic_write_json, read_json
+from repro.api.runner import clear_result_cache
+from repro.cluster.queue import ShardQueue, claim_path
+from repro.errors import FaultError, InjectedFault
+from repro.faults import (
+    ENV_VAR,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_faults,
+    apply_stale_leases,
+    chaos_smoke,
+    env_with_faults,
+    install_from_env,
+    make_fault,
+    smoke_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_seams():
+    clear_result_cache()
+    assert runner_module._FAULT_HOOK is None
+    assert diskcache_module._PUBLISH_FAULT is None
+    yield
+    runner_module._FAULT_HOOK = None
+    diskcache_module._PUBLISH_FAULT = None
+    clear_result_cache()
+
+
+def tiny_spec() -> RunSpec:
+    return RunSpec(
+        instance=InstanceSpec(family="complete_bipartite", size=3, seed=2),
+        algorithm="greedy_sequential",
+    )
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            make_fault("meteor_strike", target="*")
+
+    def test_missing_and_extra_params_rejected(self):
+        with pytest.raises(FaultError, match="requires params"):
+            make_fault("poison")
+        with pytest.raises(FaultError, match="does not take"):
+            make_fault("poison", target="*", count=2)
+
+    def test_value_validation(self):
+        with pytest.raises(FaultError):
+            make_fault("flaky", target="*", fail_attempts=0)
+        with pytest.raises(FaultError):
+            make_fault("hang", target="*", sleep_s=0)
+        with pytest.raises(FaultError):
+            make_fault("torn_write", match="", count=1)
+        with pytest.raises(FaultError):
+            make_fault("worker_kill", after_specs=-1)
+        with pytest.raises(FaultError):
+            make_fault("stale_lease", shard=-1, age_s=10)
+
+    def test_matching(self):
+        fault = make_fault("poison", target="abc")
+        assert fault.matches("abcdef")
+        assert not fault.matches("abd")
+        assert make_fault("poison", target="*").matches("anything")
+
+    def test_plan_round_trip_and_fingerprint(self):
+        plan = FaultPlan(
+            seed=7,
+            faults=(
+                make_fault("poison", target="aa"),
+                make_fault("torn_write", match="results/", count=2),
+            ),
+        )
+        loaded = FaultPlan.from_json(plan.to_json())
+        assert loaded == plan
+        assert loaded.fingerprint() == plan.fingerprint()
+        # A different seed is a different plan.
+        other = FaultPlan(seed=8, faults=plan.faults)
+        assert other.fingerprint() != plan.fingerprint()
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(FaultError):
+            FaultPlan.from_json('{"format": 99, "seed": 0, "faults": []}')
+
+
+class TestInjector:
+    def test_scoped_install_and_uninstall(self):
+        plan = FaultPlan(faults=(make_fault("poison", target="zz"),))
+        with active_faults(plan):
+            assert runner_module._FAULT_HOOK is not None
+            assert diskcache_module._PUBLISH_FAULT is not None
+        assert runner_module._FAULT_HOOK is None
+        assert diskcache_module._PUBLISH_FAULT is None
+
+    def test_uninstalls_on_exception(self):
+        plan = FaultPlan(faults=(make_fault("poison", target="zz"),))
+        with pytest.raises(RuntimeError, match="boom"):
+            with active_faults(plan):
+                raise RuntimeError("boom")
+        assert runner_module._FAULT_HOOK is None
+
+    def test_refuses_to_stack(self):
+        plan = FaultPlan(faults=(make_fault("poison", target="zz"),))
+        with active_faults(plan):
+            with pytest.raises(InjectedFault, match="already installed"):
+                FaultInjector(plan).install()
+
+    def test_poison_through_the_executor(self):
+        spec = tiny_spec()
+        plan = FaultPlan(
+            faults=(make_fault("poison", target=spec.fingerprint()),)
+        )
+        with active_faults(plan):
+            result = run(spec, cache=False, on_error="capture")
+        assert result.is_failure()
+        assert result.error_type == "InjectedFault"
+
+    def test_flaky_keys_on_runner_attempt_number(self):
+        spec = tiny_spec()
+        plan = FaultPlan(
+            faults=(
+                make_fault(
+                    "flaky", target=spec.fingerprint(), fail_attempts=1
+                ),
+            )
+        )
+        with active_faults(plan):
+            result = run(
+                spec,
+                cache=False,
+                on_error=FailurePolicy(on_error="capture", retries=1),
+            )
+        assert not result.is_failure()
+
+    def test_worker_kill_inert_outside_workers(self):
+        spec = tiny_spec()
+        plan = FaultPlan(faults=(make_fault("worker_kill", after_specs=0),))
+        with active_faults(plan):  # in_worker=False: must NOT exit
+            result = run(spec, cache=False)
+        assert not result.is_failure()
+
+    def test_torn_write_and_recovery(self, tmp_path):
+        plan = FaultPlan(
+            faults=(make_fault("torn_write", match=str(tmp_path), count=1),)
+        )
+        target = tmp_path / "victim.json"
+        with active_faults(plan):
+            atomic_write_json(target, {"key": "value"})
+            assert target.exists()
+            assert read_json(target) is None  # torn: unreadable, not absent
+            atomic_write_json(target, {"key": "value"})  # budget exhausted
+            assert read_json(target) == {"key": "value"}
+
+    def test_env_round_trip(self):
+        plan = FaultPlan(seed=3, faults=(make_fault("poison", target="ab"),))
+        env = env_with_faults(plan)
+        assert set(env) == {ENV_VAR}
+        injector = install_from_env(env)
+        try:
+            assert injector is not None
+            assert injector.in_worker
+            assert injector.plan == plan
+        finally:
+            injector.uninstall()
+        assert install_from_env({}) is None
+
+    def test_apply_stale_leases(self, tmp_path):
+        plan = FaultPlan(
+            faults=(make_fault("stale_lease", shard=1, age_s=1e6),)
+        )
+        assert apply_stale_leases(plan, tmp_path) == [1]
+        lease = read_json(claim_path(tmp_path, 1))
+        assert lease["worker"] == "chaos-ghost:0"
+        queue = ShardQueue(tmp_path, worker_id="t:1", lease_ttl=60.0)
+        assert queue.is_stale(lease)
+        assert queue.claim(1)
+
+
+class TestChaosSmoke:
+    def test_smoke_plan_is_seed_deterministic(self):
+        fingerprints = [f"{i:x}" * 16 for i in range(4)]
+        assert smoke_plan(2, fingerprints) == smoke_plan(2, fingerprints)
+        assert (
+            smoke_plan(0, fingerprints).fingerprint()
+            != smoke_plan(1, fingerprints).fingerprint()
+        )
+
+    def test_end_to_end(self):
+        # The PR's acceptance scenario: a sharded run under a seeded
+        # mixed-fault schedule (poison + hang + flaky specs, torn shard
+        # results, self-killing workers, a pre-planted stale lease)
+        # terminates, quarantines exactly the doomed specs, merges
+        # survivors byte-identical to a fault-free serial baseline, and
+        # reproduces its failure records in a serial replay.  All of
+        # those contracts are asserted inside chaos_smoke (ClusterError
+        # on any breach).
+        summary = chaos_smoke(seed=0)
+        assert summary["survivors_byte_identical"]
+        assert summary["failures_reproducible"]
+        assert len(summary["failed_slots"]) >= 2
+        assert summary["worker_kills_observed"] >= 1
