@@ -31,11 +31,15 @@ Commands
     Evict least-recently-used entries of an on-disk result cache.
 ``shard``
     The cluster layer's coordinator verbs (:mod:`repro.cluster`):
-    ``plan`` a spec batch into a sharded job directory, print a job's
-    ``status`` (done / running / stale / pending shards), ``merge`` a
-    completed job into the ordered result list; ``--smoke`` runs the
-    CI end-to-end check (plan → 2 worker subprocesses → merge →
-    byte-identical to serial ``run_many``).
+    ``plan`` a spec batch into a sharded job directory (``--shards
+    auto`` sizes the count to CPUs and batch length), print a job's
+    ``status`` (done / running / stale / pending shards, with
+    per-shard wall-clock and specs/sec), ``merge`` a completed job
+    into the ordered result list, ``retry-failed`` re-queue the job's
+    quarantined specs (``--drain`` re-runs them in-process, optionally
+    under a fresh failure policy); ``--smoke`` runs the CI end-to-end
+    check (plan → 2 worker subprocesses → merge → byte-identical to
+    serial ``run_many``).
 ``worker``
     Drain claimable shards of a job directory through the batch
     executor — run any number of these, on any machine that shares
@@ -48,10 +52,17 @@ Commands
     torn writes, killed workers, and a stale lease through
     ``run_sharded`` end-to-end and asserts the failure-domain
     contracts (CI step).
+``serve``
+    The HTTP experiment service (:mod:`repro.service`): idempotent
+    ``POST /v1/run`` (identical concurrent requests coalesce onto one
+    solve), streaming sharded jobs (``POST /v1/jobs`` + NDJSON
+    ``GET /v1/jobs/<id>/stream``), registry and health endpoints;
+    ``--smoke`` starts a server on an ephemeral port and asserts the
+    live contracts over real HTTP (CI step).
 
 ``solve``, ``race``, ``scenario``, ``info``, ``list``, ``cache-prune``,
-``shard``, ``worker``, and ``chaos`` accept ``--json`` for
-machine-readable output.
+``shard``, ``worker``, ``chaos``, and ``serve --smoke`` accept
+``--json`` for machine-readable output.
 
 Examples::
 
@@ -70,8 +81,12 @@ Examples::
     python -m repro worker jobs/sweep
     python -m repro shard status --job-dir jobs/sweep
     python -m repro shard merge --job-dir jobs/sweep --output results.json
+    python -m repro shard retry-failed --job-dir jobs/sweep --drain \\
+        --retries 2 --timeout-s 30
     python -m repro shard --smoke
     python -m repro chaos --smoke --chaos-seed 7
+    python -m repro serve --port 8000 --data-dir service-data
+    python -m repro serve --smoke
 """
 
 from __future__ import annotations
@@ -268,6 +283,39 @@ def _command_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_timing_table(status: dict) -> str:
+    """Per-shard progress rows: state, wall-clock, throughput, worker.
+
+    Timing comes from the observational sidecars workers publish next
+    to their sealed results (``job_status``'s ``timing`` map); shards
+    without one show ``-``.
+    """
+    states = {}
+    for state in ("done", "running", "stale", "pending"):
+        for shard in status[state]:
+            states[shard] = state
+    timing = status.get("timing", {})
+    rows = []
+    for shard in range(status["shards"]):
+        entry = timing.get(str(shard), {})
+        wall = entry.get("wall_clock_s")
+        if wall is None and entry.get("elapsed_s") is not None:
+            wall = entry["elapsed_s"]
+        rate = entry.get("specs_per_s")
+        rows.append(
+            [
+                f"shard-{shard:04d}",
+                states.get(shard, "?"),
+                "-" if wall is None else f"{wall:.3f}",
+                "-" if rate is None else f"{rate:.1f}",
+                entry.get("worker") or "-",
+            ]
+        )
+    return format_table(
+        ["shard", "state", "wall-clock (s)", "specs/s", "worker"], rows
+    )
+
+
 def _command_shard(args: argparse.Namespace) -> int:
     from repro.cluster import coordinator, planner
 
@@ -284,9 +332,21 @@ def _command_shard(args: argparse.Namespace) -> int:
             )
         return 0
     if args.action is None:
-        raise SystemExit("shard needs an action (plan|status|merge) or --smoke")
+        raise SystemExit(
+            "shard needs an action (plan|status|merge|retry-failed) "
+            "or --smoke"
+        )
     if args.job_dir is None:
         raise SystemExit("shard actions need --job-dir DIR")
+    if args.shards == "auto":
+        shards: int | str = "auto"
+    else:
+        try:
+            shards = int(args.shards)
+        except ValueError:
+            raise SystemExit(
+                f"--shards expects an integer or 'auto', got {args.shards!r}"
+            )
     if args.action == "plan":
         if not args.specs:
             raise SystemExit("shard plan needs --specs FILE (JSON spec list)")
@@ -297,7 +357,7 @@ def _command_shard(args: argparse.Namespace) -> int:
                 f"{args.specs} must hold a JSON list of RunSpec dicts"
             )
         specs = [RunSpec.from_dict(entry) for entry in payload]
-        plan = planner.ensure_plan(specs, args.job_dir, shards=args.shards)
+        plan = planner.ensure_plan(specs, args.job_dir, shards=shards)
         if args.json:
             _print_json(
                 {
@@ -332,6 +392,7 @@ def _command_shard(args: argparse.Namespace) -> int:
                 f"{len(status['pending'])} pending, "
                 f"{len(status['failed'])} specs quarantined"
             )
+            print(_shard_timing_table(status))
             for fingerprint, failure in status["failed"].items():
                 print(
                     f"  failed {fingerprint[:12]}: "
@@ -340,6 +401,54 @@ def _command_shard(args: argparse.Namespace) -> int:
                 )
             for event in status["worker_events"]:
                 print(f"  worker event: {event}")
+        return 0
+    if args.action == "retry-failed":
+        summary = coordinator.retry_failed(
+            args.job_dir, fingerprints=args.fingerprint or None
+        )
+        drained = None
+        if args.drain and summary["requeued"]:
+            from repro.cluster import work_loop
+
+            drained = work_loop(
+                args.job_dir,
+                lease_ttl=args.lease_ttl,
+                on_error=_failure_policy(args),
+            )
+        if args.json:
+            _print_json({**summary, "drained": drained})
+        else:
+            if not summary["requeued"]:
+                print(
+                    f"no quarantined specs to retry in {args.job_dir}"
+                    + (
+                        ""
+                        if not summary["remaining_failures"]
+                        else " (matching --fingerprint filters)"
+                    )
+                )
+            else:
+                requeued = ", ".join(f[:12] for f in summary["requeued"])
+                print(
+                    f"re-queued {len(summary['requeued'])} quarantined "
+                    f"specs ({requeued}) — reset shards "
+                    f"{summary['shards_reset']} of {args.job_dir}"
+                )
+            if drained is not None:
+                print(
+                    f"  drained in-process: {drained['specs_run']} specs "
+                    f"re-run across shards {drained['completed']}; "
+                    + (
+                        "job complete"
+                        if drained["job_complete"]
+                        else f"shards {drained['outstanding']} outstanding"
+                    )
+                )
+            elif summary["requeued"]:
+                print(
+                    "  re-run them with: python -m repro worker "
+                    f"{args.job_dir}  (or shard retry-failed --drain)"
+                )
         return 0
     # merge
     results = coordinator.merge_results(None, args.job_dir)
@@ -611,6 +720,48 @@ def _command_bench_core(args: argparse.Namespace) -> int:
     return 0 if headline["identical_results"] else 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.smoke:
+        from repro.service import smoke_check
+
+        summary = smoke_check()
+        if args.json:
+            _print_json(summary)
+        else:
+            print(
+                f"serve smoke ok at {summary['address']}: "
+                f"{summary['clients']} concurrent identical POSTs -> "
+                f"{summary['executions']} execution "
+                f"({summary['coalesced']} coalesced); sharded job "
+                f"{summary['job']}… streamed {summary['streamed']} results "
+                "byte-identical to serial run_many; "
+                f"{summary['hygiene']}"
+            )
+        return 0
+    from repro.service import ReproService, make_server
+
+    service = ReproService(
+        args.data_dir,
+        validate=not args.no_validate,
+        cache_max_entries=args.cache_max_entries,
+        max_local_workers=args.max_local_workers,
+    )
+    server = make_server(service, host=args.host, port=args.port, quiet=False)
+    host, port = server.server_address[:2]
+    print(
+        f"repro service listening on http://{host}:{port} "
+        f"(data dir {args.data_dir}); Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -687,10 +838,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     shard = commands.add_parser(
         "shard",
-        help="plan / inspect / merge a sharded multi-worker job",
+        help="plan / inspect / merge / retry a sharded multi-worker job",
     )
     shard.add_argument(
-        "action", nargs="?", choices=["plan", "status", "merge"],
+        "action", nargs="?",
+        choices=["plan", "status", "merge", "retry-failed"],
         help="coordinator verb (omit with --smoke)",
     )
     shard.add_argument(
@@ -702,17 +854,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="plan: JSON file holding a list of RunSpec dicts",
     )
     shard.add_argument(
-        "--shards", type=int, default=2,
-        help="plan: number of work units to split the batch into (default 2)",
+        "--shards", default="2",
+        help="plan: number of work units to split the batch into, or "
+             "'auto' to size from CPU count and batch length (default 2)",
     )
     shard.add_argument(
         "--lease-ttl", type=float, default=60.0,
-        help="status: seconds without a heartbeat before a lease counts "
-             "as stale (default 60)",
+        help="status / retry-failed --drain: seconds without a heartbeat "
+             "before a lease counts as stale (default 60)",
     )
     shard.add_argument(
         "--output", metavar="FILE",
         help="merge: also write the ordered result dicts to this JSON file",
+    )
+    shard.add_argument(
+        "--fingerprint", action="append", metavar="FP",
+        help="retry-failed: restrict to this quarantined spec "
+             "fingerprint (repeatable; default: all)",
+    )
+    shard.add_argument(
+        "--drain", action="store_true",
+        help="retry-failed: immediately re-run the re-queued specs "
+             "in-process (under --on-error/--retries/--backoff-s/"
+             "--timeout-s)",
+    )
+    shard.add_argument(
+        "--on-error", choices=["raise", "capture"], default="capture",
+        help="retry-failed --drain: failure policy (default: capture)",
+    )
+    shard.add_argument(
+        "--retries", type=int, default=0,
+        help="retry-failed --drain: extra attempts per failing spec "
+             "(default 0)",
+    )
+    shard.add_argument(
+        "--backoff-s", type=float, default=0.0,
+        help="retry-failed --drain: base seconds of deterministic "
+             "backoff between attempts (default 0)",
+    )
+    shard.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="retry-failed --drain: per-attempt wall-clock budget "
+             "(default: none)",
     )
     shard.add_argument(
         "--smoke", action="store_true",
@@ -819,6 +1002,44 @@ def build_parser() -> argparse.ArgumentParser:
              "file, no timing assertions, nothing written",
     )
     bench.set_defaults(handler=_command_bench_core)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the idempotent HTTP experiment service",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="port to bind, 0 for ephemeral (default 8000)",
+    )
+    serve.add_argument(
+        "--data-dir", default="service-data",
+        help="root for the result cache and job directories "
+             "(default service-data)",
+    )
+    serve.add_argument(
+        "--max-local-workers", type=int, default=2,
+        help="cap on worker subprocesses a job may request (default 2)",
+    )
+    serve.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="LRU budget for the single-run cache (default: unbounded)",
+    )
+    serve.add_argument(
+        "--no-validate", action="store_true",
+        help="skip independent validation of produced colorings",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: start an in-process server on an ephemeral port "
+             "and assert the live contracts (idempotent concurrency, "
+             "streaming byte-identity, strict 400s) over real HTTP",
+    )
+    _add_json_argument(serve)
+    serve.set_defaults(handler=_command_serve)
     return parser
 
 

@@ -49,12 +49,15 @@ whole stack end-to-end.
 """
 
 from repro.cluster.coordinator import (
+    WorkerWatch,
     job_status,
     load_shard_results,
     load_worker_events,
     merge_results,
     record_worker_events,
+    retry_failed,
     run_sharded,
+    run_sharded_iter,
     smoke_check,
     spawn_local_worker,
     wait_for_workers,
@@ -65,6 +68,7 @@ from repro.cluster.planner import (
     load_plan,
     load_task,
     plan_shards,
+    resolve_shards,
     write_plan,
 )
 from repro.cluster.queue import DEFAULT_LEASE_TTL, ShardQueue, default_worker_id
@@ -73,8 +77,10 @@ from repro.cluster.worker import (
     dead_letter_path,
     load_dead_letter,
     load_dead_letters,
+    load_shard_timing,
     publish_shard_result,
     quarantine_failure,
+    timing_path,
     work_loop,
 )
 
@@ -82,6 +88,7 @@ __all__ = [
     "DEFAULT_LEASE_TTL",
     "ShardPlan",
     "ShardQueue",
+    "WorkerWatch",
     "cache_dir_of",
     "dead_letter_path",
     "default_worker_id",
@@ -91,6 +98,7 @@ __all__ = [
     "load_dead_letters",
     "load_plan",
     "load_shard_results",
+    "load_shard_timing",
     "load_task",
     "load_worker_events",
     "merge_results",
@@ -98,9 +106,13 @@ __all__ = [
     "publish_shard_result",
     "quarantine_failure",
     "record_worker_events",
+    "resolve_shards",
+    "retry_failed",
     "run_sharded",
+    "run_sharded_iter",
     "smoke_check",
     "spawn_local_worker",
+    "timing_path",
     "wait_for_workers",
     "work_loop",
 ]

@@ -48,7 +48,7 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.api.diskcache import atomic_write_json, read_json
 from repro.api.failures import FailurePolicy, resolve_policy
@@ -60,7 +60,13 @@ from repro.cluster.queue import (
     claim_path,
     result_path,
 )
-from repro.cluster.worker import load_dead_letters, work_loop
+from repro.cluster.worker import (
+    dead_letter_path,
+    load_dead_letters,
+    load_shard_timing,
+    timing_path,
+    work_loop,
+)
 from repro.errors import ClusterError
 from repro.results import RunResult, fingerprint_of
 
@@ -205,6 +211,14 @@ def job_status(
     and attempt count, from the ``failed/`` dead-letter store) and
     ``worker_events`` (hung-worker escalations and non-zero worker
     exits recorded by the coordinator).
+
+    ``timing`` maps each shard (as a string key — the snapshot is
+    JSON-safe) to its wall-clock account: completed shards report the
+    sidecar written by :func:`repro.cluster.worker.run_shard`
+    (``wall_clock_s``, ``specs_total``, ``specs_executed``, derived
+    ``specs_per_s``, publishing ``worker``), running shards report
+    ``elapsed_s`` since their lease was claimed.  Timing is
+    observational: a missing or foreign sidecar simply has no entry.
     """
     plan = load_plan(job_dir)
     queue = ShardQueue(job_dir, lease_ttl=lease_ttl, clock=clock)
@@ -215,6 +229,40 @@ def job_status(
     status["specs_done"] = sum(
         len(plan.assignment[shard]) for shard in status["done"]
     )
+    now = clock()
+    timing: dict[str, dict[str, Any]] = {}
+    for shard in status["done"]:
+        sidecar = load_shard_timing(
+            job_dir, shard, plan_fingerprint=status["plan_fingerprint"]
+        )
+        if sidecar is None:
+            continue
+        wall = float(sidecar["wall_clock_s"])
+        executed = sidecar.get("specs_executed")
+        entry: dict[str, Any] = {
+            "state": "done",
+            "wall_clock_s": wall,
+            "specs_total": sidecar.get("specs_total"),
+            "specs_executed": executed,
+            "worker": sidecar.get("worker"),
+            "specs_per_s": None,
+        }
+        if isinstance(executed, int) and executed > 0 and wall > 0:
+            entry["specs_per_s"] = round(executed / wall, 3)
+        timing[str(shard)] = entry
+    for shard in status["running"]:
+        lease = queue.lease_of(shard)
+        claimed = (lease or {}).get("claimed_at")
+        timing[str(shard)] = {
+            "state": "running",
+            "elapsed_s": (
+                round(now - claimed, 3)
+                if isinstance(claimed, (int, float))
+                else None
+            ),
+            "specs_total": len(plan.assignment[shard]),
+        }
+    status["timing"] = timing
     letters = load_dead_letters(
         job_dir, plan_fingerprint=plan.plan_fingerprint()
     )
@@ -296,6 +344,140 @@ def _escalate(proc: subprocess.Popen) -> str:
         return "killed"
 
 
+class WorkerWatch:
+    """Bounded-patience supervision of worker subprocesses.
+
+    A healthy worker shows signs of life: it heartbeats its shard
+    lease after every spec (the lease's ``worker`` id ends with its
+    pid), and eventually exits.  A worker that does neither for
+    ``grace_s`` seconds (default ``max(2 * lease_ttl, 10)``) is
+    **wedged** — hung in a spec with no deadline, or stuck before its
+    first claim — and is escalated: ``terminate()``, then ``kill()``
+    after :data:`TERMINATE_GRACE_S`.  Its shard (if any) is recovered
+    by the ordinary stale-lease protocol.
+
+    The watch accumulates events (hung-worker escalations, non-zero
+    exits) in ``events``; callers persist them via
+    :func:`record_worker_events`.  :meth:`poll` is one supervision
+    tick, cheap enough to interleave with other work — this is how
+    :func:`run_sharded_iter` supervises its workers *while* draining
+    and streaming results instead of blocking on them first.
+    :meth:`drain` loops poll-and-sleep until every worker is reaped
+    (the classic :func:`wait_for_workers` behaviour); :meth:`shutdown`
+    escalates whatever still runs, for callers abandoning the job
+    early (a closed result stream must not leak subprocesses).
+
+    This is the liveness guarantee ``run_sharded`` builds on: the
+    coordinator can always outwait its own workers, so a submitted
+    batch always terminates with an account of every spec.
+    """
+
+    def __init__(
+        self,
+        procs: Sequence[subprocess.Popen],
+        job_dir: str | Path,
+        *,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        grace_s: float | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.lease_ttl = lease_ttl
+        self.grace_s = grace_s if grace_s is not None else max(2 * lease_ttl, 10.0)
+        self.events: list[dict[str, Any]] = []
+        self._clock = clock
+        self._waiting = {index: proc for index, proc in enumerate(procs)}
+        self._last_alive = {index: clock() for index in self._waiting}
+        self._claims_dir = claim_path(job_dir, 0).parent
+
+    @property
+    def waiting(self) -> int:
+        """Workers not yet reaped."""
+        return len(self._waiting)
+
+    def _live_pids(self, now: float) -> set[int]:
+        """Pids with a fresh lease heartbeat (worker ids end in pid)."""
+        live: set[int] = set()
+        if self._claims_dir.is_dir():
+            for path in self._claims_dir.glob("*.json"):
+                lease = read_json(path)
+                if not isinstance(lease, dict):
+                    continue
+                heartbeat = lease.get("heartbeat_at")
+                worker = lease.get("worker", "")
+                if (
+                    isinstance(heartbeat, (int, float))
+                    and now - heartbeat <= self.lease_ttl
+                    and isinstance(worker, str)
+                ):
+                    _, _, pid_text = worker.rpartition(":")
+                    if pid_text.isdigit():
+                        live.add(int(pid_text))
+        return live
+
+    def poll(self) -> None:
+        """One supervision tick: reap exits, escalate the lifeless."""
+        for index, proc in list(self._waiting.items()):
+            if proc.poll() is None:
+                continue
+            if proc.returncode != 0:
+                self.events.append(
+                    {
+                        "event": "worker_exit_nonzero",
+                        "pid": proc.pid,
+                        "returncode": proc.returncode,
+                    }
+                )
+            del self._waiting[index]
+        if not self._waiting:
+            return
+        now = self._clock()
+        live_pids = self._live_pids(now)
+        for index, proc in list(self._waiting.items()):
+            if proc.pid in live_pids:
+                self._last_alive[index] = now
+            elif now - self._last_alive[index] > self.grace_s:
+                action = _escalate(proc)
+                self.events.append(
+                    {
+                        "event": "worker_hung",
+                        "pid": proc.pid,
+                        "action": action,
+                        "waited_s": round(now - self._last_alive[index], 3),
+                    }
+                )
+                del self._waiting[index]
+
+    def drain(self, poll_s: float = 0.1) -> list[dict[str, Any]]:
+        """Poll until every worker is reaped; returns the event list."""
+        while self._waiting:
+            self.poll()
+            if self._waiting:
+                time.sleep(poll_s)
+        return self.events
+
+    def shutdown(self) -> list[dict[str, Any]]:
+        """Escalate every still-running worker now; returns the events.
+
+        For abandoning a job early (e.g. a consumer closed the result
+        stream mid-job): clean exits are reaped as usual, everything
+        else is terminated → killed and recorded as ``worker_stopped``.
+        The job directory stays resumable — published shards survive,
+        interrupted leases go stale and are reclaimed on the next run.
+        """
+        self.poll()
+        for index, proc in list(self._waiting.items()):
+            action = _escalate(proc)
+            self.events.append(
+                {
+                    "event": "worker_stopped",
+                    "pid": proc.pid,
+                    "action": action,
+                }
+            )
+            del self._waiting[index]
+        return self.events
+
+
 def wait_for_workers(
     procs: Sequence[subprocess.Popen],
     job_dir: str | Path,
@@ -305,85 +487,154 @@ def wait_for_workers(
     poll_s: float = 0.1,
     clock: Callable[[], float] = time.time,
 ) -> list[dict[str, Any]]:
-    """Wait for worker subprocesses with bounded patience; reap the wedged.
+    """Block until every worker exits or is reaped; returns the events.
 
-    A healthy worker shows signs of life: it heartbeats its shard
-    lease after every spec (the lease's ``worker`` id ends with its
-    pid), and eventually exits.  A worker that does neither for
-    ``grace_s`` seconds (default ``max(2 * lease_ttl, 10)``) is
-    **wedged** — hung in a spec with no deadline, or stuck before its
-    first claim — and is escalated: ``terminate()``, then ``kill()``
-    after :data:`TERMINATE_GRACE_S`.  Its shard (if any) is recovered
-    by the ordinary stale-lease protocol.  Returns the event list
-    (hung-worker escalations and non-zero exits), which callers
-    persist via :func:`record_worker_events`.
-
-    This is the liveness guarantee ``run_sharded`` builds on: the
-    coordinator can always outwait its own workers, so a submitted
-    batch always terminates with an account of every spec.
+    The one-shot form of :class:`WorkerWatch` (see there for the
+    liveness semantics): construct a watch over ``procs`` and drain it.
     """
-    if grace_s is None:
-        grace_s = max(2 * lease_ttl, 10.0)
-    events: list[dict[str, Any]] = []
-    waiting = {index: proc for index, proc in enumerate(procs)}
-    last_alive = {index: clock() for index in waiting}
-    claims_dir = claim_path(job_dir, 0).parent
-    while waiting:
-        for index, proc in list(waiting.items()):
-            if proc.poll() is None:
-                continue
-            if proc.returncode != 0:
-                events.append(
-                    {
-                        "event": "worker_exit_nonzero",
-                        "pid": proc.pid,
-                        "returncode": proc.returncode,
-                    }
-                )
-            del waiting[index]
-        if not waiting:
-            break
-        now = clock()
-        live_pids: set[int] = set()
-        if claims_dir.is_dir():
-            for path in claims_dir.glob("*.json"):
-                lease = read_json(path)
-                if not isinstance(lease, dict):
+    watch = WorkerWatch(
+        procs, job_dir, lease_ttl=lease_ttl, grace_s=grace_s, clock=clock
+    )
+    return watch.drain(poll_s)
+
+
+def run_sharded_iter(
+    specs: Sequence[RunSpec],
+    job_dir: str | Path,
+    *,
+    shards: int | str = 2,
+    local_workers: int = 0,
+    validate: bool = True,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    clock: Callable[[], float] = time.time,
+    on_error: str | FailurePolicy = "capture",
+    worker_grace_s: float | None = None,
+    worker_env: Mapping[str, str] | None = None,
+) -> Iterator[tuple[int, RunResult]]:
+    """Execute a batch shard-wise, yielding ``(index, result)`` pairs
+    **as shard result files seal** instead of buffering the whole job.
+
+    The streaming twin of :func:`run_sharded` (which is now built on
+    it), with the merge discipline preserved pair-wise: every batch
+    index is yielded exactly once; the first batch occurrence of a
+    fingerprint carries the loaded result object and every later
+    occurrence an independent deep copy; collecting the pairs into a
+    list by index reproduces ``run_sharded`` — and therefore serial
+    :func:`repro.api.run_many` — byte for byte.  Pairs arrive grouped
+    by shard in shard-seal order, *not* in batch order: consumers that
+    need batch order (the service's ``/stream`` endpoint) reorder by
+    index.
+
+    Worker subprocesses are supervised *concurrently* with the result
+    scan (one :meth:`WorkerWatch.poll` per tick), so sealed shards
+    stream out the moment a worker publishes them rather than after
+    the last worker exits.  The in-process drain keeps the old
+    division of labor: it claims shards only once every spawned worker
+    has been reaped — the coordinator never competes with its own live
+    workers for work, it only finishes what they leave behind.
+    Closing the generator early stops the spawned workers (terminate →
+    kill, recorded in ``events.json``) but keeps the job directory
+    resumable: published shards survive, interrupted leases go stale
+    and are reclaimed by the next run.
+
+    Parameters are those of :func:`run_sharded`.
+    """
+    plan = ensure_plan(specs, job_dir, shards=shards)
+    plan_fingerprint = plan.plan_fingerprint()
+    procs = [
+        spawn_local_worker(
+            job_dir,
+            lease_ttl=lease_ttl,
+            validate=validate,
+            on_error=on_error,
+            extra_env=worker_env,
+        )
+        for _ in range(max(0, local_workers))
+    ]
+    watch = (
+        WorkerWatch(
+            procs,
+            job_dir,
+            lease_ttl=lease_ttl,
+            grace_s=worker_grace_s,
+            clock=clock,
+        )
+        if procs
+        else None
+    )
+    indices_of: dict[str, list[int]] = {}
+    for index, fingerprint in enumerate(plan.fingerprints):
+        indices_of.setdefault(fingerprint, []).append(index)
+    emitted: set[int] = set()
+    verified: set[int] = set()
+    complete = False
+    try:
+        while len(emitted) < plan.shards:
+            progressed = False
+            for shard in range(plan.shards):
+                if shard in emitted or not result_path(job_dir, shard).exists():
                     continue
-                heartbeat = lease.get("heartbeat_at")
-                worker = lease.get("worker", "")
-                if (
-                    isinstance(heartbeat, (int, float))
-                    and now - heartbeat <= lease_ttl
-                    and isinstance(worker, str)
-                ):
-                    _, _, pid_text = worker.rpartition(":")
-                    if pid_text.isdigit():
-                        live_pids.add(int(pid_text))
-        for index, proc in list(waiting.items()):
-            if proc.pid in live_pids:
-                last_alive[index] = now
-            elif now - last_alive[index] > grace_s:
-                action = _escalate(proc)
-                events.append(
-                    {
-                        "event": "worker_hung",
-                        "pid": proc.pid,
-                        "action": action,
-                        "waited_s": round(now - last_alive[index], 3),
-                    }
+                loaded = load_shard_results(
+                    job_dir, shard, plan_fingerprint=plan_fingerprint
                 )
-                del waiting[index]
-        if waiting:
-            time.sleep(poll_s)
-    return events
+                if loaded is None:
+                    continue
+                absent = [f for f in plan.assignment[shard] if f not in loaded]
+                if absent:
+                    raise ClusterError(
+                        f"shard {shard} result file lacks fingerprints "
+                        f"{[f[:12] for f in absent]}; the shard was "
+                        "published against a different task — re-plan the "
+                        "job"
+                    )
+                emitted.add(shard)
+                progressed = True
+                for fingerprint in plan.assignment[shard]:
+                    result = loaded[fingerprint]
+                    first, *rest = indices_of[fingerprint]
+                    yield first, result
+                    for index in rest:
+                        yield index, copy.deepcopy(result)
+            if len(emitted) == plan.shards:
+                break
+            if watch is not None:
+                watch.poll()
+            if watch is not None and watch.waiting:
+                # Workers still run: just watch for their next sealed
+                # shard (claiming here would race our own workers for
+                # their work).
+                if not progressed:
+                    time.sleep(0.1)
+                continue
+            # Every spawned worker is gone (or none were spawned):
+            # drain what remains in-process, one shard per tick so
+            # freshly sealed results stream out between executions.
+            # Live foreign leases are waited out (they finish or go
+            # stale and get reclaimed); the ``verified`` set keeps the
+            # polling from re-parsing completed shards every tick.
+            summary = work_loop(
+                job_dir,
+                lease_ttl=lease_ttl,
+                clock=clock,
+                validate=validate,
+                max_shards=1,
+                verified=verified,
+                on_error=on_error,
+            )
+            if not progressed and not summary["completed"]:
+                time.sleep(min(1.0, max(0.05, lease_ttl / 20)))
+        complete = True
+    finally:
+        if watch is not None:
+            events = watch.drain() if complete else watch.shutdown()
+            record_worker_events(job_dir, events)
 
 
 def run_sharded(
     specs: Sequence[RunSpec],
     job_dir: str | Path,
     *,
-    shards: int = 2,
+    shards: int | str = 2,
     local_workers: int = 0,
     validate: bool = True,
     lease_ttl: float = DEFAULT_LEASE_TTL,
@@ -393,6 +644,10 @@ def run_sharded(
     worker_env: Mapping[str, str] | None = None,
 ) -> list[RunResult]:
     """Execute a spec batch shard-wise; returns the ``run_many`` list.
+
+    Built on :func:`run_sharded_iter` exactly as ``run_many`` is built
+    on ``run_many_iter``: drain the stream fully, lay the pairs out by
+    batch index.
 
     Parameters
     ----------
@@ -404,11 +659,14 @@ def run_sharded(
         machines) coordinate through.
     shards:
         Work units to split the batch into (fresh plans only).
+        ``"auto"`` sizes the count to CPU count and batch length (see
+        :func:`repro.cluster.planner.resolve_shards`); the resolved
+        integer is recorded in the plan manifest.
     local_workers:
         Worker subprocesses to spawn on this machine.  ``0`` (default)
         runs everything in-process.  Whatever the subprocess workers
         leave unfinished — all of it, if they are killed or reaped as
-        hung — the coordinator drains in-process afterwards, so
+        hung — the coordinator drains in-process concurrently, so
         ``run_sharded`` returns only with the complete, merged result
         list.
     on_error:
@@ -418,50 +676,77 @@ def run_sharded(
     worker_grace_s:
         Seconds a worker subprocess may show no lease heartbeat before
         the coordinator escalates terminate → kill (``None`` =
-        ``max(2 * lease_ttl, 10)``; see :func:`wait_for_workers`).
+        ``max(2 * lease_ttl, 10)``; see :class:`WorkerWatch`).
     worker_env:
         Extra environment variables for spawned workers (the chaos
         harness ships fault plans this way).
     validate / lease_ttl / clock:
         As for the worker loop.
     """
-    plan = ensure_plan(specs, job_dir, shards=shards)
-    procs = [
-        spawn_local_worker(
-            job_dir,
-            lease_ttl=lease_ttl,
-            validate=validate,
-            on_error=on_error,
-            extra_env=worker_env,
-        )
-        for _ in range(max(0, local_workers))
-    ]
-    if procs:
-        events = wait_for_workers(
-            procs,
-            job_dir,
-            lease_ttl=lease_ttl,
-            grace_s=worker_grace_s,
-        )
-        record_worker_events(job_dir, events)
-    # Drain every remaining shard in-process.  Live foreign leases are
-    # waited out (they either finish or go stale and get reclaimed);
-    # the shared ``verified`` set keeps the polling from re-parsing
-    # every completed shard's result file on each tick.
-    verified: set[int] = set()
-    while True:
-        summary = work_loop(
-            job_dir,
-            lease_ttl=lease_ttl,
-            clock=clock,
-            validate=validate,
-            verified=verified,
-            on_error=on_error,
-        )
-        if summary["job_complete"]:
-            break
-        time.sleep(min(1.0, max(0.05, lease_ttl / 20)))
-    return _merge_with_plan(plan, job_dir)
+    results: dict[int, RunResult] = {}
+    for index, result in run_sharded_iter(
+        specs,
+        job_dir,
+        shards=shards,
+        local_workers=local_workers,
+        validate=validate,
+        lease_ttl=lease_ttl,
+        clock=clock,
+        on_error=on_error,
+        worker_grace_s=worker_grace_s,
+        worker_env=worker_env,
+    ):
+        results[index] = result
+    return [results[index] for index in range(len(results))]
+
+
+def retry_failed(
+    job_dir: str | Path,
+    *,
+    fingerprints: Sequence[str] | None = None,
+) -> dict[str, Any]:
+    """Re-queue a job's dead-lettered specs; returns a JSON-safe summary.
+
+    Failure records are deliberately durable — a resumed job *reuses*
+    dead letters instead of re-looping poison specs.  ``retry_failed``
+    is the explicit override for when the world changed (a bug fixed,
+    a timeout raised): it removes the quarantined specs' sealed
+    dead-letter files and the published result files of exactly the
+    shards that contained them, so the next drain — ``run_sharded``
+    with the original batch, ``repro shard retry-failed --drain``, or
+    any worker — re-executes *only* the quarantined fingerprints: the
+    shard's surviving specs replay from the job cache.  Optionally pass
+    a fresh :class:`~repro.api.failures.FailurePolicy` to that drain
+    (the CLI's ``--retries`` / ``--timeout-s`` / ``--backoff-s``).
+
+    ``fingerprints`` restricts the retry to a subset of the quarantined
+    fingerprints (unknown ones are ignored); the default retries all.
+    """
+    plan = load_plan(job_dir)
+    plan_fingerprint = plan.plan_fingerprint()
+    letters = load_dead_letters(job_dir, plan_fingerprint=plan_fingerprint)
+    if fingerprints is None:
+        selected = set(letters)
+    else:
+        selected = set(letters) & set(fingerprints)
+    shards_reset = sorted({plan.shard_of(f) for f in selected})
+    for fingerprint in sorted(selected):
+        try:
+            dead_letter_path(job_dir, fingerprint).unlink()
+        except OSError:
+            pass
+    for shard in shards_reset:
+        for path in (result_path(job_dir, shard), timing_path(job_dir, shard)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    return {
+        "plan_fingerprint": plan_fingerprint,
+        "requeued": sorted(selected),
+        "shards_reset": shards_reset,
+        "remaining_failures": sorted(set(letters) - selected),
+    }
 
 
 def smoke_check() -> dict[str, Any]:

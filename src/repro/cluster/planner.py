@@ -31,6 +31,7 @@ is rejected (:class:`~repro.errors.ClusterError`), never half-trusted.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -115,20 +116,46 @@ class ShardPlan:
         }
 
 
-def plan_shards(specs: Sequence[RunSpec], *, shards: int = 2) -> ShardPlan:
+def resolve_shards(
+    shards: int | str, distinct_specs: int, *, cpu_count: int | None = None
+) -> int:
+    """Resolve a shard-count request — ``"auto"`` or an int — to an int.
+
+    ``"auto"`` sizes the partition to the machine and the batch:
+    ``min(distinct fingerprints, CPU count)``, never below 1.  More
+    shards than distinct specs would only mint empty work units; more
+    shards than cores buys no local parallelism.  The resolved integer
+    is what lands in the plan manifest, so a job planned with ``"auto"``
+    has a concrete, reproducible shard count on disk — re-attaching
+    from a machine with a different core count adopts the recorded
+    plan rather than re-resolving.
+    """
+    if shards == "auto":
+        cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 2)
+        return max(1, min(distinct_specs, cpus))
+    if isinstance(shards, str):
+        raise ClusterError(f"shards must be an integer or 'auto', got {shards!r}")
+    return int(shards)
+
+
+def plan_shards(specs: Sequence[RunSpec], *, shards: int | str = 2) -> ShardPlan:
     """Partition a spec batch into ``shards`` deterministic work units.
 
-    Pure: no filesystem, no randomness.  Distinct fingerprints land on
-    ``int(fingerprint, 16) % shards``, so the partition is stable
-    across processes, machines, and sessions, and is balanced in
-    expectation (fingerprints are SHA-256 digests — uniform).
+    Pure given a shard count: no filesystem, no randomness.  Distinct
+    fingerprints land on ``int(fingerprint, 16) % shards``, so the
+    partition is stable across processes, machines, and sessions, and
+    is balanced in expectation (fingerprints are SHA-256 digests —
+    uniform).  ``shards="auto"`` consults :func:`os.cpu_count` (see
+    :func:`resolve_shards`); the resolved integer is recorded in the
+    plan, so the manifest stays machine-independent.
     """
-    if shards < 1:
-        raise ClusterError(f"shards must be >= 1, got {shards}")
     ordered = tuple(specs)
     if not ordered:
         raise ClusterError("cannot plan an empty spec batch")
     fingerprints = tuple(spec.fingerprint() for spec in ordered)
+    shards = resolve_shards(shards, len(set(fingerprints)))
+    if shards < 1:
+        raise ClusterError(f"shards must be >= 1, got {shards}")
     groups: list[list[str]] = [[] for _ in range(shards)]
     for fingerprint in sorted(set(fingerprints)):
         groups[int(fingerprint, 16) % shards].append(fingerprint)
@@ -219,7 +246,7 @@ def load_task(job_dir: str | Path, shard: int) -> dict:
 
 
 def ensure_plan(
-    specs: Sequence[RunSpec], job_dir: str | Path, *, shards: int = 2
+    specs: Sequence[RunSpec], job_dir: str | Path, *, shards: int | str = 2
 ) -> ShardPlan:
     """Plan into ``job_dir``, or verify and adopt the plan already there.
 

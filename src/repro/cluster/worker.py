@@ -67,10 +67,78 @@ FAILED_SUBDIR = "failed"
 #: Dead-letter file format version.
 DEAD_LETTER_FORMAT = 1
 
+#: Subdirectory holding per-shard timing sidecars (observational;
+#: deliberately *outside* the sealed result files so wall-clock noise
+#: can never perturb the byte-identical merge contract).
+TIMING_SUBDIR = "timings"
+
 
 def cache_dir_of(job_dir: str | Path) -> Path:
     """The job's shared per-spec result cache (intra-shard resume)."""
     return Path(job_dir) / CACHE_SUBDIR
+
+
+def timing_path(job_dir: str | Path, shard: int) -> Path:
+    """The observational timing sidecar of one shard."""
+    return Path(job_dir) / TIMING_SUBDIR / f"{shard_name(shard)}.json"
+
+
+def record_shard_timing(
+    job_dir: str | Path,
+    shard: int,
+    *,
+    plan_fingerprint: str,
+    worker: str,
+    started_at: float,
+    wall_clock_s: float,
+    specs_total: int,
+    specs_executed: int,
+) -> None:
+    """Best-effort publish of one shard's wall-clock accounting.
+
+    Timing is observational by design: it lives next to — never inside
+    — the sealed result file, carries no seal, and a failed write is
+    swallowed.  ``specs_executed`` counts specs this run actually
+    drained through the executor (cache replays and reused dead
+    letters are part of ``specs_total`` but not of ``specs_executed``),
+    so throughput numbers describe real work, not replay speed.
+    """
+    payload = {
+        "format": PLAN_FORMAT,
+        "shard": shard,
+        "plan_fingerprint": plan_fingerprint,
+        "worker": worker,
+        "started_at": round(started_at, 6),
+        "wall_clock_s": round(wall_clock_s, 6),
+        "specs_total": specs_total,
+        "specs_executed": specs_executed,
+    }
+    try:
+        atomic_write_json(timing_path(job_dir, shard), payload)
+    except OSError:
+        pass
+
+
+def load_shard_timing(
+    job_dir: str | Path, shard: int, *, plan_fingerprint: str
+) -> dict[str, Any] | None:
+    """Load one shard's timing sidecar, or ``None`` if absent/foreign.
+
+    A sidecar from a different plan (the directory was re-planned) or
+    with garbage fields is ignored — timing must never make ``status``
+    lie, only stay silent.
+    """
+    payload = read_json(timing_path(job_dir, shard))
+    if (
+        not isinstance(payload, dict)
+        or payload.get("shard") != shard
+        or payload.get("plan_fingerprint") != plan_fingerprint
+    ):
+        return None
+    wall = payload.get("wall_clock_s")
+    if not isinstance(wall, (int, float)) or wall < 0:
+        return None
+    return payload
 
 
 def dead_letter_path(job_dir: str | Path, fingerprint: str) -> Path:
@@ -193,6 +261,7 @@ def run_shard(
     out and recorded in the shard's result file alongside successes.
     """
     policy = resolve_policy(on_error)
+    started_at = time.time()
     specs = load_task(job_dir, shard)
     ordered = list(specs.items())
     results: dict[str, dict] = {}
@@ -223,6 +292,16 @@ def run_shard(
             if not queue.heartbeat(shard):
                 return None
     publish_shard_result(job_dir, shard, plan_fingerprint, results)
+    record_shard_timing(
+        job_dir,
+        shard,
+        plan_fingerprint=plan_fingerprint,
+        worker=queue.worker_id,
+        started_at=started_at,
+        wall_clock_s=time.time() - started_at,
+        specs_total=len(ordered),
+        specs_executed=executed,
+    )
     queue.release(shard)
     return executed
 

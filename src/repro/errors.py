@@ -140,3 +140,15 @@ class FaultError(ReproError, ValueError):
     Examples: an unknown fault kind, a fault parameter outside its
     range, or a fault plan payload that fails to deserialize.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The experiment service breached one of its contracts.
+
+    Raised by the service smoke (``python -m repro serve --smoke``)
+    when a live check fails — e.g. concurrent identical ``POST
+    /v1/run`` requests did not coalesce onto exactly one solve, or a
+    streamed job result is not byte-identical to serial ``run_many``.
+    Client-visible request errors are *not* exceptions: the HTTP layer
+    reports them as 4xx JSON bodies.
+    """

@@ -1,0 +1,307 @@
+"""The stdlib HTTP layer: routing, strict deserialization, streaming.
+
+A thin, dependency-free transport over :class:`~repro.service.app.
+ReproService` built on :class:`http.server.ThreadingHTTPServer` — one
+daemon thread per connection, which is exactly what the coalescing
+discipline needs (followers *block* on the leader's event; threads make
+that free) and what streaming needs (a reader parked on a job's
+condition variable costs one thread, not a poll loop).
+
+Routes (all JSON in, JSON out)::
+
+    POST /v1/run                 one spec -> fingerprinted result
+    POST /v1/jobs                spec batch -> job id (idempotent)
+    GET  /v1/jobs/<id>           progress + cluster status
+    GET  /v1/jobs/<id>/stream    NDJSON of {index, result}, batch order
+    GET  /v1/registry            families / algorithms / policies / models
+    GET  /v1/healthz             liveness + load sketch
+
+Contract details the tests pin:
+
+* Strict deserialization — a spec payload with unknown fields is a
+  **400** whose body names the offending fields
+  (:class:`~repro.errors.SpecFormatError` text), never a silent drop.
+* The spec (or plan) fingerprint is echoed in the
+  ``X-Repro-Fingerprint`` response header.
+* Poison specs are *answers*, not errors: captured failures return 200
+  with ``failed: true`` and the serialized
+  :class:`~repro.results.FailedResult` in ``result``.
+* The stream endpoint speaks HTTP/1.0 with ``Connection: close`` and
+  no Content-Length: each line is flushed as its slot fills, and EOF
+  marks the end of the batch — readable with nothing but ``urllib``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.api.spec import RunSpec
+from repro.errors import ReproError
+from repro.service.app import ReproService, registry_payload
+
+_JOB_ROUTE = re.compile(r"^/v1/jobs/(?P<job>[0-9a-f]{64})(?P<stream>/stream)?$")
+
+
+class _HttpError(Exception):
+    """A client-visible error: status code + JSON body."""
+
+    def __init__(self, status: int, kind: str, message: str, **extra: Any):
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": kind, "message": message, **extra}
+
+
+def _parse_spec(payload: Any, *, where: str) -> RunSpec:
+    """Deserialize one RunSpec dict strictly; 400 on anything off.
+
+    :class:`~repro.errors.SpecFormatError` (unknown fields) and every
+    other spec-construction failure — missing keys, wrong types, bad
+    parameter values — map to 400 with the library's own message, which
+    names the offending field.
+    """
+    if not isinstance(payload, dict):
+        raise _HttpError(
+            400,
+            "spec_format",
+            f"{where} must be a RunSpec JSON object, got "
+            f"{type(payload).__name__}",
+        )
+    try:
+        return RunSpec.from_dict(payload)
+    except (ReproError, ValueError, KeyError, TypeError) as exc:
+        raise _HttpError(
+            400, "spec_format", f"{where}: {exc}"
+        ) from exc
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests to the bound :class:`ReproService`.
+
+    Subclasses are minted per server by :func:`make_server` with the
+    ``service`` class attribute bound; ``protocol_version`` stays at
+    HTTP/1.0 so streamed responses are delimited by connection close
+    (no chunked encoding to hand-roll, every stdlib client can read
+    it).
+    """
+
+    service: ReproService
+    quiet = True
+    protocol_version = "HTTP/1.0"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True, default=repr).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length_text = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(
+                400, "bad_request", f"unreadable Content-Length {length_text!r}"
+            )
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw:
+            raise _HttpError(400, "bad_request", "empty request body")
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise _HttpError(400, "bad_json", f"request body is not JSON: {exc}")
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler convention)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        try:
+            if method == "GET" and path == "/v1/healthz":
+                self._send_json(200, self.service.health())
+            elif method == "GET" and path == "/v1/registry":
+                self._send_json(200, registry_payload())
+            elif method == "POST" and path == "/v1/run":
+                self._handle_run()
+            elif method == "POST" and path == "/v1/jobs":
+                self._handle_submit()
+            elif method == "GET" and (match := _JOB_ROUTE.match(path)):
+                if match.group("stream"):
+                    self._handle_stream(match.group("job"))
+                else:
+                    self._handle_job_status(match.group("job"))
+            else:
+                raise _HttpError(
+                    404, "not_found", f"no route for {method} {path}"
+                )
+        except _HttpError as err:
+            self._send_json(err.status, err.payload)
+        except (BrokenPipeError, ConnectionError):
+            pass  # client went away mid-response; nothing to tell it
+        except Exception as exc:  # noqa: BLE001 — the 500 boundary
+            try:
+                self._send_json(
+                    500,
+                    {
+                        "error": "internal",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+            except (BrokenPipeError, ConnectionError):
+                pass
+
+    # -- endpoints --------------------------------------------------------
+
+    def _handle_run(self) -> None:
+        spec = _parse_spec(self._read_json(), where="request body")
+        try:
+            fingerprint, result, source = self.service.run_one(spec)
+        except OSError as exc:
+            # A path-based instance whose edge-list file is unreadable
+            # fails at fingerprint time — the request's fault, not ours.
+            raise _HttpError(400, "bad_instance", str(exc)) from exc
+        self._send_json(
+            200,
+            {
+                "fingerprint": fingerprint,
+                "source": source,
+                "failed": result.is_failure(),
+                "result": result.to_dict(),
+            },
+            headers={"X-Repro-Fingerprint": fingerprint},
+        )
+
+    def _handle_submit(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("specs"), list
+        ):
+            raise _HttpError(
+                400,
+                "bad_request",
+                'POST /v1/jobs expects {"specs": [RunSpec, ...], '
+                '"shards"?: int|"auto", "local_workers"?: int}',
+            )
+        specs = [
+            _parse_spec(entry, where=f"specs[{index}]")
+            for index, entry in enumerate(payload["specs"])
+        ]
+        if not specs:
+            raise _HttpError(400, "bad_request", "specs must be non-empty")
+        shards = payload.get("shards")
+        if shards is not None and shards != "auto" and not isinstance(shards, int):
+            raise _HttpError(
+                400, "bad_request", f'shards must be an int or "auto", got {shards!r}'
+            )
+        local_workers = payload.get("local_workers", 0)
+        if not isinstance(local_workers, int) or local_workers < 0:
+            raise _HttpError(
+                400,
+                "bad_request",
+                f"local_workers must be a non-negative int, got {local_workers!r}",
+            )
+        try:
+            job, created = self.service.submit_job(
+                specs, shards=shards, local_workers=local_workers
+            )
+        except (ReproError, OSError) as exc:
+            raise _HttpError(400, "bad_request", str(exc)) from exc
+        self._send_json(
+            201 if created else 200,
+            {
+                "job": job.id,
+                "created": created,
+                "total": len(job.specs),
+                "shards": job.shards,
+                "local_workers": job.local_workers,
+                "status_url": f"/v1/jobs/{job.id}",
+                "stream_url": f"/v1/jobs/{job.id}/stream",
+            },
+            headers={"X-Repro-Fingerprint": job.id},
+        )
+
+    def _job_of(self, job_id: str):
+        job = self.service.get_job(job_id)
+        if job is None:
+            raise _HttpError(404, "not_found", f"no job {job_id[:12]}… here")
+        return job
+
+    def _handle_job_status(self, job_id: str) -> None:
+        job = self._job_of(job_id)
+        self._send_json(
+            200,
+            self.service.job_snapshot(job),
+            headers={"X-Repro-Fingerprint": job.id},
+        )
+
+    def _handle_stream(self, job_id: str) -> None:
+        """NDJSON: one ``{"index": i, "result": ...}`` line per spec,
+        strictly in batch order, flushed as each slot fills.
+
+        Exactly-once delivery falls out of the slot model: the loop
+        visits every index once, and a slot, once filled, never
+        changes.  A driver crash (not a captured spec failure) ends the
+        stream with a single ``{"error": ...}`` line.
+        """
+        job = self._job_of(job_id)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("X-Repro-Fingerprint", job.id)
+        self.end_headers()
+        for index in range(len(job.specs)):
+            slot = job.wait_slot(index)
+            if slot is None:
+                line = {"error": "job_failed", "message": job.error}
+                self.wfile.write(
+                    json.dumps(line, sort_keys=True).encode() + b"\n"
+                )
+                return
+            line = {"index": index, "result": slot}
+            self.wfile.write(
+                json.dumps(line, sort_keys=True, default=repr).encode() + b"\n"
+            )
+            self.wfile.flush()
+
+
+def make_server(
+    service: ReproService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server over ``service`` (port 0 = ephemeral).
+
+    The handler class is minted per call so multiple services can serve
+    in one process (tests do); ``daemon_threads`` keeps a parked stream
+    reader from ever blocking interpreter exit.
+    """
+    handler = type(
+        "BoundServiceHandler",
+        (ServiceHandler,),
+        {"service": service, "quiet": quiet},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,347 @@
+"""The service smoke: a live server, checked end-to-end over real HTTP.
+
+``python -m repro serve --smoke`` (a CI step) starts an in-process
+service on an ephemeral port and drives it with nothing but
+:mod:`urllib` — the same way an external client would — asserting the
+service's two headline contracts plus the request-hygiene ones:
+
+1. **Idempotent concurrency** — N threads POST the *same* spec
+   concurrently; exactly one execution happens (counted at the
+   executor's fault-hook seam, with the leader held open until every
+   follower has joined, so the assertion is deterministic, not a
+   race), and all N responses carry the same fingerprint and
+   byte-identical results.
+2. **Streaming byte-identity** — a mixed batch (duplicate spec and
+   adversarial scenarios included) submitted as a sharded
+   multi-worker job streams every result exactly once, in batch
+   order, byte-identical to serial :func:`repro.api.run_many`.
+3. **Hygiene** — malformed specs are 400s naming the offending field;
+   a poison spec round-trips as a captured
+   :class:`~repro.results.FailedResult` (HTTP 200, ``failed: true``);
+   health and registry endpoints answer.
+
+Any breach raises :class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.api.runner import run_many
+from repro.api.spec import InstanceSpec, RunSpec
+from repro.errors import ServiceError
+from repro.results import canonical_json
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.app import ReproService
+from repro.service.http import make_server
+
+#: Seconds the held-open leader waits for all followers to join.
+BARRIER_TIMEOUT_S = 30.0
+
+
+def _smoke_batch() -> list[RunSpec]:
+    """The usual adversarial mix: plain, scenario, and duplicate specs."""
+    instance = InstanceSpec(family="complete_bipartite", size=3, seed=2)
+    return [
+        RunSpec(instance=instance, algorithm="greedy_sequential"),
+        RunSpec(instance=instance, algorithm="bko20"),
+        RunSpec(
+            instance=instance,
+            algorithm="greedy_sequential",
+            scenario=ScenarioSpec(model="crash_stop", seed=5, params={"f": 2}),
+        ),
+        RunSpec(
+            instance=instance,
+            algorithm="greedy_sequential",
+            scenario=ScenarioSpec(
+                model="lossy_links", seed=5, params={"drop": 0.2}
+            ),
+        ),
+        # The duplicate: the stream must fan one solve over both slots.
+        RunSpec(instance=instance, algorithm="greedy_sequential"),
+    ]
+
+
+def _request(
+    method: str,
+    url: str,
+    payload: Any | None = None,
+    *,
+    timeout: float = 120.0,
+) -> tuple[int, Any, dict[str, str]]:
+    """One JSON request; returns ``(status, parsed body, headers)``.
+
+    4xx/5xx responses come back the same way (their bodies are JSON
+    too) instead of raising — the smoke asserts on them.
+    """
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return (
+                response.status,
+                json.loads(response.read()),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as err:
+        body = err.read()
+        return err.code, json.loads(body) if body else {}, dict(err.headers)
+
+
+def _stream_lines(url: str, *, timeout: float = 300.0) -> list[dict[str, Any]]:
+    """Read an NDJSON stream to EOF; returns the parsed lines."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return [json.loads(line) for line in response if line.strip()]
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceError(f"service smoke: {message}")
+
+
+def _check_idempotent_concurrency(
+    service: ReproService, base: str, *, clients: int
+) -> dict[str, Any]:
+    """Contract 1: concurrent identical POSTs cost exactly one solve."""
+    from repro.api import runner as runner_module
+
+    spec = _smoke_batch()[1]  # the paper solver — a real solve, not a replay
+    target = spec.fingerprint()
+    executions: list[int] = []
+
+    def hook(fingerprint: str, attempt: int) -> None:
+        if fingerprint != target:
+            return
+        executions.append(attempt)
+        # Hold the solve open until every follower has joined the
+        # in-flight entry (or the deadline passes): the coalescing
+        # assertion below is then exact, not timing-dependent.
+        deadline = time.time() + BARRIER_TIMEOUT_S
+        while (
+            service.inflight_waiters(target) < clients - 1
+            and time.time() < deadline
+        ):
+            time.sleep(0.005)
+
+    responses: list[tuple[int, Any, dict[str, str]]] = []
+    lock = threading.Lock()
+
+    def post() -> None:
+        answer = _request("POST", base + "/v1/run", spec.to_dict())
+        with lock:
+            responses.append(answer)
+
+    previous_hook = runner_module._FAULT_HOOK
+    runner_module._FAULT_HOOK = hook
+    try:
+        threads = [
+            threading.Thread(target=post, name=f"smoke-client-{i}")
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        runner_module._FAULT_HOOK = previous_hook
+
+    _expect(
+        len(executions) == 1,
+        f"{clients} concurrent identical POSTs performed "
+        f"{len(executions)} executions, expected exactly 1",
+    )
+    _expect(
+        all(status == 200 for status, _, _ in responses),
+        f"statuses {[s for s, _, _ in responses]}, expected all 200",
+    )
+    _expect(
+        all(
+            headers.get("X-Repro-Fingerprint") == target
+            for _, _, headers in responses
+        ),
+        "X-Repro-Fingerprint header missing or wrong on a response",
+    )
+    bodies = [body for _, body, _ in responses]
+    _expect(
+        all(body["fingerprint"] == target for body in bodies),
+        "a response body carries the wrong fingerprint",
+    )
+    rendered = {canonical_json(body["result"]) for body in bodies}
+    _expect(
+        len(rendered) == 1,
+        f"{len(rendered)} distinct result payloads across {clients} "
+        "identical requests, expected 1",
+    )
+    sources = sorted(body["source"] for body in bodies)
+    _expect(
+        sources.count("executed") == 1 and sources.count("coalesced")
+        == clients - 1,
+        f"sources {sources}, expected 1 executed + {clients - 1} coalesced",
+    )
+    # And a later, non-concurrent repeat is a disk-cache hit.
+    status, body, _ = _request("POST", base + "/v1/run", spec.to_dict())
+    _expect(
+        status == 200 and body["source"] == "cache",
+        f"repeat POST returned {status}/{body.get('source')}, "
+        "expected 200/cache",
+    )
+    return {"clients": clients, "executions": 1, "coalesced": clients - 1}
+
+
+def _check_hygiene(base: str) -> None:
+    """Contract 3: strict 400s, captured poison, live health/registry."""
+    status, body, _ = _request("GET", base + "/v1/healthz")
+    _expect(status == 200 and body.get("ok") is True, "healthz not ok")
+    status, body, _ = _request("GET", base + "/v1/registry")
+    _expect(
+        status == 200 and "bko20" in body.get("algorithms", {}),
+        "registry does not list the paper solver",
+    )
+    # Unknown field -> 400 naming the field.
+    good = _smoke_batch()[0].to_dict()
+    status, body, _ = _request(
+        "POST", base + "/v1/run", {**good, "bogus_field": 1}
+    )
+    _expect(
+        status == 400 and "bogus_field" in body.get("message", ""),
+        f"malformed spec returned {status} ({body.get('message')!r}), "
+        "expected 400 naming 'bogus_field'",
+    )
+    # Non-JSON body -> 400, not a traceback.
+    request = urllib.request.Request(
+        base + "/v1/run", data=b"not json", method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30):
+            status = 200
+    except urllib.error.HTTPError as err:
+        status = err.code
+    _expect(status == 400, f"non-JSON body returned {status}, expected 400")
+    # Poison spec (unregistered algorithm) -> captured failure, not a 500.
+    poison = {**good, "algorithm": "no_such_algorithm"}
+    status, body, headers = _request("POST", base + "/v1/run", poison)
+    _expect(
+        status == 200 and body.get("failed") is True,
+        f"poison spec returned {status}/failed={body.get('failed')}, "
+        "expected 200 with a captured failure",
+    )
+    _expect(
+        bool(body["result"].get("failure", {}).get("error_type")),
+        "captured failure record lacks an error_type",
+    )
+    _expect(
+        headers.get("X-Repro-Fingerprint") == body["fingerprint"],
+        "poison response fingerprint header mismatch",
+    )
+
+
+def _check_streaming_job(base: str) -> dict[str, Any]:
+    """Contract 2: sharded multi-worker stream == serial run_many."""
+    specs = _smoke_batch()
+    serial = run_many(specs, cache=False)
+    payload = {
+        "specs": [spec.to_dict() for spec in specs],
+        "shards": 2,
+        "local_workers": 1,  # a real worker subprocess: multi-worker job
+    }
+    status, body, headers = _request("POST", base + "/v1/jobs", payload)
+    _expect(status == 201, f"job submit returned {status}, expected 201")
+    job_id = body["job"]
+    _expect(
+        headers.get("X-Repro-Fingerprint") == job_id,
+        "job submit did not echo the plan fingerprint",
+    )
+    lines = _stream_lines(base + body["stream_url"])
+    _expect(
+        [line.get("index") for line in lines] == list(range(len(specs))),
+        f"stream yielded indices {[line.get('index') for line in lines]}, "
+        f"expected 0..{len(specs) - 1} exactly once each, in order",
+    )
+    for index, line in enumerate(lines):
+        ours = canonical_json(line["result"])
+        theirs = canonical_json(serial[index].to_dict())
+        _expect(
+            ours == theirs,
+            f"streamed result {index} ({specs[index].label()}) is not "
+            "byte-identical to serial run_many",
+        )
+    # The stream ends when the last slot fills; the driver thread still
+    # has bookkeeping after that (reaping its worker subprocess), so
+    # give the terminal state a moment.
+    status_url = base + body["status_url"]
+    deadline = time.time() + BARRIER_TIMEOUT_S
+    while True:
+        status, body, _ = _request("GET", status_url)
+        if body.get("state") != "running" or time.time() > deadline:
+            break
+        time.sleep(0.05)
+    _expect(
+        status == 200
+        and body["state"] == "done"
+        and body["done"] == body["total"] == len(specs),
+        f"job status after stream drain: {body}",
+    )
+    cluster = body.get("cluster", {})
+    _expect(
+        cluster.get("complete") is True,
+        "cluster status does not report the job complete",
+    )
+    # Idempotent resubmission: same batch -> same job, not a new one.
+    status, body, _ = _request("POST", base + "/v1/jobs", payload)
+    _expect(
+        status == 200 and body["job"] == job_id and body["created"] is False,
+        "resubmitting the identical batch minted a new job",
+    )
+    return {
+        "job": job_id[:12],
+        "streamed": len(lines),
+        "byte_identical": True,
+    }
+
+
+def smoke_check(*, clients: int = 6) -> dict[str, Any]:
+    """Start a live service on an ephemeral port and check every contract.
+
+    Runs in a temporary data directory; the server is shut down (and
+    the executor's fault-hook seam restored) no matter what.  Returns
+    a JSON-safe summary; raises :class:`~repro.errors.ServiceError` on
+    any breach.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as data_dir:
+        service = ReproService(data_dir)
+        server = make_server(service)
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-smoke",
+            daemon=True,
+        )
+        thread.start()
+        try:
+            idempotency = _check_idempotent_concurrency(
+                service, base, clients=clients
+            )
+            _check_hygiene(base)
+            streaming = _check_streaming_job(base)
+        finally:
+            server.shutdown()
+            server.server_close()
+    return {
+        "address": base,
+        **idempotency,
+        **streaming,
+        "hygiene": "400s strict, poison captured, health/registry live",
+    }

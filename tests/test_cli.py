@@ -268,3 +268,113 @@ class TestCachePruneCommand:
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["removed"] == 0
+
+
+class TestShardCommand:
+    def specs_file(self, tmp_path, poison=False):
+        specs = [
+            {
+                "instance": {"family": "path", "size": 6, "seed": 1},
+                "algorithm": "greedy_sequential",
+            },
+            {
+                "instance": {"family": "cycle", "size": 6, "seed": 1},
+                "algorithm": "greedy_sequential",
+            },
+        ]
+        if poison:
+            specs.append(
+                {
+                    "instance": {"family": "path", "size": 6, "seed": 1},
+                    "algorithm": "no_such_algorithm",
+                }
+            )
+        path = tmp_path / "specs.json"
+        path.write_text(json.dumps(specs))
+        return path
+
+    def test_plan_accepts_auto_and_records_the_resolved_count(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "shard", "plan", "--job-dir", str(tmp_path / "job"),
+            "--specs", str(self.specs_file(tmp_path)),
+            "--shards", "auto", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload["shards"], int)
+        assert 1 <= payload["shards"] <= payload["distinct_specs"]
+
+    def test_plan_rejects_garbage_shards(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "shard", "plan", "--job-dir", str(tmp_path / "job"),
+                "--specs", str(self.specs_file(tmp_path)),
+                "--shards", "many",
+            ])
+
+    def test_status_prints_the_timing_table(self, tmp_path, capsys):
+        from repro.cluster import ensure_plan, work_loop
+        from repro.api import RunSpec
+
+        job = tmp_path / "job"
+        specs_path = self.specs_file(tmp_path)
+        specs = [
+            RunSpec.from_dict(entry)
+            for entry in json.loads(specs_path.read_text())
+        ]
+        ensure_plan(specs, job, shards=2)
+        work_loop(job)
+        assert main(["shard", "status", "--job-dir", str(job)]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock (s)" in out and "specs/s" in out
+        assert "shard-0000" in out and "shard-0001" in out
+        assert "2/2 shards done" in out
+
+    def test_retry_failed_drain_round_trip(self, tmp_path, capsys):
+        assert main([
+            "shard", "plan", "--job-dir", str(tmp_path / "job"),
+            "--specs", str(self.specs_file(tmp_path, poison=True)),
+            "--shards", "1",
+        ]) == 0
+        from repro.cluster import work_loop
+
+        work_loop(tmp_path / "job")
+        capsys.readouterr()  # drop the plan command's output
+        assert main([
+            "shard", "retry-failed", "--job-dir", str(tmp_path / "job"),
+            "--drain", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["requeued"]) == 1
+        assert payload["drained"]["job_complete"] is True
+        # The poison is still unregistered: it quarantines again.
+        assert main([
+            "shard", "status", "--job-dir", str(tmp_path / "job"), "--json",
+        ]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"] is True
+        assert len(status["failed"]) == 1
+
+    def test_retry_failed_without_failures_is_a_no_op(self, tmp_path, capsys):
+        main([
+            "shard", "plan", "--job-dir", str(tmp_path / "job"),
+            "--specs", str(self.specs_file(tmp_path)), "--shards", "1",
+        ])
+        from repro.cluster import work_loop
+
+        work_loop(tmp_path / "job")
+        capsys.readouterr()
+        assert main([
+            "shard", "retry-failed", "--job-dir", str(tmp_path / "job"),
+        ]) == 0
+        assert "no quarantined specs" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_smoke_json_summary(self, capsys):
+        assert main(["serve", "--smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executions"] == 1
+        assert payload["coalesced"] == payload["clients"] - 1
+        assert payload["byte_identical"] is True
