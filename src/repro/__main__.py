@@ -93,6 +93,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 from repro.api import (
@@ -302,12 +303,17 @@ def _shard_timing_table(status: dict) -> str:
         if wall is None and entry.get("elapsed_s") is not None:
             wall = entry["elapsed_s"]
         rate = entry.get("specs_per_s")
+        # Display guard mirrors the sidecar guard: anything non-numeric
+        # or non-finite renders as "-" (a sub-ms shard has wall 0.0 and
+        # rate None — real, just unmeasurable at sidecar resolution).
+        wall_ok = isinstance(wall, (int, float)) and math.isfinite(wall)
+        rate_ok = isinstance(rate, (int, float)) and math.isfinite(rate)
         rows.append(
             [
                 f"shard-{shard:04d}",
                 states.get(shard, "?"),
-                "-" if wall is None else f"{wall:.3f}",
-                "-" if rate is None else f"{rate:.1f}",
+                f"{wall:.3f}" if wall_ok else "-",
+                f"{rate:.1f}" if rate_ok else "-",
                 entry.get("worker") or "-",
             ]
         )
@@ -691,8 +697,19 @@ def _command_list(args: argparse.Namespace) -> int:
 
 
 def _command_bench_core(args: argparse.Namespace) -> int:
-    from repro.analysis.bench_core import smoke_check, write_bench_core
+    from repro.analysis.bench_core import (
+        smoke_check,
+        write_bench_core,
+        write_profile,
+    )
 
+    if args.profile:
+        # Profile-only mode: cProfile the engines' hot loops and write
+        # the sidecar next to the record; the record itself is not
+        # rewritten (pair with a plain bench-core run for that).
+        sidecar = write_profile(args.output, quick=args.quick)
+        print(f"profile sidecar written to {sidecar}")
+        return 0
     if args.smoke:
         # CI mode: tiny live run + structural validation of the fresh
         # record and the committed one; never rewrites the record.
@@ -1000,6 +1017,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="CI mode: tiny run + structural validation of the record "
              "file, no timing assertions, nothing written",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the engines' hot loops and write the "
+             "<record>_profile.txt sidecar instead of the record",
     )
     bench.set_defaults(handler=_command_bench_core)
 

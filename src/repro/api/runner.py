@@ -80,6 +80,7 @@ from repro.api.failures import (
 from repro.api.registry import get_algorithm
 from repro.api.spec import InstanceSpec, RunSpec
 from repro.coloring.verify import check_palette_bound, check_proper_edge_coloring
+from repro.model.scheduler import ENGINES, engine_override
 from repro.results import FailedResult, RunResult
 from repro.scenarios.spec import ScenarioSpec
 
@@ -309,6 +310,7 @@ def run(
     cache_dir: str | Path | None = None,
     cache_max_entries: int | None = None,
     on_error: str | FailurePolicy = "raise",
+    engine: str | None = None,
     _fingerprint: str | None = None,
 ) -> RunResult:
     """Execute one spec and return its fingerprinted, validated result.
@@ -326,6 +328,13 @@ def run(
     exhausting the policy's attempts instead of raising.  Failures are
     never cached — only successful results enter either cache layer.
 
+    ``engine`` selects the simulator's execution backend for this call
+    (``"list"`` / ``"numpy"`` / ``"auto"``; ``None`` keeps the ambient
+    default — see :func:`repro.model.scheduler.engine_override`).  It
+    is an *executor* argument, deliberately not a spec field: engine
+    choice never changes results, so it never enters fingerprints and
+    a result computed under one engine is a cache hit for every other.
+
     A spec carrying a non-identity scenario routes through
     :func:`repro.scenarios.executor.execute_scenario` — same result
     type, same caches, same fingerprint discipline; the identity
@@ -333,11 +342,16 @@ def run(
     path bit-for-bit.
     """
     policy = resolve_policy(on_error)
+    if engine is not None and engine not in ENGINES:
+        # Validate before the cache lookup so a typo'd engine raises
+        # whether or not the spec happens to be cached.
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     fingerprint = spec.fingerprint() if _fingerprint is None else _fingerprint
     hit = _lookup_layers(fingerprint, spec, validate, cache, cache_dir)
     if hit is not None:
         return hit
-    result = _execute_with_policy(spec, fingerprint, validate, policy)
+    with engine_override(engine):
+        result = _execute_with_policy(spec, fingerprint, validate, policy)
     if result.is_failure():
         return result
     if cache:
@@ -350,16 +364,18 @@ def run(
 
 
 def _run_in_worker(
-    payload: tuple[dict[str, Any], bool, dict[str, Any] | None]
+    payload: tuple[dict[str, Any], bool, dict[str, Any] | None, str | None]
 ) -> RunResult:
     """Pool entry point: rebuild the spec from its dict form and run it.
 
     The failure policy crosses the pool boundary as a dict so capture
     (and its retries/deadline) happens *inside* the worker — the
     traceback the failure record digests is the algorithm's, identical
-    to what a serial run would have captured.
+    to what a serial run would have captured.  The engine selection
+    rides along the same way (it is per-call executor state, not spec
+    state, so the worker must be told explicitly).
     """
-    spec_dict, validate, policy_dict = payload
+    spec_dict, validate, policy_dict, engine = payload
     policy = (
         FailurePolicy.from_dict(policy_dict)
         if policy_dict is not None
@@ -370,6 +386,7 @@ def _run_in_worker(
         validate=validate,
         cache=False,
         on_error=policy,
+        engine=engine,
     )
 
 
@@ -382,6 +399,7 @@ def run_many_iter(
     cache_dir: str | Path | None = None,
     cache_max_entries: int | None = None,
     on_error: str | FailurePolicy = "raise",
+    engine: str | None = None,
 ) -> Iterator[tuple[int, RunResult]]:
     """Execute many specs, yielding ``(index, result)`` as runs finish.
 
@@ -413,6 +431,7 @@ def run_many_iter(
             cache=cache,
             cache_dir=cache_dir,
             policy=resolve_policy(on_error),
+            engine=engine,
         )
     finally:
         # One prune per batch (not per store) — in a finally so the
@@ -448,6 +467,7 @@ def _run_many_iter_inner(
     cache: bool,
     cache_dir: str | Path | None,
     policy: FailurePolicy,
+    engine: str | None = None,
 ) -> Iterator[tuple[int, RunResult]]:
     ordered = list(specs)
     fingerprints = [spec.fingerprint() for spec in ordered]
@@ -484,6 +504,7 @@ def _run_many_iter_inner(
                     cache=cache,
                     cache_dir=cache_dir,
                     on_error=policy,
+                    engine=engine,
                     _fingerprint=fingerprint,
                 )
             except Exception as exc:
@@ -498,7 +519,8 @@ def _run_many_iter_inner(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
-                    _run_in_worker, (spec.to_dict(), validate, policy_dict)
+                    _run_in_worker,
+                    (spec.to_dict(), validate, policy_dict, engine),
                 ): fingerprint
                 for fingerprint, spec in todo.items()
             }
@@ -531,6 +553,7 @@ def run_many(
     cache_dir: str | Path | None = None,
     cache_max_entries: int | None = None,
     on_error: str | FailurePolicy = "raise",
+    engine: str | None = None,
 ) -> list[RunResult]:
     """Execute many specs, optionally fanning out over processes.
 

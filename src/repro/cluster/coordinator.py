@@ -43,6 +43,7 @@ spec — what succeeded, what failed, why, and what was retried.
 from __future__ import annotations
 
 import copy
+import math
 import os
 import subprocess
 import sys
@@ -247,8 +248,13 @@ def job_status(
             "worker": sidecar.get("worker"),
             "specs_per_s": None,
         }
+        # A sub-millisecond shard legitimately records wall == 0.0 (the
+        # sidecar rounds to microseconds), so the rate is unknowable,
+        # not infinite: leave specs_per_s as None rather than divide.
         if isinstance(executed, int) and executed > 0 and wall > 0:
-            entry["specs_per_s"] = round(executed / wall, 3)
+            rate = executed / wall
+            if math.isfinite(rate):
+                entry["specs_per_s"] = round(rate, 3)
         timing[str(shard)] = entry
     for shard in status["running"]:
         lease = queue.lease_of(shard)

@@ -41,6 +41,7 @@ is still forced: prefer capture for unattended fleets.
 
 from __future__ import annotations
 
+import math
 import time
 from pathlib import Path
 from typing import Any, Callable
@@ -136,7 +137,15 @@ def load_shard_timing(
     ):
         return None
     wall = payload.get("wall_clock_s")
-    if not isinstance(wall, (int, float)) or wall < 0:
+    if (
+        isinstance(wall, bool)
+        or not isinstance(wall, (int, float))
+        or not math.isfinite(wall)
+        or wall < 0
+    ):
+        # Rejecting inf/nan here (not just negatives) keeps every
+        # downstream rate division finite — a hand-edited or corrupt
+        # sidecar must not turn ``status`` output into ``Infinity``.
         return None
     return payload
 

@@ -1,0 +1,919 @@
+"""The vectorized (numpy) execution backend of :class:`Scheduler`.
+
+This module is the ``engine="numpy"`` target of the engine seam in
+:mod:`repro.model.scheduler`.  It runs the *same* synchronous round
+semantics as the list engine — compose against start-of-round state,
+simultaneous delivery, receive — and is pinned bit-for-bit against it
+(and transitively against :mod:`repro.model.reference`) by the
+equivalence suite.  What changes is purely *how* the push path moves
+payloads:
+
+* the network's CSR delivery columns are compiled once into ``int64``
+  ndarrays (:meth:`Network.delivery_columns_np`);
+* during compose, pushed sends cost two list appends each (flat
+  destination slot + payload) instead of three list indexings and
+  three stores;
+* at the end of the send phase the whole round flushes as **one
+  fancy-indexed scatter** per column: ``stamp_buf[slots] = stamp`` and
+  a single payload scatter, with the round's pushed receivers derived
+  by a vectorized ``searchsorted`` against ``row_start``;
+* inbox materialisation gathers contiguous ndarray slices and converts
+  them with ``.tolist()`` (C speed), then reuses the list engine's
+  stamp-gated dict construction verbatim.
+
+Payload columns: scalar vs object
+---------------------------------
+Payloads live in one of two flat columns per round:
+
+* the **scalar column** (``int64``) when every pushed payload of the
+  round is a plain Python ``int`` — checked per payload with
+  ``type(p) is int``, which deliberately excludes ``bool`` (it would
+  silently become ``1``) and anything float-ish (silent truncation);
+  an ``int`` too large for 64 bits raises ``OverflowError`` at the
+  scatter, which is caught;
+* the **object column** otherwise.  The engine starts scalar and
+  *demotes* to the object column permanently on the first offending
+  payload — demotion needs no copying because the choice is made per
+  round before the scatter, and stamp gating means slots written in
+  earlier rounds are already dead.
+
+``.tolist()`` at the materialisation boundary converts ``int64`` cells
+back to Python ints (bit-identical values) and returns the *original
+objects* from the object column, so payload identity semantics are
+unchanged where the list engine preserves them.
+
+The broadcast column is **not** vectorized: it stays the list engine's
+per-sender Python cell (one stamped write per broadcasting node,
+O(active) not O(messages)), both because it is already C-speed and
+because it must deliver the sender's original payload object.
+
+Memory-mapped arenas
+--------------------
+:class:`NumpyRoundArena` owns the flat columns.  For 100k+-node
+instances the ``int64`` stamp/scalar columns can be backed by
+``np.memmap`` over an anonymous tempfile (``memmap="auto"`` switches
+on at :data:`MEMMAP_THRESHOLD_SLOTS` slots), so enormous runs do not
+pin resident buffers; the object column cannot be memory-mapped (it
+holds references) and stays in RAM, but scalar-payload algorithms —
+the regime ``engine="auto"`` vectorizes — never allocate it.  Growing
+a leased arena allocates fresh zero buffers: the arena's monotone
+clock guarantees a zero stamp is never a live round stamp, so neither
+recycling nor regrowth can leak stale payloads (same argument as the
+list arena).
+
+Determinism
+-----------
+Everything order-sensitive is inherited unchanged: nodes compose in
+the canonical sort order, inboxes are built in ascending port order
+(identical to the reference loop's insertion order), broadcast
+eligibility uses the same object-identity and port-set tests, the
+audit memo walks payloads in the same order, and the hooked path keeps
+the gate's send order with first-occurrence-wins busy-link semantics
+(``np.unique(..., return_index=True)``) and original-order requeue.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from repro.errors import RoundLimitExceededError
+from repro.model.algorithm import NodeAlgorithm
+from repro.model.message import Message
+from repro.model.scheduler import (
+    ExecutionResult,
+    Send,
+    _UNSEEN,
+    build_contexts,
+    require_numpy,
+)
+
+#: ``memmap="auto"`` backs the int64 columns with a tempfile once a
+#: network has at least this many directed slots (2m).  2^21 slots is
+#: 16 MiB per column — roughly the point where per-run resident buffers
+#: start to matter next to the payload objects themselves.
+MEMMAP_THRESHOLD_SLOTS = 1 << 21
+
+
+class NumpyRoundArena:
+    """Reusable flat ndarray buffers for the vectorized round engine.
+
+    The numpy counterpart of :class:`~repro.model.scheduler.RoundArena`
+    with the same safety story: a monotone ``clock`` stamps every
+    round, stamps are never reused across runs sharing the arena, and
+    the arena is single-occupancy (a nested run falls back to a private
+    arena).  Columns:
+
+    * ``stamp_buf`` — ``int64``, one cell per directed slot;
+    * the scalar payload column — ``int64``, allocated lazily on the
+      first scalar flush;
+    * the object payload column — ``dtype=object``, allocated lazily on
+      the first non-scalar flush; never memory-mapped;
+    * the broadcast payload/stamp cells — plain Python lists (the
+      broadcast path is shared with the list engine).
+
+    Parameters
+    ----------
+    memmap:
+        ``"auto"`` (default) backs the ``int64`` columns with
+        ``np.memmap`` over an unlinked tempfile once the slot count
+        reaches :data:`MEMMAP_THRESHOLD_SLOTS`; ``True`` always does;
+        ``False`` never does.
+    """
+
+    def __init__(self, *, memmap: bool | str = "auto") -> None:
+        if memmap not in (True, False, "auto"):
+            raise ValueError(
+                f"memmap must be True, False or 'auto', got {memmap!r}"
+            )
+        self._memmap = memmap
+        self._slots = 0
+        self._stamp_buf: Any = None
+        self._scalar_buf: Any = None
+        self._object_buf: Any = None
+        self._bcast_payload: list[Any] = []
+        self._bcast_stamp: list[int] = []
+        self._files: list[Any] = []
+        self._clock = 0
+        self._in_use = False
+
+    # -- allocation -----------------------------------------------------
+
+    def _uses_memmap(self, slots: int) -> bool:
+        if self._memmap == "auto":
+            return slots >= MEMMAP_THRESHOLD_SLOTS
+        return bool(self._memmap)
+
+    def _int64_column(self, slots: int):
+        np = require_numpy()
+        if self._uses_memmap(slots):
+            # An unlinked tempfile: freed by the OS when the arena (or
+            # the mapping) goes away, invisible in the filesystem.
+            backing = tempfile.TemporaryFile()
+            self._files.append(backing)
+            return np.memmap(backing, dtype=np.int64, mode="w+", shape=(slots,))
+        return np.zeros(slots, dtype=np.int64)
+
+    def lease(self, slots: int, n: int):
+        """Return ``(stamp_buf, bcast_payload, bcast_stamp)`` grown to fit.
+
+        Growth allocates *fresh zero* buffers (and drops the payload
+        columns, which re-allocate lazily at the new size): the clock
+        is monotone and never resets, so a zero stamp can never equal a
+        live round stamp — recycled and regrown buffers alike cannot
+        leak stale payloads into a later run.
+        """
+        if slots > self._slots or self._stamp_buf is None:
+            self._release_files()
+            self._stamp_buf = self._int64_column(slots)
+            self._scalar_buf = None
+            self._object_buf = None
+            self._slots = slots
+        if len(self._bcast_stamp) < n:
+            grow = n - len(self._bcast_stamp)
+            self._bcast_payload.extend([None] * grow)
+            self._bcast_stamp.extend([0] * grow)
+        return self._stamp_buf, self._bcast_payload, self._bcast_stamp
+
+    def scalar_column(self):
+        """The ``int64`` payload column (lazily allocated)."""
+        if self._scalar_buf is None:
+            self._scalar_buf = self._int64_column(self._slots)
+        return self._scalar_buf
+
+    def object_column(self):
+        """The ``dtype=object`` payload column (lazily allocated, RAM)."""
+        if self._object_buf is None:
+            np = require_numpy()
+            self._object_buf = np.empty(self._slots, dtype=object)
+        return self._object_buf
+
+    # -- lifecycle ------------------------------------------------------
+
+    def tick(self) -> int:
+        """Advance the monotone clock and return a fresh round stamp."""
+        self._clock += 1
+        return self._clock
+
+    def clear(self) -> None:
+        """Drop payload references (stamps and the clock are kept)."""
+        if self._object_buf is not None:
+            self._object_buf[:] = None
+        for index in range(len(self._bcast_payload)):
+            self._bcast_payload[index] = None
+
+    def _release_files(self) -> None:
+        for backing in self._files:
+            try:
+                backing.close()
+            except OSError:  # pragma: no cover — close is best-effort
+                pass
+        self._files = []
+
+    def close(self) -> None:
+        """Release the buffers and any memmap backing files."""
+        self._stamp_buf = None
+        self._scalar_buf = None
+        self._object_buf = None
+        self._slots = 0
+        self._release_files()
+
+    def __del__(self) -> None:  # pragma: no cover — GC timing dependent
+        self._release_files()
+
+
+#: The ambient shared numpy arena, if a sweep installed one (see
+#: :func:`shared_numpy_arena`).  ``None`` means every vectorized run
+#: leases a private arena.
+_ACTIVE_NUMPY_ARENA: ContextVar[NumpyRoundArena | None] = ContextVar(
+    "repro_numpy_round_arena", default=None
+)
+
+
+@contextmanager
+def shared_numpy_arena(
+    arena: NumpyRoundArena | None = None,
+) -> Iterator[NumpyRoundArena]:
+    """Install ``arena`` (or a fresh one) as the ambient numpy arena.
+
+    The numpy counterpart of
+    :func:`~repro.model.scheduler.shared_arena`: every vectorized run
+    inside the ``with`` block that has no explicit arena reuses these
+    buffers.  Payload references are dropped on exit.
+    """
+    active = arena if arena is not None else NumpyRoundArena()
+    token = _ACTIVE_NUMPY_ARENA.set(active)
+    try:
+        yield active
+    finally:
+        _ACTIVE_NUMPY_ARENA.reset(token)
+        active.clear()
+
+
+def _lease(scheduler) -> NumpyRoundArena:
+    """Pick the arena for one vectorized run.
+
+    An explicit ``arena=`` on the scheduler is honored only when it is
+    a :class:`NumpyRoundArena` (a list-engine ``RoundArena`` holds the
+    wrong buffer types; the run silently uses a private numpy arena
+    instead — the list arena stays untouched for list runs on the same
+    scheduler).  Otherwise the ambient arena
+    (:func:`shared_numpy_arena`) is used, falling back to a private
+    one when absent or occupied by an outer run.
+    """
+    arena = scheduler._arena
+    if not isinstance(arena, NumpyRoundArena):
+        arena = _ACTIVE_NUMPY_ARENA.get()
+    if arena is None or arena._in_use:
+        arena = NumpyRoundArena()
+    return arena
+
+
+def _audit_size(payload, size_memo, max_message_size: int) -> int:
+    """One memoized repr-size probe; returns the updated running max."""
+    try:
+        size = size_memo[payload.__class__][payload]
+    except TypeError:  # unhashable
+        size = len(repr(payload))
+    except KeyError:
+        size = len(repr(payload))
+        try:
+            size_memo.setdefault(payload.__class__, {})[payload] = size
+        except TypeError:  # unhashable
+            pass
+    if size > max_message_size:
+        return size
+    return max_message_size
+
+
+def execute(scheduler, algorithm: NodeAlgorithm) -> ExecutionResult:
+    """Run ``algorithm`` on ``scheduler``'s network, vectorized.
+
+    Called by :meth:`Scheduler.run` when the engine seam resolves to
+    ``"numpy"``; honors every scheduler option (round budget, tracing,
+    size audit, send log, delivery hook) with identical observable
+    behavior to the list engine.
+    """
+    if scheduler._delivery_hook is not None:
+        return _execute_hooked(scheduler, algorithm)
+    np = require_numpy()
+    network = scheduler._network
+    nodes = network.nodes()
+    degrees = network.degree_table()
+    row_start, col_receiver, _col_port, col_dest = network.delivery_columns()
+    row_start_np, _recv_np, _port_np, col_dest_np = network.delivery_columns_np()
+    neighbor_rows = network.neighbor_index_rows()
+    n = network.n
+
+    contexts, active = build_contexts(network, algorithm)
+
+    arena = _lease(scheduler)
+    total_slots = row_start[n]
+    stamp_buf, bcast_payload, bcast_stamp = arena.lease(total_slots, n)
+    bcast_payload_get = bcast_payload.__getitem__
+    bcast_stamp_get = bcast_stamp.__getitem__
+    arena._in_use = True
+    port_sets = {degree: frozenset(range(degree)) for degree in set(degrees)}
+    # Canonical port orders per degree: a full outbox iterating exactly
+    # 0, 1, .., deg-1 can be pushed *in bulk* (its sender-side slots
+    # are the contiguous CSR row), one C-level list comparison per
+    # sender.
+    port_lists = {degree: list(range(degree)) for degree in set(degrees)}
+
+    rounds = 0
+    messages_sent = 0
+    trace: list[Message] = []
+    trace_append = trace.append
+    record_trace = scheduler._record_trace
+    audit = scheduler._audit_message_sizes
+    size_memo: dict[type, dict[Any, int]] = {}
+    max_message_size = 0
+    max_rounds = scheduler._max_rounds
+    compose = algorithm.compose_messages
+    receive = algorithm.receive_messages
+    scheduler._send_log = None
+    log_cols: tuple[list[int], list[int], list[Any]] | None = None
+    if scheduler._record_send_log:
+        log_cols = ([], [], [])
+        log_round_append = log_cols[0].append
+        log_slot_append = log_cols[1].append
+        log_payload_append = log_cols[2].append
+    slow_path = record_trace or log_cols is not None
+
+    # The payload-column latch: scalar (int64) until the first payload
+    # that is not a plain int, object forever after.  Demotion happens
+    # before the round's scatter, so no copying is ever needed.
+    scalar_mode = True
+    # Reusable per-round push accumulators (cleared, not reallocated).
+    # The *bulk* accumulators take whole port-ordered outboxes (their
+    # sender-side slots are contiguous CSR rows, rebuilt vectorized at
+    # flush); the *loose* ones take everything else, one destination
+    # slot per message.
+    bulk_starts: list[int] = []
+    bulk_ends: list[int] = []
+    bulk_payloads: list[Any] = []
+    bulk_starts_append = bulk_starts.append
+    bulk_ends_append = bulk_ends.append
+    bulk_payloads_extend = bulk_payloads.extend
+    loose_slots: list[int] = []
+    loose_payloads: list[Any] = []
+    loose_slots_append = loose_slots.append
+    loose_payloads_append = loose_payloads.append
+    int_type_set = {int}
+    empty_set: frozenset[int] = frozenset()
+
+    try:
+        while active:
+            if rounds >= max_rounds:
+                stuck = [nodes[index] for index in active[:5]]
+                raise RoundLimitExceededError(
+                    f"round budget {max_rounds} exhausted; "
+                    f"non-halted nodes include {stuck!r}"
+                )
+            rounds += 1
+            stamp = arena.tick()
+            any_broadcast = False
+
+            # Phase 1: compose.  Broadcast detection is byte-identical
+            # to the list engine; pushed sends are *collected* (slot +
+            # payload appends) instead of delivered, and flush as one
+            # scatter below.  The slot comes from the Python dest
+            # column — one list indexing that doubles as the port-type
+            # check (a fractional port raises TypeError exactly where
+            # the list engine raises it).
+            for index in active:
+                ctx = contexts[index]
+                if ctx.halted:
+                    continue
+                outbox = compose(ctx)
+                if not outbox:
+                    continue
+                degree = degrees[index]
+                if (
+                    len(outbox) == degree
+                    and not slow_path
+                    and outbox.keys() == port_sets[degree]
+                ):
+                    values = list(outbox.values())
+                    candidate = values[0]
+                    if degree == 1 or len(set(map(id, values))) == 1:
+                        bcast_payload[index] = candidate
+                        bcast_stamp[index] = stamp
+                        any_broadcast = True
+                        messages_sent += degree
+                        if audit:
+                            max_message_size = _audit_size(
+                                candidate, size_memo, max_message_size
+                            )
+                        continue
+                    if list(outbox) == port_lists[degree]:
+                        # Bulk push: a full outbox iterating in
+                        # canonical port order occupies exactly the
+                        # sender's contiguous CSR row — record the span
+                        # and extend the payloads at C speed; only the
+                        # size audit still walks the values (with the
+                        # same consecutive-duplicate skip as the list
+                        # engine).
+                        base = row_start[index]
+                        bulk_starts_append(base)
+                        bulk_ends_append(base + degree)
+                        bulk_payloads_extend(values)
+                        if (
+                            scalar_mode
+                            and set(map(type, values)) != int_type_set
+                        ):
+                            scalar_mode = False
+                        if audit:
+                            prev = _UNSEEN
+                            for payload in values:
+                                if payload is not prev:
+                                    prev = payload
+                                    try:
+                                        size = size_memo[payload.__class__][
+                                            payload
+                                        ]
+                                    except TypeError:  # unhashable
+                                        size = len(repr(payload))
+                                    except KeyError:
+                                        size = len(repr(payload))
+                                        try:
+                                            size_memo.setdefault(
+                                                payload.__class__, {}
+                                            )[payload] = size
+                                        except TypeError:  # unhashable
+                                            pass
+                                    if size > max_message_size:
+                                        max_message_size = size
+                        messages_sent += degree
+                        continue
+                base = row_start[index]
+                prev = _UNSEEN
+                for port, payload in outbox.items():
+                    if not 0 <= port < degree:
+                        ctx.require_port(port)  # raises
+                    idx = base + port
+                    loose_slots_append(col_dest[idx])
+                    loose_payloads_append(payload)
+                    if scalar_mode and type(payload) is not int:
+                        scalar_mode = False
+                    if audit and payload is not prev:
+                        prev = payload
+                        try:
+                            size = size_memo[payload.__class__][payload]
+                        except TypeError:  # unhashable
+                            size = len(repr(payload))
+                        except KeyError:
+                            size = len(repr(payload))
+                            try:
+                                size_memo.setdefault(
+                                    payload.__class__, {}
+                                )[payload] = size
+                            except TypeError:  # unhashable
+                                pass
+                        if size > max_message_size:
+                            max_message_size = size
+                    if slow_path:
+                        if record_trace:
+                            trace_append(
+                                Message(
+                                    sender=nodes[index],
+                                    receiver=nodes[col_receiver[idx]],
+                                    round_index=rounds,
+                                    payload=payload,
+                                )
+                            )
+                        if log_cols is not None:
+                            log_round_append(rounds)
+                            log_slot_append(idx)
+                            log_payload_append(payload)
+                messages_sent += len(outbox)
+
+            # Flush: the whole round's pushes land as one scatter per
+            # column.  Slots are unique within a round (each directed
+            # link carries at most one message), so the fancy-indexed
+            # stores cannot collide.  Bulk spans expand to their
+            # contiguous sender rows with a vectorized cumsum trick
+            # (concatenated aranges without a Python loop), then map
+            # through the compiled dest column in one gather.
+            round_scalar = scalar_mode
+            if bulk_starts or loose_slots:
+                pieces = []
+                if bulk_starts:
+                    span_count = len(bulk_starts)
+                    starts = np.fromiter(
+                        bulk_starts, np.int64, count=span_count
+                    )
+                    ends = np.fromiter(bulk_ends, np.int64, count=span_count)
+                    lens = ends - starts
+                    total = int(lens.sum())
+                    steps = np.ones(total, np.int64)
+                    steps[0] = starts[0]
+                    if span_count > 1:
+                        bounds = np.cumsum(lens)[:-1]
+                        steps[bounds] = starts[1:] - ends[:-1] + 1
+                    sender_idx_arr = np.cumsum(steps)
+                    pieces.append((col_dest_np[sender_idx_arr], bulk_payloads))
+                if loose_slots:
+                    pieces.append(
+                        (
+                            np.fromiter(
+                                loose_slots, np.int64, count=len(loose_slots)
+                            ),
+                            loose_payloads,
+                        )
+                    )
+                if len(pieces) == 1:
+                    slots_arr, payloads_list = pieces[0]
+                else:
+                    slots_arr = np.concatenate(
+                        [piece[0] for piece in pieces]
+                    )
+                    payloads_list = bulk_payloads + loose_payloads
+                count = len(payloads_list)
+                if round_scalar:
+                    try:
+                        values_arr = np.fromiter(
+                            payloads_list, np.int64, count=count
+                        )
+                    except OverflowError:
+                        # An int beyond 64 bits: demote for good.
+                        scalar_mode = False
+                        round_scalar = False
+                if round_scalar:
+                    arena.scalar_column()[slots_arr] = values_arr
+                else:
+                    arena.object_column()[slots_arr] = np.fromiter(
+                        payloads_list, dtype=object, count=count
+                    )
+                stamp_buf[slots_arr] = stamp
+                payload_col = (
+                    arena.scalar_column()
+                    if round_scalar
+                    else arena.object_column()
+                )
+                # Dense rounds (most slots carry a message) convert the
+                # whole stamp/payload columns to Python lists once —
+                # two C-speed passes — so the receive loop below runs
+                # on plain list slices, exactly like the list engine.
+                # Sparse rounds keep per-receiver ndarray slices and a
+                # membership set of pushed receivers (the node whose
+                # CSR row owns each destination slot).
+                if count * 4 >= total_slots:
+                    stamps_round = stamp_buf[:total_slots].tolist()
+                    payloads_round = payload_col[:total_slots].tolist()
+                    pushed_nodes = None
+                else:
+                    stamps_round = None
+                    pushed_nodes = set(
+                        (
+                            np.searchsorted(
+                                row_start_np, slots_arr, side="right"
+                            )
+                            - 1
+                        ).tolist()
+                    )
+                bulk_starts.clear()
+                bulk_ends.clear()
+                bulk_payloads.clear()
+                loose_slots.clear()
+                loose_payloads.clear()
+            else:
+                stamps_round = None
+                pushed_nodes = empty_set
+
+            # Phase 2: receive.  Identical stamp-gated dict building to
+            # the list engine.  Dense rounds read plain list slices of
+            # the round-level materialisation; sparse rounds read
+            # `.tolist()`-converted ndarray slices (int64 cells become
+            # Python ints; object cells are the original payloads).
+            next_active: list[int] = []
+            next_active_append = next_active.append
+            for index in active:
+                ctx = contexts[index]
+                if ctx.halted:
+                    continue
+                if not any_broadcast:
+                    if stamps_round is not None:
+                        base = row_start[index]
+                        end = row_start[index + 1]
+                        stamps = stamps_round[base:end]
+                        width = end - base
+                        hits = stamps.count(stamp)
+                        if hits == width and width:
+                            inbox = dict(
+                                enumerate(payloads_round[base:end])
+                            )
+                        elif hits == 0:
+                            inbox = {}
+                        else:
+                            payloads = payloads_round[base:end]
+                            inbox = {
+                                port: payloads[port]
+                                for port in range(width)
+                                if stamps[port] == stamp
+                            }
+                    elif index not in pushed_nodes:
+                        inbox = {}
+                    else:
+                        base = row_start[index]
+                        end = row_start[index + 1]
+                        stamps = stamp_buf[base:end].tolist()
+                        width = end - base
+                        payloads = payload_col[base:end].tolist()
+                        if stamps.count(stamp) == width:
+                            inbox = dict(enumerate(payloads))
+                        else:
+                            inbox = {
+                                port: payloads[port]
+                                for port in range(width)
+                                if stamps[port] == stamp
+                            }
+                else:
+                    sources = neighbor_rows[index]
+                    pulled = list(map(bcast_stamp_get, sources))
+                    width = len(sources)
+                    if stamps_round is not None:
+                        # Dense mixed round: merge push and pull port
+                        # by port from the round-level lists (entries
+                        # are disjoint per port; a pull-only node gets
+                        # exactly its pull entries in port order, same
+                        # dict as the pull-only branch below).
+                        base = row_start[index]
+                        stamps = stamps_round[base : base + width]
+                        payloads = payloads_round[base : base + width]
+                        inbox = {}
+                        for port in range(width):
+                            if stamps[port] == stamp:
+                                inbox[port] = payloads[port]
+                            elif pulled[port] == stamp:
+                                inbox[port] = bcast_payload[sources[port]]
+                    elif index not in pushed_nodes:
+                        hits = pulled.count(stamp)
+                        if hits == width:
+                            inbox = dict(
+                                enumerate(map(bcast_payload_get, sources))
+                            )
+                        elif hits == 0:
+                            inbox = {}
+                        else:
+                            inbox = {
+                                port: bcast_payload[source]
+                                for port, source in enumerate(sources)
+                                if pulled[port] == stamp
+                            }
+                    else:
+                        # Sparse mixed round: same merge, ndarray
+                        # slices.
+                        base = row_start[index]
+                        stamps = stamp_buf[base : base + width].tolist()
+                        payloads = payload_col[base : base + width].tolist()
+                        inbox = {}
+                        for port in range(width):
+                            if stamps[port] == stamp:
+                                inbox[port] = payloads[port]
+                            elif pulled[port] == stamp:
+                                inbox[port] = bcast_payload[sources[port]]
+                receive(ctx, inbox)
+                if not ctx.halted:
+                    next_active_append(index)
+            active = next_active
+    finally:
+        arena._in_use = False
+
+    if log_cols is not None:
+        scheduler._send_log = log_cols
+    output = algorithm.output
+    outputs = {ctx.node: output(ctx) for ctx in contexts}
+    return ExecutionResult(
+        rounds=rounds,
+        messages_sent=messages_sent,
+        outputs=outputs,
+        trace=trace,
+        _max_message_size=max_message_size if audit else None,
+    )
+
+
+def _execute_hooked(scheduler, algorithm: NodeAlgorithm) -> ExecutionResult:
+    """The vectorized counterpart of ``Scheduler._run_hooked``.
+
+    Compose and the hook protocol are untouched (sends are collected
+    and gated exactly as in the list engine); the flush vectorizes the
+    busy-link dedup — ``np.unique(slots, return_index=True)`` keeps the
+    first send per destination slot, matching the list engine's
+    first-write-wins stamp check — and scatters the kept sends in one
+    fancy-indexed store per column.  Busy sends are requeued in their
+    original gate order; per-message audit/trace walks the kept sends
+    in gate order, all exactly as the list engine does.
+    """
+    np = require_numpy()
+    network = scheduler._network
+    nodes = network.nodes()
+    degrees = network.degree_table()
+    row_start, col_receiver, _col_port, col_dest = network.delivery_columns()
+    row_start_np = network.delivery_columns_np()[0]
+    n = network.n
+    hook = scheduler._delivery_hook
+    assert hook is not None
+
+    contexts, active = build_contexts(network, algorithm)
+
+    arena = _lease(scheduler)
+    stamp_buf, _bcast_payload, _bcast_stamp = arena.lease(row_start[n], n)
+    arena._in_use = True
+
+    hook.begin_run(network)
+    crashed: set[int] = set()
+    for index in hook.initially_crashed():
+        crashed.add(index)
+        contexts[index].halt()
+    if crashed:
+        active = [index for index in active if index not in crashed]
+
+    rounds = 0
+    messages_sent = 0
+    trace: list[Message] = []
+    trace_append = trace.append
+    record_trace = scheduler._record_trace
+    audit = scheduler._audit_message_sizes
+    size_memo: dict[type, dict[Any, int]] = {}
+    max_message_size = 0
+    max_rounds = scheduler._max_rounds
+    compose = algorithm.compose_messages
+    receive = algorithm.receive_messages
+    scheduler._send_log = None
+    log_cols: tuple[list[int], list[int], list[Any]] | None = None
+    if scheduler._record_send_log:
+        log_cols = ([], [], [])
+
+    scalar_mode = True
+    empty_set: frozenset[int] = frozenset()
+
+    try:
+        while active:
+            if rounds >= max_rounds:
+                stuck = [nodes[index] for index in active[:5]]
+                raise RoundLimitExceededError(
+                    f"round budget {max_rounds} exhausted; "
+                    f"non-halted nodes include {stuck!r}"
+                )
+            rounds += 1
+            stamp = arena.tick()
+
+            for index in hook.round_crashes(rounds):
+                if index not in crashed:
+                    crashed.add(index)
+                    contexts[index].halt()
+
+            new_sends: list[Send] = []
+            new_sends_append = new_sends.append
+            for index in active:
+                ctx = contexts[index]
+                if ctx.halted:
+                    continue
+                outbox = compose(ctx)
+                if not outbox:
+                    continue
+                degree = degrees[index]
+                for port, payload in outbox.items():
+                    if not 0 <= port < degree:
+                        ctx.require_port(port)  # raises
+                    new_sends_append((index, port, payload))
+
+            # Flush: resolve every gated send to its destination slot
+            # (Python dest column — validates port types), dedup busy
+            # links vectorized, walk the kept sends in gate order for
+            # audit/trace, then scatter them in one store per column.
+            gated = hook.gate(rounds, new_sends)
+            round_scalar = scalar_mode
+            if gated:
+                sender_idx: list[int] = []
+                slots_list: list[int] = []
+                for sender, port, _payload in gated:
+                    idx = row_start[sender] + port
+                    sender_idx.append(idx)
+                    slots_list.append(col_dest[idx])
+                count = len(gated)
+                slots_arr = np.fromiter(slots_list, np.int64, count=count)
+                unique_slots, first_pos = np.unique(
+                    slots_arr, return_index=True
+                )
+                if len(unique_slots) == count:
+                    keep = None  # no busy links this round
+                else:
+                    keep_mask = np.zeros(count, dtype=bool)
+                    keep_mask[first_pos] = True
+                    keep = keep_mask.tolist()
+                busy: list[Send] = []
+                kept_payloads: list[Any] = []
+                for pos, send in enumerate(gated):
+                    if keep is not None and not keep[pos]:
+                        busy.append(send)
+                        continue
+                    payload = send[2]
+                    kept_payloads.append(payload)
+                    if scalar_mode and type(payload) is not int:
+                        scalar_mode = False
+                        round_scalar = False
+                    messages_sent += 1
+                    if audit:
+                        max_message_size = _audit_size(
+                            payload, size_memo, max_message_size
+                        )
+                    if record_trace:
+                        idx = sender_idx[pos]
+                        trace_append(
+                            Message(
+                                sender=nodes[send[0]],
+                                receiver=nodes[col_receiver[idx]],
+                                round_index=rounds,
+                                payload=payload,
+                            )
+                        )
+                    if log_cols is not None:
+                        log_cols[0].append(rounds)
+                        log_cols[1].append(sender_idx[pos])
+                        log_cols[2].append(payload)
+                if busy:
+                    hook.requeue(rounds, busy)
+                    kept_arr = slots_arr[keep_mask]
+                else:
+                    kept_arr = slots_arr
+                kept_count = len(kept_payloads)
+                if kept_count:
+                    if round_scalar:
+                        try:
+                            values_arr = np.fromiter(
+                                kept_payloads, np.int64, count=kept_count
+                            )
+                        except OverflowError:
+                            scalar_mode = False
+                            round_scalar = False
+                    if round_scalar:
+                        arena.scalar_column()[kept_arr] = values_arr
+                    else:
+                        arena.object_column()[kept_arr] = np.fromiter(
+                            kept_payloads, dtype=object, count=kept_count
+                        )
+                    stamp_buf[kept_arr] = stamp
+                    pushed_nodes = set(
+                        (
+                            np.searchsorted(
+                                row_start_np, kept_arr, side="right"
+                            )
+                            - 1
+                        ).tolist()
+                    )
+                else:
+                    pushed_nodes = empty_set
+            else:
+                pushed_nodes = empty_set
+            if pushed_nodes:
+                payload_col = (
+                    arena.scalar_column()
+                    if round_scalar
+                    else arena.object_column()
+                )
+
+            next_active: list[int] = []
+            next_active_append = next_active.append
+            for index in active:
+                ctx = contexts[index]
+                if ctx.halted:
+                    continue
+                if index in pushed_nodes:
+                    base = row_start[index]
+                    end = row_start[index + 1]
+                    stamps = stamp_buf[base:end].tolist()
+                    payloads = payload_col[base:end].tolist()
+                    inbox = {
+                        port: payloads[port]
+                        for port in range(end - base)
+                        if stamps[port] == stamp
+                    }
+                else:
+                    inbox = {}
+                receive(ctx, inbox)
+                if not ctx.halted:
+                    next_active_append(index)
+            active = next_active
+    finally:
+        arena._in_use = False
+        hook.end_run(rounds, messages_sent)
+
+    if log_cols is not None:
+        scheduler._send_log = log_cols
+    output = algorithm.output
+    outputs = {
+        ctx.node: output(ctx)
+        for index, ctx in enumerate(contexts)
+        if index not in crashed
+    }
+    return ExecutionResult(
+        rounds=rounds,
+        messages_sent=messages_sent,
+        outputs=outputs,
+        trace=trace,
+        _max_message_size=max_message_size if audit else None,
+    )

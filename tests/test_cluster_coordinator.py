@@ -252,3 +252,80 @@ class TestCoordinator:
         assert [row.values for row in sharded.rows] == [
             row.values for row in direct.rows
         ]
+
+
+class TestShardTimingGuards:
+    """Degenerate timing sidecars must never corrupt ``status`` output.
+
+    The sidecar rounds wall-clock to microseconds, so a sub-millisecond
+    shard legitimately records ``wall_clock_s == 0.0`` — the derived
+    rate must come out ``None`` (unknowable), not ``ZeroDivisionError``
+    or ``Infinity``; hand-edited/corrupt sidecars with non-finite walls
+    must be ignored outright.
+    """
+
+    @staticmethod
+    def _done_job(tmp_path):
+        from repro.cluster import load_plan
+
+        spec = RunSpec(
+            instance=InstanceSpec(family="complete_bipartite", size=3, seed=2),
+            algorithm="greedy_sequential",
+        )
+        job = tmp_path / "job"
+        clear_result_cache()
+        run_sharded([spec], job, shards=1)
+        return job, load_plan(job).plan_fingerprint()
+
+    def _stamp_timing(self, job, plan_fingerprint, wall):
+        from repro.cluster import timing_path
+        from repro.cluster.worker import record_shard_timing
+
+        timing_path(job, 0).unlink(missing_ok=True)
+        record_shard_timing(
+            job,
+            0,
+            plan_fingerprint=plan_fingerprint,
+            worker="w-test",
+            started_at=1.0,
+            wall_clock_s=wall,
+            specs_total=1,
+            specs_executed=1,
+        )
+
+    def test_zero_wall_clock_reports_rate_unknown_not_infinite(
+        self, tmp_path
+    ):
+        import json
+
+        from repro.__main__ import _shard_timing_table
+
+        job, plan_fingerprint = self._done_job(tmp_path)
+        self._stamp_timing(job, plan_fingerprint, 0.0)
+        status = job_status(job)
+        entry = status["timing"]["0"]
+        assert entry["wall_clock_s"] == 0.0
+        assert entry["specs_per_s"] is None
+        # The whole snapshot must stay strict-JSON (no Infinity/NaN)...
+        json.dumps(status, allow_nan=False)
+        # ...and the CLI table renders the unknowable rate as "-".
+        table = _shard_timing_table(status)
+        assert "0.000" in table and "w-test" in table
+
+    @pytest.mark.parametrize("wall", [float("inf"), float("nan"), -1.0])
+    def test_non_finite_or_negative_sidecar_is_ignored(self, tmp_path, wall):
+        import json
+
+        from repro.__main__ import _shard_timing_table
+        from repro.cluster import load_shard_timing
+
+        job, plan_fingerprint = self._done_job(tmp_path)
+        self._stamp_timing(job, plan_fingerprint, wall)
+        assert (
+            load_shard_timing(job, 0, plan_fingerprint=plan_fingerprint)
+            is None
+        )
+        status = job_status(job)
+        assert "0" not in status["timing"]  # silent, never lying
+        json.dumps(status, allow_nan=False)
+        _shard_timing_table(status)

@@ -1,0 +1,284 @@
+"""The vectorized numpy engine: bit-for-bit equal, or not selected.
+
+The engine seam's whole contract is that backend choice is *invisible*
+in results: ``engine="numpy"`` must reproduce the list engine exactly —
+rounds, messages, outputs, inbox iteration order, traces — on every
+path (plain runs, every adversarial delivery model, memory-mapped
+arenas at 100k nodes), and a result computed under one engine must be
+a byte-identical cache entry for the other.  ``engine="auto"`` must
+degrade to the list engine silently when numpy cannot be imported;
+``engine="numpy"`` must refuse loudly.
+
+Everything that needs numpy is skipped (not failed) on interpreters
+without it — the list engine is the pinned fallback, so the rest of
+the suite is the coverage there.
+"""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.api import InstanceSpec, RunSpec, ScenarioSpec
+from repro.api.runner import clear_result_cache, run
+from repro.errors import EngineUnavailableError
+from repro.graphs.generators import random_regular
+from repro.model.network import Network
+from repro.model.scheduler import (
+    Scheduler,
+    engine_override,
+    numpy_available,
+    resolve_engine,
+)
+from repro.primitives.node_algorithms import (
+    FloodMaxAlgorithm,
+    LinialColorReductionAlgorithm,
+    PushFloodAlgorithm,
+)
+from repro.scenarios import run_under_model
+from test_model_scheduler_equivalence import MixedSendPattern
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+#: The three adversarial delivery models, with non-default parameters
+#: so their hooks actually defer / crash / drop / duplicate.
+ADVERSARIAL_MODELS = [
+    ("bounded_async", {"quota": 5, "jitter": 2}),
+    ("crash_stop", {"f": 2, "horizon": 6}),
+    ("lossy_links", {"drop": 0.2, "duplicate": 0.1}),
+]
+
+
+def _network(seed: int, n: int = 14, p: float = 0.4) -> Network:
+    return Network(nx.gnp_random_graph(n, p, seed=seed))
+
+
+def _assert_identical(a, b):
+    """Diff every observable of two ExecutionResults."""
+    assert a.rounds == b.rounds
+    assert a.messages_sent == b.messages_sent
+    assert a.outputs == b.outputs
+    assert a.trace == b.trace
+    assert a.max_message_size == b.max_message_size
+
+
+@requires_numpy
+class TestAdversarialEquivalence:
+    """numpy == list under every delivery model, every observable."""
+
+    @pytest.mark.parametrize("model,params", ADVERSARIAL_MODELS)
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_broadcast_flood_bit_identical(self, model, params, seed):
+        network = _network(seed)
+        results = {}
+        for engine in ("list", "numpy"):
+            with engine_override(engine):
+                results[engine] = run_under_model(
+                    network,
+                    FloodMaxAlgorithm(6),
+                    model=model,
+                    seed=seed,
+                    params=params,
+                )
+        _assert_identical(results["list"], results["numpy"])
+
+    @pytest.mark.parametrize("model,params", ADVERSARIAL_MODELS)
+    def test_push_path_bit_identical(self, model, params):
+        # Distinct payload per port: the hooked scatter path, with
+        # busy-link dedup and requeue exercised by the adversaries.
+        network = _network(7)
+        results = {}
+        for engine in ("list", "numpy"):
+            with engine_override(engine):
+                results[engine] = run_under_model(
+                    network,
+                    PushFloodAlgorithm(6),
+                    model=model,
+                    seed=9,
+                    params=params,
+                )
+        _assert_identical(results["list"], results["numpy"])
+
+    @pytest.mark.parametrize("model,params", ADVERSARIAL_MODELS)
+    def test_object_payloads_bit_identical(self, model, params):
+        # Tuple payloads force the object column; inbox iteration
+        # order is part of MixedSendPattern's output.
+        network = _network(5)
+        results = {}
+        for engine in ("list", "numpy"):
+            with engine_override(engine):
+                results[engine] = run_under_model(
+                    network,
+                    MixedSendPattern(5),
+                    model=model,
+                    seed=2,
+                    params=params,
+                )
+        _assert_identical(results["list"], results["numpy"])
+
+
+@requires_numpy
+class TestApiParity:
+    """Engine choice through the executor: same results, same cache."""
+
+    @staticmethod
+    def _specs() -> list[RunSpec]:
+        instance = InstanceSpec(family="complete_bipartite", size=3, seed=2)
+        return [
+            RunSpec(instance=instance, algorithm="bko20"),
+            RunSpec(instance=instance, algorithm="linial_greedy"),
+            RunSpec(
+                instance=instance,
+                algorithm="greedy_sequential",
+                scenario=ScenarioSpec(
+                    model="lossy_links", seed=3, params={"drop": 0.2}
+                ),
+            ),
+        ]
+
+    def test_run_results_byte_identical(self):
+        clear_result_cache()
+        for spec in self._specs():
+            listed = run(spec, cache=False, engine="list")
+            vectored = run(spec, cache=False, engine="numpy")
+            assert json.dumps(listed.to_dict(), sort_keys=True) == json.dumps(
+                vectored.to_dict(), sort_keys=True
+            )
+
+    def test_result_cached_under_one_engine_hits_under_the_other(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.api.runner as runner_module
+
+        spec = self._specs()[0]
+        clear_result_cache()
+        first = run(spec, cache_dir=tmp_path, engine="numpy")
+        cached_bytes = {
+            path.name: path.read_bytes() for path in tmp_path.rglob("*.json")
+        }
+        assert cached_bytes  # the numpy run actually populated the cache
+        clear_result_cache()  # force the disk-cache path
+        # Engine choice is fingerprint-neutral, so the list-engine run
+        # must be served entirely from the numpy run's cache entry —
+        # make any re-execution a loud failure instead of a silent one.
+        monkeypatch.setattr(
+            runner_module,
+            "_execute_with_policy",
+            lambda *args, **kwargs: pytest.fail(
+                "cross-engine lookup missed the cache"
+            ),
+        )
+        second = run(spec, cache_dir=tmp_path, engine="list")
+        assert second.fingerprint == first.fingerprint
+        assert second.to_dict() == first.to_dict()
+        assert {
+            path.name: path.read_bytes() for path in tmp_path.rglob("*.json")
+        } == cached_bytes  # the list run rewrote nothing
+
+
+@requires_numpy
+class TestMemmapLargeN:
+    @pytest.mark.slow
+    def test_100k_node_memmap_run_matches_list_engine(self):
+        from repro.model.engine_numpy import (
+            NumpyRoundArena,
+            shared_numpy_arena,
+        )
+
+        network = Network(random_regular(4, 100_000, seed=7))
+        arena = NumpyRoundArena(memmap=True)
+        try:
+            with shared_numpy_arena(arena):
+                vectored = Scheduler(network, engine="numpy").run(
+                    FloodMaxAlgorithm(2)
+                )
+            assert arena._files  # the run really leased memmap backing
+        finally:
+            arena.close()
+        listed = Scheduler(network, engine="list").run(FloodMaxAlgorithm(2))
+        _assert_identical(listed, vectored)
+
+    @pytest.mark.slow
+    def test_100k_node_push_path_matches_list_engine(self):
+        network = Network(random_regular(4, 100_000, seed=7))
+        vectored = Scheduler(network, engine="numpy").run(
+            PushFloodAlgorithm(2)
+        )
+        listed = Scheduler(network, engine="list").run(PushFloodAlgorithm(2))
+        _assert_identical(listed, vectored)
+
+
+class TestAutoDegrade:
+    """auto falls back silently, numpy refuses loudly, when numpy is gone."""
+
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        import builtins
+
+        import repro.model.scheduler as sched
+
+        real_import = builtins.__import__
+
+        def failing_import(name, *args, **kwargs):
+            if name == "numpy" or name.startswith("numpy."):
+                raise ImportError("numpy disabled for this test")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", failing_import)
+        # Reset the import-probe memo so the fake failure is observed;
+        # monkeypatch restores the pre-test value on teardown.
+        monkeypatch.setattr(sched, "_NUMPY_MEMO", None)
+        yield
+
+    def test_auto_resolves_to_list(self, no_numpy):
+        assert not numpy_available()
+        assert resolve_engine("auto", FloodMaxAlgorithm(3)) == "list"
+
+    def test_auto_run_degrades_to_list_results(self, no_numpy):
+        network = _network(4)
+        degraded = Scheduler(network, engine="auto").run(FloodMaxAlgorithm(4))
+        listed = Scheduler(network, engine="list").run(FloodMaxAlgorithm(4))
+        _assert_identical(listed, degraded)
+
+    def test_explicit_numpy_raises_loudly(self, no_numpy):
+        network = _network(4)
+        with pytest.raises(EngineUnavailableError, match="engine='numpy'"):
+            Scheduler(network, engine="numpy").run(FloodMaxAlgorithm(4))
+
+    def test_auto_picks_numpy_only_for_scalar_payload_algorithms(self):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        assert resolve_engine("auto", FloodMaxAlgorithm(3)) == "numpy"
+        # MixedSendPattern sends tuples and does not declare
+        # scalar_payloads, so auto keeps the list engine.
+        assert resolve_engine("auto", MixedSendPattern(3)) == "list"
+
+
+@requires_numpy
+class TestPlainEquivalence:
+    """Unhooked runs: the vectorized compose/flush/receive phases."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5])
+    def test_mixed_pattern_with_traces(self, seed):
+        network = _network(seed)
+        listed = Scheduler(
+            network, engine="list", record_trace=True
+        ).run(MixedSendPattern(5))
+        vectored = Scheduler(
+            network, engine="numpy", record_trace=True
+        ).run(MixedSendPattern(5))
+        _assert_identical(listed, vectored)
+
+    def test_linial_on_regular_graph(self):
+        network = Network(random_regular(4, 30, seed=3))
+        listed = Scheduler(network, engine="list").run(
+            LinialColorReductionAlgorithm(id_space=network.max_id())
+        )
+        vectored = Scheduler(network, engine="numpy").run(
+            LinialColorReductionAlgorithm(id_space=network.max_id())
+        )
+        _assert_identical(listed, vectored)
