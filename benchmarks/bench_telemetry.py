@@ -1,0 +1,99 @@
+"""TELEMETRY — tracing you didn't turn on must cost nothing.
+
+The span tracer (PR 9) instruments the executor's attempt loop, the
+cache layers, the shard lifecycle, and the service request path.  Its
+design promise: disabled (the default), ``trace()`` returns one shared
+no-op singleton — no allocation, no clock reads, no I/O — so the
+instrumented hot paths run at the speed of uninstrumented code.
+
+Shape claims checked:
+1. the disabled ``trace()`` call itself stays in the tens-of-
+   nanoseconds range, measured over a tight loop;
+2. extrapolated to a *generous* per-spec span budget (far above what
+   the executor actually emits per spec), the disabled tracer accounts
+   for under 1% of the wall-clock of executing one small spec — the
+   worst case, since span count is per-resolution while work grows
+   with instance size;
+3. a traced run on the same spec still produces a bit-identical
+   result (the tracer is observational on both sides of the switch).
+"""
+
+import pytest
+
+from repro.api import InstanceSpec, RunSpec, run
+from repro.analysis.harness import time_best
+from repro.analysis.tables import format_table
+from repro.api.runner import clear_result_cache
+from repro.results import canonical_json
+from repro.telemetry.trace import trace, trace_context, tracing_enabled
+
+from conftest import report
+
+#: Standing tolerance: disabled tracing may account for at most this
+#: fraction of a spec's execution wall-clock.
+MAX_OVERHEAD = 0.01
+
+#: Disabled-trace calls timed per loop (large enough that the loop
+#: dominates the timer resolution).
+CALLS = 100_000
+
+#: Span budget charged to one spec resolution.  The executor emits at
+#: most ~8 per spec (run.attempt per attempt, cache.load /
+#: cache.publish, the shard claim/drain/publish trio amortized across
+#: a whole shard) — charging double keeps headroom without inventing
+#: call sites that don't exist.
+SPANS_PER_SPEC = 16
+
+
+def small_spec() -> RunSpec:
+    return RunSpec(
+        instance=InstanceSpec(family="complete_bipartite", size=3, seed=9),
+        algorithm="bko20",
+    )
+
+
+@pytest.mark.slow
+def test_disabled_trace_overhead_under_1_percent(benchmark, tmp_path):
+    assert not tracing_enabled()
+
+    def noop_loop():
+        for _ in range(CALLS):
+            with trace("bench.noop", probe=1):
+                pass
+
+    loop_clock, _ = time_best(noop_loop, repeats=5)
+    per_call_s = loop_clock / CALLS
+
+    clear_result_cache()
+    spec = small_spec()
+    spec_clock, plain = time_best(
+        lambda: run(spec, cache=False), repeats=5
+    )
+    overhead = (per_call_s * SPANS_PER_SPEC) / max(spec_clock, 1e-9)
+
+    with trace_context(tmp_path):
+        traced = run(spec, cache=False)
+    assert canonical_json(traced.to_dict()) == canonical_json(plain.to_dict())
+
+    report(format_table(
+        ["quantity", "value"],
+        [
+            ["disabled trace() per call", f"{per_call_s * 1e9:.0f} ns"],
+            ["charged spans per spec", str(SPANS_PER_SPEC)],
+            ["small-spec wall-clock", f"{spec_clock * 1e3:.3f} ms"],
+            ["extrapolated overhead", f"{overhead:.3%}"],
+        ],
+        title=(
+            "TELEMETRY: disabled tracer on one spec resolution "
+            f"(overhead {overhead:.3%}, budget {MAX_OVERHEAD:.0%})"
+        ),
+    ))
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"disabled tracing charges {overhead:.3%} of a small spec's "
+        f"wall-clock ({per_call_s * 1e9:.0f} ns/call x {SPANS_PER_SPEC} "
+        f"spans vs {spec_clock * 1e3:.3f} ms), over the "
+        f"{MAX_OVERHEAD:.0%} budget"
+    )
+
+    benchmark.pedantic(noop_loop, rounds=3, iterations=1)

@@ -56,13 +56,19 @@ Commands
     The HTTP experiment service (:mod:`repro.service`): idempotent
     ``POST /v1/run`` (identical concurrent requests coalesce onto one
     solve), streaming sharded jobs (``POST /v1/jobs`` + NDJSON
-    ``GET /v1/jobs/<id>/stream``), registry and health endpoints;
-    ``--smoke`` starts a server on an ephemeral port and asserts the
-    live contracts over real HTTP (CI step).
+    ``GET /v1/jobs/<id>/stream``), registry / health / metrics
+    endpoints; ``--smoke`` starts a server on an ephemeral port and
+    asserts the live contracts over real HTTP (CI step).
+``report``
+    The fleet rollup (:mod:`repro.telemetry`): aggregate a job's (or
+    any) run-ledger directory into per-algorithm/per-scenario latency
+    percentiles, cache-hit and retry rates, per-worker throughput, and
+    the dead-letter summary; ``--smoke`` runs a real sharded job in a
+    temporary directory and structurally checks the rollup (CI step).
 
 ``solve``, ``race``, ``scenario``, ``info``, ``list``, ``cache-prune``,
-``shard``, ``worker``, ``chaos``, and ``serve --smoke`` accept
-``--json`` for machine-readable output.
+``shard``, ``worker``, ``chaos``, ``report``, and ``serve --smoke``
+accept ``--json`` for machine-readable output.
 
 Examples::
 
@@ -84,6 +90,8 @@ Examples::
     python -m repro shard retry-failed --job-dir jobs/sweep --drain \\
         --retries 2 --timeout-s 30
     python -m repro shard --smoke
+    python -m repro report jobs/sweep
+    python -m repro report --smoke
     python -m repro chaos --smoke --chaos-seed 7
     python -m repro serve --port 8000 --data-dir service-data
     python -m repro serve --smoke
@@ -285,17 +293,22 @@ def _command_scenario(args: argparse.Namespace) -> int:
 
 
 def _shard_timing_table(status: dict) -> str:
-    """Per-shard progress rows: state, wall-clock, throughput, worker.
+    """Per-shard progress rows: state, wall-clock, throughput, worker —
+    plus the run-ledger's attempt accounting where a ledger exists.
 
     Timing comes from the observational sidecars workers publish next
-    to their sealed results (``job_status``'s ``timing`` map); shards
-    without one show ``-``.
+    to their sealed results (``job_status``'s ``timing`` map); the
+    attempts / retries / cache-hit columns come from the job's run
+    ledger (``job_status``'s ``ledger`` map).  Shards with neither
+    sidecar nor ledger rows show ``-`` — both sources are best-effort
+    by contract.
     """
     states = {}
     for state in ("done", "running", "stale", "pending"):
         for shard in status[state]:
             states[shard] = state
     timing = status.get("timing", {})
+    ledger = status.get("ledger", {})
     rows = []
     for shard in range(status["shards"]):
         entry = timing.get(str(shard), {})
@@ -308,17 +321,31 @@ def _shard_timing_table(status: dict) -> str:
         # rate None — real, just unmeasurable at sidecar resolution).
         wall_ok = isinstance(wall, (int, float)) and math.isfinite(wall)
         rate_ok = isinstance(rate, (int, float)) and math.isfinite(rate)
+        accounting = ledger.get(str(shard), {})
         rows.append(
             [
                 f"shard-{shard:04d}",
                 states.get(shard, "?"),
                 f"{wall:.3f}" if wall_ok else "-",
                 f"{rate:.1f}" if rate_ok else "-",
+                accounting.get("attempts", "-"),
+                accounting.get("retries", "-"),
+                accounting.get("cache_hits", "-"),
                 entry.get("worker") or "-",
             ]
         )
     return format_table(
-        ["shard", "state", "wall-clock (s)", "specs/s", "worker"], rows
+        [
+            "shard",
+            "state",
+            "wall-clock (s)",
+            "specs/s",
+            "attempts",
+            "retries",
+            "cache-hits",
+            "worker",
+        ],
+        rows,
     )
 
 
@@ -559,6 +586,40 @@ def _command_chaos(args: argparse.Namespace) -> int:
             "records reproduced by a serial replay "
             f"[{summary['worker_kills_observed']} worker kill(s) observed]"
         )
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.telemetry import format_report, report_smoke, rollup
+
+    if args.smoke:
+        summary = report_smoke()
+        if args.json:
+            _print_json(summary)
+        else:
+            print(
+                f"report smoke ok: {summary['specs']} specs "
+                f"({summary['specs_distinct']} distinct) through a real "
+                f"sharded job -> {summary['run_records']} ledger run "
+                f"records across {summary['workers']} worker(s), "
+                f"cache-hit rate {summary['cache_hit_rate']:.2f}, "
+                f"report rendered ({summary['report_chars']} chars)"
+            )
+        return 0
+    if not args.dir:
+        raise SystemExit("report needs a <job_dir|ledger_dir> (or --smoke)")
+    summary = rollup(args.dir)
+    if args.json:
+        _print_json(summary)
+        return 0
+    if summary["run_records"] == 0:
+        print(
+            f"no run records under {summary['ledger_dir']} — "
+            "run the job with the ledger on (cluster workers default it "
+            "on; pass ledger_dir=/ledger_context() elsewhere)"
+        )
+        return 1
+    print(format_report(summary))
     return 0
 
 
@@ -981,6 +1042,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_argument(chaos)
     chaos.set_defaults(handler=_command_chaos)
+
+    report = commands.add_parser(
+        "report",
+        help="roll a run-ledger directory up into fleet metrics",
+    )
+    report.add_argument(
+        "dir", nargs="?",
+        help="a job directory (its ledger/ is found automatically) or a "
+             "ledger directory itself",
+    )
+    report.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: run a small batch through a real sharded job in a "
+             "temporary directory and structurally check the rollup "
+             "(nothing kept)",
+    )
+    _add_json_argument(report)
+    report.set_defaults(handler=_command_report)
 
     cache = commands.add_parser(
         "cache-prune",

@@ -33,6 +33,7 @@ from repro.analysis.harness import (
     throughput_columns,
     time_best,
 )
+from repro.telemetry.ledger import snapshot_environment
 from repro.graphs.generators import complete_bipartite, random_regular
 from repro.graphs.properties import assign_unique_ids
 from repro.model.edge_network import line_graph_network
@@ -394,6 +395,7 @@ def collect_bench_core(
         "scaling_large_n": _sweep_records(
             scaling_large_n(large_cells, repeats=sweep_repeats)
         ),
+        "environment": snapshot_environment(),
         "created_unix": time.time(),
     }
 
@@ -412,9 +414,15 @@ _REQUIRED_RECORD_KEYS = (
     "scaling_vs_n",
     "scaling_vs_delta",
     "scaling_large_n",
+    "environment",
     "created_unix",
 )
 _REQUIRED_ROW_KEYS = ("wall_clock_s", "messages_sent", "messages_per_s")
+
+#: Keys the environment provenance block must carry (values that may
+#: legitimately be absent — e.g. ``numpy`` on a bare interpreter — are
+#: allowed to be null, but the keys themselves must exist).
+_REQUIRED_ENVIRONMENT_KEYS = ("python", "platform", "machine", "hostname")
 
 
 def validate_bench_record(record: dict) -> None:
@@ -463,6 +471,16 @@ def validate_bench_record(record: dict) -> None:
         if push.get("identical_results") is not True:
             raise ValueError(
                 "push_scatter record does not certify identical results"
+            )
+    environment = record["environment"]
+    if not isinstance(environment, dict):
+        raise ValueError(
+            f"environment block must be a dict, got {environment!r}"
+        )
+    for key in _REQUIRED_ENVIRONMENT_KEYS:
+        if not isinstance(environment.get(key), str) or not environment[key]:
+            raise ValueError(
+                f"environment block is missing {key!r}: {environment!r}"
             )
     for sweep_key in ("scaling_vs_n", "scaling_vs_delta", "scaling_large_n"):
         rows = record[sweep_key]

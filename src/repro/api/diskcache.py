@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.results import RunResult, fingerprint_of
+from repro.telemetry.trace import trace
 
 #: On-disk entry format version (bumped on incompatible layout change).
 DISK_FORMAT = 1
@@ -103,7 +104,8 @@ def disk_store(
         "result": result.to_dict(),
         "result_fingerprint": result.result_fingerprint(),
     }
-    atomic_write_json(disk_path(cache_dir, fingerprint), payload)
+    with trace("cache.publish", fingerprint=fingerprint[:12]):
+        atomic_write_json(disk_path(cache_dir, fingerprint), payload)
 
 
 def disk_load(
@@ -114,20 +116,25 @@ def disk_load(
     Any malformed, mismatched, or unreadable entry is a miss — the
     caller simply re-runs the spec and the entry is rewritten.
     """
-    payload = read_json(disk_path(cache_dir, fingerprint))
-    if (
-        not isinstance(payload, dict)
-        or payload.get("format") != DISK_FORMAT
-        or payload.get("fingerprint") != fingerprint
-    ):
-        return None
-    try:
-        result = RunResult.from_dict(payload["result"])
-    except Exception:
-        return None
-    if fingerprint_of(result.to_dict()) != payload.get("result_fingerprint"):
-        return None
-    return result, bool(payload.get("validated"))
+    with trace("cache.load", fingerprint=fingerprint[:12]) as span:
+        payload = read_json(disk_path(cache_dir, fingerprint))
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != DISK_FORMAT
+            or payload.get("fingerprint") != fingerprint
+        ):
+            span.annotate(hit=False)
+            return None
+        try:
+            result = RunResult.from_dict(payload["result"])
+        except Exception:
+            span.annotate(hit=False)
+            return None
+        if fingerprint_of(result.to_dict()) != payload.get("result_fingerprint"):
+            span.annotate(hit=False)
+            return None
+        span.annotate(hit=True)
+        return result, bool(payload.get("validated"))
 
 
 def touch_entry(cache_dir: str | Path, fingerprint: str) -> None:

@@ -83,6 +83,8 @@ from repro.coloring.verify import check_palette_bound, check_proper_edge_colorin
 from repro.model.scheduler import ENGINES, engine_override
 from repro.results import FailedResult, RunResult
 from repro.scenarios.spec import ScenarioSpec
+from repro.telemetry.ledger import record_run, resolve_ledger_dir
+from repro.telemetry.trace import trace
 
 __all__ = [
     "clear_result_cache",
@@ -205,12 +207,14 @@ def _lookup_layers(
     validate: bool,
     cache: bool,
     cache_dir: str | Path | None,
-) -> RunResult | None:
+) -> tuple[RunResult | None, str | None]:
     """Consult both cache layers and keep them in sync on a hit.
 
     A memory hit still owes the disk layer its entry (otherwise a
     later session could not resume from it); a disk hit backfills the
-    in-process cache.
+    in-process cache.  Returns ``(result, layer)`` with ``layer`` one
+    of ``"memory"`` / ``"disk"`` on a hit (the run ledger records the
+    disposition), ``(None, None)`` on a miss.
     """
     if cache:
         hit = _cache_lookup(fingerprint, spec, validate)
@@ -219,14 +223,14 @@ def _lookup_layers(
                 cache_dir, fingerprint
             ).exists():
                 _disk_store(cache_dir, fingerprint, hit, validate)
-            return hit
+            return hit, "memory"
     if cache_dir is not None:
         hit = _disk_lookup(cache_dir, fingerprint, spec, validate)
         if hit is not None:
             if cache:
                 _cache_store(fingerprint, hit, validate)
-            return hit
-    return None
+            return hit, "disk"
+    return None, None
 
 
 def _execute_once(spec: RunSpec, fingerprint: str, validate: bool) -> RunResult:
@@ -254,7 +258,11 @@ def _execute_once(spec: RunSpec, fingerprint: str, validate: bool) -> RunResult:
 
 
 def _execute_with_policy(
-    spec: RunSpec, fingerprint: str, validate: bool, policy: FailurePolicy
+    spec: RunSpec,
+    fingerprint: str,
+    validate: bool,
+    policy: FailurePolicy,
+    observed: dict[str, Any] | None = None,
 ) -> RunResult:
     """Drive the attempt loop: deadline, retries, backoff, capture.
 
@@ -265,6 +273,11 @@ def _execute_with_policy(
     exception into a :class:`~repro.results.FailedResult`.  A spec
     that succeeds (on any attempt) returns its ordinary result,
     unchanged: retried successes are byte-identical to first-try ones.
+
+    ``observed``, when given, receives the out-of-band accounting the
+    run ledger records (``attempts``: which attempt succeeded) —
+    deliberately not part of the result, which stays byte-identical
+    regardless of retries.
     """
     started = time.perf_counter()
     last_exc: Exception | None = None
@@ -272,10 +285,18 @@ def _execute_with_policy(
     for attempt in range(1, policy.attempts + 1):
         try:
             with execution_deadline(policy.timeout_s):
-                hook = _FAULT_HOOK
-                if hook is not None:
-                    hook(fingerprint, attempt)
-                return _execute_once(spec, fingerprint, validate)
+                with trace(
+                    "run.attempt",
+                    fingerprint=fingerprint[:12],
+                    attempt=attempt,
+                ):
+                    hook = _FAULT_HOOK
+                    if hook is not None:
+                        hook(fingerprint, attempt)
+                    result = _execute_once(spec, fingerprint, validate)
+            if observed is not None:
+                observed["attempts"] = attempt
+            return result
         except Exception as exc:
             last_exc = exc
             last_traceback = "".join(
@@ -284,7 +305,13 @@ def _execute_with_policy(
             if attempt < policy.attempts:
                 delay = backoff_delay(policy, fingerprint, attempt)
                 if delay > 0:
-                    _failures._sleep(delay)
+                    with trace(
+                        "run.backoff",
+                        fingerprint=fingerprint[:12],
+                        attempt=attempt,
+                        delay_s=delay,
+                    ):
+                        _failures._sleep(delay)
     assert last_exc is not None
     if not policy.captures:
         raise last_exc
@@ -311,6 +338,7 @@ def run(
     cache_max_entries: int | None = None,
     on_error: str | FailurePolicy = "raise",
     engine: str | None = None,
+    ledger_dir: str | Path | None = None,
     _fingerprint: str | None = None,
 ) -> RunResult:
     """Execute one spec and return its fingerprinted, validated result.
@@ -335,6 +363,15 @@ def run(
     choice never changes results, so it never enters fingerprints and
     a result computed under one engine is a cache hit for every other.
 
+    ``ledger_dir`` appends one observational record per resolution
+    (executed / cache hit / captured failure) to the run ledger there
+    (see :mod:`repro.telemetry.ledger`); ``None`` falls back to the
+    ambient :func:`repro.telemetry.ledger.ledger_context` directory,
+    and recording is off when neither is set.  Like ``engine``, the
+    ledger is executor state: it never enters fingerprints and never
+    changes results — a run with the ledger on is byte-identical to
+    one without.
+
     A spec carrying a non-identity scenario routes through
     :func:`repro.scenarios.executor.execute_scenario` — same result
     type, same caches, same fingerprint discipline; the identity
@@ -346,14 +383,49 @@ def run(
         # Validate before the cache lookup so a typo'd engine raises
         # whether or not the spec happens to be cached.
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    ledger = resolve_ledger_dir(ledger_dir)
     fingerprint = spec.fingerprint() if _fingerprint is None else _fingerprint
-    hit = _lookup_layers(fingerprint, spec, validate, cache, cache_dir)
+    hit, layer = _lookup_layers(fingerprint, spec, validate, cache, cache_dir)
     if hit is not None:
+        record_run(
+            ledger,
+            spec=spec,
+            fingerprint=fingerprint,
+            disposition=f"cache_{layer}",
+            result=hit,
+            attempts=0,
+            engine=engine,
+        )
         return hit
-    with engine_override(engine):
-        result = _execute_with_policy(spec, fingerprint, validate, policy)
+    observed: dict[str, Any] = {}
+    started = time.perf_counter()
+    with engine_override(engine) as active_engine:
+        result = _execute_with_policy(
+            spec, fingerprint, validate, policy, observed
+        )
+    wall_clock_s = time.perf_counter() - started
     if result.is_failure():
+        record_run(
+            ledger,
+            spec=spec,
+            fingerprint=fingerprint,
+            disposition="failed",
+            result=result,
+            attempts=policy.attempts,
+            wall_clock_s=wall_clock_s,
+            engine=active_engine,
+        )
         return result
+    record_run(
+        ledger,
+        spec=spec,
+        fingerprint=fingerprint,
+        disposition="executed",
+        result=result,
+        attempts=observed.get("attempts", 1),
+        wall_clock_s=wall_clock_s,
+        engine=active_engine,
+    )
     if cache:
         _cache_store(fingerprint, result, validate)
     if cache_dir is not None:
@@ -364,7 +436,9 @@ def run(
 
 
 def _run_in_worker(
-    payload: tuple[dict[str, Any], bool, dict[str, Any] | None, str | None]
+    payload: tuple[
+        dict[str, Any], bool, dict[str, Any] | None, str | None, str | None
+    ]
 ) -> RunResult:
     """Pool entry point: rebuild the spec from its dict form and run it.
 
@@ -372,10 +446,13 @@ def _run_in_worker(
     (and its retries/deadline) happens *inside* the worker — the
     traceback the failure record digests is the algorithm's, identical
     to what a serial run would have captured.  The engine selection
-    rides along the same way (it is per-call executor state, not spec
-    state, so the worker must be told explicitly).
+    and the ledger directory ride along the same way (both are
+    per-call executor state, not spec state, so the worker must be
+    told explicitly) — ledger records are written at the execution
+    site, so a pooled batch produces the same rows a serial one does,
+    stamped with the worker's own pid.
     """
-    spec_dict, validate, policy_dict, engine = payload
+    spec_dict, validate, policy_dict, engine, ledger_dir = payload
     policy = (
         FailurePolicy.from_dict(policy_dict)
         if policy_dict is not None
@@ -387,6 +464,7 @@ def _run_in_worker(
         cache=False,
         on_error=policy,
         engine=engine,
+        ledger_dir=ledger_dir,
     )
 
 
@@ -400,6 +478,7 @@ def run_many_iter(
     cache_max_entries: int | None = None,
     on_error: str | FailurePolicy = "raise",
     engine: str | None = None,
+    ledger_dir: str | Path | None = None,
 ) -> Iterator[tuple[int, RunResult]]:
     """Execute many specs, yielding ``(index, result)`` as runs finish.
 
@@ -422,6 +501,12 @@ def run_many_iter(
     Streaming changes *when* results surface, never *what* they are:
     collecting the pairs into spec order reproduces the serial
     ``run_many`` list byte-for-byte.
+
+    ``ledger_dir`` (or the ambient
+    :func:`~repro.telemetry.ledger.ledger_context`) records one run
+    record per resolved fingerprint — at the execution site even under
+    ``parallel > 1``, so the deterministic core of the records matches
+    serial execution; see :func:`run`.
     """
     try:
         yield from _run_many_iter_inner(
@@ -432,6 +517,7 @@ def run_many_iter(
             cache_dir=cache_dir,
             policy=resolve_policy(on_error),
             engine=engine,
+            ledger_dir=resolve_ledger_dir(ledger_dir),
         )
     finally:
         # One prune per batch (not per store) — in a finally so the
@@ -468,6 +554,7 @@ def _run_many_iter_inner(
     cache_dir: str | Path | None,
     policy: FailurePolicy,
     engine: str | None = None,
+    ledger_dir: str | None = None,
 ) -> Iterator[tuple[int, RunResult]]:
     ordered = list(specs)
     fingerprints = [spec.fingerprint() for spec in ordered]
@@ -488,8 +575,17 @@ def _run_many_iter_inner(
     for fingerprint, spec in zip(fingerprints, ordered):
         if fingerprint in resolved or fingerprint in todo:
             continue
-        hit = _lookup_layers(fingerprint, spec, validate, cache, cache_dir)
+        hit, layer = _lookup_layers(fingerprint, spec, validate, cache, cache_dir)
         if hit is not None:
+            record_run(
+                ledger_dir,
+                spec=spec,
+                fingerprint=fingerprint,
+                disposition=f"cache_{layer}",
+                result=hit,
+                attempts=0,
+                engine=engine,
+            )
             resolved.add(fingerprint)
             yield from emissions(fingerprint, hit)
         else:
@@ -505,6 +601,7 @@ def _run_many_iter_inner(
                     cache_dir=cache_dir,
                     on_error=policy,
                     engine=engine,
+                    ledger_dir=ledger_dir,
                     _fingerprint=fingerprint,
                 )
             except Exception as exc:
@@ -520,7 +617,7 @@ def _run_many_iter_inner(
             futures = {
                 pool.submit(
                     _run_in_worker,
-                    (spec.to_dict(), validate, policy_dict, engine),
+                    (spec.to_dict(), validate, policy_dict, engine, ledger_dir),
                 ): fingerprint
                 for fingerprint, spec in todo.items()
             }
@@ -554,6 +651,7 @@ def run_many(
     cache_max_entries: int | None = None,
     on_error: str | FailurePolicy = "raise",
     engine: str | None = None,
+    ledger_dir: str | Path | None = None,
 ) -> list[RunResult]:
     """Execute many specs, optionally fanning out over processes.
 
@@ -590,6 +688,8 @@ def run_many(
         cache_dir=cache_dir,
         cache_max_entries=cache_max_entries,
         on_error=on_error,
+        engine=engine,
+        ledger_dir=ledger_dir,
     ):
         results[index] = result
     return results  # type: ignore[return-value]

@@ -63,6 +63,7 @@ from repro.cluster.queue import (
 )
 from repro.cluster.worker import (
     dead_letter_path,
+    ledger_dir_of,
     load_dead_letters,
     load_shard_timing,
     timing_path,
@@ -199,6 +200,65 @@ def load_worker_events(job_dir: str | Path) -> list[dict[str, Any]]:
     return [event for event in payload if isinstance(event, dict)]
 
 
+def _ledger_shard_stats(job_dir: str | Path, plan) -> dict[str, dict[str, int]]:
+    """Per-shard attempt/retry accounting from the job's run ledger.
+
+    Groups the ``kind: "run"`` records under ``<job>/ledger/`` by
+    spec fingerprint (keeping the **max** attempts seen per spec — a
+    spec re-executed after a worker death would otherwise double
+    count), then rolls them up by the plan's shard assignment.
+    Observational like the timing sidecars: a missing or foreign
+    ledger simply yields no entry for a shard, never an error.
+    """
+    from repro.telemetry.ledger import read_ledger_rows
+
+    known = set(plan.fingerprints)
+    per_spec: dict[str, dict[str, int]] = {}
+    for row in read_ledger_rows(ledger_dir_of(job_dir)):
+        if row.get("kind") != "run":
+            continue
+        fingerprint = row.get("fingerprint")
+        if fingerprint not in known:
+            continue
+        attempts = row.get("attempts")
+        attempts = (
+            attempts
+            if isinstance(attempts, int) and not isinstance(attempts, bool)
+            else 0
+        )
+        info = per_spec.setdefault(
+            fingerprint,
+            {"attempts": 0, "executed": 0, "cache_hits": 0, "failed": 0},
+        )
+        disposition = row.get("disposition")
+        if disposition in ("executed", "failed"):
+            info["executed"] += 1
+            info["attempts"] = max(info["attempts"], attempts)
+            if disposition == "failed":
+                info["failed"] += 1
+        elif disposition in ("cache_memory", "cache_disk"):
+            info["cache_hits"] += 1
+    stats: dict[str, dict[str, int]] = {}
+    for fingerprint, info in per_spec.items():
+        shard = str(plan.shard_of(fingerprint))
+        entry = stats.setdefault(
+            shard,
+            {
+                "specs_recorded": 0,
+                "attempts": 0,
+                "retries": 0,
+                "cache_hits": 0,
+                "failed": 0,
+            },
+        )
+        entry["specs_recorded"] += 1
+        entry["attempts"] += info["attempts"]
+        entry["retries"] += max(0, info["attempts"] - 1)
+        entry["cache_hits"] += info["cache_hits"]
+        entry["failed"] += min(1, info["failed"])
+    return dict(sorted(stats.items(), key=lambda item: int(item[0])))
+
+
 def job_status(
     job_dir: str | Path,
     *,
@@ -220,6 +280,13 @@ def job_status(
     ``specs_per_s``, publishing ``worker``), running shards report
     ``elapsed_s`` since their lease was claimed.  Timing is
     observational: a missing or foreign sidecar simply has no entry.
+
+    ``ledger`` maps each shard (string key) to the attempt/retry
+    account derived from the job's run ledger
+    (:func:`_ledger_shard_stats`): recorded specs, total attempts,
+    retries beyond the first attempt, cache replays, and failed specs
+    — the columns ``shard status`` shows next to wall-clock and
+    specs/sec.
     """
     plan = load_plan(job_dir)
     queue = ShardQueue(job_dir, lease_ttl=lease_ttl, clock=clock)
@@ -269,6 +336,7 @@ def job_status(
             "specs_total": len(plan.assignment[shard]),
         }
     status["timing"] = timing
+    status["ledger"] = _ledger_shard_stats(job_dir, plan)
     letters = load_dead_letters(
         job_dir, plan_fingerprint=plan.plan_fingerprint()
     )

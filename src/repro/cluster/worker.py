@@ -57,9 +57,14 @@ from repro.cluster.planner import (
 )
 from repro.cluster.queue import DEFAULT_LEASE_TTL, ShardQueue, result_path
 from repro.results import FailedResult, fingerprint_of
+from repro.telemetry.trace import trace
 
 #: Subdirectory of the job dir all workers spill per-spec results into.
 CACHE_SUBDIR = "cache"
+
+#: Subdirectory all workers append run-ledger records into (defaulted
+#: on by :func:`run_shard`; observational, like ``timings/``).
+LEDGER_SUBDIR = "ledger"
 
 #: Subdirectory holding dead-letter records of captured spec failures
 #: (one sealed JSON per failed spec fingerprint, next to ``results/``).
@@ -77,6 +82,11 @@ TIMING_SUBDIR = "timings"
 def cache_dir_of(job_dir: str | Path) -> Path:
     """The job's shared per-spec result cache (intra-shard resume)."""
     return Path(job_dir) / CACHE_SUBDIR
+
+
+def ledger_dir_of(job_dir: str | Path) -> Path:
+    """The job's shared run-ledger directory (one file per worker pid)."""
+    return Path(job_dir) / LEDGER_SUBDIR
 
 
 def timing_path(job_dir: str | Path, shard: int) -> Path:
@@ -268,6 +278,13 @@ def run_shard(
     Failures already quarantined in ``failed/`` are reused (never
     re-looped); fresh captured failures are quarantined as they stream
     out and recorded in the shard's result file alongside successes.
+
+    The run ledger is defaulted **on**: every spec this shard resolves
+    (execution, cache replay, captured failure) appends a record under
+    ``<job_dir>/ledger/`` — the raw material of ``python -m repro
+    report`` and the ledger columns of ``shard status``.  Ledger
+    records are observational and best-effort; they never enter the
+    sealed result file.
     """
     policy = resolve_policy(on_error)
     started_at = time.time()
@@ -286,21 +303,24 @@ def run_shard(
             todo.append((fingerprint, spec))
     if todo:
         batch = [spec for _, spec in todo]
-        for index, result in run_many_iter(
-            batch,
-            parallel=1,
-            validate=validate,
-            cache=False,  # worker processes are short-lived; disk is the memo
-            cache_dir=cache_dir_of(job_dir),
-            on_error=policy,
-        ):
-            if result.is_failure():
-                quarantine_failure(job_dir, plan_fingerprint, result)
-            results[todo[index][0]] = result.to_dict()
-            executed += 1
-            if not queue.heartbeat(shard):
-                return None
-    publish_shard_result(job_dir, shard, plan_fingerprint, results)
+        with trace("shard.drain", shard=shard, specs=len(batch)):
+            for index, result in run_many_iter(
+                batch,
+                parallel=1,
+                validate=validate,
+                cache=False,  # worker processes are short-lived; disk is the memo
+                cache_dir=cache_dir_of(job_dir),
+                on_error=policy,
+                ledger_dir=ledger_dir_of(job_dir),
+            ):
+                if result.is_failure():
+                    quarantine_failure(job_dir, plan_fingerprint, result)
+                results[todo[index][0]] = result.to_dict()
+                executed += 1
+                if not queue.heartbeat(shard):
+                    return None
+    with trace("shard.publish", shard=shard):
+        publish_shard_result(job_dir, shard, plan_fingerprint, results)
     record_shard_timing(
         job_dir,
         shard,
@@ -388,7 +408,12 @@ def work_loop(
             if max_shards is not None and len(completed) >= max_shards:
                 progressed = False
                 break
-            if shard_done(shard) or not queue.claim(shard):
+            if shard_done(shard):
+                continue
+            with trace("shard.claim", shard=shard) as span:
+                claimed = queue.claim(shard)
+                span.annotate(claimed=claimed)
+            if not claimed:
                 continue
             executed = run_shard(
                 job_dir,

@@ -23,6 +23,11 @@ library's contracts:
    the *same* fault plan and policy reproduces the sharded run's
    output byte for byte, failure slots included: failure capture obeys
    the same serial == parallel == sharded discipline as success.
+5. **Honest ledger** — the job's run ledger (defaulted on by cluster
+   workers) accounts for every distinct spec even under injected
+   chaos: doomed fingerprints carry ``failed`` records with the
+   policy's full attempt budget, and the flaky spec's executions
+   record exactly the one extra attempt its recovery cost.
 
 Exposed as ``python -m repro chaos --smoke`` (a CI step).  The whole
 run is a pure function of ``seed``.
@@ -48,6 +53,7 @@ from repro.faults.injector import (
 from repro.faults.spec import FaultPlan, make_fault
 from repro.results import canonical_json
 from repro.scenarios.spec import ScenarioSpec
+from repro.telemetry.ledger import read_ledger_rows
 
 #: Per-attempt deadline in the smoke's failure policy; the hang fault
 #: sleeps well past it so both attempts time out deterministically.
@@ -127,6 +133,7 @@ def chaos_smoke(seed: int = 0) -> dict[str, Any]:
     )
     poison_target = plan.of_kind("poison")[0].params["target"]
     hang_target = plan.of_kind("hang")[0].params["target"]
+    flaky_target = plan.of_kind("flaky")[0].params["target"]
     doomed = {poison_target, hang_target}
 
     # Fault-free serial baseline: what every surviving slot must equal.
@@ -150,6 +157,13 @@ def chaos_smoke(seed: int = 0) -> dict[str, Any]:
                 worker_env=env_with_faults(plan),
             )
         status = job_status(job_dir)
+        # The ledger lives inside the temporary job directory — read
+        # it before the directory evaporates.
+        ledger_rows = [
+            row
+            for row in read_ledger_rows(f"{job_dir}/ledger")
+            if row.get("kind") == "run"
+        ]
 
     if len(merged) != len(specs):
         raise ClusterError(
@@ -218,6 +232,53 @@ def chaos_smoke(seed: int = 0) -> dict[str, Any]:
                 "records are not reproducible"
             )
 
+    # Contract 5: the run ledger accounts for the chaos honestly.
+    # Workers (and the coordinator's drain) default the ledger on, so
+    # every distinct fingerprint must have at least one record; doomed
+    # specs must carry 'failed' records at the policy's full attempt
+    # budget; the flaky spec fails exactly its first attempt in every
+    # process, so each of its executions records one extra attempt.
+    recorded = {row["fingerprint"] for row in ledger_rows}
+    missing = set(fingerprints) - recorded
+    if missing:
+        raise ClusterError(
+            f"chaos ledger is missing records for {sorted(f[:12] for f in missing)}"
+        )
+    for target in sorted(doomed):
+        failed_rows = [
+            row
+            for row in ledger_rows
+            if row["fingerprint"] == target and row["disposition"] == "failed"
+        ]
+        if not failed_rows:
+            raise ClusterError(
+                f"chaos ledger has no 'failed' record for doomed spec "
+                f"{target[:12]}"
+            )
+        if any(row["attempts"] != policy.attempts for row in failed_rows):
+            raise ClusterError(
+                f"chaos ledger records attempts "
+                f"{sorted(row['attempts'] for row in failed_rows)} for doomed "
+                f"spec {target[:12]}, expected {policy.attempts} everywhere"
+            )
+    flaky_executed = [
+        row
+        for row in ledger_rows
+        if row["fingerprint"] == flaky_target
+        and row["disposition"] == "executed"
+    ]
+    if not flaky_executed:
+        raise ClusterError(
+            f"chaos ledger has no 'executed' record for flaky spec "
+            f"{flaky_target[:12]}"
+        )
+    if any(row["attempts"] != 2 for row in flaky_executed):
+        raise ClusterError(
+            f"chaos ledger records attempts "
+            f"{sorted(row['attempts'] for row in flaky_executed)} for flaky "
+            "spec, expected 2 (one injected failure + the recovery)"
+        )
+
     kill_events = [
         event
         for event in status["worker_events"]
@@ -231,6 +292,8 @@ def chaos_smoke(seed: int = 0) -> dict[str, Any]:
         "failed_fingerprints": sorted(f[:12] for f in doomed),
         "survivors_byte_identical": True,
         "failures_reproducible": True,
+        "ledger_records": len(ledger_rows),
+        "ledger_accounts_all_specs": True,
         "worker_kills_observed": len(kill_events),
         "worker_events": status["worker_events"],
     }

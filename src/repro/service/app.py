@@ -46,12 +46,18 @@ from repro.cluster.coordinator import job_status, run_sharded_iter
 from repro.cluster.planner import plan_shards
 from repro.errors import ClusterError
 from repro.results import RunResult
+from repro.telemetry.ledger import record_run
+from repro.telemetry.metrics import MetricsRegistry
 
 #: Subdirectory of the service data dir holding the single-run cache.
 CACHE_SUBDIR = "cache"
 
 #: Subdirectory holding one cluster job directory per submitted batch.
 JOBS_SUBDIR = "jobs"
+
+#: Subdirectory holding the service's run ledger (single runs; each
+#: job keeps its own ledger under ``jobs/<id>/ledger/``).
+LEDGER_SUBDIR = "ledger"
 
 
 class _InFlight:
@@ -171,11 +177,13 @@ class ReproService:
         self.data_dir = Path(data_dir)
         self.cache_dir = self.data_dir / CACHE_SUBDIR
         self.jobs_dir = self.data_dir / JOBS_SUBDIR
+        self.ledger_dir = self.data_dir / LEDGER_SUBDIR
         self.validate = validate
         self.cache_max_entries = cache_max_entries
         self.max_local_workers = max_local_workers
         self.default_shards = default_shards
         self.started_at = time.time()
+        self.metrics = MetricsRegistry()
         self._inflight: dict[str, _InFlight] = {}
         self._inflight_lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
@@ -210,7 +218,21 @@ class ReproService:
             if entry.error is not None:
                 raise entry.error
             assert entry.result is not None
-            return fingerprint, copy.deepcopy(entry.result), "coalesced"
+            result = copy.deepcopy(entry.result)
+            # Followers never reach the executor, so the executor's
+            # ledger records nothing for them — the service writes the
+            # "coalesced" disposition itself (observational, like every
+            # ledger record).
+            record_run(
+                self.ledger_dir,
+                spec=spec,
+                fingerprint=fingerprint,
+                disposition="coalesced",
+                result=result,
+                attempts=0,
+            )
+            self._observe_run("coalesced", result)
+            return fingerprint, result, "coalesced"
         cached = disk_path(self.cache_dir, fingerprint).exists()
         try:
             result = run(
@@ -220,6 +242,7 @@ class ReproService:
                 cache_dir=self.cache_dir,
                 cache_max_entries=self.cache_max_entries,
                 on_error="capture",
+                ledger_dir=self.ledger_dir,
                 _fingerprint=fingerprint,
             )
             entry.result = result
@@ -230,7 +253,14 @@ class ReproService:
             with self._inflight_lock:
                 self._inflight.pop(fingerprint, None)
             entry.event.set()
-        return fingerprint, result, "cache" if cached else "executed"
+        source = "cache" if cached else "executed"
+        self._observe_run(source, result)
+        return fingerprint, result, source
+
+    def _observe_run(self, source: str, result: RunResult) -> None:
+        self.metrics.observe_run(source)
+        if result.is_failure():
+            self.metrics.observe_run("failed")
 
     def inflight_waiters(self, fingerprint: str) -> int:
         """Followers currently blocked on this fingerprint's leader.
@@ -269,6 +299,7 @@ class ReproService:
         with self._jobs_lock:
             existing = self._jobs.get(job_id)
             if existing is not None and existing.state != "failed":
+                self.metrics.observe_job(created=False)
                 return existing, False
             job = Job(
                 job_id,
@@ -285,7 +316,9 @@ class ReproService:
             daemon=True,
         )
         thread.start()
-        return job, existing is None
+        created = existing is None
+        self.metrics.observe_job(created=created)
+        return job, created
 
     def _drive_job(self, job: Job) -> None:
         """Background driver: stream the sharded run into the slots."""
@@ -326,17 +359,28 @@ class ReproService:
     # -- health -----------------------------------------------------------
 
     def health(self) -> dict[str, Any]:
-        """The ``GET /v1/healthz`` body: liveness plus a load sketch."""
+        """The ``GET /v1/healthz`` body: liveness plus the real load.
+
+        Every figure is measured, sourced from the same places the
+        metrics endpoint reads: uptime from the metrics registry's
+        start stamp, ``active_requests`` from its in-handler gauge
+        (includes this very request), ``inflight_runs`` from the
+        coalescing table, per-state job counts from the registry of
+        live jobs, and the lifetime request total.
+        """
         with self._jobs_lock:
             jobs = list(self._jobs.values())
         with self._inflight_lock:
             inflight = len(self._inflight)
         states: dict[str, int] = {}
         for job in jobs:
-            states[job.state] = states.get(job.state, 0) + 1
+            snapshot = job.snapshot()
+            states[snapshot["state"]] = states.get(snapshot["state"], 0) + 1
         return {
             "ok": True,
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": round(self.metrics.uptime_s(), 3),
+            "active_requests": self.metrics.active_requests(),
+            "requests_total": self.metrics.requests_total(),
             "inflight_runs": inflight,
             "jobs": {"total": len(jobs), **states},
         }

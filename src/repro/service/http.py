@@ -14,7 +14,8 @@ Routes (all JSON in, JSON out)::
     GET  /v1/jobs/<id>           progress + cluster status
     GET  /v1/jobs/<id>/stream    NDJSON of {index, result}, batch order
     GET  /v1/registry            families / algorithms / policies / models
-    GET  /v1/healthz             liveness + load sketch
+    GET  /v1/healthz             liveness + measured load
+    GET  /v1/metrics             request counts, run split, latency histograms
 
 Contract details the tests pin:
 
@@ -29,20 +30,42 @@ Contract details the tests pin:
 * The stream endpoint speaks HTTP/1.0 with ``Connection: close`` and
   no Content-Length: each line is flushed as its slot fills, and EOF
   marks the end of the batch — readable with nothing but ``urllib``.
+* Every response carries ``X-Repro-Elapsed-Ms`` (wall-clock from
+  dispatch to the response headers; a streamed response stamps the
+  time to stream *start*), and every finished request feeds the
+  service's :class:`~repro.telemetry.metrics.MetricsRegistry` under
+  its normalized route (``GET /v1/jobs/<id>`` — never raw ids).
 """
 
 from __future__ import annotations
 
 import json
 import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.api.spec import RunSpec
 from repro.errors import ReproError
 from repro.service.app import ReproService, registry_payload
+from repro.telemetry.trace import trace
 
 _JOB_ROUTE = re.compile(r"^/v1/jobs/(?P<job>[0-9a-f]{64})(?P<stream>/stream)?$")
+
+
+def _endpoint_label(path: str) -> str:
+    """Collapse a request path onto its route template for metrics.
+
+    Job ids must not explode the per-endpoint metric space, so both
+    job routes normalize to placeholder labels; paths that match no
+    route at all pool under ``<other>``.
+    """
+    if path in ("/v1/run", "/v1/jobs", "/v1/registry", "/v1/healthz", "/v1/metrics"):
+        return path
+    match = _JOB_ROUTE.match(path)
+    if match:
+        return "/v1/jobs/<id>/stream" if match.group("stream") else "/v1/jobs/<id>"
+    return "<other>"
 
 
 class _HttpError(Exception):
@@ -97,6 +120,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if not self.quiet:
             super().log_message(format, *args)
 
+    def _elapsed_ms(self) -> float:
+        started = getattr(self, "_dispatch_started", None)
+        if started is None:
+            return 0.0
+        return (time.perf_counter() - started) * 1000.0
+
     def _send_json(
         self,
         status: int,
@@ -105,9 +134,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         headers: dict[str, str] | None = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True, default=repr).encode()
+        self._status_sent = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Repro-Elapsed-Ms", f"{self._elapsed_ms():.3f}")
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -137,24 +168,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         path = self.path.split("?", 1)[0]
+        endpoint = _endpoint_label(path)
+        self._dispatch_started = time.perf_counter()
+        self._status_sent = 0  # 0 = aborted before any response was sent
+        metrics = self.service.metrics
+        metrics.request_started()
         try:
-            if method == "GET" and path == "/v1/healthz":
-                self._send_json(200, self.service.health())
-            elif method == "GET" and path == "/v1/registry":
-                self._send_json(200, registry_payload())
-            elif method == "POST" and path == "/v1/run":
-                self._handle_run()
-            elif method == "POST" and path == "/v1/jobs":
-                self._handle_submit()
-            elif method == "GET" and (match := _JOB_ROUTE.match(path)):
-                if match.group("stream"):
-                    self._handle_stream(match.group("job"))
-                else:
-                    self._handle_job_status(match.group("job"))
-            else:
-                raise _HttpError(
-                    404, "not_found", f"no route for {method} {path}"
-                )
+            with trace("http.request", method=method, endpoint=endpoint):
+                self._route(method, path)
         except _HttpError as err:
             self._send_json(err.status, err.payload)
         except (BrokenPipeError, ConnectionError):
@@ -170,6 +191,31 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 )
             except (BrokenPipeError, ConnectionError):
                 pass
+        finally:
+            metrics.request_finished(
+                endpoint, method, self._status_sent, self._elapsed_ms()
+            )
+
+    def _route(self, method: str, path: str) -> None:
+        if method == "GET" and path == "/v1/healthz":
+            self._send_json(200, self.service.health())
+        elif method == "GET" and path == "/v1/metrics":
+            self._send_json(200, self.service.metrics.snapshot())
+        elif method == "GET" and path == "/v1/registry":
+            self._send_json(200, registry_payload())
+        elif method == "POST" and path == "/v1/run":
+            self._handle_run()
+        elif method == "POST" and path == "/v1/jobs":
+            self._handle_submit()
+        elif method == "GET" and (match := _JOB_ROUTE.match(path)):
+            if match.group("stream"):
+                self._handle_stream(match.group("job"))
+            else:
+                self._handle_job_status(match.group("job"))
+        else:
+            raise _HttpError(
+                404, "not_found", f"no route for {method} {path}"
+            )
 
     # -- endpoints --------------------------------------------------------
 
@@ -265,9 +311,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         stream with a single ``{"error": ...}`` line.
         """
         job = self._job_of(job_id)
+        self._status_sent = 200
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("X-Repro-Fingerprint", job.id)
+        self.send_header("X-Repro-Elapsed-Ms", f"{self._elapsed_ms():.3f}")
         self.end_headers()
         for index in range(len(job.specs)):
             slot = job.wait_slot(index)

@@ -19,6 +19,10 @@ service's two headline contracts plus the request-hygiene ones:
    a poison spec round-trips as a captured
    :class:`~repro.results.FailedResult` (HTTP 200, ``failed: true``);
    health and registry endpoints answer.
+4. **Observability** — every response carries ``X-Repro-Elapsed-Ms``;
+   ``GET /v1/metrics`` reports the executed/coalesced/cache run split
+   the earlier checks actually caused, with per-endpoint latency
+   histograms; ``GET /v1/healthz`` reports measured uptime and load.
 
 Any breach raises :class:`~repro.errors.ServiceError`.
 """
@@ -246,6 +250,72 @@ def _check_hygiene(base: str) -> None:
     )
 
 
+def _check_observability(base: str, *, clients: int) -> dict[str, Any]:
+    """Contract 4: metrics reflect reality; every response is stamped.
+
+    Runs *after* the other checks so the counters have known floors:
+    the idempotency check performed exactly one execution, ``clients -
+    1`` coalesced joins, and one cache replay on ``POST /v1/run``.
+    """
+    status, body, headers = _request("GET", base + "/v1/metrics")
+    _expect(status == 200, f"metrics returned {status}, expected 200")
+    elapsed = headers.get("X-Repro-Elapsed-Ms")
+    _expect(
+        elapsed is not None and float(elapsed) >= 0.0,
+        "X-Repro-Elapsed-Ms header missing on the metrics response",
+    )
+    runs = body.get("runs", {})
+    _expect(
+        runs.get("executed", 0) >= 1
+        and runs.get("coalesced", 0) == clients - 1
+        and runs.get("cache", 0) >= 1,
+        f"run split {runs} does not reflect the coalescing check "
+        f"(expected >=1 executed, {clients - 1} coalesced, >=1 cache)",
+    )
+    run_metrics = body.get("requests", {}).get("POST /v1/run")
+    _expect(
+        run_metrics is not None and run_metrics["count"] >= clients + 1,
+        "POST /v1/run request count missing or below the traffic sent",
+    )
+    latency = (run_metrics or {}).get("latency_ms", {})
+    histogram = latency.get("histogram", {})
+    _expect(
+        sum(histogram.values()) == run_metrics["count"]
+        and latency.get("p50") is not None,
+        f"POST /v1/run latency histogram inconsistent: {latency}",
+    )
+    _expect(
+        body.get("requests_total", 0) >= run_metrics["count"],
+        "requests_total below the per-endpoint count",
+    )
+    # Health reports measured figures sourced from the same registry.
+    status, health, headers = _request("GET", base + "/v1/healthz")
+    _expect(
+        status == 200
+        and isinstance(health.get("uptime_s"), (int, float))
+        and health["uptime_s"] >= 0.0
+        and isinstance(health.get("requests_total"), int)
+        and health["requests_total"] >= run_metrics["count"]
+        and health.get("active_requests", 0) >= 1,  # this very request
+        f"healthz load figures not measured: {health}",
+    )
+    _expect(
+        health.get("inflight_runs") == 0,
+        f"healthz inflight_runs {health.get('inflight_runs')} with no "
+        "run in flight",
+    )
+    _expect(
+        headers.get("X-Repro-Elapsed-Ms") is not None,
+        "X-Repro-Elapsed-Ms header missing on healthz",
+    )
+    return {
+        "metrics_requests_total": body["requests_total"],
+        "run_split": {
+            key: runs.get(key, 0) for key in ("executed", "coalesced", "cache")
+        },
+    }
+
+
 def _check_streaming_job(base: str) -> dict[str, Any]:
     """Contract 2: sharded multi-worker stream == serial run_many."""
     specs = _smoke_batch()
@@ -336,6 +406,7 @@ def smoke_check(*, clients: int = 6) -> dict[str, Any]:
             )
             _check_hygiene(base)
             streaming = _check_streaming_job(base)
+            observability = _check_observability(base, clients=clients)
         finally:
             server.shutdown()
             server.server_close()
@@ -343,5 +414,6 @@ def smoke_check(*, clients: int = 6) -> dict[str, Any]:
         "address": base,
         **idempotency,
         **streaming,
+        **observability,
         "hygiene": "400s strict, poison captured, health/registry live",
     }

@@ -1,0 +1,54 @@
+"""Observability: run ledger, span tracing, and fleet metrics.
+
+Everything in this package is **observational**: it records what ran
+where, under which environment, at what cost — and none of it may ever
+feed back into results.  The invariant (mirroring the cluster layer's
+timing sidecars) is:
+
+    observational data never enters fingerprints or sealed files.
+
+Three surfaces:
+
+* :mod:`repro.telemetry.ledger` — one append-only JSONL record per
+  executed spec (environment snapshot, disposition, wall-clock,
+  attempts, rounds/messages), written through the executor's
+  ``ledger_dir=`` seam and defaulted on by cluster workers.
+* :mod:`repro.telemetry.trace` — a zero-dependency ``trace`` context
+  manager emitting nested spans into the same ledger stream, with a
+  no-op fast path when disabled.
+* :mod:`repro.telemetry.metrics` — the in-process registry behind the
+  service's ``GET /v1/metrics`` and the real ``/v1/healthz`` load
+  figures.
+* :mod:`repro.telemetry.report` — the fleet rollup behind
+  ``python -m repro report``.
+"""
+
+from repro.telemetry.ledger import (
+    LEDGER_FORMAT,
+    LedgerWriter,
+    active_ledger_dir,
+    ledger_context,
+    read_ledger_rows,
+    record_run,
+    snapshot_environment,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.report import format_report, report_smoke, rollup
+from repro.telemetry.trace import trace, trace_context, tracing_enabled
+
+__all__ = [
+    "LEDGER_FORMAT",
+    "LedgerWriter",
+    "MetricsRegistry",
+    "active_ledger_dir",
+    "format_report",
+    "ledger_context",
+    "read_ledger_rows",
+    "record_run",
+    "report_smoke",
+    "rollup",
+    "snapshot_environment",
+    "trace",
+    "trace_context",
+    "tracing_enabled",
+]

@@ -1,0 +1,181 @@
+"""The service's in-process metrics registry.
+
+One :class:`MetricsRegistry` lives on each
+:class:`repro.service.app.ReproService`; the HTTP layer feeds it a
+record per finished request and the application layer feeds it run and
+job dispositions.  ``GET /v1/metrics`` serves :meth:`snapshot`
+verbatim and ``GET /v1/healthz`` sources its load figures (uptime,
+active requests) from the same object — the health endpoint can no
+longer drift from what the metrics actually observed.
+
+Everything is counters and fixed-bucket histograms under one lock: no
+background threads, no unbounded per-request storage, safe under the
+threading server's concurrency.  Latency percentiles are read off the
+histogram (upper bucket bound at the cumulative quantile) — coarse by
+construction, but stable and bounded, which is the right trade for a
+long-lived process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = ["LATENCY_BUCKETS_MS", "MetricsRegistry"]
+
+#: Upper bounds (milliseconds) of the request-latency histogram
+#: buckets; requests slower than the last bound land in an implicit
+#: overflow bucket reported as ``+Inf``.
+LATENCY_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+#: Run dispositions the registry counts (the service's executed /
+#: coalesced / cache split, plus captured failures).
+RUN_SOURCES = ("executed", "coalesced", "cache", "failed")
+
+
+def _histogram_quantile(
+    counts: list[int], total: int, quantile: float
+) -> float | str | None:
+    """The upper bucket bound at ``quantile`` of the observations.
+
+    Observations beyond the last bound report the JSON-safe string
+    ``"+Inf"`` (a bare ``float("inf")`` would serialize as non-strict
+    JSON).
+    """
+    if total <= 0:
+        return None
+    rank = quantile * total
+    seen = 0
+    for bound, count in zip(LATENCY_BUCKETS_MS, counts):
+        seen += count
+        if seen >= rank:
+            return float(bound)
+    return "+Inf"
+
+
+class MetricsRegistry:
+    """Thread-safe counters + latency histograms for one service.
+
+    ``clock`` is injectable for tests (uptime becomes deterministic).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.time) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.started_at = clock()
+        self._active_requests = 0
+        # endpoint -> {"count", "by_status", "buckets", "overflow",
+        #              "total_ms", "max_ms"}
+        self._requests: dict[str, dict[str, Any]] = {}
+        self._runs = {source: 0 for source in RUN_SOURCES}
+        self._jobs = {"submitted": 0, "resubmitted": 0}
+
+    # -- feeding ---------------------------------------------------
+
+    def request_started(self) -> None:
+        """A request entered the handler (drives the health load figure)."""
+        with self._lock:
+            self._active_requests += 1
+
+    def request_finished(
+        self, endpoint: str, method: str, status: int, elapsed_ms: float
+    ) -> None:
+        """Record one finished request under its normalized endpoint."""
+        key = f"{method} {endpoint}"
+        with self._lock:
+            self._active_requests = max(0, self._active_requests - 1)
+            entry = self._requests.get(key)
+            if entry is None:
+                entry = self._requests[key] = {
+                    "count": 0,
+                    "by_status": {},
+                    "buckets": [0] * len(LATENCY_BUCKETS_MS),
+                    "overflow": 0,
+                    "total_ms": 0.0,
+                    "max_ms": 0.0,
+                }
+            entry["count"] += 1
+            status_key = str(status)
+            entry["by_status"][status_key] = (
+                entry["by_status"].get(status_key, 0) + 1
+            )
+            for index, bound in enumerate(LATENCY_BUCKETS_MS):
+                if elapsed_ms <= bound:
+                    entry["buckets"][index] += 1
+                    break
+            else:
+                entry["overflow"] += 1
+            entry["total_ms"] += elapsed_ms
+            entry["max_ms"] = max(entry["max_ms"], elapsed_ms)
+
+    def observe_run(self, source: str) -> None:
+        """Count one ``POST /v1/run`` resolution by disposition."""
+        if source not in self._runs:
+            return
+        with self._lock:
+            self._runs[source] += 1
+
+    def observe_job(self, *, created: bool) -> None:
+        """Count one job submission (``created=False`` = idempotent hit)."""
+        key = "submitted" if created else "resubmitted"
+        with self._lock:
+            self._jobs[key] += 1
+
+    # -- reading ---------------------------------------------------
+
+    def active_requests(self) -> int:
+        with self._lock:
+            return self._active_requests
+
+    def requests_total(self) -> int:
+        with self._lock:
+            return sum(entry["count"] for entry in self._requests.values())
+
+    def uptime_s(self) -> float:
+        return max(0.0, self._clock() - self.started_at)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The JSON body of ``GET /v1/metrics``.
+
+        Per-endpoint: request count, count by status, the latency
+        histogram (bucket upper bounds in ms + an ``+Inf`` overflow),
+        mean/max, and histogram-derived p50/p90/p99.  Plus the run
+        disposition split and job submission counters.
+        """
+        with self._lock:
+            requests: dict[str, Any] = {}
+            for key, entry in sorted(self._requests.items()):
+                count = entry["count"]
+                histogram = dict(
+                    zip(map(str, LATENCY_BUCKETS_MS), entry["buckets"])
+                )
+                histogram["+Inf"] = entry["overflow"]
+                requests[key] = {
+                    "count": count,
+                    "by_status": dict(sorted(entry["by_status"].items())),
+                    "latency_ms": {
+                        "histogram": histogram,
+                        "mean": round(entry["total_ms"] / count, 3),
+                        "max": round(entry["max_ms"], 3),
+                        "p50": _histogram_quantile(
+                            entry["buckets"], count, 0.50
+                        ),
+                        "p90": _histogram_quantile(
+                            entry["buckets"], count, 0.90
+                        ),
+                        "p99": _histogram_quantile(
+                            entry["buckets"], count, 0.99
+                        ),
+                    },
+                }
+            return {
+                "uptime_s": round(self.uptime_s(), 3),
+                "active_requests": self._active_requests,
+                "requests_total": sum(
+                    entry["count"] for entry in self._requests.values()
+                ),
+                "requests": requests,
+                "runs": dict(self._runs),
+                "jobs": dict(self._jobs),
+            }

@@ -1,0 +1,425 @@
+"""Fleet rollup: merge run ledgers into benchmark-style tables.
+
+``python -m repro report <job_dir|ledger_dir>`` lands here.  The
+input is any directory holding ledger files — a sharded job directory
+(whose workers default the ledger on under ``<job>/ledger/``), a
+service data directory, or a bare ledger directory — and the output is
+the accounting the ROADMAP's benchmark tables use everywhere else:
+
+* per-algorithm / per-scenario latency percentiles (p50/p90/max over
+  *executed* records — cache replays are counted separately, never
+  mixed into solve latency);
+* cache-hit and retry rates;
+* specs/sec per worker (``hostname:pid``);
+* a dead-letter summary, from ``failed/`` quarantine files when the
+  directory is a job dir, falling back to failed ledger records.
+
+The rollup reads only observational data and is itself observational:
+nothing here feeds back into results or fingerprints.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.telemetry.ledger import read_ledger_rows
+
+__all__ = ["find_ledger_dir", "format_report", "report_smoke", "rollup"]
+
+#: Ledger subdirectory convention shared with the cluster worker and
+#: the service (duplicated as a constant to keep this module importable
+#: without the cluster layer).
+LEDGER_SUBDIR = "ledger"
+
+
+class TelemetryError(ReproError, RuntimeError):
+    """The telemetry smoke found a structural breach in a rollup."""
+
+
+def find_ledger_dir(path: str | Path) -> Path:
+    """Resolve a report target: a job/data dir or a ledger dir itself.
+
+    A directory containing a ``ledger/`` subdirectory reports on that
+    (the job-dir and service-data-dir convention); anything else is
+    treated as the ledger directory directly.
+    """
+    root = Path(path)
+    nested = root / LEDGER_SUBDIR
+    if nested.is_dir():
+        return nested
+    return root
+
+
+def _percentile(values: list[float], quantile: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample."""
+    rank = max(0, min(len(values) - 1, int(round(quantile * (len(values) - 1)))))
+    return values[rank]
+
+
+def _group_key(row: dict[str, Any]) -> str:
+    algorithm = row.get("algorithm") or "?"
+    scenario = row.get("scenario")
+    return f"{algorithm} [{scenario}]" if scenario else str(algorithm)
+
+
+def rollup(path: str | Path) -> dict[str, Any]:
+    """Merge a directory's ledgers into one JSON-safe accounting dict.
+
+    Multiple records of one fingerprint (a worker died after recording
+    but before publishing, so a reclaimer re-ran the spec) are all
+    counted — the rollup describes *work performed*, not distinct
+    specs; ``specs_distinct`` carries the deduplicated count.
+    """
+    root = Path(path)
+    ledger_dir = find_ledger_dir(root)
+    rows = read_ledger_rows(ledger_dir)
+    runs = [row for row in rows if row.get("kind") == "run"]
+    spans = [row for row in rows if row.get("kind") == "span"]
+
+    by_group: dict[str, dict[str, Any]] = {}
+    workers: dict[str, dict[str, float]] = {}
+    executed = cache_hits = failed = retried = extra_attempts = 0
+    fingerprints: set[str] = set()
+    environments: dict[str, dict[str, Any]] = {}
+
+    for row in runs:
+        disposition = row.get("disposition")
+        observed = row.get("observed") or {}
+        fingerprints.add(str(row.get("fingerprint")))
+        group = by_group.setdefault(
+            _group_key(row),
+            {
+                "runs": 0,
+                "executed": 0,
+                "cache_hits": 0,
+                "failed": 0,
+                "retried": 0,
+                "rounds_max": 0,
+                "_latencies": [],
+            },
+        )
+        group["runs"] += 1
+        attempts = row.get("attempts")
+        if isinstance(attempts, int) and attempts > 1:
+            retried += 1
+            extra_attempts += attempts - 1
+            group["retried"] += 1
+        rounds = row.get("rounds")
+        if isinstance(rounds, int):
+            group["rounds_max"] = max(group["rounds_max"], rounds)
+        wall = observed.get("wall_clock_s")
+        if disposition in ("executed", "failed"):
+            executed += 1
+            key = "failed" if disposition == "failed" else "executed"
+            group[key] += 1
+            if disposition == "failed":
+                failed += 1
+            worker = str(observed.get("worker"))
+            stats = workers.setdefault(
+                worker, {"executed": 0, "wall_clock_s": 0.0}
+            )
+            stats["executed"] += 1
+            if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+                stats["wall_clock_s"] += float(wall)
+                group["_latencies"].append(float(wall))
+        elif disposition in ("cache_memory", "cache_disk", "coalesced"):
+            cache_hits += 1
+            group["cache_hits"] += 1
+        env = observed.get("environment")
+        if isinstance(env, dict):
+            # One entry per interpreter/host flavor, not per process.
+            flavor = {
+                key: value for key, value in env.items() if key != "pid"
+            }
+            environments.setdefault(
+                "|".join(f"{k}={flavor[k]}" for k in sorted(flavor)), flavor
+            )
+
+    by_algorithm: dict[str, Any] = {}
+    for key, group in sorted(by_group.items()):
+        latencies = sorted(group.pop("_latencies"))
+        group["latency_s"] = (
+            {
+                "p50": round(_percentile(latencies, 0.50), 6),
+                "p90": round(_percentile(latencies, 0.90), 6),
+                "max": round(latencies[-1], 6),
+                "mean": round(sum(latencies) / len(latencies), 6),
+            }
+            if latencies
+            else None
+        )
+        by_algorithm[key] = group
+
+    for worker, stats in workers.items():
+        wall = stats["wall_clock_s"]
+        stats["specs_per_s"] = (
+            round(stats["executed"] / wall, 3) if wall > 0 else None
+        )
+        stats["wall_clock_s"] = round(wall, 6)
+
+    resolutions = executed + cache_hits
+    span_names: dict[str, dict[str, float]] = {}
+    for span in spans:
+        name = str(span.get("name"))
+        observed = span.get("observed") or {}
+        entry = span_names.setdefault(name, {"count": 0, "wall_clock_s": 0.0})
+        entry["count"] += 1
+        wall = observed.get("wall_clock_s")
+        if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+            entry["wall_clock_s"] = round(entry["wall_clock_s"] + wall, 9)
+
+    return {
+        "source": str(root),
+        "ledger_dir": str(ledger_dir),
+        "records": len(rows),
+        "run_records": len(runs),
+        "span_records": len(spans),
+        "specs_distinct": len(fingerprints),
+        "by_algorithm": by_algorithm,
+        "cache": {
+            "hits": cache_hits,
+            "executions": executed,
+            "hit_rate": (
+                round(cache_hits / resolutions, 4) if resolutions else None
+            ),
+        },
+        "retries": {
+            "specs_retried": retried,
+            "extra_attempts": extra_attempts,
+            "retry_rate": (
+                round(retried / len(runs), 4) if runs else None
+            ),
+        },
+        "failures": {
+            "failed_records": failed,
+            "dead_letters": _dead_letter_summary(root),
+        },
+        "workers": dict(sorted(workers.items())),
+        "spans": dict(sorted(span_names.items())),
+        "environments": sorted(
+            environments.values(), key=lambda env: sorted(env.items())
+        ),
+    }
+
+
+def _dead_letter_summary(root: Path) -> list[dict[str, Any]]:
+    """Quarantined failures when the target is a job directory.
+
+    Reported per dead letter: fingerprint, error type, attempts.  A
+    directory with no ``failed/`` quarantine (a bare ledger dir, a
+    service data dir) reports an empty list — the failed ledger
+    records above still carry the failure counts.
+    """
+    from repro.api.diskcache import read_json
+
+    directory = root / "failed"
+    if not directory.is_dir():
+        return []
+    letters = []
+    for path in sorted(directory.glob("*.json")):
+        payload = read_json(path)
+        if not isinstance(payload, dict):
+            continue
+        result = payload.get("result")
+        result = result if isinstance(result, dict) else {}
+        failure = result.get("failure")
+        failure = failure if isinstance(failure, dict) else {}
+        letters.append(
+            {
+                "fingerprint": path.stem,
+                "error_type": failure.get("error_type"),
+                "attempts": failure.get("attempts"),
+            }
+        )
+    return letters
+
+
+def format_report(summary: dict[str, Any]) -> str:
+    """Render a rollup as the aligned tables the benchmarks use."""
+    from repro.analysis.tables import format_table
+
+    blocks: list[str] = [
+        f"ledger: {summary['ledger_dir']}",
+        f"records: {summary['records']} "
+        f"({summary['run_records']} runs, {summary['span_records']} spans; "
+        f"{summary['specs_distinct']} distinct specs)",
+    ]
+    rows = []
+    for key, group in summary["by_algorithm"].items():
+        latency = group["latency_s"] or {}
+        rows.append(
+            [
+                key,
+                group["runs"],
+                group["executed"],
+                group["cache_hits"],
+                group["failed"],
+                group["retried"],
+                latency.get("p50", "-"),
+                latency.get("p90", "-"),
+                latency.get("max", "-"),
+                group["rounds_max"],
+            ]
+        )
+    if rows:
+        blocks.append(
+            format_table(
+                [
+                    "algorithm [scenario]",
+                    "runs",
+                    "executed",
+                    "cache",
+                    "failed",
+                    "retried",
+                    "p50 (s)",
+                    "p90 (s)",
+                    "max (s)",
+                    "rounds",
+                ],
+                rows,
+                title="per-algorithm / per-scenario",
+            )
+        )
+    cache = summary["cache"]
+    retries = summary["retries"]
+    blocks.append(
+        format_table(
+            ["metric", "value"],
+            [
+                ["cache hits", cache["hits"]],
+                ["executions", cache["executions"]],
+                ["cache hit rate", cache["hit_rate"]],
+                ["specs retried", retries["specs_retried"]],
+                ["extra attempts", retries["extra_attempts"]],
+                ["retry rate", retries["retry_rate"]],
+                ["failed records", summary["failures"]["failed_records"]],
+                ["dead letters", len(summary["failures"]["dead_letters"])],
+            ],
+            title="cache / retry",
+        )
+    )
+    if summary["workers"]:
+        blocks.append(
+            format_table(
+                ["worker", "executed", "wall-clock (s)", "specs/s"],
+                [
+                    [
+                        worker,
+                        stats["executed"],
+                        stats["wall_clock_s"],
+                        stats["specs_per_s"] if stats["specs_per_s"] is not None else "-",
+                    ]
+                    for worker, stats in summary["workers"].items()
+                ],
+                title="throughput per worker",
+            )
+        )
+    if summary["spans"]:
+        blocks.append(
+            format_table(
+                ["span", "count", "wall-clock (s)"],
+                [
+                    [name, entry["count"], entry["wall_clock_s"]]
+                    for name, entry in summary["spans"].items()
+                ],
+                title="spans",
+            )
+        )
+    for letter in summary["failures"]["dead_letters"]:
+        blocks.append(
+            f"dead letter {letter['fingerprint'][:12]}: "
+            f"{letter['error_type']} after {letter['attempts']} attempts"
+        )
+    return "\n\n".join(blocks)
+
+
+def report_smoke() -> dict[str, Any]:
+    """Run a small sharded job with ledgers on; assert the rollup shape.
+
+    The CI gate for the whole telemetry pipeline: plan → drain (the
+    worker defaults the ledger on) → rollup, then structural checks —
+    every distinct spec accounted for, latency and throughput tables
+    populated, rates well-formed.  Raises :class:`TelemetryError` on
+    any breach; returns a JSON-safe summary on success.
+    """
+    import tempfile
+
+    from repro.api.spec import InstanceSpec, RunSpec
+    from repro.cluster.coordinator import run_sharded
+
+    specs = [
+        RunSpec(
+            instance=InstanceSpec(family="path", size=6, seed=seed),
+            algorithm=algorithm,
+        )
+        for seed, algorithm in enumerate(
+            ("greedy_sequential", "greedy_sequential", "linial_greedy", "bko20")
+        )
+    ]
+    specs.append(specs[0])  # a duplicate: executes once, one ledger row
+
+    def check(condition: bool, what: str) -> None:
+        if not condition:
+            raise TelemetryError(f"report smoke: {what}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-report-smoke-") as tmp:
+        job_dir = Path(tmp) / "job"
+        results = run_sharded(specs, job_dir, shards=2, local_workers=0)
+        check(len(results) == len(specs), "sharded run lost results")
+        summary = rollup(job_dir)
+        check(
+            summary["ledger_dir"] == str(job_dir / LEDGER_SUBDIR),
+            "job ledger directory not resolved",
+        )
+        distinct = len({spec.fingerprint() for spec in specs})
+        check(
+            summary["specs_distinct"] == distinct,
+            f"expected {distinct} distinct specs, "
+            f"saw {summary['specs_distinct']}",
+        )
+        check(summary["run_records"] >= distinct, "missing run records")
+        check(
+            set(summary["by_algorithm"])
+            == {"greedy_sequential", "linial_greedy", "bko20"},
+            "per-algorithm grouping wrong",
+        )
+        for key, group in summary["by_algorithm"].items():
+            check(
+                group["executed"] >= 1 and group["latency_s"] is not None,
+                f"group {key} has no executed latency sample",
+            )
+            latency = group["latency_s"]
+            check(
+                0 <= latency["p50"] <= latency["p90"] <= latency["max"],
+                f"group {key} percentiles out of order",
+            )
+        check(summary["cache"]["executions"] == distinct, "execution count")
+        check(
+            summary["retries"]["specs_retried"] == 0
+            and summary["retries"]["retry_rate"] == 0.0,
+            "phantom retries in a fault-free job",
+        )
+        check(summary["failures"]["failed_records"] == 0, "phantom failures")
+        check(len(summary["workers"]) >= 1, "no worker throughput rows")
+        for stats in summary["workers"].values():
+            check(
+                stats["specs_per_s"] is None or stats["specs_per_s"] > 0,
+                "non-positive worker throughput",
+            )
+        check(len(summary["environments"]) >= 1, "no environment snapshot")
+        text = format_report(summary)
+        check(
+            "per-algorithm / per-scenario" in text
+            and "throughput per worker" in text,
+            "rendered report missing tables",
+        )
+        return {
+            "specs": len(specs),
+            "specs_distinct": distinct,
+            "run_records": summary["run_records"],
+            "workers": len(summary["workers"]),
+            "cache_hit_rate": summary["cache"]["hit_rate"],
+            "report_chars": len(text),
+        }

@@ -1,0 +1,168 @@
+"""Zero-dependency span tracing into the run-ledger stream.
+
+``with trace("cache.load", fingerprint=fp):`` around an operation
+emits one span record — name, nesting (span/parent ids), wall-clock,
+ok/error status, caller-supplied fields — into the active trace
+directory's ledger files (``kind: "span"`` lines next to the ``kind:
+"run"`` lines of :mod:`repro.telemetry.ledger`).
+
+The library pre-instruments its own seams: the executor's attempt
+loop and retry backoff, disk-cache load/publish, the cluster worker's
+claim/drain/publish, and the service's request handling.  Those call
+sites are permanent, so the **disabled path must be free**: when no
+trace directory is installed, :func:`trace` returns a shared no-op
+context manager without allocating a span — a couple of dict builds
+and attribute reads per call, pinned <1% of any real spec execution by
+``benchmarks/bench_telemetry.py``.
+
+Enable tracing with :func:`trace_context` (scoped) or by exporting
+``REPRO_TRACE_DIR`` before the process starts (how a whole worker
+fleet is switched on: workers inherit the coordinator's environment).
+Nesting is tracked per thread; spans of concurrent service requests
+interleave in the file but chain correct parent ids.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.telemetry.ledger import LEDGER_FORMAT, LedgerWriter, worker_identity
+
+__all__ = [
+    "trace",
+    "trace_context",
+    "tracing_enabled",
+]
+
+#: The active trace directory.  ``None`` (the overwhelmingly common
+#: state) short-circuits :func:`trace` into the shared no-op — this is
+#: a plain module global, not a ContextVar, because the disabled check
+#: must cost one attribute read.
+_TRACE_DIR: str | None = os.environ.get("REPRO_TRACE_DIR") or None
+
+_IDS = itertools.count(1)
+_STACK = threading.local()
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are currently being recorded in this process."""
+    return _TRACE_DIR is not None
+
+
+@contextmanager
+def trace_context(directory: str | Path | None) -> Iterator[None]:
+    """Record spans under ``directory`` for the ``with`` block.
+
+    ``None`` disables tracing for the block (useful to silence a noisy
+    sub-operation).  The previous setting is restored on exit.  The
+    switch is process-global (it guards permanent instrumentation in
+    hot paths), so scoping it per-thread would buy nothing: enable it
+    around whole phases, not around racing fine-grained regions.
+    """
+    global _TRACE_DIR
+    previous = _TRACE_DIR
+    _TRACE_DIR = str(directory) if directory is not None else None
+    try:
+        yield
+    finally:
+        _TRACE_DIR = previous
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def annotate(self, **fields: Any) -> None:
+        """Accept and drop annotations (the live span records them)."""
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """One live span: times the block, links nesting, emits a record."""
+
+    __slots__ = (
+        "name",
+        "fields",
+        "directory",
+        "span_id",
+        "parent_id",
+        "depth",
+        "_started",
+        "_unix_ts",
+    )
+
+    def __init__(self, name: str, directory: str, fields: dict[str, Any]):
+        self.name = name
+        self.directory = directory
+        self.fields = fields
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach fields discovered mid-block (e.g. hit/miss outcomes)."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "_Span":
+        stack = getattr(_STACK, "spans", None)
+        if stack is None:
+            stack = _STACK.spans = []
+        worker = worker_identity()
+        self.span_id = f"{worker}-{next(_IDS)}"
+        self.parent_id = stack[-1].span_id if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._unix_ts = time.time()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._started
+        stack = getattr(_STACK, "spans", None)
+        if stack and stack[-1] is self:
+            stack.pop()
+        LedgerWriter(self.directory).record(
+            {
+                "kind": "span",
+                "format": LEDGER_FORMAT,
+                "name": self.name,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "depth": self.depth,
+                "status": "ok" if exc_type is None else exc_type.__name__,
+                "fields": self.fields,
+                "observed": {
+                    "wall_clock_s": round(elapsed, 9),
+                    "worker": worker_identity(),
+                    "unix_ts": self._unix_ts,
+                },
+            }
+        )
+        return False  # never swallow the block's exception
+
+
+def trace(name: str, **fields: Any) -> _NoopSpan | _Span:
+    """A context manager timing ``name``; free when tracing is off.
+
+    ``fields`` are arbitrary JSON-safe annotations recorded on the
+    span (keep values small — fingerprint prefixes, counts, shard
+    indices).  Use the returned span's ``annotate(**more)`` for
+    outcomes only known inside the block; when tracing is disabled the
+    shared no-op accepts (and drops) the same calls.
+    """
+    directory = _TRACE_DIR
+    if directory is None:
+        return _NOOP
+    return _Span(name, directory, fields)

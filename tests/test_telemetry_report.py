@@ -1,0 +1,230 @@
+"""The fleet rollup: ledger directories in, benchmark tables out.
+
+Pins ``repro.telemetry.report`` over *real* artifacts — a sharded job
+drained in-process (whose workers default the ledger on), retries and
+captured failures injected at the fault-hook seam — plus the CLI
+surface (``python -m repro report``, ``--json``, ``--smoke``) and the
+ledger columns ``repro shard status`` joins into its table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.api.runner as runner_module
+from repro.api import FailurePolicy, InstanceSpec, RunSpec, run_many
+from repro.api.runner import clear_result_cache
+from repro.cluster import run_sharded
+from repro.cluster.coordinator import job_status
+from repro.errors import InjectedFault
+from repro.telemetry.report import (
+    TelemetryError,
+    find_ledger_dir,
+    format_report,
+    report_smoke,
+    rollup,
+)
+
+
+def batch() -> list[RunSpec]:
+    instance = InstanceSpec(family="complete_bipartite", size=3, seed=6)
+    return [
+        RunSpec(instance=instance, algorithm="bko20"),
+        RunSpec(instance=instance, algorithm="greedy_sequential"),
+        RunSpec(instance=instance, algorithm="linial_greedy"),
+    ]
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    clear_result_cache()
+    assert runner_module._FAULT_HOOK is None
+    yield
+    runner_module._FAULT_HOOK = None
+    clear_result_cache()
+
+
+class TestFindLedgerDir:
+    def test_job_dir_resolves_to_nested_ledger(self, tmp_path):
+        (tmp_path / "ledger").mkdir()
+        assert find_ledger_dir(tmp_path) == tmp_path / "ledger"
+
+    def test_bare_directory_is_the_ledger_itself(self, tmp_path):
+        assert find_ledger_dir(tmp_path) == tmp_path
+
+
+class TestRollup:
+    def test_rolls_a_real_sharded_job(self, tmp_path):
+        specs = batch()
+        job_dir = tmp_path / "job"
+        run_sharded(specs, job_dir, shards=2, local_workers=0)
+        summary = rollup(job_dir)
+        assert summary["specs_distinct"] == 3
+        assert summary["run_records"] == 3
+        assert set(summary["by_algorithm"]) == {
+            "bko20",
+            "greedy_sequential",
+            "linial_greedy",
+        }
+        for group in summary["by_algorithm"].values():
+            assert group["executed"] == 1
+            latency = group["latency_s"]
+            assert 0 <= latency["p50"] <= latency["p90"] <= latency["max"]
+        assert summary["cache"] == {
+            "hits": 0,
+            "executions": 3,
+            "hit_rate": 0.0,
+        }
+        (worker_stats,) = summary["workers"].values()
+        assert worker_stats["executed"] == 3
+        assert summary["environments"][0]["python"]
+
+    def test_cache_and_retry_rates(self, tmp_path):
+        specs = batch()
+        flaky_fingerprint = specs[1].fingerprint()
+
+        def hook(fp: str, attempt: int) -> None:
+            if fp == flaky_fingerprint and attempt == 1:
+                raise InjectedFault("doomed first attempt")
+
+        runner_module._FAULT_HOOK = hook
+        run_many(
+            specs,
+            cache_dir=tmp_path / "cache",
+            ledger_dir=tmp_path / "ledger",
+            on_error=FailurePolicy(on_error="capture", retries=1),
+        )
+        runner_module._FAULT_HOOK = None
+        clear_result_cache()  # force the replay onto the disk layer
+        run_many(
+            specs, cache_dir=tmp_path / "cache", ledger_dir=tmp_path / "ledger"
+        )
+        summary = rollup(tmp_path / "ledger")
+        assert summary["cache"] == {
+            "hits": 3,
+            "executions": 3,
+            "hit_rate": 0.5,
+        }
+        assert summary["retries"] == {
+            "specs_retried": 1,
+            "extra_attempts": 1,
+            "retry_rate": round(1 / 6, 4),
+        }
+        retried_group = summary["by_algorithm"]["greedy_sequential"]
+        assert retried_group["retried"] == 1
+
+    def test_failed_records_and_dead_letters(self, tmp_path):
+        specs = batch()
+        doomed = specs[2].fingerprint()
+
+        def hook(fp: str, attempt: int) -> None:
+            if fp == doomed:
+                raise InjectedFault(f"poisoned {fp[:12]}")
+
+        job_dir = tmp_path / "job"
+        runner_module._FAULT_HOOK = hook
+        run_sharded(
+            specs,
+            job_dir,
+            shards=2,
+            local_workers=0,
+            on_error=FailurePolicy(on_error="capture", retries=1),
+        )
+        summary = rollup(job_dir)
+        assert summary["failures"]["failed_records"] == 1
+        (letter,) = summary["failures"]["dead_letters"]
+        assert letter["fingerprint"] == doomed
+        assert letter["error_type"] == "InjectedFault"
+        assert letter["attempts"] == 2
+        rendered = format_report(summary)
+        assert f"dead letter {doomed[:12]}" in rendered
+
+    def test_empty_directory_rolls_to_zero(self, tmp_path):
+        summary = rollup(tmp_path)
+        assert summary["run_records"] == 0
+        assert summary["cache"]["hit_rate"] is None
+        assert summary["by_algorithm"] == {}
+
+
+class TestFormatReport:
+    def test_renders_every_table(self, tmp_path):
+        job_dir = tmp_path / "job"
+        run_sharded(batch(), job_dir, shards=2, local_workers=0)
+        text = format_report(rollup(job_dir))
+        assert "per-algorithm / per-scenario" in text
+        assert "cache / retry" in text
+        assert "throughput per worker" in text
+        assert "bko20" in text
+
+
+class TestSmoke:
+    def test_report_smoke_passes_and_summarizes(self):
+        summary = report_smoke()
+        assert summary["specs"] == 5
+        assert summary["specs_distinct"] == 4
+        assert summary["workers"] >= 1
+        assert summary["report_chars"] > 0
+
+    def test_telemetry_error_is_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(TelemetryError, ReproError)
+
+
+def _repro_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+
+
+class TestCli:
+    def test_report_command_on_a_job_dir(self, tmp_path):
+        job_dir = tmp_path / "job"
+        run_sharded(batch(), job_dir, shards=2, local_workers=0)
+        proc = _repro_cli("report", str(job_dir))
+        assert proc.returncode == 0, proc.stderr
+        assert "per-algorithm / per-scenario" in proc.stdout
+
+        as_json = _repro_cli("report", str(job_dir), "--json")
+        assert as_json.returncode == 0, as_json.stderr
+        payload = json.loads(as_json.stdout)
+        assert payload["specs_distinct"] == 3
+
+    def test_report_command_on_empty_dir_exits_nonzero(self, tmp_path):
+        proc = _repro_cli("report", str(tmp_path))
+        assert proc.returncode == 1
+        assert "no run records" in proc.stdout
+
+    def test_report_command_requires_a_target(self):
+        proc = _repro_cli("report")
+        assert proc.returncode != 0
+
+    def test_shard_status_joins_ledger_columns(self, tmp_path):
+        job_dir = tmp_path / "job"
+        run_sharded(batch(), job_dir, shards=2, local_workers=0)
+        status = job_status(job_dir)
+        # Only shards that actually recorded runs appear (assignment is
+        # fingerprint % shards, so a shard may legitimately be empty).
+        assert status["ledger"]
+        assert set(status["ledger"]) <= {"0", "1"}
+        total_recorded = sum(
+            entry["specs_recorded"] for entry in status["ledger"].values()
+        )
+        assert total_recorded == 3
+        for entry in status["ledger"].values():
+            assert entry["retries"] == 0
+            assert entry["failed"] == 0
+        proc = _repro_cli("shard", "status", "--job-dir", str(job_dir))
+        assert proc.returncode == 0, proc.stderr
+        assert "attempts" in proc.stdout
+        assert "cache-hits" in proc.stdout

@@ -1,0 +1,123 @@
+"""Span tracing: exact nesting when on, a shared no-op when off.
+
+The tracer (:mod:`repro.telemetry.trace`) is a process-global opt-in:
+disabled (the default) it must allocate nothing and write nothing —
+``benchmarks/bench_telemetry.py`` pins the <1% overhead claim; these
+tests pin the *semantics* on both sides of the switch.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.api import InstanceSpec, RunSpec, run
+from repro.telemetry.ledger import read_ledger_rows
+from repro.telemetry.trace import _NOOP, trace, trace_context, tracing_enabled
+
+
+def spans(directory) -> list[dict]:
+    return [
+        row for row in read_ledger_rows(directory) if row.get("kind") == "span"
+    ]
+
+
+class TestDisabled:
+    def test_disabled_returns_the_shared_noop(self):
+        assert not tracing_enabled()
+        span = trace("anything", key="value")
+        assert span is _NOOP
+        assert trace("something.else") is _NOOP
+
+    def test_noop_span_supports_the_full_protocol(self, tmp_path):
+        with trace("outer") as span:
+            span.annotate(extra=1)
+            with trace("inner"):
+                pass
+        assert list(tmp_path.iterdir()) == []  # nothing anywhere
+
+    def test_executor_writes_no_spans_when_disabled(self, tmp_path):
+        spec = RunSpec(
+            instance=InstanceSpec(family="path", size=5), algorithm="bko20"
+        )
+        run(spec, cache=False, ledger_dir=tmp_path)
+        assert spans(tmp_path) == []
+
+
+class TestEnabled:
+    def test_spans_nest_with_parent_ids_and_depth(self, tmp_path):
+        with trace_context(tmp_path):
+            assert tracing_enabled()
+            with trace("outer", label="a"):
+                with trace("inner", label="b") as inner:
+                    inner.annotate(hit=True)
+        assert not tracing_enabled()
+        records = spans(tmp_path)
+        assert [r["name"] for r in records] == ["inner", "outer"]  # exit order
+        inner, outer = records
+        assert outer["parent_id"] is None and outer["depth"] == 0
+        assert inner["parent_id"] == outer["span_id"] and inner["depth"] == 1
+        assert inner["fields"] == {"label": "b", "hit": True}
+        assert outer["status"] == "ok"
+        assert inner["observed"]["wall_clock_s"] >= 0.0
+
+    def test_exception_sets_status_and_propagates(self, tmp_path):
+        with trace_context(tmp_path):
+            try:
+                with trace("doomed"):
+                    raise ValueError("boom")
+            except ValueError:
+                pass
+            else:
+                raise AssertionError("trace() swallowed the exception")
+        (record,) = spans(tmp_path)
+        assert record["status"] == "ValueError"
+
+    def test_context_restores_previous_directory(self, tmp_path):
+        outer_dir = tmp_path / "outer"
+        inner_dir = tmp_path / "inner"
+        with trace_context(outer_dir):
+            with trace_context(inner_dir):
+                with trace("in-inner"):
+                    pass
+            with trace("in-outer"):
+                pass
+        assert [s["name"] for s in spans(inner_dir)] == ["in-inner"]
+        assert [s["name"] for s in spans(outer_dir)] == ["in-outer"]
+        assert not tracing_enabled()
+
+    def test_none_context_disables_tracing(self, tmp_path):
+        with trace_context(tmp_path):
+            with trace_context(None):
+                assert not tracing_enabled()
+                assert trace("off") is _NOOP
+            assert tracing_enabled()
+        assert spans(tmp_path) == []
+
+    def test_executor_emits_run_attempt_spans(self, tmp_path):
+        spec = RunSpec(
+            instance=InstanceSpec(family="path", size=5), algorithm="bko20"
+        )
+        with trace_context(tmp_path):
+            run(spec, cache=False)
+        names = [s["name"] for s in spans(tmp_path)]
+        assert "run.attempt" in names
+
+    def test_env_var_activates_tracing_in_fresh_process(self, tmp_path):
+        """REPRO_TRACE_DIR is how worker fleets inherit the switch."""
+        script = (
+            "from repro.telemetry.trace import trace, tracing_enabled\n"
+            "assert tracing_enabled()\n"
+            "with trace('from-env'):\n"
+            "    pass\n"
+        )
+        env = dict(os.environ, REPRO_TRACE_DIR=str(tmp_path))
+        env["PYTHONPATH"] = "src"
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert [s["name"] for s in spans(tmp_path)] == ["from-env"]
