@@ -15,7 +15,11 @@ Shape claims checked:
    worst case, since span count is per-resolution while work grows
    with instance size;
 3. a traced run on the same spec still produces a bit-identical
-   result (the tracer is observational on both sides of the switch).
+   result (the tracer is observational on both sides of the switch);
+4. the job event stream (PR 10) holds the same line: with no events
+   directory installed, ``emit_event()`` is one ContextVar read and a
+   return — charged at a generous per-spec budget it also stays under
+   1% of a small spec's wall-clock.
 """
 
 import pytest
@@ -25,6 +29,7 @@ from repro.analysis.harness import time_best
 from repro.analysis.tables import format_table
 from repro.api.runner import clear_result_cache
 from repro.results import canonical_json
+from repro.telemetry.events import active_events_dir, emit_event
 from repro.telemetry.trace import trace, trace_context, tracing_enabled
 
 from conftest import report
@@ -43,6 +48,13 @@ CALLS = 100_000
 #: a whole shard) — charging double keeps headroom without inventing
 #: call sites that don't exist.
 SPANS_PER_SPEC = 16
+
+#: Event budget charged to one spec resolution.  The executor emits at
+#: most one ``spec_resolved`` plus one ``spec_retry`` per extra
+#: attempt; the shard lifecycle events are amortized across a whole
+#: shard.  Charging eight keeps the same kind of headroom as the span
+#: budget.
+EVENTS_PER_SPEC = 8
 
 
 def small_spec() -> RunSpec:
@@ -94,6 +106,46 @@ def test_disabled_trace_overhead_under_1_percent(benchmark, tmp_path):
         f"wall-clock ({per_call_s * 1e9:.0f} ns/call x {SPANS_PER_SPEC} "
         f"spans vs {spec_clock * 1e3:.3f} ms), over the "
         f"{MAX_OVERHEAD:.0%} budget"
+    )
+
+    benchmark.pedantic(noop_loop, rounds=3, iterations=1)
+
+
+@pytest.mark.slow
+def test_disabled_event_emission_overhead_under_1_percent(benchmark):
+    assert active_events_dir() is None
+
+    def noop_loop():
+        for _ in range(CALLS):
+            emit_event("bench_noop", probe=1)
+
+    loop_clock, _ = time_best(noop_loop, repeats=5)
+    per_call_s = loop_clock / CALLS
+
+    clear_result_cache()
+    spec = small_spec()
+    spec_clock, _ = time_best(lambda: run(spec, cache=False), repeats=5)
+    overhead = (per_call_s * EVENTS_PER_SPEC) / max(spec_clock, 1e-9)
+
+    report(format_table(
+        ["quantity", "value"],
+        [
+            ["disabled emit_event() per call", f"{per_call_s * 1e9:.0f} ns"],
+            ["charged events per spec", str(EVENTS_PER_SPEC)],
+            ["small-spec wall-clock", f"{spec_clock * 1e3:.3f} ms"],
+            ["extrapolated overhead", f"{overhead:.3%}"],
+        ],
+        title=(
+            "TELEMETRY: disabled event emission on one spec resolution "
+            f"(overhead {overhead:.3%}, budget {MAX_OVERHEAD:.0%})"
+        ),
+    ))
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"disabled event emission charges {overhead:.3%} of a small "
+        f"spec's wall-clock ({per_call_s * 1e9:.0f} ns/call x "
+        f"{EVENTS_PER_SPEC} events vs {spec_clock * 1e3:.3f} ms), over "
+        f"the {MAX_OVERHEAD:.0%} budget"
     )
 
     benchmark.pedantic(noop_loop, rounds=3, iterations=1)

@@ -8,7 +8,10 @@ tracing switched on for the drain, then replayed against the job's
 cache to show cache accounting, and finally rolled up with the same
 machinery behind ``python -m repro report``: per-algorithm /
 per-scenario latency percentiles, cache-hit and retry rates,
-per-worker throughput, span aggregates, and the dead-letter summary.
+per-worker throughput, span aggregates, and the dead-letter summary —
+plus the span **flame rollup** behind ``repro report --flame``
+(self/total time by call path, critical path) and one frame of the
+``repro top`` dashboard rendered from the job's live event stream.
 
 The ledger is strictly observational: every record lives outside the
 sealed result files, so rerunning this script replays cached results
@@ -30,7 +33,14 @@ import tempfile
 from repro.api import InstanceSpec, RunSpec, ScenarioSpec, run_many
 from repro.cluster import run_sharded
 from repro.cluster.worker import ledger_dir_of
-from repro.telemetry import format_report, rollup, trace_context
+from repro.telemetry import (
+    flame_rollup,
+    format_flame,
+    format_report,
+    rollup,
+    run_top,
+    trace_context,
+)
 
 
 def build_specs(size: int, seed: int) -> list[RunSpec]:
@@ -84,6 +94,23 @@ def main() -> None:
         # 3. The rollup — exactly what `python -m repro report
         #    <job_dir>` prints.
         print(format_report(rollup(job_dir)))
+
+        # 4. The flame pass — `repro report <job_dir> --flame`: the
+        #    drain's spans reassembled into parent→child call paths
+        #    with self/total time and the critical path.  Totals per
+        #    leaf name reconcile exactly with the flat span table
+        #    above.
+        print()
+        print(format_flame(flame_rollup(job_dir)))
+
+        # 5. One frame of the live dashboard — while a job runs,
+        #    `python -m repro top <job_dir>` refreshes this view every
+        #    few seconds (per-shard state, per-worker throughput,
+        #    retry/cache/dead-letter counters, recent events, ETA);
+        #    against a service, point it at the job URL instead:
+        #    `python -m repro top http://host:port/v1/jobs/<id>`.
+        print()
+        run_top(job_dir, once=True)
     finally:
         if scratch is not None:
             scratch.cleanup()

@@ -34,7 +34,8 @@ Commands
     ``plan`` a spec batch into a sharded job directory (``--shards
     auto`` sizes the count to CPUs and batch length), print a job's
     ``status`` (done / running / stale / pending shards, with
-    per-shard wall-clock and specs/sec), ``merge`` a completed job
+    per-shard wall-clock and specs/sec; ``--watch N`` refreshes the
+    live dashboard every N seconds), ``merge`` a completed job
     into the ordered result list, ``retry-failed`` re-queue the job's
     quarantined specs (``--drain`` re-runs them in-process, optionally
     under a fresh failure policy); ``--smoke`` runs the CI end-to-end
@@ -56,15 +57,24 @@ Commands
     The HTTP experiment service (:mod:`repro.service`): idempotent
     ``POST /v1/run`` (identical concurrent requests coalesce onto one
     solve), streaming sharded jobs (``POST /v1/jobs`` + NDJSON
-    ``GET /v1/jobs/<id>/stream``), registry / health / metrics
-    endpoints; ``--smoke`` starts a server on an ephemeral port and
-    asserts the live contracts over real HTTP (CI step).
+    ``GET /v1/jobs/<id>/stream``), a resumable live job event stream
+    (``GET /v1/jobs/<id>/events?after=<cursor>``), registry / health /
+    metrics endpoints (``GET /v1/metrics?format=prometheus`` for the
+    text exposition); ``--smoke`` starts a server on an ephemeral port
+    and asserts the live contracts over real HTTP (CI step).
 ``report``
     The fleet rollup (:mod:`repro.telemetry`): aggregate a job's (or
     any) run-ledger directory into per-algorithm/per-scenario latency
-    percentiles, cache-hit and retry rates, per-worker throughput, and
-    the dead-letter summary; ``--smoke`` runs a real sharded job in a
+    percentiles, cache-hit and retry rates, per-worker throughput,
+    ledger-driven retry advice, and the dead-letter summary;
+    ``--flame`` adds the span flame rollup (self/total time by call
+    path, critical path); ``--smoke`` runs a real sharded job in a
     temporary directory and structurally checks the rollup (CI step).
+``top``
+    Refreshing terminal dashboard over a running sharded job — local
+    job directory or service job URL: per-shard state, per-worker
+    throughput, retry / cache-hit / dead-letter counters, recent
+    events, and an ETA from observed throughput.
 
 ``solve``, ``race``, ``scenario``, ``info``, ``list``, ``cache-prune``,
 ``shard``, ``worker``, ``chaos``, ``report``, and ``serve --smoke``
@@ -90,7 +100,11 @@ Examples::
     python -m repro shard retry-failed --job-dir jobs/sweep --drain \\
         --retries 2 --timeout-s 30
     python -m repro shard --smoke
+    python -m repro shard status --job-dir jobs/sweep --watch 2
+    python -m repro top jobs/sweep
+    python -m repro top http://127.0.0.1:8000/v1/jobs/<id>
     python -m repro report jobs/sweep
+    python -m repro report jobs/sweep --flame
     python -m repro report --smoke
     python -m repro chaos --smoke --chaos-seed 7
     python -m repro serve --port 8000 --data-dir service-data
@@ -101,7 +115,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 
 from repro.api import (
@@ -296,57 +309,13 @@ def _shard_timing_table(status: dict) -> str:
     """Per-shard progress rows: state, wall-clock, throughput, worker —
     plus the run-ledger's attempt accounting where a ledger exists.
 
-    Timing comes from the observational sidecars workers publish next
-    to their sealed results (``job_status``'s ``timing`` map); the
-    attempts / retries / cache-hit columns come from the job's run
-    ledger (``job_status``'s ``ledger`` map).  Shards with neither
-    sidecar nor ledger rows show ``-`` — both sources are best-effort
-    by contract.
+    Delegates to :func:`repro.telemetry.top.shard_progress_table` — the
+    exact renderer ``repro top`` and ``shard status --watch`` refresh,
+    so the one-shot and live views can never drift apart.
     """
-    states = {}
-    for state in ("done", "running", "stale", "pending"):
-        for shard in status[state]:
-            states[shard] = state
-    timing = status.get("timing", {})
-    ledger = status.get("ledger", {})
-    rows = []
-    for shard in range(status["shards"]):
-        entry = timing.get(str(shard), {})
-        wall = entry.get("wall_clock_s")
-        if wall is None and entry.get("elapsed_s") is not None:
-            wall = entry["elapsed_s"]
-        rate = entry.get("specs_per_s")
-        # Display guard mirrors the sidecar guard: anything non-numeric
-        # or non-finite renders as "-" (a sub-ms shard has wall 0.0 and
-        # rate None — real, just unmeasurable at sidecar resolution).
-        wall_ok = isinstance(wall, (int, float)) and math.isfinite(wall)
-        rate_ok = isinstance(rate, (int, float)) and math.isfinite(rate)
-        accounting = ledger.get(str(shard), {})
-        rows.append(
-            [
-                f"shard-{shard:04d}",
-                states.get(shard, "?"),
-                f"{wall:.3f}" if wall_ok else "-",
-                f"{rate:.1f}" if rate_ok else "-",
-                accounting.get("attempts", "-"),
-                accounting.get("retries", "-"),
-                accounting.get("cache_hits", "-"),
-                entry.get("worker") or "-",
-            ]
-        )
-    return format_table(
-        [
-            "shard",
-            "state",
-            "wall-clock (s)",
-            "specs/s",
-            "attempts",
-            "retries",
-            "cache-hits",
-            "worker",
-        ],
-        rows,
-    )
+    from repro.telemetry.top import shard_progress_table
+
+    return shard_progress_table(status)
 
 
 def _command_shard(args: argparse.Namespace) -> int:
@@ -411,6 +380,14 @@ def _command_shard(args: argparse.Namespace) -> int:
             )
         return 0
     if args.action == "status":
+        if args.watch is not None:
+            from repro.telemetry.top import run_top
+
+            return run_top(
+                args.job_dir,
+                interval=args.watch,
+                lease_ttl=args.lease_ttl,
+            )
         status = coordinator.job_status(args.job_dir, lease_ttl=args.lease_ttl)
         if args.json:
             _print_json(status)
@@ -482,6 +459,30 @@ def _command_shard(args: argparse.Namespace) -> int:
                     "  re-run them with: python -m repro worker "
                     f"{args.job_dir}  (or shard retry-failed --drain)"
                 )
+            if summary["requeued"]:
+                # Ledger-driven retry advice: if flaky specs previously
+                # recovered on retry, say what budget was enough.
+                try:
+                    from repro.telemetry import rollup as _rollup
+
+                    advice = _rollup(args.job_dir).get("retry_advice") or {}
+                except Exception:
+                    advice = {}
+                suggested = advice.get("suggested_retries", 0)
+                if suggested:
+                    print(
+                        f"  retry advice: flaky specs recovered within "
+                        f"{suggested} retr"
+                        f"{'y' if suggested == 1 else 'ies'} — try "
+                        f"--retries {suggested} (details: python -m repro "
+                        f"report {args.job_dir})"
+                    )
+                else:
+                    print(
+                        "  retry advice: no flaky recovery in the ledger "
+                        "yet — python -m repro report "
+                        f"{args.job_dir} breaks down flaky vs poison rates"
+                    )
         return 0
     # merge
     results = coordinator.merge_results(None, args.job_dir)
@@ -609,6 +610,12 @@ def _command_report(args: argparse.Namespace) -> int:
     if not args.dir:
         raise SystemExit("report needs a <job_dir|ledger_dir> (or --smoke)")
     summary = rollup(args.dir)
+    flame = None
+    if args.flame:
+        from repro.telemetry import flame_rollup
+
+        flame = flame_rollup(args.dir)
+        summary = {**summary, "flame": flame}
     if args.json:
         _print_json(summary)
         return 0
@@ -620,7 +627,23 @@ def _command_report(args: argparse.Namespace) -> int:
         )
         return 1
     print(format_report(summary))
+    if flame is not None:
+        from repro.telemetry import format_flame
+
+        print()
+        print(format_flame(flame))
     return 0
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    from repro.telemetry.top import run_top
+
+    return run_top(
+        args.target,
+        interval=args.interval,
+        once=args.once,
+        lease_ttl=args.lease_ttl,
+    )
 
 
 def _command_cache_prune(args: argparse.Namespace) -> int:
@@ -813,6 +836,9 @@ def _command_serve(args: argparse.Namespace) -> int:
                 f"({summary['coalesced']} coalesced); sharded job "
                 f"{summary['job']}… streamed {summary['streamed']} results "
                 "byte-identical to serial run_many; "
+                f"{summary['events']} job events resumed exactly-once; "
+                f"prometheus exposition parsed "
+                f"({summary['prometheus_samples']} samples); "
                 f"{summary['hygiene']}"
             )
         return 0
@@ -942,6 +968,11 @@ def build_parser() -> argparse.ArgumentParser:
              "before a lease counts as stale (default 60)",
     )
     shard.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="status: refresh the live dashboard (the `repro top` "
+             "renderer) every SECONDS until the job completes",
+    )
+    shard.add_argument(
         "--output", metavar="FILE",
         help="merge: also write the ordered result dicts to this JSON file",
     )
@@ -1058,8 +1089,38 @@ def build_parser() -> argparse.ArgumentParser:
              "temporary directory and structurally check the rollup "
              "(nothing kept)",
     )
+    report.add_argument(
+        "--flame", action="store_true",
+        help="also render the span flame rollup: self/total time by "
+             "call path plus the critical path (with --json, adds a "
+             "'flame' key)",
+    )
     _add_json_argument(report)
     report.set_defaults(handler=_command_report)
+
+    top = commands.add_parser(
+        "top",
+        help="refreshing live dashboard over a running sharded job",
+    )
+    top.add_argument(
+        "target",
+        help="a job directory, or a service job URL "
+             "(http://host:port/v1/jobs/<id>)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    top.add_argument(
+        "--lease-ttl", type=float, default=60.0,
+        help="job-directory targets: lease staleness window for the "
+             "shard state columns (default 60)",
+    )
+    top.set_defaults(handler=_command_top)
 
     cache = commands.add_parser(
         "cache-prune",

@@ -83,6 +83,7 @@ from repro.coloring.verify import check_palette_bound, check_proper_edge_colorin
 from repro.model.scheduler import ENGINES, engine_override
 from repro.results import FailedResult, RunResult
 from repro.scenarios.spec import ScenarioSpec
+from repro.telemetry.events import emit_event
 from repro.telemetry.ledger import record_run, resolve_ledger_dir
 from repro.telemetry.trace import trace
 
@@ -304,6 +305,13 @@ def _execute_with_policy(
             )
             if attempt < policy.attempts:
                 delay = backoff_delay(policy, fingerprint, attempt)
+                emit_event(
+                    "spec_retry",
+                    fingerprint=fingerprint,
+                    attempt=attempt,
+                    delay_s=delay,
+                    error_type=type(exc).__name__,
+                )
                 if delay > 0:
                     with trace(
                         "run.backoff",
@@ -396,6 +404,11 @@ def run(
             attempts=0,
             engine=engine,
         )
+        emit_event(
+            "spec_resolved",
+            fingerprint=fingerprint,
+            disposition=f"cache_{layer}",
+        )
         return hit
     observed: dict[str, Any] = {}
     started = time.perf_counter()
@@ -415,6 +428,13 @@ def run(
             wall_clock_s=wall_clock_s,
             engine=active_engine,
         )
+        emit_event(
+            "spec_resolved",
+            fingerprint=fingerprint,
+            disposition="failed",
+            attempts=policy.attempts,
+            error_type=result.error_type,
+        )
         return result
     record_run(
         ledger,
@@ -425,6 +445,13 @@ def run(
         attempts=observed.get("attempts", 1),
         wall_clock_s=wall_clock_s,
         engine=active_engine,
+    )
+    emit_event(
+        "spec_resolved",
+        fingerprint=fingerprint,
+        disposition="executed",
+        attempts=observed.get("attempts", 1),
+        wall_clock_s=round(wall_clock_s, 6),
     )
     if cache:
         _cache_store(fingerprint, result, validate)
@@ -585,6 +612,11 @@ def _run_many_iter_inner(
                 result=hit,
                 attempts=0,
                 engine=engine,
+            )
+            emit_event(
+                "spec_resolved",
+                fingerprint=fingerprint,
+                disposition=f"cache_{layer}",
             )
             resolved.add(fingerprint)
             yield from emissions(fingerprint, hit)

@@ -71,6 +71,7 @@ from repro.cluster.worker import (
 )
 from repro.errors import ClusterError
 from repro.results import RunResult, fingerprint_of
+from repro.telemetry.events import emit_event, events_dir_of
 
 #: Job-directory file recording coordinator-observed worker events
 #: (hung-worker escalations, non-zero exits) — surfaced by ``shard
@@ -182,7 +183,15 @@ def _merge_with_plan(plan, job_dir: str | Path) -> list[RunResult]:
 def record_worker_events(
     job_dir: str | Path, events: Sequence[Mapping[str, Any]]
 ) -> None:
-    """Append coordinator-observed worker events to ``events.json``."""
+    """Append coordinator-observed worker events to ``events.json``.
+
+    Each event is also mirrored into the job's live event stream
+    (``events/`` — see :mod:`repro.telemetry.events`), so ``repro top``
+    and the service's ``/events`` endpoint see escalations without
+    polling ``events.json``.  The mirror is best-effort like every
+    stream write; ``events.json`` remains the durable record
+    ``shard status`` reads.
+    """
     if not events:
         return
     path = Path(job_dir) / EVENTS_FILE
@@ -190,6 +199,14 @@ def record_worker_events(
     log = existing if isinstance(existing, list) else []
     log.extend(dict(event) for event in events)
     atomic_write_json(path, log)
+    stream_dir = events_dir_of(job_dir)
+    for event in events:
+        payload = {
+            key: value for key, value in event.items() if key != "event"
+        }
+        emit_event(
+            str(event.get("event", "worker_event")), stream_dir, **payload
+        )
 
 
 def load_worker_events(job_dir: str | Path) -> list[dict[str, Any]]:
@@ -615,6 +632,15 @@ def run_sharded_iter(
     """
     plan = ensure_plan(specs, job_dir, shards=shards)
     plan_fingerprint = plan.plan_fingerprint()
+    stream_dir = events_dir_of(job_dir)
+    emit_event(
+        "job_started",
+        stream_dir,
+        plan_fingerprint=plan_fingerprint,
+        shards=plan.shards,
+        specs=len(plan.specs),
+        local_workers=max(0, local_workers),
+    )
     procs = [
         spawn_local_worker(
             job_dir,
@@ -625,6 +651,8 @@ def run_sharded_iter(
         )
         for _ in range(max(0, local_workers))
     ]
+    for proc in procs:
+        emit_event("worker_spawn", stream_dir, pid=proc.pid)
     watch = (
         WorkerWatch(
             procs,
@@ -702,6 +730,13 @@ def run_sharded_iter(
         if watch is not None:
             events = watch.drain() if complete else watch.shutdown()
             record_worker_events(job_dir, events)
+        if complete:
+            emit_event(
+                "job_complete",
+                stream_dir,
+                plan_fingerprint=plan_fingerprint,
+                shards=plan.shards,
+            )
 
 
 def run_sharded(

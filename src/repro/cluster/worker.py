@@ -57,6 +57,7 @@ from repro.cluster.planner import (
 )
 from repro.cluster.queue import DEFAULT_LEASE_TTL, ShardQueue, result_path
 from repro.results import FailedResult, fingerprint_of
+from repro.telemetry.events import emit_event, events_context, events_dir_of
 from repro.telemetry.trace import trace
 
 #: Subdirectory of the job dir all workers spill per-spec results into.
@@ -282,11 +283,16 @@ def run_shard(
     The run ledger is defaulted **on**: every spec this shard resolves
     (execution, cache replay, captured failure) appends a record under
     ``<job_dir>/ledger/`` — the raw material of ``python -m repro
-    report`` and the ledger columns of ``shard status``.  Ledger
-    records are observational and best-effort; they never enter the
-    sealed result file.
+    report`` and the ledger columns of ``shard status``.  So is the
+    **event stream** (``<job_dir>/events/``): the drain runs under
+    :func:`~repro.telemetry.events.events_context`, so the executor's
+    per-spec ``spec_resolved`` / ``spec_retry`` events land there, and
+    the shard lifecycle (heartbeat, dead letter, sealed, abandoned) is
+    emitted here.  Both are observational and best-effort; neither
+    ever enters the sealed result file.
     """
     policy = resolve_policy(on_error)
+    events_dir = events_dir_of(job_dir)
     started_at = time.time()
     specs = load_task(job_dir, shard)
     ordered = list(specs.items())
@@ -303,7 +309,8 @@ def run_shard(
             todo.append((fingerprint, spec))
     if todo:
         batch = [spec for _, spec in todo]
-        with trace("shard.drain", shard=shard, specs=len(batch)):
+        with trace("shard.drain", shard=shard, specs=len(batch)), \
+                events_context(events_dir):
             for index, result in run_many_iter(
                 batch,
                 parallel=1,
@@ -315,10 +322,26 @@ def run_shard(
             ):
                 if result.is_failure():
                     quarantine_failure(job_dir, plan_fingerprint, result)
+                    emit_event(
+                        "dead_letter",
+                        events_dir,
+                        shard=shard,
+                        fingerprint=todo[index][0],
+                        error_type=result.error_type,
+                        attempts=result.attempts,
+                    )
                 results[todo[index][0]] = result.to_dict()
                 executed += 1
                 if not queue.heartbeat(shard):
+                    emit_event("shard_abandoned", events_dir, shard=shard)
                     return None
+                emit_event(
+                    "shard_heartbeat",
+                    events_dir,
+                    shard=shard,
+                    done=executed,
+                    total=len(todo),
+                )
     with trace("shard.publish", shard=shard):
         publish_shard_result(job_dir, shard, plan_fingerprint, results)
     record_shard_timing(
@@ -330,6 +353,14 @@ def run_shard(
         wall_clock_s=time.time() - started_at,
         specs_total=len(ordered),
         specs_executed=executed,
+    )
+    emit_event(
+        "shard_sealed",
+        events_dir,
+        shard=shard,
+        specs_total=len(ordered),
+        specs_executed=executed,
+        wall_clock_s=round(time.time() - started_at, 6),
     )
     queue.release(shard)
     return executed
@@ -415,6 +446,12 @@ def work_loop(
                 span.annotate(claimed=claimed)
             if not claimed:
                 continue
+            emit_event(
+                "shard_claimed",
+                events_dir_of(job_dir),
+                shard=shard,
+                specs=len(plan.assignment[shard]),
+            )
             executed = run_shard(
                 job_dir,
                 shard,

@@ -141,6 +141,7 @@ class Job:
                 "total": len(self.specs),
                 "shards": self.shards,
                 "local_workers": self.local_workers,
+                "events_url": f"/v1/jobs/{self.id}/events",
             }
 
 

@@ -13,9 +13,13 @@ Routes (all JSON in, JSON out)::
     POST /v1/jobs                spec batch -> job id (idempotent)
     GET  /v1/jobs/<id>           progress + cluster status
     GET  /v1/jobs/<id>/stream    NDJSON of {index, result}, batch order
+    GET  /v1/jobs/<id>/events    NDJSON job event stream (?after=<cursor>
+                                 resumes exactly-once; ?follow=0 returns
+                                 the backlog and closes)
     GET  /v1/registry            families / algorithms / policies / models
     GET  /v1/healthz             liveness + measured load
     GET  /v1/metrics             request counts, run split, latency histograms
+                                 (?format=prometheus for text exposition)
 
 Contract details the tests pin:
 
@@ -30,11 +34,16 @@ Contract details the tests pin:
 * The stream endpoint speaks HTTP/1.0 with ``Connection: close`` and
   no Content-Length: each line is flushed as its slot fills, and EOF
   marks the end of the batch — readable with nothing but ``urllib``.
-* Every response carries ``X-Repro-Elapsed-Ms`` (wall-clock from
-  dispatch to the response headers; a streamed response stamps the
-  time to stream *start*), and every finished request feeds the
-  service's :class:`~repro.telemetry.metrics.MetricsRegistry` under
-  its normalized route (``GET /v1/jobs/<id>`` — never raw ids).
+* The events endpoint streams the job's live event log
+  (:mod:`repro.telemetry.events`) the same way; every event line
+  carries a ``cursor`` field, and reconnecting with
+  ``?after=<that cursor>`` replays nothing and misses nothing.
+* Every response — errors included — carries ``X-Repro-Elapsed-Ms``
+  (wall-clock from dispatch to the response headers; a streamed
+  response stamps the time to stream *start*), and every finished
+  request feeds the service's
+  :class:`~repro.telemetry.metrics.MetricsRegistry` under its
+  normalized route (``GET /v1/jobs/<id>`` — never raw ids).
 """
 
 from __future__ import annotations
@@ -44,13 +53,24 @@ import re
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs
 
 from repro.api.spec import RunSpec
 from repro.errors import ReproError
 from repro.service.app import ReproService, registry_payload
+from repro.telemetry.events import events_dir_of, parse_cursor, read_events
+from repro.telemetry.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 from repro.telemetry.trace import trace
 
-_JOB_ROUTE = re.compile(r"^/v1/jobs/(?P<job>[0-9a-f]{64})(?P<stream>/stream)?$")
+_JOB_ROUTE = re.compile(
+    r"^/v1/jobs/(?P<job>[0-9a-f]{64})(?P<sub>/stream|/events)?$"
+)
+
+#: Seconds between event-stream polls while the job still runs.
+EVENTS_POLL_S = 0.15
 
 
 def _endpoint_label(path: str) -> str:
@@ -64,7 +84,7 @@ def _endpoint_label(path: str) -> str:
         return path
     match = _JOB_ROUTE.match(path)
     if match:
-        return "/v1/jobs/<id>/stream" if match.group("stream") else "/v1/jobs/<id>"
+        return f"/v1/jobs/<id>{match.group('sub') or ''}"
     return "<other>"
 
 
@@ -144,6 +164,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(
+        self, status: int, text: str, *, content_type: str
+    ) -> None:
+        body = text.encode("utf-8")
+        self._status_sent = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Repro-Elapsed-Ms", f"{self._elapsed_ms():.3f}")
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json(self) -> Any:
         length_text = self.headers.get("Content-Length") or "0"
         try:
@@ -167,7 +199,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def _dispatch(self, method: str) -> None:
-        path = self.path.split("?", 1)[0]
+        path, _, query_text = self.path.partition("?")
+        query = {
+            key: values[-1] for key, values in parse_qs(query_text).items()
+        }
         endpoint = _endpoint_label(path)
         self._dispatch_started = time.perf_counter()
         self._status_sent = 0  # 0 = aborted before any response was sent
@@ -175,7 +210,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         metrics.request_started()
         try:
             with trace("http.request", method=method, endpoint=endpoint):
-                self._route(method, path)
+                self._route(method, path, query)
         except _HttpError as err:
             self._send_json(err.status, err.payload)
         except (BrokenPipeError, ConnectionError):
@@ -196,11 +231,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 endpoint, method, self._status_sent, self._elapsed_ms()
             )
 
-    def _route(self, method: str, path: str) -> None:
+    def _route(
+        self, method: str, path: str, query: dict[str, str]
+    ) -> None:
         if method == "GET" and path == "/v1/healthz":
             self._send_json(200, self.service.health())
         elif method == "GET" and path == "/v1/metrics":
-            self._send_json(200, self.service.metrics.snapshot())
+            self._handle_metrics(query)
         elif method == "GET" and path == "/v1/registry":
             self._send_json(200, registry_payload())
         elif method == "POST" and path == "/v1/run":
@@ -208,8 +245,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         elif method == "POST" and path == "/v1/jobs":
             self._handle_submit()
         elif method == "GET" and (match := _JOB_ROUTE.match(path)):
-            if match.group("stream"):
+            sub = match.group("sub")
+            if sub == "/stream":
                 self._handle_stream(match.group("job"))
+            elif sub == "/events":
+                self._handle_events(match.group("job"), query)
             else:
                 self._handle_job_status(match.group("job"))
         else:
@@ -218,6 +258,28 @@ class ServiceHandler(BaseHTTPRequestHandler):
             )
 
     # -- endpoints --------------------------------------------------------
+
+    def _handle_metrics(self, query: dict[str, str]) -> None:
+        """``GET /v1/metrics``: JSON snapshot, or the Prometheus text
+        exposition under ``?format=prometheus`` — both rendered from
+        the same frozen snapshot, so they can never disagree.
+        """
+        fmt = query.get("format", "json")
+        if fmt == "json":
+            self._send_json(200, self.service.metrics.snapshot())
+        elif fmt == "prometheus":
+            self._send_text(
+                200,
+                render_prometheus(self.service.metrics.snapshot()),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        else:
+            raise _HttpError(
+                400,
+                "bad_request",
+                f"unknown metrics format {fmt!r} "
+                '(expected "json" or "prometheus")',
+            )
 
     def _handle_run(self) -> None:
         spec = _parse_spec(self._read_json(), where="request body")
@@ -283,6 +345,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "local_workers": job.local_workers,
                 "status_url": f"/v1/jobs/{job.id}",
                 "stream_url": f"/v1/jobs/{job.id}/stream",
+                "events_url": f"/v1/jobs/{job.id}/events",
             },
             headers={"X-Repro-Fingerprint": job.id},
         )
@@ -330,6 +393,59 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 json.dumps(line, sort_keys=True, default=repr).encode() + b"\n"
             )
             self.wfile.flush()
+
+    def _handle_events(self, job_id: str, query: dict[str, str]) -> None:
+        """NDJSON stream of the job's live event log.
+
+        Each line is one event from ``<job>/events/``
+        (:func:`repro.telemetry.events.read_events`) carrying its own
+        ``cursor``; ``?after=<cursor>`` resumes *just after* that event
+        — a reconnecting client replays nothing and misses nothing,
+        because cursors count parsed lines per writer file and sealed
+        lines never change.  By default the stream follows the job
+        (polls while it runs, one final drain once it stops, then EOF);
+        ``?follow=0`` returns just the current backlog and closes —
+        the poll-friendly form ``repro top`` uses.
+        """
+        job = self._job_of(job_id)
+        cursor = query.get("after") or None
+        if cursor is not None:
+            try:
+                parse_cursor(cursor)
+            except ValueError as exc:
+                raise _HttpError(
+                    400, "bad_cursor", f"unreadable ?after= cursor: {exc}"
+                ) from exc
+        follow = query.get("follow", "1") not in ("0", "false", "no")
+        directory = events_dir_of(job.job_dir)
+        self._status_sent = 200
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("X-Repro-Fingerprint", job.id)
+        self.send_header("X-Repro-Elapsed-Ms", f"{self._elapsed_ms():.3f}")
+        self.end_headers()
+
+        def ship() -> None:
+            nonlocal cursor
+            events, cursor = read_events(directory, cursor)
+            for event in events:
+                self.wfile.write(
+                    json.dumps(event, sort_keys=True, default=repr).encode()
+                    + b"\n"
+                )
+            if events:
+                self.wfile.flush()
+
+        while True:
+            ship()
+            if not follow:
+                return
+            if job.snapshot()["state"] != "running":
+                # One final drain: events sealed between the last read
+                # and the state flip must still ship before EOF.
+                ship()
+                return
+            time.sleep(EVENTS_POLL_S)
 
 
 def make_server(

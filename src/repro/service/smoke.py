@@ -19,10 +19,19 @@ service's two headline contracts plus the request-hygiene ones:
    a poison spec round-trips as a captured
    :class:`~repro.results.FailedResult` (HTTP 200, ``failed: true``);
    health and registry endpoints answer.
-4. **Observability** — every response carries ``X-Repro-Elapsed-Ms``;
-   ``GET /v1/metrics`` reports the executed/coalesced/cache run split
-   the earlier checks actually caused, with per-endpoint latency
-   histograms; ``GET /v1/healthz`` reports measured uptime and load.
+4. **Observability** — every response carries ``X-Repro-Elapsed-Ms``
+   (errors included — a 404 is stamped and counted under its
+   endpoint); ``GET /v1/metrics`` reports the executed/coalesced/cache
+   run split the earlier checks actually caused, with per-endpoint
+   latency histograms; ``GET /v1/healthz`` reports measured uptime and
+   load; ``GET /v1/metrics?format=prometheus`` parses line-by-line
+   under the text-format grammar with cumulative buckets that agree
+   with the JSON view.
+5. **Resumable events** — ``GET /v1/jobs/<id>/events`` is fetched
+   mid-job (``?follow=0`` backlog) and resumed after completion with
+   ``?after=<cursor>``: the two reads concatenate to exactly the full
+   stream — nothing replayed, nothing missed — with per-worker
+   sequence numbers strictly increasing.
 
 Any breach raises :class:`~repro.errors.ServiceError`.
 """
@@ -30,6 +39,7 @@ Any breach raises :class:`~repro.errors.ServiceError`.
 from __future__ import annotations
 
 import json
+import re
 import tempfile
 import threading
 import time
@@ -44,6 +54,7 @@ from repro.results import canonical_json
 from repro.scenarios.spec import ScenarioSpec
 from repro.service.app import ReproService
 from repro.service.http import make_server
+from repro.telemetry.prometheus import PROMETHEUS_CONTENT_TYPE
 
 #: Seconds the held-open leader waits for all followers to join.
 BARRIER_TIMEOUT_S = 30.0
@@ -332,6 +343,12 @@ def _check_streaming_job(base: str) -> dict[str, Any]:
         headers.get("X-Repro-Fingerprint") == job_id,
         "job submit did not echo the plan fingerprint",
     )
+    events_url = base + body["events_url"]
+    # Mid-job backlog fetch: whatever the stream holds *now*, plus the
+    # cursor to resume from.  The exactly-once assertion comes after
+    # the job completes.
+    head_events = _stream_lines(events_url + "?follow=0")
+    head_cursor = head_events[-1]["cursor"] if head_events else ""
     lines = _stream_lines(base + body["stream_url"])
     _expect(
         [line.get("index") for line in lines] == list(range(len(specs))),
@@ -373,11 +390,197 @@ def _check_streaming_job(base: str) -> dict[str, Any]:
         status == 200 and body["job"] == job_id and body["created"] is False,
         "resubmitting the identical batch minted a new job",
     )
+    events = _check_events_stream(
+        events_url, head_events, head_cursor, shards=payload["shards"]
+    )
     return {
         "job": job_id[:12],
         "streamed": len(lines),
         "byte_identical": True,
+        "events": events,
     }
+
+
+def _check_events_stream(
+    events_url: str,
+    head: list[dict[str, Any]],
+    head_cursor: str,
+    *,
+    shards: int,
+) -> int:
+    """Contract 5: the events endpoint resumes exactly-once.
+
+    ``head`` was fetched mid-job; resuming with its last cursor after
+    completion must yield precisely the remainder — the concatenation
+    carries every event of a from-scratch read exactly once (as a
+    multiset: the k-way merge may interleave *across* writers
+    differently once late files appear, but nothing is lost or
+    duplicated, and each writer's own sequence stays strictly
+    increasing).
+    """
+
+    def strip(event: dict[str, Any]) -> str:
+        return json.dumps(
+            {k: v for k, v in event.items() if k != "cursor"},
+            sort_keys=True,
+        )
+
+    full = _stream_lines(events_url + "?follow=0")
+    resume = events_url + "?follow=0" + (
+        f"&after={head_cursor}" if head_cursor else ""
+    )
+    tail = _stream_lines(resume)
+    combined = [strip(event) for event in head + tail]
+    _expect(
+        sorted(combined) == sorted(strip(event) for event in full),
+        f"resumed events (head {len(head)} + tail {len(tail)}) are not "
+        f"exactly the full stream ({len(full)} events) — replay or loss",
+    )
+    by_worker: dict[str, int] = {}
+    for event in head + tail:
+        worker, seq = str(event.get("worker")), event.get("seq")
+        _expect(
+            isinstance(seq, int) and seq > by_worker.get(worker, 0),
+            f"worker {worker} sequence not strictly increasing at {seq}",
+        )
+        by_worker[worker] = seq
+    kinds = [event.get("event") for event in full]
+    _expect(
+        "job_started" in kinds and "job_complete" in kinds,
+        f"event stream lacks job lifecycle markers: {sorted(set(kinds))}",
+    )
+    sealed = {
+        event.get("shard")
+        for event in full
+        if event.get("event") == "shard_sealed"
+    }
+    _expect(
+        sealed == set(range(shards)),
+        f"sealed shards {sorted(sealed)}, expected 0..{shards - 1}",
+    )
+    # A malformed resume cursor is a client error, stamped like any
+    # other response.
+    status, body, headers = _request("GET", events_url + "?after=garbage")
+    _expect(
+        status == 400
+        and body.get("error") == "bad_cursor"
+        and headers.get("X-Repro-Elapsed-Ms") is not None,
+        f"malformed cursor returned {status}/{body.get('error')}, "
+        "expected a stamped 400 bad_cursor",
+    )
+    return len(full)
+
+
+#: One sample line of the Prometheus text format: metric name, an
+#: optional ``{label="value",...}`` block, one value.
+_PROM_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\})?'
+    r' (?P<value>-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\+Inf|NaN))$'
+)
+
+_PROM_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _check_prometheus(base: str) -> dict[str, Any]:
+    """The text exposition parses line-by-line and agrees with JSON.
+
+    Every sample must match the text-format grammar and belong to a
+    family announced by ``# HELP`` + ``# TYPE`` lines; histogram
+    buckets must be cumulative with ``le="+Inf"`` equal to ``_count``
+    per route; the run-split counters must equal the JSON snapshot's.
+    Error responses are stamped and counted too: a 404 carries
+    ``X-Repro-Elapsed-Ms`` and lands in the metrics under its route.
+    """
+    request = urllib.request.Request(base + "/v1/metrics?format=prometheus")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        _expect(
+            response.status == 200
+            and response.headers.get("Content-Type")
+            == PROMETHEUS_CONTENT_TYPE,
+            f"prometheus exposition: status {response.status}, "
+            f"content-type {response.headers.get('Content-Type')!r}",
+        )
+        _expect(
+            response.headers.get("X-Repro-Elapsed-Ms") is not None,
+            "X-Repro-Elapsed-Ms missing on the prometheus response",
+        )
+        text = response.read().decode("utf-8")
+    _expect(text.endswith("\n"), "exposition not newline-terminated")
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    samples: list[tuple[str, dict[str, str], str]] = []
+    for number, line in enumerate(text.splitlines(), 1):
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            typed[name] = kind
+            continue
+        match = _PROM_SAMPLE.match(line)
+        _expect(
+            match is not None,
+            f"exposition line {number} fails the text-format grammar: "
+            f"{line!r}",
+        )
+        labels = dict(_PROM_LABEL.findall(match.group("labels") or ""))
+        samples.append((match.group("name"), labels, match.group("value")))
+    _expect(bool(samples), "exposition carries no samples")
+    for name, _, _ in samples:
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        _expect(
+            (name in typed or family in typed)
+            and (name in helped or family in helped),
+            f"sample {name} has no # HELP/# TYPE family announcement",
+        )
+    # Histogram discipline per route: cumulative buckets, +Inf == _count.
+    buckets: dict[tuple[str, str], list[tuple[str, int]]] = {}
+    counts: dict[tuple[str, str], int] = {}
+    for name, labels, value in samples:
+        route = (labels.get("method", ""), labels.get("endpoint", ""))
+        if name == "repro_http_request_duration_milliseconds_bucket":
+            buckets.setdefault(route, []).append(
+                (labels["le"], int(float(value)))
+            )
+        elif name == "repro_http_request_duration_milliseconds_count":
+            counts[route] = int(float(value))
+    _expect(set(buckets) == set(counts), "histogram routes lack a _count")
+    for route, series in buckets.items():
+        values = [count for _, count in series]
+        _expect(
+            values == sorted(values),
+            f"histogram buckets for {route} are not cumulative: {values}",
+        )
+        _expect(
+            series[-1][0] == "+Inf" and series[-1][1] == counts[route],
+            f"histogram for {route}: le=+Inf bucket {series[-1]} != "
+            f"_count {counts[route]}",
+        )
+    # The two views render one snapshot: the run split must agree.
+    _, snapshot, _ = _request("GET", base + "/v1/metrics")
+    rendered_runs = {
+        labels["source"]: int(float(value))
+        for name, labels, value in samples
+        if name == "repro_runs_total"
+    }
+    _expect(
+        rendered_runs == snapshot.get("runs"),
+        f"prometheus run split {rendered_runs} != JSON {snapshot.get('runs')}",
+    )
+    # Satellite contract: errors are stamped and counted like successes.
+    status, _, headers = _request("GET", base + "/v1/no-such-route")
+    _expect(
+        status == 404 and headers.get("X-Repro-Elapsed-Ms") is not None,
+        "404 response not stamped with X-Repro-Elapsed-Ms",
+    )
+    _, snapshot, _ = _request("GET", base + "/v1/metrics")
+    other = snapshot.get("requests", {}).get("GET <other>", {})
+    _expect(
+        other.get("by_status", {}).get("404", 0) >= 1,
+        f"404 not accounted under GET <other>: {other}",
+    )
+    return {"prometheus_samples": len(samples)}
 
 
 def smoke_check(*, clients: int = 6) -> dict[str, Any]:
@@ -407,6 +610,7 @@ def smoke_check(*, clients: int = 6) -> dict[str, Any]:
             _check_hygiene(base)
             streaming = _check_streaming_job(base)
             observability = _check_observability(base, clients=clients)
+            prometheus = _check_prometheus(base)
         finally:
             server.shutdown()
             server.server_close()
@@ -415,5 +619,6 @@ def smoke_check(*, clients: int = 6) -> dict[str, Any]:
         **idempotency,
         **streaming,
         **observability,
+        **prometheus,
         "hygiene": "400s strict, poison captured, health/registry live",
     }

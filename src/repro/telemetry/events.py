@@ -1,0 +1,311 @@
+"""The job event stream: live progress records, resumably readable.
+
+The run ledger (:mod:`repro.telemetry.ledger`) answers "what ran" after
+the fact; the event stream answers "what is happening" while it does.
+Workers and the coordinator append one small JSON record per lifecycle
+step — shard claimed / heartbeat / sealed / abandoned, spec resolved,
+retry backoff, dead letter, worker spawn / exit — under
+``<job_dir>/events/``, and readers (``python -m repro top``, ``GET
+/v1/jobs/<id>/events``) tail the directory without any broker in
+between.
+
+**Discipline.**  Exactly the ledger's:
+
+* strictly observational — no event ever enters a fingerprint or a
+  sealed result file, and a run with events on is byte-identical to
+  one without;
+* every write is best-effort (an unwritable directory records
+  nothing);
+* each process appends to its **own** ``<hostname>-<pid>.jsonl`` file,
+  so concurrent writers never interleave partial lines; readers merge
+  the directory and skip torn lines.
+
+**Record shape.**  One JSON object per line::
+
+    {"kind": "event", "format": 1, "event": "shard_sealed",
+     "seq": 7, "worker": "host:4242", "unix_ts": ..., ...payload}
+
+``seq`` is a per-writer monotone counter: within one worker's file,
+events are totally ordered by construction.  Across writers there is
+no global clock — :func:`read_events` merges files preserving each
+writer's append order and interleaving by timestamp where clocks
+allow.
+
+**Resumable reads.**  :func:`read_events` returns an opaque **cursor**
+encoding how many complete lines of each per-writer file have been
+consumed.  Passing the cursor back returns only what arrived since —
+exactly-once, miss-nothing, robust to clock skew and reader restarts.
+A torn final line (a writer caught mid-append) is *not* consumed: the
+cursor stops before it, and the completed line is delivered on the
+next read.  Each returned event also carries a ``"cursor"`` key (the
+resume point just after that event), which is how the HTTP stream lets
+a dropped client reconnect with ``?after=`` and miss nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.telemetry.ledger import LedgerWriter, worker_identity
+
+#: Event record format version (bumped on incompatible shape change).
+EVENT_FORMAT = 1
+
+#: Subdirectory of a job dir holding the event stream's per-writer files.
+EVENTS_SUBDIR = "events"
+
+#: The event types the library itself emits (callers may add their own;
+#: readers must tolerate unknown types).
+EVENT_TYPES = (
+    "job_started",
+    "worker_spawn",
+    "worker_exit_nonzero",
+    "worker_hung",
+    "worker_stopped",
+    "shard_claimed",
+    "shard_heartbeat",
+    "shard_sealed",
+    "shard_abandoned",
+    "spec_resolved",
+    "spec_retry",
+    "dead_letter",
+    "job_complete",
+)
+
+__all__ = [
+    "EVENT_FORMAT",
+    "EVENTS_SUBDIR",
+    "EVENT_TYPES",
+    "active_events_dir",
+    "emit_event",
+    "encode_cursor",
+    "events_context",
+    "events_dir_of",
+    "parse_cursor",
+    "read_events",
+    "resolve_events_dir",
+]
+
+
+def events_dir_of(job_dir: str | Path) -> Path:
+    """The event-stream directory of a job (``<job_dir>/events/``)."""
+    return Path(job_dir) / EVENTS_SUBDIR
+
+
+# --- the ambient seam --------------------------------------------------
+
+#: The ambient events directory.  ``None`` (the default) means
+#: :func:`emit_event` records nothing — the disabled path must stay
+#: cheap, since the executor's retry loop calls it unconditionally.
+_ACTIVE_EVENTS_DIR: ContextVar[str | None] = ContextVar(
+    "repro_events_dir", default=None
+)
+
+
+@contextmanager
+def events_context(directory: str | Path | None) -> Iterator[str | None]:
+    """Install ``directory`` as the ambient event stream for the block.
+
+    The events twin of :func:`repro.telemetry.ledger.ledger_context`:
+    the cluster worker installs the job's ``events/`` directory around
+    its drain so deep call sites (the executor's retry backoff) emit
+    without threading a path through every signature.  ``None`` is a
+    no-op pass-through.
+    """
+    if directory is None:
+        yield _ACTIVE_EVENTS_DIR.get()
+        return
+    token = _ACTIVE_EVENTS_DIR.set(str(directory))
+    try:
+        yield str(directory)
+    finally:
+        _ACTIVE_EVENTS_DIR.reset(token)
+
+
+def active_events_dir() -> str | None:
+    """The ambient events directory, or ``None`` when emission is off."""
+    return _ACTIVE_EVENTS_DIR.get()
+
+
+def resolve_events_dir(explicit: str | Path | None) -> str | None:
+    """An explicit directory wins; otherwise the ambient one."""
+    if explicit is not None:
+        return str(explicit)
+    return _ACTIVE_EVENTS_DIR.get()
+
+
+# --- writing -----------------------------------------------------------
+
+#: Per-(directory, pid) monotone sequence counters.  Keyed by pid so a
+#: writer that crosses a ``fork`` starts a fresh sequence in its fresh
+#: per-process file instead of continuing the parent's.
+_SEQ: dict[tuple[str, int], "itertools.count[int]"] = {}
+
+
+def emit_event(
+    event: str, directory: str | Path | None = None, /, **payload: Any
+) -> bool:
+    """Append one event record; returns whether the write landed.
+
+    ``directory=None`` falls back to the ambient
+    :func:`events_context` directory; recording is off (and the call
+    near-free) when neither is set.  ``payload`` fields are JSON-safe
+    annotations merged into the record — the reserved envelope keys
+    (``kind`` / ``format`` / ``event`` / ``seq`` / ``worker`` /
+    ``unix_ts``) always win over a colliding payload key.
+
+    Best-effort by the stream's contract: any failure to construct or
+    write the record is swallowed — an event must never fail a run.
+    """
+    target = resolve_events_dir(directory)
+    if target is None:
+        return False
+    try:
+        key = (target, os.getpid())
+        counter = _SEQ.get(key)
+        if counter is None:
+            counter = _SEQ[key] = itertools.count(1)
+        row = dict(payload)
+        row.update(
+            kind="event",
+            format=EVENT_FORMAT,
+            event=event,
+            seq=next(counter),
+            worker=worker_identity(),
+            unix_ts=time.time(),
+        )
+        return LedgerWriter(target).record(row)
+    except Exception:
+        return False
+
+
+# --- cursors -----------------------------------------------------------
+
+
+def encode_cursor(counts: dict[str, int]) -> str:
+    """Encode per-file consumed-line counts as an opaque cursor token.
+
+    ``{}`` encodes to ``""`` (the from-the-beginning cursor).  The
+    token is URL-safe by construction: file stems are
+    ``<hostname>-<pid>`` (no ``~`` or ``:``), counts are decimal.
+    """
+    return "~".join(
+        f"{stem}:{count}" for stem, count in sorted(counts.items()) if count
+    )
+
+
+def parse_cursor(cursor: str | None) -> dict[str, int]:
+    """Decode a cursor token back into per-file counts.
+
+    Raises :class:`ValueError` on a malformed token — the HTTP layer
+    turns that into a 400 rather than silently replaying the stream
+    from the start (a replay the client explicitly asked to avoid).
+    """
+    if not cursor:
+        return {}
+    counts: dict[str, int] = {}
+    for segment in cursor.split("~"):
+        stem, separator, count_text = segment.rpartition(":")
+        if not separator or not stem or not count_text.isdigit():
+            raise ValueError(f"malformed event cursor segment {segment!r}")
+        counts[stem] = int(count_text)
+    return counts
+
+
+# --- reading -----------------------------------------------------------
+
+
+def _sort_key(row: dict[str, Any]) -> tuple[float, str, int]:
+    ts = row.get("unix_ts")
+    seq = row.get("seq")
+    return (
+        ts if isinstance(ts, (int, float)) and not isinstance(ts, bool) else 0.0,
+        str(row.get("worker")),
+        seq if isinstance(seq, int) and not isinstance(seq, bool) else 0,
+    )
+
+
+def read_events(
+    directory: str | Path, cursor: str | None = None
+) -> tuple[list[dict[str, Any]], str]:
+    """Read the events appended since ``cursor``; returns ``(events, next)``.
+
+    ``cursor=None`` (or ``""``) reads from the beginning.  The returned
+    events are merged across per-writer files: each writer's own append
+    order is always preserved, and writers interleave by ``unix_ts``
+    (ties broken by worker identity then ``seq``) — a best-effort
+    global order that never reorders any single worker's story.
+
+    Every returned event carries a ``"cursor"`` key: resuming from it
+    re-delivers nothing before or at that event and misses nothing
+    after — the exactly-once contract the HTTP ``?after=`` parameter
+    exposes.  The second return value is the cursor after *everything*
+    read, including unparseable complete lines (skipped for good); a
+    torn final line is left unconsumed and retried on the next call.
+
+    A missing directory is an empty stream, and a cursor naming files
+    that no longer exist keeps their counts — reads never go backwards.
+    """
+    counts = parse_cursor(cursor)
+    new_counts = dict(counts)
+    streams: list[list[tuple[int, dict[str, Any]]]] = []
+    stems: list[str] = []
+    root = Path(directory)
+    if root.is_dir():
+        for path in sorted(root.glob("*.jsonl")):
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            # Only lines sealed by a newline are real; the remainder is
+            # a write in flight — skip it *without* consuming it.
+            complete, _, _torn = text.rpartition("\n")
+            lines = complete.split("\n") if complete else []
+            start = counts.get(path.stem, 0)
+            consumed = max(start, 0)
+            fresh: list[tuple[int, dict[str, Any]]] = []
+            for line in lines[consumed:]:
+                consumed += 1
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(row, dict) and row.get("kind") == "event":
+                    fresh.append((consumed, row))
+            new_counts[path.stem] = max(consumed, start)
+            if fresh:
+                streams.append(fresh)
+                stems.append(path.stem)
+    # k-way head merge: always take the smallest-keyed head, so each
+    # file's internal order survives whatever the clocks say.
+    heads = [0] * len(streams)
+    running = dict(counts)
+    merged: list[dict[str, Any]] = []
+    while True:
+        best: int | None = None
+        best_key: tuple[float, str, int] | None = None
+        for index, stream in enumerate(streams):
+            if heads[index] >= len(stream):
+                continue
+            key = _sort_key(stream[heads[index]][1])
+            if best_key is None or key < best_key:
+                best, best_key = index, key
+        if best is None:
+            break
+        line_number, row = streams[best][heads[best]]
+        heads[best] += 1
+        running[stems[best]] = line_number
+        event = dict(row)
+        event["cursor"] = encode_cursor(running)
+        merged.append(event)
+    return merged, encode_cursor(new_counts)

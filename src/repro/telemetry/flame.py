@@ -1,0 +1,242 @@
+"""Span-tree analysis: flame rollups and critical paths from span records.
+
+The span tracer (:mod:`repro.telemetry.trace`) records parent/child
+ids, so the flat per-name aggregates of :func:`repro.telemetry.report.
+rollup` leave information on the table: *where* the time in
+``run.attempt`` sits relative to ``shard.drain``, and which call path
+dominates a job's wall-clock.  This module reconstructs the trees and
+rolls them up flame-style:
+
+* every span is assigned a **call path** — the ``;``-joined names from
+  its root down (``shard.drain;run.attempt``);
+* paths aggregate ``count``, ``total_s`` (wall-clock of spans at the
+  path) and ``self_s`` (``total_s`` minus the total of the path's
+  direct children — time spent at the path itself);
+* the **critical path** descends from the heaviest root through the
+  heaviest child at each level: the first place to look when a fleet
+  is slow.
+
+**Reconciliation invariant.**  Every span contributes to exactly one
+path, whose leaf is the span's name — so grouping paths by leaf name
+and summing totals reproduces the flat per-name aggregates byte for
+byte (``tests/test_telemetry_flame.py`` pins this; ``repro report
+--flame`` relies on it to show both views of one truth).
+
+**Tolerance.**  Ledger files are merged from crashing writers, so the
+tree is built defensively: a span whose ``parent_id`` never shows up
+(the parent's record was lost) becomes an **orphaned root** — its
+subtree is kept, flagged via ``orphan_spans``, never dropped; a
+parent-id cycle (corrupt data) is cut at the revisited span.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.telemetry.ledger import read_ledger_rows
+
+__all__ = [
+    "build_flame",
+    "critical_path",
+    "flame_rollup",
+    "format_flame",
+]
+
+#: Separator between path components (the collapsed-stack convention).
+PATH_SEPARATOR = ";"
+
+
+def _wall_of(row: dict[str, Any]) -> float:
+    observed = row.get("observed") or {}
+    wall = observed.get("wall_clock_s")
+    if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+        return float(wall)
+    return 0.0
+
+
+def _span_paths(
+    spans: list[dict[str, Any]],
+) -> tuple[dict[int, tuple[str, ...]], int]:
+    """Resolve each span (by list index) to its root-down name path.
+
+    Returns ``(paths, orphans)`` where ``orphans`` counts spans whose
+    recorded parent id has no record of its own (their path starts at
+    themselves).  Duplicate span ids (clock-reset collisions) keep the
+    first record; cycles are cut at the revisited id.
+    """
+    by_id: dict[str, int] = {}
+    for index, row in enumerate(spans):
+        span_id = row.get("span_id")
+        if isinstance(span_id, str) and span_id not in by_id:
+            by_id[span_id] = index
+    paths: dict[int, tuple[str, ...]] = {}
+    orphans = 0
+    for index, row in enumerate(spans):
+        names: list[str] = []
+        seen: set[int] = set()
+        current: int | None = index
+        orphaned = False
+        while current is not None and current not in seen:
+            seen.add(current)
+            node = spans[current]
+            names.append(str(node.get("name")))
+            parent_id = node.get("parent_id")
+            if parent_id is None:
+                current = None
+            else:
+                current = by_id.get(str(parent_id))
+                if current is None:
+                    orphaned = True
+        if orphaned:
+            orphans += 1
+        paths[index] = tuple(reversed(names))
+    return paths, orphans
+
+
+def build_flame(spans: list[dict[str, Any]]) -> dict[str, Any]:
+    """Roll span records up by call path; returns a JSON-safe summary.
+
+    The ``paths`` map keys are ``;``-joined call paths, each holding
+    ``count`` / ``total_s`` / ``self_s`` / ``depth``; ``by_name``
+    re-groups the same spans flat by leaf name (the reconciliation
+    surface against :func:`repro.telemetry.report.rollup`);
+    ``critical_path`` is the heaviest root-to-leaf chain.
+    """
+    paths, orphans = _span_paths(spans)
+    aggregated: dict[tuple[str, ...], dict[str, Any]] = {}
+    by_name: dict[str, dict[str, float]] = {}
+    for index, row in enumerate(spans):
+        path = paths[index]
+        wall = _wall_of(row)
+        entry = aggregated.setdefault(
+            path, {"count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] = round(entry["total_s"] + wall, 9)
+        # The same accumulate-and-round the flat rollup uses, so the
+        # two views agree to the last digit.
+        name = str(row.get("name"))
+        flat = by_name.setdefault(name, {"count": 0, "wall_clock_s": 0.0})
+        flat["count"] += 1
+        flat["wall_clock_s"] = round(flat["wall_clock_s"] + wall, 9)
+    for path, entry in aggregated.items():
+        children_total = sum(
+            other["total_s"]
+            for other_path, other in aggregated.items()
+            if len(other_path) == len(path) + 1 and other_path[: len(path)] == path
+        )
+        entry["self_s"] = round(max(0.0, entry["total_s"] - children_total), 9)
+        entry["depth"] = len(path)
+    rendered = {
+        PATH_SEPARATOR.join(path): entry
+        for path, entry in sorted(aggregated.items())
+    }
+    return {
+        "span_records": len(spans),
+        "orphan_spans": orphans,
+        "paths": rendered,
+        "by_name": dict(sorted(by_name.items())),
+        "critical_path": critical_path(aggregated),
+    }
+
+
+def critical_path(
+    aggregated: dict[tuple[str, ...], dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """The heaviest root-to-leaf chain of an aggregated path map.
+
+    Starts at the root (length-1 path) with the largest ``total_s``,
+    then repeatedly descends into the direct child carrying the most
+    total time.  Each step reports its name, cumulative path, total
+    and self seconds — the chain an operator should read top-down.
+    """
+    if not aggregated:
+        return []
+
+    def heaviest(candidates: list[tuple[str, ...]]) -> tuple[str, ...] | None:
+        if not candidates:
+            return None
+        return max(
+            candidates, key=lambda path: (aggregated[path]["total_s"], path)
+        )
+
+    chain: list[dict[str, Any]] = []
+    current = heaviest([path for path in aggregated if len(path) == 1])
+    while current is not None:
+        entry = aggregated[current]
+        chain.append(
+            {
+                "name": current[-1],
+                "path": PATH_SEPARATOR.join(current),
+                "total_s": entry["total_s"],
+                "self_s": entry["self_s"],
+                "count": entry["count"],
+            }
+        )
+        current = heaviest(
+            [
+                path
+                for path in aggregated
+                if len(path) == len(current) + 1
+                and path[: len(current)] == current
+            ]
+        )
+    return chain
+
+
+def flame_rollup(path: str | Path) -> dict[str, Any]:
+    """Flame-analyse the span records of a job / ledger directory.
+
+    Accepts the same targets as :func:`repro.telemetry.report.rollup`
+    (a job dir with a ``ledger/`` subdirectory, or a ledger directory
+    itself) and reads the same files; a directory with no span records
+    returns an empty flame rather than an error.
+    """
+    from repro.telemetry.report import find_ledger_dir
+
+    ledger_dir = find_ledger_dir(path)
+    spans = [
+        row
+        for row in read_ledger_rows(ledger_dir)
+        if row.get("kind") == "span"
+    ]
+    flame = build_flame(spans)
+    flame["ledger_dir"] = str(ledger_dir)
+    return flame
+
+
+def format_flame(flame: dict[str, Any]) -> str:
+    """Render a flame rollup as an indented tree plus the critical path."""
+    lines = [
+        f"spans: {flame['span_records']} "
+        f"({flame['orphan_spans']} orphaned)",
+    ]
+    if not flame["paths"]:
+        lines.append("(no span records — run with tracing enabled)")
+        return "\n".join(lines)
+    width = max(
+        len("  " * (entry["depth"] - 1) + path.split(PATH_SEPARATOR)[-1])
+        for path, entry in flame["paths"].items()
+    )
+    lines.append("")
+    lines.append(
+        f"{'call path'.ljust(width)}  {'total (s)':>12}  "
+        f"{'self (s)':>12}  {'count':>7}"
+    )
+    for path, entry in flame["paths"].items():
+        label = "  " * (entry["depth"] - 1) + path.split(PATH_SEPARATOR)[-1]
+        lines.append(
+            f"{label.ljust(width)}  {entry['total_s']:>12.6f}  "
+            f"{entry['self_s']:>12.6f}  {entry['count']:>7}"
+        )
+    if flame["critical_path"]:
+        lines.append("")
+        lines.append(
+            "critical path: "
+            + " -> ".join(
+                f"{step['name']} ({step['total_s']:.6f}s)"
+                for step in flame["critical_path"]
+            )
+        )
+    return "\n".join(lines)

@@ -156,6 +156,7 @@ class MetricsRegistry:
                     "by_status": dict(sorted(entry["by_status"].items())),
                     "latency_ms": {
                         "histogram": histogram,
+                        "sum_ms": round(entry["total_ms"], 3),
                         "mean": round(entry["total_ms"] / count, 3),
                         "max": round(entry["max_ms"], 3),
                         "p50": _histogram_quantile(

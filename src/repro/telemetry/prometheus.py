@@ -1,0 +1,157 @@
+"""Prometheus text exposition of the service metrics registry.
+
+``GET /v1/metrics?format=prometheus`` renders the same
+:class:`~repro.telemetry.metrics.MetricsRegistry` snapshot the JSON
+endpoint serves, in the Prometheus text format (version ``0.0.4``) —
+so an off-the-shelf scraper can watch a repro service with zero glue.
+
+The renderer works off :meth:`MetricsRegistry.snapshot` (not registry
+internals): the JSON and Prometheus views can never disagree, because
+they read the same frozen snapshot.  Families exposed:
+
+* ``repro_uptime_seconds`` / ``repro_active_requests`` — gauges;
+* ``repro_http_requests_total{method,endpoint,status}`` — counter per
+  normalized route and status code;
+* ``repro_http_request_duration_milliseconds`` — one histogram per
+  route, with **cumulative** ``_bucket{le=...}`` counts ending at
+  ``le="+Inf"`` plus ``_sum`` / ``_count``, as the format requires
+  (the JSON snapshot keeps per-bucket counts; the conversion happens
+  here);
+* ``repro_runs_total{source}`` — the executed / coalesced / cache /
+  failed split of single-run resolutions;
+* ``repro_jobs_total{action}`` — submitted vs idempotent-resubmitted
+  jobs.
+
+Zero-dependency by the package's standing rule: this is string
+formatting, not a client library.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.metrics import LATENCY_BUCKETS_MS
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "render_prometheus"]
+
+#: The content type the text exposition format is served under.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the text-format rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels(**labels: str) -> str:
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _number(value: float) -> str:
+    """Render a sample value: integers bare, floats with full precision."""
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+    ):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _split_route(key: str) -> tuple[str, str]:
+    """A snapshot request key is ``"METHOD endpoint"``; split it back."""
+    method, _, endpoint = key.partition(" ")
+    return method, endpoint or "<other>"
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render one metrics snapshot in the Prometheus text format.
+
+    Takes the output of :meth:`MetricsRegistry.snapshot` (tests feed
+    synthetic ones); returns the full exposition, newline-terminated.
+    """
+    lines: list[str] = []
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    family(
+        "repro_uptime_seconds", "gauge", "Seconds since the service started."
+    )
+    lines.append(f"repro_uptime_seconds {_number(snapshot['uptime_s'])}")
+    family(
+        "repro_active_requests",
+        "gauge",
+        "Requests currently inside the handler.",
+    )
+    lines.append(
+        f"repro_active_requests {_number(snapshot['active_requests'])}"
+    )
+
+    requests = snapshot.get("requests") or {}
+    family(
+        "repro_http_requests_total",
+        "counter",
+        "Finished HTTP requests by route and status code.",
+    )
+    for key, entry in requests.items():
+        method, endpoint = _split_route(key)
+        for status, count in entry["by_status"].items():
+            labels = _labels(method=method, endpoint=endpoint, status=status)
+            lines.append(f"repro_http_requests_total{labels} {_number(count)}")
+
+    family(
+        "repro_http_request_duration_milliseconds",
+        "histogram",
+        "HTTP request wall-clock per route, in milliseconds.",
+    )
+    for key, entry in requests.items():
+        method, endpoint = _split_route(key)
+        latency = entry["latency_ms"]
+        histogram = latency["histogram"]
+        cumulative = 0
+        for bound in LATENCY_BUCKETS_MS:
+            cumulative += int(histogram.get(str(bound), 0))
+            labels = _labels(
+                method=method, endpoint=endpoint, le=str(bound)
+            )
+            lines.append(
+                "repro_http_request_duration_milliseconds_bucket"
+                f"{labels} {cumulative}"
+            )
+        cumulative += int(histogram.get("+Inf", 0))
+        labels = _labels(method=method, endpoint=endpoint, le="+Inf")
+        lines.append(
+            "repro_http_request_duration_milliseconds_bucket"
+            f"{labels} {cumulative}"
+        )
+        route = _labels(method=method, endpoint=endpoint)
+        lines.append(
+            "repro_http_request_duration_milliseconds_sum"
+            f"{route} {_number(latency.get('sum_ms', 0.0))}"
+        )
+        lines.append(
+            "repro_http_request_duration_milliseconds_count"
+            f"{route} {_number(entry['count'])}"
+        )
+
+    family(
+        "repro_runs_total",
+        "counter",
+        "Single-run resolutions by disposition.",
+    )
+    for source, count in sorted((snapshot.get("runs") or {}).items()):
+        lines.append(
+            f"repro_runs_total{_labels(source=source)} {_number(count)}"
+        )
+    family("repro_jobs_total", "counter", "Job submissions by kind.")
+    for action, count in sorted((snapshot.get("jobs") or {}).items()):
+        lines.append(
+            f"repro_jobs_total{_labels(action=action)} {_number(count)}"
+        )
+    return "\n".join(lines) + "\n"

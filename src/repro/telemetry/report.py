@@ -12,7 +12,10 @@ the accounting the ROADMAP's benchmark tables use everywhere else:
 * cache-hit and retry rates;
 * specs/sec per worker (``hostname:pid``);
 * a dead-letter summary, from ``failed/`` quarantine files when the
-  directory is a job dir, falling back to failed ledger records.
+  directory is a job dir, falling back to failed ledger records;
+* ledger-driven retry advice: flaky-recovery vs poison rates per
+  algorithm/scenario and a suggested ``FailurePolicy(retries=…)``
+  sized to the worst observed recovery depth.
 
 The rollup reads only observational data and is itself observational:
 nothing here feeds back into results or fingerprints.
@@ -160,6 +163,59 @@ def rollup(path: str | Path) -> dict[str, Any]:
         stats["wall_clock_s"] = round(wall, 6)
 
     resolutions = executed + cache_hits
+
+    # Retry advice: split terminal records into flaky recoveries
+    # (executed, but only after retries — a retry budget *helped*) and
+    # poison (failed every attempt — no budget would have helped).
+    # The suggested budget is the worst observed recovery depth.
+    advice_groups: dict[str, dict[str, Any]] = {}
+    for row in runs:
+        disposition = row.get("disposition")
+        if disposition not in ("executed", "failed"):
+            continue
+        attempts = row.get("attempts")
+        attempts = (
+            attempts
+            if isinstance(attempts, int) and not isinstance(attempts, bool)
+            else 1
+        )
+        entry = advice_groups.setdefault(
+            _group_key(row),
+            {
+                "terminal": 0,
+                "flaky_recoveries": 0,
+                "poison": 0,
+                "retries_needed": 0,
+            },
+        )
+        entry["terminal"] += 1
+        if disposition == "executed":
+            if attempts > 1:
+                entry["flaky_recoveries"] += 1
+                entry["retries_needed"] = max(
+                    entry["retries_needed"], attempts - 1
+                )
+        else:
+            entry["poison"] += 1
+    for entry in advice_groups.values():
+        terminal = entry["terminal"]
+        entry["flaky_rate"] = (
+            round(entry["flaky_recoveries"] / terminal, 4) if terminal else None
+        )
+        entry["poison_rate"] = (
+            round(entry["poison"] / terminal, 4) if terminal else None
+        )
+    retry_advice = {
+        "by_group": dict(sorted(advice_groups.items())),
+        "suggested_retries": max(
+            (entry["retries_needed"] for entry in advice_groups.values()),
+            default=0,
+        ),
+        "poison_specs": sum(
+            entry["poison"] for entry in advice_groups.values()
+        ),
+    }
+
     span_names: dict[str, dict[str, float]] = {}
     for span in spans:
         name = str(span.get("name"))
@@ -192,6 +248,7 @@ def rollup(path: str | Path) -> dict[str, Any]:
                 round(retried / len(runs), 4) if runs else None
             ),
         },
+        "retry_advice": retry_advice,
         "failures": {
             "failed_records": failed,
             "dead_letters": _dead_letter_summary(root),
@@ -300,6 +357,30 @@ def format_report(summary: dict[str, Any]) -> str:
             title="cache / retry",
         )
     )
+    advice = summary.get("retry_advice") or {}
+    suggested = advice.get("suggested_retries", 0)
+    poison = advice.get("poison_specs", 0)
+    if suggested:
+        recovered = sum(
+            entry["flaky_recoveries"]
+            for entry in advice.get("by_group", {}).values()
+        )
+        blocks.append(
+            f"retry advice: {recovered} flaky spec(s) recovered within "
+            f"{suggested} retr{'y' if suggested == 1 else 'ies'} — "
+            f"suggested FailurePolicy(retries={suggested})"
+        )
+        if poison:
+            blocks[-1] += (
+                f"; {poison} poison spec(s) failed every attempt "
+                "(no budget helps — fix, then `repro shard retry-failed`)"
+            )
+    elif poison:
+        blocks.append(
+            f"retry advice: {poison} poison spec(s) failed every attempt "
+            "and nothing recovered on retry — raising retries won't help; "
+            "fix the cause, then `repro shard retry-failed`"
+        )
     if summary["workers"]:
         blocks.append(
             format_table(

@@ -5,9 +5,12 @@ The accounting side of the service tier (PR 9): every response carries
 :class:`~repro.telemetry.metrics.MetricsRegistry` under its normalized
 endpoint label, the run split (executed / coalesced / cache / failed)
 reflects what the service actually did, and single runs append to the
-service's own run ledger.  Unit tests of the registry itself (bucket
-math, histogram percentiles, JSON-safety of the overflow bound) ride
-along at the bottom.
+service's own run ledger.  The Prometheus text exposition (PR 10's
+``?format=prometheus``) renders the *same* snapshot — cumulative
+histogram buckets, escaped labels, counters that agree with the JSON
+view.  Unit tests of the registry itself (bucket math, histogram
+percentiles, JSON-safety of the overflow bound) ride along at the
+bottom.
 """
 
 from __future__ import annotations
@@ -25,6 +28,10 @@ from repro.telemetry.metrics import (
     LATENCY_BUCKETS_MS,
     MetricsRegistry,
     _histogram_quantile,
+)
+from repro.telemetry.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
 )
 
 from tests.test_service import request, spec_payload
@@ -187,6 +194,133 @@ class TestServiceLedger:
             "cache_disk",
         ]
         assert len({row["fingerprint"] for row in rows}) == 1
+
+
+class TestPrometheusRendering:
+    """The text exposition, unit-level: synthetic snapshots in."""
+
+    def registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.request_started()
+        registry.request_finished("/v1/run", "POST", 200, 3.25)
+        registry.request_started()
+        registry.request_finished("/v1/run", "POST", 200, 40.0)
+        registry.request_started()
+        registry.request_finished("/v1/run", "POST", 400, 1.0)
+        registry.observe_run("executed")
+        registry.observe_run("cache")
+        registry.observe_job(created=True)
+        return registry
+
+    def test_families_are_announced_and_newline_terminated(self):
+        text = render_prometheus(self.registry().snapshot())
+        assert text.endswith("\n")
+        for family, kind in (
+            ("repro_uptime_seconds", "gauge"),
+            ("repro_active_requests", "gauge"),
+            ("repro_http_requests_total", "counter"),
+            ("repro_http_request_duration_milliseconds", "histogram"),
+            ("repro_runs_total", "counter"),
+            ("repro_jobs_total", "counter"),
+        ):
+            assert f"# HELP {family} " in text
+            assert f"# TYPE {family} {kind}" in text
+
+    def test_counters_split_by_status_and_agree_with_json(self):
+        snapshot = self.registry().snapshot()
+        text = render_prometheus(snapshot)
+        assert (
+            'repro_http_requests_total{method="POST",endpoint="/v1/run",'
+            'status="200"} 2' in text
+        )
+        assert (
+            'repro_http_requests_total{method="POST",endpoint="/v1/run",'
+            'status="400"} 1' in text
+        )
+        assert 'repro_runs_total{source="executed"} 1' in text
+        assert 'repro_runs_total{source="cache"} 1' in text
+        assert 'repro_jobs_total{action="submitted"} 1' in text
+
+    def test_histogram_buckets_are_cumulative_to_inf(self):
+        snapshot = self.registry().snapshot()
+        text = render_prometheus(snapshot)
+        series = {}
+        prefix = "repro_http_request_duration_milliseconds_bucket{"
+        for line in text.splitlines():
+            if line.startswith(prefix):
+                labels, _, value = line[len(prefix) :].partition("} ")
+                le = dict(
+                    part.split("=", 1) for part in labels.split(",")
+                )["le"].strip('"')
+                series[le] = int(value)
+        # Latencies 1 / 3.25 / 40 ms land in the 1 / 5 / 50 bounds; the
+        # running totals never decrease and +Inf equals the count.
+        assert series["1"] == 1
+        assert series["5"] == 2
+        assert series["50"] == 3
+        bounds = [str(b) for b in LATENCY_BUCKETS_MS] + ["+Inf"]
+        counts = [series[b] for b in bounds]
+        assert counts == sorted(counts)
+        assert series["+Inf"] == 3
+        entry = snapshot["requests"]["POST /v1/run"]
+        sum_line = (
+            'repro_http_request_duration_milliseconds_sum{method="POST",'
+            f'endpoint="/v1/run"}} {entry["latency_ms"]["sum_ms"]}'
+        )
+        assert sum_line in text
+        assert (
+            'repro_http_request_duration_milliseconds_count{method="POST",'
+            'endpoint="/v1/run"} 3' in text
+        )
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.request_started()
+        registry.request_finished('/odd"route\\with\nnoise', "GET", 200, 1.0)
+        text = render_prometheus(registry.snapshot())
+        assert '\\"route' in text
+        assert "\\\\with" in text
+        assert "\\nnoise" in text
+        # The raw newline never splits a sample line.
+        for line in text.splitlines():
+            assert line.startswith(("#", "repro_"))
+
+    def test_empty_registry_renders_gauges_only(self):
+        text = render_prometheus(MetricsRegistry(clock=lambda: 0.0).snapshot())
+        assert "repro_uptime_seconds 0" in text
+        assert "repro_active_requests 0" in text
+        assert "repro_http_requests_total{" not in text
+
+    def test_content_type_names_the_text_format(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestPrometheusEndpoint:
+    def test_exposition_over_http_matches_the_json_view(self, live):
+        import urllib.request
+
+        service, base = live
+        request("POST", base + "/v1/run", spec_payload())
+        settle(service, 1)
+        with urllib.request.urlopen(
+            base + "/v1/metrics?format=prometheus", timeout=60
+        ) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            assert float(response.headers["X-Repro-Elapsed-Ms"]) >= 0.0
+            text = response.read().decode("utf-8")
+        assert 'repro_runs_total{source="executed"} 1' in text
+        assert (
+            'repro_http_requests_total{method="POST",endpoint="/v1/run",'
+            'status="200"} 1' in text
+        )
+
+    def test_unknown_format_is_a_400(self, live):
+        _, base = live
+        status, body, _ = request("GET", base + "/v1/metrics?format=xml")
+        assert status == 400
+        assert "format" in body["message"]
 
 
 class TestMetricsRegistry:

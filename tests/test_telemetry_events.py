@@ -1,0 +1,364 @@
+"""The job event stream: sequenced, mergeable, resumable exactly-once.
+
+The contracts pinned here (see :mod:`repro.telemetry.events`):
+
+1. every emitted record carries the envelope (``kind`` / ``format`` /
+   ``event`` / ``seq`` / ``worker`` / ``unix_ts``) with a per-writer
+   monotone ``seq``, and the envelope always wins over colliding
+   payload keys;
+2. reads merge per-writer files preserving each writer's append order
+   even when clocks disagree, skip torn final lines *without*
+   consuming them, and resuming from any event's ``cursor`` delivers
+   exactly the remainder — nothing replayed, nothing missed;
+3. emission is ambient (``events_context``) or explicit, disabled by
+   default, and best-effort: a broken directory records nothing and
+   fails nothing;
+4. a real sharded run streams the full lifecycle — and its sealed
+   results stay byte-identical to a run with the stream unreadable.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import InstanceSpec, RunSpec, run_many
+from repro.api.runner import clear_result_cache
+from repro.cluster import run_sharded
+from repro.results import canonical_json
+from repro.telemetry.events import (
+    EVENT_FORMAT,
+    EVENT_TYPES,
+    active_events_dir,
+    emit_event,
+    encode_cursor,
+    events_context,
+    events_dir_of,
+    parse_cursor,
+    read_events,
+)
+from repro.telemetry.ledger import worker_identity
+
+
+def write_stream(directory, stem: str, rows: list[dict]) -> None:
+    """Append rows to one writer's file the way a foreign process would."""
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / f"{stem}.jsonl", "a", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def event_row(event: str, seq: int, worker: str, ts: float, **payload) -> dict:
+    return {
+        "kind": "event",
+        "format": EVENT_FORMAT,
+        "event": event,
+        "seq": seq,
+        "worker": worker,
+        "unix_ts": ts,
+        **payload,
+    }
+
+
+def stripped(events: list[dict]) -> list[dict]:
+    """Events minus their injected resume cursors (for comparisons)."""
+    return [{k: v for k, v in e.items() if k != "cursor"} for e in events]
+
+
+class TestEmit:
+    def test_record_shape_and_monotone_seq(self, tmp_path):
+        assert emit_event("shard_claimed", tmp_path, shard=0) is True
+        assert emit_event("shard_sealed", tmp_path, shard=0) is True
+        events, _ = read_events(tmp_path)
+        assert [e["event"] for e in events] == ["shard_claimed", "shard_sealed"]
+        assert [e["seq"] for e in events] == [1, 2]
+        for event in events:
+            assert event["kind"] == "event"
+            assert event["format"] == EVENT_FORMAT
+            assert event["worker"] == worker_identity()
+            assert isinstance(event["unix_ts"], float)
+        assert events[0]["shard"] == 0
+
+    def test_envelope_keys_win_over_payload_collisions(self, tmp_path):
+        emit_event(
+            "dead_letter",
+            tmp_path,
+            seq=999,
+            kind="impostor",
+            worker="impostor:1",
+            fingerprint="abc",
+        )
+        (event,), _ = read_events(tmp_path)
+        assert event["event"] == "dead_letter"
+        assert event["seq"] == 1
+        assert event["kind"] == "event"
+        assert event["worker"] == worker_identity()
+        assert event["fingerprint"] == "abc"
+
+    def test_disabled_emission_is_a_cheap_no_op(self, tmp_path):
+        assert active_events_dir() is None
+        assert emit_event("spec_retry", attempt=2) is False
+        assert read_events(tmp_path) == ([], "")
+
+    def test_ambient_context_installs_and_restores(self, tmp_path):
+        with events_context(tmp_path) as installed:
+            assert installed == str(tmp_path)
+            assert active_events_dir() == str(tmp_path)
+            assert emit_event("spec_resolved", disposition="executed") is True
+        assert active_events_dir() is None
+        events, _ = read_events(tmp_path)
+        assert [e["event"] for e in events] == ["spec_resolved"]
+
+    def test_none_context_is_a_passthrough(self, tmp_path):
+        with events_context(tmp_path):
+            with events_context(None) as ambient:
+                assert ambient == str(tmp_path)
+
+    def test_explicit_directory_wins_over_ambient(self, tmp_path):
+        ambient = tmp_path / "ambient"
+        explicit = tmp_path / "explicit"
+        with events_context(ambient):
+            emit_event("job_started", explicit, shards=2)
+        assert read_events(explicit)[0]
+        assert read_events(ambient) == ([], "")
+
+    def test_unwritable_directory_is_swallowed(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the directory should be")
+        assert emit_event("job_started", blocker / "events") is False
+
+
+class TestMerge:
+    def test_two_writers_interleave_by_timestamp(self, tmp_path):
+        write_stream(
+            tmp_path,
+            "hosta-11",
+            [
+                event_row("shard_claimed", 1, "hosta:11", 10.0, shard=0),
+                event_row("shard_sealed", 2, "hosta:11", 40.0, shard=0),
+            ],
+        )
+        write_stream(
+            tmp_path,
+            "hostb-22",
+            [
+                event_row("shard_claimed", 1, "hostb:22", 20.0, shard=1),
+                event_row("shard_sealed", 2, "hostb:22", 30.0, shard=1),
+            ],
+        )
+        events, _ = read_events(tmp_path)
+        assert [(e["worker"], e["seq"]) for e in events] == [
+            ("hosta:11", 1),
+            ("hostb:22", 1),
+            ("hostb:22", 2),
+            ("hosta:11", 2),
+        ]
+
+    def test_writer_order_survives_clock_skew(self, tmp_path):
+        # hostb's clock jumps backwards mid-stream: its second event is
+        # timestamped *before* its first.  The merge must never reorder
+        # a single writer's story, whatever the clocks say.
+        write_stream(
+            tmp_path,
+            "hosta-11",
+            [
+                event_row("job_started", 1, "hosta:11", 1.0),
+                event_row("job_complete", 2, "hosta:11", 50.0),
+            ],
+        )
+        write_stream(
+            tmp_path,
+            "hostb-22",
+            [
+                event_row("shard_claimed", 1, "hostb:22", 30.0, shard=0),
+                event_row("shard_sealed", 2, "hostb:22", 2.0, shard=0),
+            ],
+        )
+        events, _ = read_events(tmp_path)
+        b_events = [e for e in events if e["worker"] == "hostb:22"]
+        assert [e["seq"] for e in b_events] == [1, 2]
+        assert [e["event"] for e in b_events] == [
+            "shard_claimed",
+            "shard_sealed",
+        ]
+
+    def test_torn_final_line_is_not_consumed_then_delivered(self, tmp_path):
+        write_stream(
+            tmp_path,
+            "hosta-11",
+            [event_row("shard_claimed", 1, "hosta:11", 1.0, shard=0)],
+        )
+        # A writer caught mid-append: no trailing newline yet.
+        half = json.dumps(event_row("shard_sealed", 2, "hosta:11", 2.0))
+        with open(tmp_path / "hosta-11.jsonl", "a", encoding="utf-8") as fh:
+            fh.write(half[: len(half) // 2])
+        events, cursor = read_events(tmp_path)
+        assert [e["event"] for e in events] == ["shard_claimed"]
+        # The append completes; resuming delivers it exactly once.
+        with open(tmp_path / "hosta-11.jsonl", "a", encoding="utf-8") as fh:
+            fh.write(half[len(half) // 2 :] + "\n")
+        tail, _ = read_events(tmp_path, cursor)
+        assert [e["event"] for e in tail] == ["shard_sealed"]
+        assert tail[0]["seq"] == 2
+
+    def test_unparseable_complete_line_is_skipped_for_good(self, tmp_path):
+        write_stream(
+            tmp_path,
+            "hosta-11",
+            [event_row("shard_claimed", 1, "hosta:11", 1.0)],
+        )
+        with open(tmp_path / "hosta-11.jsonl", "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+        events, cursor = read_events(tmp_path)
+        assert len(events) == 1
+        # The junk line is consumed: a resumed read does not retry it.
+        assert read_events(tmp_path, cursor)[0] == []
+        assert parse_cursor(cursor) == {"hosta-11": 2}
+
+    def test_missing_directory_is_an_empty_stream(self, tmp_path):
+        assert read_events(tmp_path / "never-written") == ([], "")
+
+    def test_non_event_rows_are_ignored_but_counted(self, tmp_path):
+        write_stream(
+            tmp_path,
+            "hosta-11",
+            [
+                {"kind": "run", "fingerprint": "f" * 64},
+                event_row("shard_sealed", 1, "hosta:11", 1.0),
+            ],
+        )
+        events, cursor = read_events(tmp_path)
+        assert [e["event"] for e in events] == ["shard_sealed"]
+        assert parse_cursor(cursor) == {"hosta-11": 2}
+
+
+class TestCursors:
+    def rows(self, tmp_path):
+        write_stream(
+            tmp_path,
+            "hosta-11",
+            [
+                event_row("job_started", 1, "hosta:11", 1.0),
+                event_row("shard_claimed", 2, "hosta:11", 3.0, shard=0),
+                event_row("shard_sealed", 3, "hosta:11", 7.0, shard=0),
+            ],
+        )
+        write_stream(
+            tmp_path,
+            "hostb-22",
+            [
+                event_row("shard_claimed", 1, "hostb:22", 2.0, shard=1),
+                event_row("shard_sealed", 2, "hostb:22", 5.0, shard=1),
+            ],
+        )
+
+    def test_resume_from_any_event_is_exactly_once(self, tmp_path):
+        self.rows(tmp_path)
+        full, _ = read_events(tmp_path)
+        assert len(full) == 5
+        for index, event in enumerate(full):
+            tail, _ = read_events(tmp_path, event["cursor"])
+            assert stripped(tail) == stripped(full[index + 1 :]), (
+                f"resume after event {index} replayed or missed something"
+            )
+
+    def test_final_cursor_reads_empty_until_new_events(self, tmp_path):
+        self.rows(tmp_path)
+        _, cursor = read_events(tmp_path)
+        assert read_events(tmp_path, cursor)[0] == []
+        write_stream(
+            tmp_path,
+            "hostb-22",
+            [event_row("job_complete", 3, "hostb:22", 9.0)],
+        )
+        tail, _ = read_events(tmp_path, cursor)
+        assert [e["event"] for e in tail] == ["job_complete"]
+
+    def test_cursor_round_trips_and_empty_means_start(self):
+        counts = {"hosta-11": 3, "hostb-22": 2}
+        assert parse_cursor(encode_cursor(counts)) == counts
+        assert encode_cursor({}) == ""
+        assert encode_cursor({"hosta-11": 0}) == ""
+        assert parse_cursor("") == {}
+        assert parse_cursor(None) == {}
+
+    @pytest.mark.parametrize(
+        "token", ["nonsense", "stem:", ":5", "stem:abc", "a:1~~b:2", "a:-1"]
+    )
+    def test_malformed_cursors_raise_value_error(self, token):
+        with pytest.raises(ValueError):
+            parse_cursor(token)
+
+    def test_cursor_for_vanished_files_never_goes_backwards(self, tmp_path):
+        write_stream(
+            tmp_path,
+            "hosta-11",
+            [event_row("job_started", 1, "hosta:11", 1.0)],
+        )
+        events, cursor = read_events(tmp_path, "ghost-99:5")
+        assert len(events) == 1
+        assert parse_cursor(cursor) == {"ghost-99": 5, "hosta-11": 1}
+
+
+class TestLifecycle:
+    """Contract 4: a real sharded run streams its story, observationally."""
+
+    def batch(self) -> list[RunSpec]:
+        instance = InstanceSpec(family="complete_bipartite", size=3, seed=8)
+        return [
+            RunSpec(instance=instance, algorithm="bko20"),
+            RunSpec(instance=instance, algorithm="greedy_sequential"),
+            RunSpec(instance=instance, algorithm="linial_greedy"),
+        ]
+
+    def test_sharded_run_emits_the_lifecycle_in_writer_order(self, tmp_path):
+        clear_result_cache()
+        job_dir = tmp_path / "job"
+        run_sharded(self.batch(), job_dir, shards=2, local_workers=0)
+        events, _ = read_events(events_dir_of(job_dir))
+        kinds = [e["event"] for e in events]
+        assert set(kinds) <= set(EVENT_TYPES)
+        assert kinds[0] == "job_started"
+        assert kinds[-1] == "job_complete"
+        assert kinds.count("shard_claimed") == 2
+        assert kinds.count("shard_sealed") == 2
+        resolved = [e for e in events if e["event"] == "spec_resolved"]
+        assert len(resolved) == 3
+        assert {e["disposition"] for e in resolved} == {"executed"}
+        # Per-writer seq never goes backwards in the merged order.
+        last_seq: dict[str, int] = {}
+        for event in events:
+            assert event["seq"] > last_seq.get(event["worker"], 0)
+            last_seq[event["worker"]] = event["seq"]
+        # Each shard's claim precedes its seal.
+        for shard in (0, 1):
+            order = [
+                e["event"]
+                for e in events
+                if e.get("shard") == shard
+                and e["event"] in ("shard_claimed", "shard_sealed")
+            ]
+            assert order == ["shard_claimed", "shard_sealed"]
+
+    def test_results_identical_with_and_without_the_stream(self, tmp_path):
+        specs = self.batch()
+        clear_result_cache()
+        with events_context(tmp_path / "events"):
+            streamed = run_many(specs, cache=False)
+        clear_result_cache()
+        plain = run_many(specs, cache=False)
+        assert [canonical_json(r.to_dict()) for r in streamed] == [
+            canonical_json(r.to_dict()) for r in plain
+        ]
+
+    def test_no_event_fields_leak_into_sealed_results(self, tmp_path):
+        clear_result_cache()
+        job_dir = tmp_path / "job"
+        run_sharded(self.batch()[:1], job_dir, shards=1, local_workers=0)
+        sealed = list((job_dir / "cache").glob("*.json"))
+        assert sealed
+        for path in sealed:
+            text = path.read_text()
+            assert '"unix_ts"' not in text
+            assert '"shard_sealed"' not in text

@@ -1,0 +1,230 @@
+"""Flame rollups: span trees, self/total math, and the critical path.
+
+The contracts pinned here (see :mod:`repro.telemetry.flame`):
+
+1. every span lands on exactly one root-down call path, so grouping
+   paths by leaf name reproduces the flat per-name aggregates of
+   :func:`repro.telemetry.report.rollup` **to the digit** (same
+   accumulate-and-round);
+2. the tree is defensive: spans whose parent record was lost become
+   orphaned roots (counted, never dropped), duplicate span ids keep
+   the first record, and parent-id cycles are cut instead of looping;
+3. ``self_s`` is a path's total minus its direct children's totals,
+   clamped at zero, and the critical path descends the heaviest child
+   from the heaviest root;
+4. the rendered form shows the tree, the critical path, and an honest
+   empty state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import InstanceSpec, RunSpec
+from repro.api.runner import clear_result_cache
+from repro.cluster import run_sharded
+from repro.cluster.worker import ledger_dir_of
+from repro.telemetry.flame import (
+    build_flame,
+    critical_path,
+    flame_rollup,
+    format_flame,
+)
+from repro.telemetry.report import rollup
+from repro.telemetry.trace import trace_context
+
+
+def span(span_id, parent_id, name, wall) -> dict:
+    return {
+        "kind": "span",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "observed": {"wall_clock_s": wall},
+    }
+
+
+def tree_spans() -> list[dict]:
+    """One drain: a root, two attempts under it, a cache publish."""
+    return [
+        span("a", None, "shard.drain", 10.0),
+        span("b", "a", "run.attempt", 3.0),
+        span("c", "a", "run.attempt", 4.0),
+        span("d", "c", "cache.publish", 1.0),
+    ]
+
+
+class TestBuildFlame:
+    def test_paths_totals_and_self_time(self):
+        flame = build_flame(tree_spans())
+        assert flame["span_records"] == 4
+        assert flame["orphan_spans"] == 0
+        paths = flame["paths"]
+        assert set(paths) == {
+            "shard.drain",
+            "shard.drain;run.attempt",
+            "shard.drain;run.attempt;cache.publish",
+        }
+        root = paths["shard.drain"]
+        assert root["count"] == 1
+        assert root["total_s"] == 10.0
+        # 10 total minus the 7 spent in direct children.
+        assert root["self_s"] == 3.0
+        assert root["depth"] == 1
+        attempts = paths["shard.drain;run.attempt"]
+        assert attempts["count"] == 2
+        assert attempts["total_s"] == 7.0
+        assert attempts["self_s"] == 6.0  # 7 minus the 1s publish
+        leaf = paths["shard.drain;run.attempt;cache.publish"]
+        assert leaf["self_s"] == leaf["total_s"] == 1.0
+
+    def test_by_name_reconciles_with_leaf_grouped_paths(self):
+        flame = build_flame(tree_spans())
+        by_leaf: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for path, entry in flame["paths"].items():
+            leaf = path.split(";")[-1]
+            by_leaf[leaf] = round(by_leaf.get(leaf, 0.0) + entry["total_s"], 9)
+            counts[leaf] = counts.get(leaf, 0) + entry["count"]
+        assert by_leaf == {
+            name: entry["wall_clock_s"]
+            for name, entry in flame["by_name"].items()
+        }
+        assert counts == {
+            name: entry["count"] for name, entry in flame["by_name"].items()
+        }
+
+    def test_overlapping_children_clamp_self_at_zero(self):
+        # Concurrent children can sum past the parent's wall-clock;
+        # self time clamps at zero rather than going negative.
+        flame = build_flame(
+            [
+                span("a", None, "parent", 2.0),
+                span("b", "a", "child", 1.5),
+                span("c", "a", "child", 1.5),
+            ]
+        )
+        assert flame["paths"]["parent"]["self_s"] == 0.0
+
+    def test_empty_input_is_an_empty_flame(self):
+        flame = build_flame([])
+        assert flame["span_records"] == 0
+        assert flame["paths"] == {}
+        assert flame["critical_path"] == []
+
+
+class TestTolerance:
+    def test_orphaned_spans_become_counted_roots(self):
+        spans = [
+            span("a", None, "shard.drain", 5.0),
+            # Parent record lost: this subtree roots at run.attempt.
+            span("b", "vanished", "run.attempt", 2.0),
+            span("c", "b", "cache.publish", 1.0),
+        ]
+        flame = build_flame(spans)
+        # Both the orphaned root and its child resolved their path
+        # through the missing record: each is flagged.
+        assert flame["orphan_spans"] == 2
+        assert set(flame["paths"]) == {
+            "shard.drain",
+            "run.attempt",
+            "run.attempt;cache.publish",
+        }
+        # The orphan's subtree is kept, not dropped.
+        assert flame["paths"]["run.attempt;cache.publish"]["total_s"] == 1.0
+
+    def test_parent_cycles_are_cut_not_looped(self):
+        spans = [
+            span("a", "b", "ping", 1.0),
+            span("b", "a", "pong", 2.0),
+        ]
+        flame = build_flame(spans)
+        assert flame["span_records"] == 2
+        # Each span's walk stops at the revisited id: both appear, at
+        # finite depth.
+        assert all(entry["depth"] == 2 for entry in flame["paths"].values())
+
+    def test_duplicate_span_ids_keep_the_first_record(self):
+        spans = [
+            span("a", None, "first", 1.0),
+            span("a", None, "second", 2.0),
+            span("b", "a", "child", 0.5),
+        ]
+        flame = build_flame(spans)
+        # The child resolves its parent to the first "a".
+        assert "first;child" in flame["paths"]
+        assert "second;child" not in flame["paths"]
+
+
+class TestCriticalPath:
+    def test_descends_the_heaviest_child(self):
+        flame = build_flame(
+            [
+                span("a", None, "drain", 10.0),
+                span("b", "a", "light", 2.0),
+                span("c", "a", "heavy", 6.0),
+                span("d", "c", "leaf", 5.0),
+            ]
+        )
+        chain = flame["critical_path"]
+        assert [step["name"] for step in chain] == ["drain", "heavy", "leaf"]
+        assert chain[0]["path"] == "drain"
+        assert chain[1]["path"] == "drain;heavy"
+        assert chain[2]["total_s"] == 5.0
+
+    def test_starts_at_the_heaviest_root(self):
+        flame = build_flame(
+            [
+                span("a", None, "minor", 1.0),
+                span("b", None, "major", 9.0),
+            ]
+        )
+        assert [s["name"] for s in flame["critical_path"]] == ["major"]
+
+    def test_empty_aggregation_has_no_path(self):
+        assert critical_path({}) == []
+
+
+class TestFlameRollup:
+    def batch(self) -> list[RunSpec]:
+        instance = InstanceSpec(family="complete_bipartite", size=3, seed=5)
+        return [
+            RunSpec(instance=instance, algorithm="bko20"),
+            RunSpec(instance=instance, algorithm="greedy_sequential"),
+        ]
+
+    def test_reconciles_with_the_flat_report_on_a_real_job(self, tmp_path):
+        clear_result_cache()
+        job_dir = tmp_path / "job"
+        with trace_context(ledger_dir_of(job_dir)):
+            run_sharded(self.batch(), job_dir, shards=2, local_workers=0)
+        flame = flame_rollup(job_dir)
+        assert flame["span_records"] > 0
+        flat = rollup(job_dir)["spans"]
+        # Leaf-name grouping of the flame equals the flat span table —
+        # the two views of one truth `repro report --flame` prints.
+        assert flame["by_name"] == flat
+        assert flame["critical_path"]
+        names = {p.split(";")[-1] for p in flame["paths"]}
+        assert "run.attempt" in names
+
+    def test_directory_without_spans_is_an_empty_flame(self, tmp_path):
+        flame = flame_rollup(tmp_path)
+        assert flame["span_records"] == 0
+        assert flame["paths"] == {}
+
+
+class TestFormatFlame:
+    def test_renders_tree_and_critical_path(self):
+        text = format_flame(build_flame(tree_spans()))
+        assert "spans: 4 (0 orphaned)" in text
+        assert "call path" in text
+        assert "shard.drain" in text
+        # Children are indented under their parent.
+        assert "\n  run.attempt" in text
+        assert "    cache.publish" in text
+        assert "critical path: shard.drain (10.000000s) -> " in text
+
+    def test_empty_flame_renders_a_hint(self):
+        text = format_flame(build_flame([]))
+        assert "no span records" in text

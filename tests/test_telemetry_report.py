@@ -151,6 +151,120 @@ class TestRollup:
         assert summary["by_algorithm"] == {}
 
 
+class TestRetryAdvice:
+    """Ledger-driven budgeting: flaky recoveries vs poison specs."""
+
+    def test_flaky_recovery_suggests_the_observed_depth(self, tmp_path):
+        specs = batch()
+        flaky = specs[1].fingerprint()
+
+        def hook(fp: str, attempt: int) -> None:
+            if fp == flaky and attempt <= 2:
+                raise InjectedFault("doomed below attempt 3")
+
+        runner_module._FAULT_HOOK = hook
+        run_many(
+            specs,
+            cache=False,
+            ledger_dir=tmp_path,
+            on_error=FailurePolicy(on_error="capture", retries=3),
+        )
+        advice = rollup(tmp_path)["retry_advice"]
+        # The flaky spec needed 2 retries to land; nothing was poison.
+        assert advice["suggested_retries"] == 2
+        assert advice["poison_specs"] == 0
+        group = advice["by_group"]["greedy_sequential"]
+        assert group["terminal"] == 1
+        assert group["flaky_recoveries"] == 1
+        assert group["retries_needed"] == 2
+        assert group["flaky_rate"] == 1.0
+        assert group["poison_rate"] == 0.0
+        clean = advice["by_group"]["bko20"]
+        assert clean["flaky_recoveries"] == 0
+        assert clean["flaky_rate"] == 0.0
+
+    def test_poison_specs_are_not_a_retry_problem(self, tmp_path):
+        specs = batch()
+        doomed = specs[2].fingerprint()
+
+        def hook(fp: str, attempt: int) -> None:
+            if fp == doomed:
+                raise InjectedFault("poisoned for good")
+
+        runner_module._FAULT_HOOK = hook
+        run_many(
+            specs,
+            cache=False,
+            ledger_dir=tmp_path,
+            on_error=FailurePolicy(on_error="capture", retries=2),
+        )
+        advice = rollup(tmp_path)["retry_advice"]
+        assert advice["suggested_retries"] == 0
+        assert advice["poison_specs"] == 1
+        group = advice["by_group"]["linial_greedy"]
+        assert group["poison"] == 1
+        assert group["poison_rate"] == 1.0
+        assert group["retries_needed"] == 0
+
+    def test_cache_replays_do_not_dilute_the_rates(self, tmp_path):
+        specs = batch()[:1]
+        run_many(specs, cache_dir=tmp_path / "cache", ledger_dir=tmp_path)
+        clear_result_cache()
+        run_many(specs, cache_dir=tmp_path / "cache", ledger_dir=tmp_path)
+        advice = rollup(tmp_path)["retry_advice"]
+        # Only the terminal (executed/failed) record counts; the
+        # cache_disk replay is not a second data point.
+        assert advice["by_group"]["bko20"]["terminal"] == 1
+
+    def test_all_clean_run_gives_quiet_advice(self, tmp_path):
+        run_many(batch(), cache=False, ledger_dir=tmp_path)
+        summary = rollup(tmp_path)
+        assert summary["retry_advice"]["suggested_retries"] == 0
+        assert summary["retry_advice"]["poison_specs"] == 0
+        assert "retry advice:" not in format_report(summary)
+
+    def test_format_report_renders_both_advice_lines(self, tmp_path):
+        specs = batch()
+        flaky = specs[0].fingerprint()
+        doomed = specs[2].fingerprint()
+
+        def hook(fp: str, attempt: int) -> None:
+            if fp == flaky and attempt == 1:
+                raise InjectedFault("doomed first attempt")
+            if fp == doomed:
+                raise InjectedFault("poisoned for good")
+
+        runner_module._FAULT_HOOK = hook
+        run_many(
+            specs,
+            cache=False,
+            ledger_dir=tmp_path,
+            on_error=FailurePolicy(on_error="capture", retries=1),
+        )
+        text = format_report(rollup(tmp_path))
+        assert (
+            "retry advice: 1 flaky spec(s) recovered within 1 retry — "
+            "suggested FailurePolicy(retries=1)" in text
+        )
+        assert "1 poison spec(s) failed every attempt" in text
+
+    def test_poison_only_report_says_retries_wont_help(self, tmp_path):
+        spec = batch()[2]
+
+        def hook(fp: str, attempt: int) -> None:
+            raise InjectedFault("poisoned for good")
+
+        runner_module._FAULT_HOOK = hook
+        run_many(
+            [spec],
+            cache=False,
+            ledger_dir=tmp_path,
+            on_error=FailurePolicy(on_error="capture", retries=1),
+        )
+        text = format_report(rollup(tmp_path))
+        assert "raising retries won't help" in text
+
+
 class TestFormatReport:
     def test_renders_every_table(self, tmp_path):
         job_dir = tmp_path / "job"

@@ -1,0 +1,271 @@
+"""``repro top``: folding the event stream into a deterministic frame.
+
+The dashboard is pure folding + rendering over two read-only sources
+(the cluster's ``job_status`` snapshot and the job event stream), so
+everything here is deterministic: synthetic snapshots with an injected
+clock pin the frame contents, and a real drained job pins the loop
+(``run_top``) end to end — including the CLI surfaces ``repro top``
+and ``repro shard status --watch``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.api import InstanceSpec, RunSpec
+from repro.api.runner import clear_result_cache
+from repro.cluster import run_sharded
+from repro.cluster.coordinator import job_status
+from repro.telemetry.top import (
+    RECENT_EVENTS,
+    fold_events,
+    new_event_state,
+    render_job_view,
+    run_top,
+    shard_progress_table,
+)
+
+
+def batch() -> list[RunSpec]:
+    instance = InstanceSpec(family="complete_bipartite", size=3, seed=3)
+    return [
+        RunSpec(instance=instance, algorithm="bko20"),
+        RunSpec(instance=instance, algorithm="greedy_sequential"),
+    ]
+
+
+def synthetic_status() -> dict:
+    """A mid-flight two-shard job as ``job_status`` would report it."""
+    return {
+        "plan_fingerprint": "f" * 64,
+        "shards": 2,
+        "done": [0],
+        "running": [1],
+        "stale": [],
+        "pending": [],
+        "complete": False,
+        "distinct_specs": 8,
+        "specs_done": 4,
+        "failed": {},
+        "timing": {
+            "0": {
+                "wall_clock_s": 2.0,
+                "specs_per_s": 2.0,
+                "specs_executed": 4,
+                "worker": "hosta:11",
+            },
+            "1": {"elapsed_s": 1.0, "worker": "hostb:22"},
+        },
+        "ledger": {
+            "0": {"attempts": 5, "retries": 1, "cache_hits": 0},
+        },
+    }
+
+
+class TestFoldEvents:
+    def test_counts_heartbeats_and_recent_tail(self):
+        state = new_event_state()
+        events = [
+            {"event": "shard_claimed", "shard": 1},
+            {"event": "shard_heartbeat", "shard": 1, "done": 1, "total": 4},
+            {"event": "shard_heartbeat", "shard": 1, "done": 2, "total": 4},
+            {"event": "spec_retry", "attempt": 2},
+        ]
+        fold_events(state, events)
+        assert state["by_type"] == {
+            "shard_claimed": 1,
+            "shard_heartbeat": 2,
+            "spec_retry": 1,
+        }
+        # The latest heartbeat wins.
+        assert state["heartbeats"] == {1: {"done": 2, "total": 4}}
+        assert state["recent"] == events
+
+    def test_recent_tail_is_bounded(self):
+        state = new_event_state()
+        for seq in range(RECENT_EVENTS * 3):
+            fold_events(state, [{"event": "shard_heartbeat", "seq": seq}])
+        assert len(state["recent"]) == RECENT_EVENTS
+        assert state["recent"][-1]["seq"] == RECENT_EVENTS * 3 - 1
+
+
+class TestRenderJobView:
+    def test_mid_flight_frame_shows_progress_and_eta(self):
+        state = fold_events(
+            new_event_state(),
+            [
+                {
+                    "event": "shard_heartbeat",
+                    "shard": 1,
+                    "done": 2,
+                    "total": 4,
+                    "unix_ts": 95.0,
+                    "worker": "hostb:22",
+                },
+                {"event": "spec_retry", "attempt": 2, "unix_ts": 96.0},
+            ],
+        )
+        frame = render_job_view(
+            synthetic_status(), state, title="repro top — job", clock=lambda: 100.0
+        )
+        assert frame.startswith("repro top — job")
+        assert "1/2 shards done" in frame
+        assert "(4/8 distinct specs)" in frame
+        assert "shard-0000" in frame and "shard-0001" in frame
+        # Ledger retries and stream retries agree on max.
+        assert "retries: 1" in frame
+        assert "hosta:11: 4 specs @ 2.0/s" in frame
+        # 4 sealed + 2 heartbeat = 6 of 8 done over 3.0s observed:
+        # 2 remaining / 2 specs-per-s = 1 second.
+        assert "eta: ~1.0s at observed throughput" in frame
+        assert "recent events:" in frame
+        assert "shard_heartbeat" in frame
+        assert "   5.0s ago" in frame  # 100 - 95, right-aligned
+
+    def test_complete_job_says_so_instead_of_eta(self):
+        status = synthetic_status()
+        status.update(
+            complete=True,
+            done=[0, 1],
+            running=[],
+            specs_done=8,
+        )
+        frame = render_job_view(status, new_event_state(), clock=lambda: 0.0)
+        assert "job complete" in frame
+        assert "eta:" not in frame
+
+    def test_no_signal_means_no_eta(self):
+        status = synthetic_status()
+        status["timing"] = {}
+        frame = render_job_view(status, new_event_state(), clock=lambda: 0.0)
+        assert "eta:" not in frame
+
+    def test_empty_job_dir_renders_a_placeholder(self):
+        frame = render_job_view(
+            {"shards": None}, new_event_state(), clock=lambda: 0.0
+        )
+        assert "no cluster plan yet" in frame
+
+    def test_service_snapshot_adds_the_job_line(self):
+        frame = render_job_view(
+            synthetic_status(),
+            new_event_state(),
+            job={"job": "a" * 64, "state": "running", "done": 3, "total": 8},
+            clock=lambda: 0.0,
+        )
+        assert f"job {'a' * 12}… state=running slots 3/8" in frame
+
+
+class TestShardProgressTable:
+    def test_real_job_rows_join_timing_and_ledger(self, tmp_path):
+        clear_result_cache()
+        job_dir = tmp_path / "job"
+        run_sharded(batch(), job_dir, shards=2, local_workers=0)
+        table = shard_progress_table(job_status(job_dir))
+        assert "shard-0000" in table and "shard-0001" in table
+        assert "done" in table
+        assert "attempts" in table and "cache-hits" in table
+
+    def test_missing_sidecars_render_dashes(self):
+        table = shard_progress_table(
+            {
+                "shards": 1,
+                "done": [],
+                "running": [],
+                "stale": [],
+                "pending": [0],
+                "timing": {},
+                "ledger": {},
+            }
+        )
+        row = table.splitlines()[-1]
+        assert "shard-0000" in row and "pending" in row
+        assert row.count("-") >= 6
+
+
+class TestRunTop:
+    def test_one_shot_frame_over_a_finished_job(self, tmp_path, capsys):
+        clear_result_cache()
+        job_dir = tmp_path / "job"
+        run_sharded(batch(), job_dir, shards=2, local_workers=0)
+        frames: list[str] = []
+        assert (
+            run_top(str(job_dir), once=True, emit=frames.append, clock=lambda: 0.0)
+            == 0
+        )
+        assert len(frames) == 1
+        assert "job complete" in frames[0]
+        assert "shard-0000" in frames[0]
+        # No screen-clear prefix on a one-shot render.
+        assert not frames[0].startswith("\x1b")
+
+    def test_loop_exits_on_completion_without_sleeping_forever(self, tmp_path):
+        clear_result_cache()
+        job_dir = tmp_path / "job"
+        run_sharded(batch(), job_dir, shards=2, local_workers=0)
+        frames: list[str] = []
+        naps: list[float] = []
+        code = run_top(
+            str(job_dir),
+            interval=2.0,
+            emit=frames.append,
+            sleep=naps.append,
+            clock=lambda: 0.0,
+        )
+        # The job is already complete: one frame, zero sleeps.
+        assert code == 0
+        assert len(frames) == 1 and naps == []
+
+    def test_iterations_bound_the_loop_on_a_live_job(self, tmp_path):
+        frames: list[str] = []
+        naps: list[float] = []
+        code = run_top(
+            str(tmp_path),  # empty dir: never "complete"
+            interval=0.5,
+            iterations=3,
+            emit=frames.append,
+            sleep=naps.append,
+            clock=lambda: 0.0,
+        )
+        assert code == 0
+        assert len(frames) == 3
+        assert naps == [0.5, 0.5]
+        # Refreshes after the first clear the screen.
+        assert not frames[0].startswith("\x1b[2J")
+        assert frames[1].startswith("\x1b[2J")
+
+
+def _repro_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+
+
+class TestCli:
+    def test_top_once_on_a_job_dir(self, tmp_path):
+        clear_result_cache()
+        job_dir = tmp_path / "job"
+        run_sharded(batch(), job_dir, shards=2, local_workers=0)
+        proc = _repro_cli("top", str(job_dir), "--once")
+        assert proc.returncode == 0, proc.stderr
+        assert "job complete" in proc.stdout
+        assert "shard-0000" in proc.stdout
+
+    def test_shard_status_watch_uses_the_same_renderer(self, tmp_path):
+        clear_result_cache()
+        job_dir = tmp_path / "job"
+        run_sharded(batch(), job_dir, shards=2, local_workers=0)
+        proc = _repro_cli(
+            "shard", "status", "--job-dir", str(job_dir), "--watch", "0.2"
+        )
+        # The job is complete, so the watch draws one frame and exits.
+        assert proc.returncode == 0, proc.stderr
+        assert "job complete" in proc.stdout
+        assert "shard-0000" in proc.stdout
